@@ -1,0 +1,50 @@
+//! # pdsp-apps
+//!
+//! The PDSP-Bench application suite (paper Table 2): fourteen real-world
+//! streaming applications — each a trace generator plus a parallel query
+//! plan mixing standard SPS operators with user-defined operators (UDOs) —
+//! and the nine synthetic query structures re-exported from
+//! `pdsp-workload`.
+//!
+//! Each application implements [`Application`]: it describes itself (for
+//! the Table 2 report), builds its [`pdsp_engine::LogicalPlan`], and
+//! supplies seeded source generators so runs are reproducible on both the
+//! threaded runtime and the cluster simulator.
+//!
+//! | Acronym | Application | Area |
+//! |---|---|---|
+//! | WC | Word Count | Text processing |
+//! | MO | Machine Outlier | Monitoring |
+//! | LR | Linear Road | Transportation |
+//! | SA | Sentiment Analysis | Social media |
+//! | SG | Smart Grid (DEBS'14) | IoT / energy |
+//! | SD | Spike Detection | IoT sensors |
+//! | TT | Trending Topics | Social media |
+//! | LP | Log Processing | Web analytics |
+//! | CA | Click Analytics | Web analytics |
+//! | FD | Fraud Detection | Finance |
+//! | TM | Traffic Monitoring | Transportation |
+//! | BI | Bargain Index | Finance |
+//! | TPCH | TPC-H (streaming) | E-commerce |
+//! | AD | Ad Analytics | Advertising |
+
+pub mod ad_analytics;
+pub mod bargain_index;
+pub mod click_analytics;
+pub mod common;
+pub mod fraud_detection;
+pub mod linear_road;
+pub mod log_processing;
+pub mod machine_outlier;
+pub mod registry;
+pub mod sentiment;
+pub mod smart_grid;
+pub mod spike_detection;
+pub mod tpch;
+pub mod traffic_monitoring;
+pub mod variations;
+pub mod trending_topics;
+pub mod word_count;
+
+pub use common::{AppConfig, Application, BuiltApp, ClosureStream};
+pub use registry::{all_applications, app_by_acronym, AppInfo};

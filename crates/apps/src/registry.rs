@@ -1,0 +1,127 @@
+//! Application registry — the data behind the paper's Table 2.
+
+use crate::common::Application;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Metadata describing one suite application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppInfo {
+    /// Short acronym used in figures (WC, SA, ...).
+    pub acronym: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// Application area (Table 2).
+    pub area: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Whether the plan contains user-defined operators.
+    pub uses_udo: bool,
+    /// Number of source streams.
+    pub sources: usize,
+}
+
+/// All fourteen applications, in Table 2 order.
+pub fn all_applications() -> Vec<Arc<dyn Application>> {
+    vec![
+        Arc::new(crate::word_count::WordCount),
+        Arc::new(crate::machine_outlier::MachineOutlier),
+        Arc::new(crate::linear_road::LinearRoad),
+        Arc::new(crate::sentiment::SentimentAnalysis),
+        Arc::new(crate::smart_grid::SmartGrid),
+        Arc::new(crate::spike_detection::SpikeDetection),
+        Arc::new(crate::trending_topics::TrendingTopics),
+        Arc::new(crate::log_processing::LogProcessing),
+        Arc::new(crate::click_analytics::ClickAnalytics),
+        Arc::new(crate::fraud_detection::FraudDetection),
+        Arc::new(crate::traffic_monitoring::TrafficMonitoring),
+        Arc::new(crate::bargain_index::BargainIndex),
+        Arc::new(crate::tpch::TpcH),
+        Arc::new(crate::ad_analytics::AdAnalytics),
+    ]
+}
+
+/// Look an application up by acronym (case-insensitive).
+pub fn app_by_acronym(acronym: &str) -> Option<Arc<dyn Application>> {
+    all_applications()
+        .into_iter()
+        .find(|a| a.info().acronym.eq_ignore_ascii_case(acronym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::AppConfig;
+
+    #[test]
+    fn suite_has_fourteen_applications() {
+        assert_eq!(all_applications().len(), 14);
+    }
+
+    #[test]
+    fn acronyms_are_unique() {
+        let apps = all_applications();
+        let mut acronyms: Vec<&str> = apps.iter().map(|a| a.info().acronym).collect();
+        acronyms.sort_unstable();
+        let before = acronyms.len();
+        acronyms.dedup();
+        assert_eq!(acronyms.len(), before);
+    }
+
+    #[test]
+    fn every_plan_validates() {
+        let cfg = AppConfig {
+            total_tuples: 1_000,
+            ..AppConfig::default()
+        };
+        for app in all_applications() {
+            let built = app.build(&cfg);
+            built
+                .plan
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.info().acronym));
+            assert_eq!(
+                built.sources.len(),
+                built.plan.sources().len(),
+                "{}: one factory per source node",
+                app.info().acronym
+            );
+            assert_eq!(
+                app.info().sources,
+                built.plan.sources().len(),
+                "{}: info.sources matches plan",
+                app.info().acronym
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_acronym() {
+        assert!(app_by_acronym("wc").is_some());
+        assert!(app_by_acronym("AD").is_some());
+        assert!(app_by_acronym("nope").is_none());
+    }
+
+    #[test]
+    fn udo_flags_match_plans() {
+        use pdsp_engine::operator::OpKind;
+        let cfg = AppConfig {
+            total_tuples: 500,
+            ..AppConfig::default()
+        };
+        for app in all_applications() {
+            let has_udo = app
+                .build(&cfg)
+                .plan
+                .nodes
+                .iter()
+                .any(|n| matches!(n.kind, OpKind::Udo { .. }));
+            assert_eq!(
+                has_udo,
+                app.info().uses_udo,
+                "{} uses_udo flag",
+                app.info().acronym
+            );
+        }
+    }
+}

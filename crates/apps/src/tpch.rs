@@ -1,0 +1,136 @@
+//! TPC-H (TPCH) — a streaming adaptation of TPC-H Q1 (pricing summary):
+//! lineitem tuples are filtered on ship date, extended price is discounted
+//! via a map, and revenue is summed per return flag over tumbling windows.
+//! Standard SPS operators only — the suite's e-commerce representative.
+
+use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::registry::AppInfo;
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::expr::{CmpOp, Predicate, ScalarExpr};
+use pdsp_engine::value::{FieldType, Schema, Value};
+use pdsp_engine::window::WindowSpec;
+use pdsp_engine::PlanBuilder;
+
+/// Ship-date horizon (days since epoch) mirroring Q1's `shipdate <= date`.
+const SHIPDATE_MAX: i64 = 10_000;
+
+/// The streaming TPC-H application.
+pub struct TpcH;
+
+impl Application for TpcH {
+    fn info(&self) -> AppInfo {
+        AppInfo {
+            acronym: "TPCH",
+            name: "TPC-H streaming Q1",
+            area: "E-commerce",
+            description: "Lineitem pricing summary: shipdate filter, discount map, revenue per return flag",
+            uses_udo: false,
+            sources: 1,
+        }
+    }
+
+    fn build(&self, config: &AppConfig) -> BuiltApp {
+        use rand::Rng;
+        // [returnflag, shipdate, extendedprice, discount]
+        let schema = Schema::of(&[
+            FieldType::Int,
+            FieldType::Int,
+            FieldType::Double,
+            FieldType::Double,
+        ]);
+        let source = ClosureStream::new(schema.clone(), config, |_, rng| {
+            vec![
+                Value::Int(rng.gen_range(0..3i64)), // R/A/N
+                Value::Int(rng.gen_range(8_000..12_000i64)),
+                Value::Double(rng.gen_range(100.0..10_000.0)),
+                Value::Double(rng.gen_range(0.0..0.1)),
+            ]
+        });
+        let plan = PlanBuilder::new()
+            .source("lineitem", schema, 1)
+            .filter(
+                "shipdate",
+                Predicate::cmp(1, CmpOp::Le, Value::Int(SHIPDATE_MAX)),
+                0.5,
+            )
+            // [returnflag, revenue = price * (1 - discount)]
+            .map(
+                "discounted-price",
+                vec![
+                    ScalarExpr::Field(0),
+                    ScalarExpr::Mul(
+                        Box::new(ScalarExpr::Field(2)),
+                        Box::new(ScalarExpr::Sub(
+                            Box::new(ScalarExpr::Literal(Value::Double(1.0))),
+                            Box::new(ScalarExpr::Field(3)),
+                        )),
+                    ),
+                ],
+            )
+            .window_agg_keyed(
+                "revenue-per-flag",
+                WindowSpec::tumbling_count(1_000),
+                AggFunc::Sum,
+                1,
+                0,
+            )
+            .sink("sink")
+            .build()
+            .expect("tpch plan is valid");
+        BuiltApp {
+            plan,
+            sources: vec![source],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::physical::PhysicalPlan;
+    use pdsp_engine::runtime::{RunConfig, ThreadedRuntime};
+
+    #[test]
+    fn runs_end_to_end_with_positive_revenue() {
+        let cfg = AppConfig {
+            event_rate: 50_000.0,
+            total_tuples: 12_000,
+            seed: 2,
+        };
+        let built = TpcH.build(&cfg);
+        let phys = PhysicalPlan::expand(&built.plan).unwrap();
+        let res = ThreadedRuntime::new(RunConfig::default())
+            .run(&phys, &built.sources)
+            .unwrap();
+        assert!(res.tuples_out > 0, "windows of 1000 per flag must fire");
+        for t in &res.sink_tuples {
+            let flag = t.values[0].as_i64().unwrap();
+            assert!((0..3).contains(&flag));
+            let revenue = t.values[2].as_f64().unwrap();
+            // 1000 items x >= 90.0 discounted price.
+            assert!(revenue > 90_000.0, "revenue {revenue}");
+        }
+    }
+
+    #[test]
+    fn shipdate_filter_halves_volume() {
+        let cfg = AppConfig {
+            total_tuples: 10_000,
+            ..AppConfig::default()
+        };
+        let built = TpcH.build(&cfg);
+        // Count tuples passing the filter by running up to the map stage:
+        // verify indirectly through output volume — each fired window eats
+        // exactly 1000 filtered tuples.
+        let phys = PhysicalPlan::expand(&built.plan).unwrap();
+        let res = ThreadedRuntime::new(RunConfig::default())
+            .run(&phys, &built.sources)
+            .unwrap();
+        let consumed = res.tuples_out * 1_000;
+        assert!(
+            consumed <= res.tuples_in * 6 / 10,
+            "filter passes ~50%: {consumed} of {}",
+            res.tuples_in
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Query variations over a base PQP.
+//!
+//! The paper lets users take a suite application "as a basis PQP to
+//! generate more queries ... by adding more filter operators, choosing a
+//! different window count for the join, etc." (§3.1, the Ad-Analytics
+//! example). This module implements those plan rewrites generically: they
+//! apply to any valid [`LogicalPlan`] and always return a valid plan.
+
+use pdsp_engine::error::{EngineError, Result};
+use pdsp_engine::expr::Predicate;
+use pdsp_engine::operator::OpKind;
+use pdsp_engine::plan::{LogicalPlan, NodeId, Partitioning};
+use pdsp_engine::window::WindowSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A structural rewrite of a base plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Variation {
+    /// Insert an extra filter (given selectivity) after the node with the
+    /// given id, on its outgoing dataflow.
+    AddFilter {
+        /// Node after which the filter is inserted.
+        after: NodeId,
+        /// Selectivity of the inserted filter (pass-through predicate with
+        /// a cost-model selectivity; the simulator and enumerators use it,
+        /// the threaded runtime passes all tuples).
+        selectivity: f64,
+    },
+    /// Multiply every window length and slide (aggregations and joins) by
+    /// the factor — "choosing a different window count for the join".
+    ScaleWindows {
+        /// Scaling factor (> 0).
+        factor: f64,
+    },
+    /// Replace the aggregate function of every window aggregation.
+    SwapAggFunc(pdsp_engine::agg::AggFunc),
+}
+
+/// Apply one variation, returning the rewritten (validated) plan.
+pub fn apply(base: &LogicalPlan, variation: &Variation) -> Result<LogicalPlan> {
+    let mut plan = base.clone();
+    match variation {
+        Variation::AddFilter { after, selectivity } => {
+            let after = *after;
+            if after >= plan.nodes.len() {
+                return Err(EngineError::UnknownNode(after));
+            }
+            if matches!(plan.nodes[after].kind, OpKind::Sink) {
+                return Err(EngineError::InvalidPlan(
+                    "cannot insert a filter after a sink".into(),
+                ));
+            }
+            let parallelism = plan.nodes[after].parallelism;
+            let filter = plan.add_node(
+                format!("var-filter-{after}"),
+                OpKind::Filter {
+                    predicate: Predicate::True,
+                    selectivity: selectivity.clamp(0.01, 1.0),
+                },
+                parallelism,
+            );
+            // Redirect every out-edge of `after` to originate from the new
+            // filter, then wire `after -> filter` forward (equal
+            // parallelism keeps forward legal).
+            for e in plan.edges.iter_mut() {
+                if e.from == after {
+                    e.from = filter;
+                }
+            }
+            plan.connect(after, filter, Partitioning::Forward);
+        }
+        Variation::ScaleWindows { factor } => {
+            if *factor <= 0.0 {
+                return Err(EngineError::InvalidPlan(
+                    "window scale factor must be positive".into(),
+                ));
+            }
+            let scale = |w: &WindowSpec| -> WindowSpec {
+                let length = ((w.length as f64 * factor).round() as u64).max(1);
+                let slide = ((w.slide as f64 * factor).round() as u64).max(1);
+                WindowSpec {
+                    policy: w.policy,
+                    length,
+                    slide: slide.min(length),
+                }
+            };
+            for node in &mut plan.nodes {
+                match &mut node.kind {
+                    OpKind::WindowAggregate { window, .. } | OpKind::Join { window, .. } => {
+                        *window = scale(window);
+                    }
+                    OpKind::SessionWindow { gap_ms, .. } => {
+                        *gap_ms = ((*gap_ms as f64 * factor).round() as u64).max(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Variation::SwapAggFunc(func) => {
+            for node in &mut plan.nodes {
+                match &mut node.kind {
+                    OpKind::WindowAggregate { func: f, .. }
+                    | OpKind::SessionWindow { func: f, .. } => *f = *func,
+                    _ => {}
+                }
+            }
+        }
+    }
+    plan.validate()?;
+    Ok(plan)
+}
+
+/// Generate `count` random valid variations of a base plan (seeded).
+pub fn random_variations(
+    base: &LogicalPlan,
+    count: usize,
+    seed: u64,
+) -> Vec<(Variation, LogicalPlan)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let insertable: Vec<NodeId> = base
+        .nodes
+        .iter()
+        .filter(|n| !matches!(n.kind, OpKind::Sink))
+        .map(|n| n.id)
+        .collect();
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 10 {
+        attempts += 1;
+        let variation = match rng.gen_range(0..3) {
+            0 => Variation::AddFilter {
+                after: insertable[rng.gen_range(0..insertable.len())],
+                selectivity: rng.gen_range(0.1..0.95),
+            },
+            1 => Variation::ScaleWindows {
+                factor: *[0.5, 2.0, 4.0].get(rng.gen_range(0..3)).unwrap(),
+            },
+            _ => {
+                let funcs = pdsp_engine::agg::AggFunc::ALL;
+                Variation::SwapAggFunc(funcs[rng.gen_range(0..funcs.len())])
+            }
+        };
+        if let Ok(plan) = apply(base, &variation) {
+            out.push((variation, plan));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{AppConfig, Application};
+    use pdsp_engine::agg::AggFunc;
+
+    fn ad_plan() -> LogicalPlan {
+        crate::ad_analytics::AdAnalytics
+            .build(&AppConfig::default())
+            .plan
+    }
+
+    #[test]
+    fn add_filter_preserves_validity_and_adds_node() {
+        let base = ad_plan();
+        let varied = apply(
+            &base,
+            &Variation::AddFilter {
+                after: 1,
+                selectivity: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(varied.nodes.len(), base.nodes.len() + 1);
+        varied.validate().unwrap();
+        // The inserted filter sits between node 1 and its old consumers.
+        let filter_id = varied.nodes.len() - 1;
+        assert!(varied
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == filter_id));
+    }
+
+    #[test]
+    fn add_filter_after_sink_is_rejected() {
+        let base = ad_plan();
+        let sink = base.sinks()[0];
+        assert!(apply(
+            &base,
+            &Variation::AddFilter {
+                after: sink,
+                selectivity: 0.5
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scale_windows_rescales_joins_and_aggs() {
+        let base = ad_plan();
+        let varied = apply(&base, &Variation::ScaleWindows { factor: 2.0 }).unwrap();
+        for (b, v) in base.nodes.iter().zip(&varied.nodes) {
+            if let (OpKind::Join { window: wb, .. }, OpKind::Join { window: wv, .. }) =
+                (&b.kind, &v.kind)
+            {
+                assert_eq!(wv.length, wb.length * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_agg_func_applies_everywhere() {
+        let base = crate::word_count::WordCount
+            .build(&AppConfig::default())
+            .plan;
+        let varied = apply(&base, &Variation::SwapAggFunc(AggFunc::Max)).unwrap();
+        let has_max = varied
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::WindowAggregate { func: AggFunc::Max, .. }));
+        assert!(has_max);
+    }
+
+    #[test]
+    fn random_variations_are_valid_and_seeded() {
+        let base = ad_plan();
+        let a = random_variations(&base, 8, 99);
+        let b = random_variations(&base, 8, 99);
+        assert_eq!(a.len(), 8);
+        assert_eq!(
+            a.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>(),
+            b.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>()
+        );
+        for (_, plan) in &a {
+            plan.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn varied_plans_run_in_the_simulator() {
+        use pdsp_cluster::{Cluster, SimConfig, Simulator};
+        let base = ad_plan();
+        let sim = Simulator::new(
+            Cluster::homogeneous_m510(4),
+            SimConfig {
+                event_rate: 20_000.0,
+                duration_ms: 800,
+                batches_per_second: 40.0,
+                ..SimConfig::default()
+            },
+        );
+        for (_, plan) in random_variations(&base, 4, 5) {
+            let r = sim.run(&plan).unwrap();
+            assert!(r.latency.median().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation benchmark: cost of the full mechanism set vs. with individual
+//! mechanisms disabled, over the 2-way-join sweep used in the ablation
+//! experiment. (Not a paper figure — quantifies the simulator's own design
+//! choices called out in DESIGN.md.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsp_bench_benches::bench_scale;
+use pdsp_cluster::{Cluster, SimConfig, Simulator};
+use pdsp_workload::{ParameterSpace, QueryGenerator, QueryStructure};
+
+fn bench_ablation(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 47);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    let query = generator.generate(QueryStructure::TwoWayJoin);
+    let plan = query.plan.clone().with_uniform_parallelism(64);
+
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("baseline", scale.sim.clone()),
+        ("no-coordination", {
+            let mut cfg = scale.sim.clone();
+            cfg.costs.coord_ns_per_tuple = 0.0;
+            cfg
+        }),
+        ("no-network", {
+            let mut cfg = scale.sim.clone();
+            cfg.costs.network_hop_ns = 0.0;
+            cfg.costs.serialize_ns_per_tuple = 0.0;
+            cfg
+        }),
+    ];
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, cfg) in configs {
+        let sim = Simulator::new(Cluster::heterogeneous_mixed(10), cfg);
+        group.bench_with_input(BenchmarkId::new("join_p64", name), &plan, |b, plan| {
+            b.iter(|| sim.run(plan).unwrap().latency.median())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Engine microbenchmarks: per-operator throughput of the threaded runtime
+//! (filter, keyed window aggregation, windowed join) and of plan machinery
+//! (validation, physical expansion). Not a paper figure — these establish
+//! the substrate's own performance envelope.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::expr::{CmpOp, Predicate};
+use pdsp_engine::operator::OpKind;
+use pdsp_engine::physical::PhysicalPlan;
+use pdsp_engine::runtime::{RunConfig, ThreadedRuntime, VecSource};
+use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
+use pdsp_engine::window::WindowSpec;
+use pdsp_engine::PlanBuilder;
+
+const N: usize = 50_000;
+
+fn tuples() -> Vec<Tuple> {
+    (0..N as i64)
+        .map(|i| {
+            let mut t = Tuple::new(vec![Value::Int(i % 64), Value::Double(i as f64)]);
+            t.event_time = i;
+            t
+        })
+        .collect()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let schema = Schema::of(&[FieldType::Int, FieldType::Double]);
+    let rt = ThreadedRuntime::new(RunConfig::default());
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let filter_plan = PlanBuilder::new()
+        .source("src", schema.clone(), 1)
+        .filter("f", Predicate::cmp(1, CmpOp::Gt, Value::Double(100.0)), 0.9)
+        .set_parallelism(1, 4)
+        .sink("sink")
+        .build()
+        .unwrap();
+    let filter_phys = PhysicalPlan::expand(&filter_plan).unwrap();
+    group.bench_function("filter_p4", |b| {
+        b.iter(|| rt.run(&filter_phys, &[VecSource::new(tuples())]).unwrap())
+    });
+
+    let window_plan = PlanBuilder::new()
+        .source("src", schema.clone(), 1)
+        .window_agg_keyed("agg", WindowSpec::tumbling_count(100), AggFunc::Sum, 1, 0)
+        .set_parallelism(1, 4)
+        .sink("sink")
+        .build()
+        .unwrap();
+    let window_phys = PhysicalPlan::expand(&window_plan).unwrap();
+    group.bench_function("keyed_window_p4", |b| {
+        b.iter(|| rt.run(&window_phys, &[VecSource::new(tuples())]).unwrap())
+    });
+
+    let mut builder = PlanBuilder::new();
+    let s1 = builder.add_node(
+        "s1",
+        OpKind::Source {
+            schema: schema.clone(),
+        },
+        1,
+    );
+    let s2 = builder.add_node("s2", OpKind::Source { schema }, 1);
+    let join_plan = builder
+        .join("j", s1, s2, WindowSpec::tumbling_time(64), 0, 0)
+        .set_parallelism(2, 4)
+        .sink("sink")
+        .build()
+        .unwrap();
+    let join_phys = PhysicalPlan::expand(&join_plan).unwrap();
+    group.bench_function("windowed_join_p4", |b| {
+        b.iter(|| {
+            rt.run(
+                &join_phys,
+                &[VecSource::new(tuples()), VecSource::new(tuples())],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_plan_machinery(c: &mut Criterion) {
+    let plan = PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
+        .filter("f1", Predicate::True, 0.5)
+        .filter("f2", Predicate::True, 0.5)
+        .window_agg_keyed("agg", WindowSpec::tumbling_count(100), AggFunc::Avg, 1, 0)
+        .set_parallelism(1, 64)
+        .set_parallelism(2, 64)
+        .set_parallelism(3, 64)
+        .sink("sink")
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("plan_machinery");
+    group.bench_function("validate", |b| b.iter(|| plan.validate().unwrap()));
+    group.bench_function("expand_p64", |b| {
+        b.iter(|| PhysicalPlan::expand(&plan).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_plan_machinery);
+criterion_main!(benches);

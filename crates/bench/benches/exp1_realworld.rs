@@ -1,0 +1,42 @@
+//! Experiment 1 / Figure 3 (bottom): real-world application latency across
+//! parallelism categories. Covers a UDO-light application (WC), the two
+//! heaviest UDO pipelines (SG, TM), and the join+UDO combination (AD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsp_apps::{app_by_acronym, AppConfig};
+use pdsp_bench_benches::bench_scale;
+use pdsp_cluster::{Cluster, Simulator};
+use pdsp_workload::ParallelismCategory;
+
+fn bench_fig3_bottom(c: &mut Criterion) {
+    let scale = bench_scale();
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let app_config = AppConfig {
+        event_rate: scale.sim.event_rate,
+        total_tuples: 1_000,
+        seed: 13,
+    };
+
+    let mut group = c.benchmark_group("fig3_bottom");
+    group.sample_size(10);
+    for acronym in ["WC", "SG", "TM", "AD"] {
+        let app = app_by_acronym(acronym).expect("known application");
+        let built = app.build(&app_config);
+        for cat in [
+            ParallelismCategory::XS,
+            ParallelismCategory::M,
+            ParallelismCategory::XL,
+        ] {
+            let plan = built.plan.clone().with_uniform_parallelism(cat.degree());
+            group.bench_with_input(
+                BenchmarkId::new(acronym, cat.label()),
+                &plan,
+                |b, plan| b.iter(|| sim.run(plan).unwrap().latency.median()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_bottom);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment 1 / Figure 3 (top): synthetic PQP latency across parallelism
+//! categories on the homogeneous m510 cluster. Each Criterion benchmark
+//! times one (structure, category) simulation; the simulated latency itself
+//! is what `figures --fig3-top` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsp_bench_benches::bench_scale;
+use pdsp_cluster::{Cluster, Simulator};
+use pdsp_workload::{ParallelismCategory, ParameterSpace, QueryGenerator, QueryStructure};
+
+fn bench_fig3_top(c: &mut Criterion) {
+    let scale = bench_scale();
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 41);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+
+    let mut group = c.benchmark_group("fig3_top");
+    group.sample_size(10);
+    for structure in [
+        QueryStructure::Linear,
+        QueryStructure::ThreeFilter,
+        QueryStructure::TwoWayJoin,
+        QueryStructure::FiveWayJoin,
+    ] {
+        let query = generator.generate(structure);
+        for cat in [
+            ParallelismCategory::XS,
+            ParallelismCategory::M,
+            ParallelismCategory::XL,
+        ] {
+            let plan = query.plan.clone().with_uniform_parallelism(cat.degree());
+            group.bench_with_input(
+                BenchmarkId::new(structure.label(), cat.label()),
+                &plan,
+                |b, plan| b.iter(|| sim.run(plan).unwrap().latency.median()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_top);
+criterion_main!(benches);

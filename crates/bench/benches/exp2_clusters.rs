@@ -1,0 +1,47 @@
+//! Experiment 2 / Figure 4: impact of homogeneous vs heterogeneous
+//! clusters. Benchmarks one representative real-world app (SG) and one
+//! synthetic structure (2-way join) on each Exp-2 cluster, with parallelism
+//! matched to the cluster's per-node core count as in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsp_apps::{app_by_acronym, AppConfig};
+use pdsp_bench_benches::bench_scale;
+use pdsp_bench_core::experiments::exp2_clusters;
+use pdsp_cluster::Simulator;
+use pdsp_workload::{ParameterSpace, QueryGenerator, QueryStructure};
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = bench_scale();
+    let app = app_by_acronym("SG").unwrap();
+    let built = app.build(&AppConfig {
+        event_rate: scale.sim.event_rate,
+        total_tuples: 1_000,
+        seed: 13,
+    });
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 43);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    let join = generator.generate(QueryStructure::TwoWayJoin);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for cluster in exp2_clusters() {
+        let parallelism = cluster.min_cores();
+        let sim = Simulator::new(cluster.clone(), scale.sim.clone());
+        let sg_plan = built.plan.clone().with_uniform_parallelism(parallelism);
+        group.bench_with_input(
+            BenchmarkId::new("SG", &cluster.name),
+            &sg_plan,
+            |b, plan| b.iter(|| sim.run(plan).unwrap().latency.median()),
+        );
+        let join_plan = join.plan.clone().with_uniform_parallelism(parallelism);
+        group.bench_with_input(
+            BenchmarkId::new("2-way-join", &cluster.name),
+            &join_plan,
+            |b, plan| b.iter(|| sim.run(plan).unwrap().latency.median()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment 3(1) / Figure 5: training + inference cost of the four
+//! learned cost models on one shared generated dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdsp_bench_benches::bench_scale;
+use pdsp_bench_core::ml_manager::{MlManager, TrainingDataSpec};
+use pdsp_cluster::{Cluster, Simulator};
+use pdsp_ml::trainer::{CostModel, TrainOptions};
+use pdsp_ml::{Gnn, LinearRegression, Mlp, RandomForest};
+use pdsp_workload::{EnumerationStrategy, QueryStructure};
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = bench_scale();
+    let manager = MlManager::new(Simulator::new(
+        Cluster::homogeneous_m510(10),
+        scale.sim.clone(),
+    ));
+    let data = manager
+        .generate(&TrainingDataSpec {
+            structures: QueryStructure::ALL.to_vec(),
+            queries: scale.training_queries,
+            strategy: EnumerationStrategy::Random,
+            event_rate: scale.sim.event_rate,
+            seed: 71,
+        })
+        .expect("training data");
+    let opts = TrainOptions {
+        max_epochs: 30,
+        patience: 6,
+        ..TrainOptions::default()
+    };
+
+    let mut group = c.benchmark_group("fig5_fit");
+    group.sample_size(10);
+    group.bench_function("LR", |b| {
+        b.iter(|| LinearRegression::default().fit(&data.dataset, &opts))
+    });
+    group.bench_function("MLP", |b| b.iter(|| Mlp::default().fit(&data.dataset, &opts)));
+    group.bench_function("RF", |b| {
+        b.iter(|| RandomForest::default().fit(&data.dataset, &opts))
+    });
+    group.bench_function("GNN", |b| b.iter(|| Gnn::default().fit(&data.dataset, &opts)));
+    group.finish();
+
+    // Inference latency per model (single prediction).
+    let mut fitted: Vec<Box<dyn CostModel>> = MlManager::registered_models();
+    for m in &mut fitted {
+        m.fit(&data.dataset, &opts);
+    }
+    let sample = data.dataset.samples[0].clone();
+    let mut group = c.benchmark_group("fig5_predict");
+    for m in &fitted {
+        group.bench_function(m.name(), |b| b.iter(|| m.predict(&sample)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment 3(2) / Figure 6: end-to-end training pipeline cost (data
+//! generation + GNN fit) under random vs rule-based parallelism
+//! enumeration — the paper's O9 training-efficiency comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsp_bench_benches::bench_scale;
+use pdsp_bench_core::ml_manager::{MlManager, TrainingDataSpec};
+use pdsp_cluster::{Cluster, Simulator};
+use pdsp_ml::trainer::{CostModel, TrainOptions};
+use pdsp_ml::Gnn;
+use pdsp_workload::{EnumerationStrategy, QueryStructure};
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = bench_scale();
+    let manager = MlManager::new(Simulator::new(
+        Cluster::homogeneous_m510(10),
+        scale.sim.clone(),
+    ));
+    let opts = TrainOptions {
+        max_epochs: 30,
+        patience: 6,
+        ..TrainOptions::default()
+    };
+
+    let mut group = c.benchmark_group("fig6_pipeline");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("random", EnumerationStrategy::Random),
+        ("rule-based", EnumerationStrategy::RuleBased),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_and_train", name),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    let data = manager
+                        .generate(&TrainingDataSpec {
+                            structures: QueryStructure::SEEN.to_vec(),
+                            queries: 8,
+                            strategy: strategy.clone(),
+                            event_rate: scale.sim.event_rate,
+                            seed: 103,
+                        })
+                        .unwrap();
+                    Gnn::default().fit(&data.dataset, &opts)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

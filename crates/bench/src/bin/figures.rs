@@ -1,0 +1,207 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p pdsp-bench-benches --bin figures -- --all --quick
+//! cargo run --release -p pdsp-bench-benches --bin figures -- --fig3-top --paper
+//! ```
+//!
+//! Flags: `--table2 --table3 --table4 --fig3-top --fig3-bottom --fig4-top
+//! --fig4-bottom --fig5 --fig6 --all`, plus `--ablation` (cost-mechanism
+//! toggles), `--throughput` (sustainable-rate sweep) and `--rates`
+//! (latency vs event rate) — extensions that
+//! are not paper figures and therefore not part of `--all`. Scale via
+//! `--quick` (default) or `--paper`. JSON copies land in
+//! `target/figures/`.
+
+use pdsp_bench_core::experiments::{self, ExpScale};
+use pdsp_bench_core::report;
+use std::path::PathBuf;
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = has("--all") || args.iter().all(|a| a == "--quick" || a == "--paper");
+    let scale = if has("--paper") {
+        ExpScale::paper()
+    } else {
+        ExpScale::quick()
+    };
+
+    if all || has("--table2") {
+        println!("{}", report::table2());
+    }
+    if all || has("--table3") {
+        println!("{}", report::table3());
+    }
+    if all || has("--table4") {
+        println!("{}", report::table4());
+    }
+    if all || has("--fig3-top") {
+        match experiments::fig3_top(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Figure 3 (top): synthetic PQP latency vs parallelism (m510 homogeneous)",
+                        &series
+                    )
+                );
+                save_json("fig3_top", &series);
+            }
+            Err(e) => eprintln!("fig3-top failed: {e}"),
+        }
+    }
+    if all || has("--fig3-bottom") {
+        match experiments::fig3_bottom(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Figure 3 (bottom): real-world application latency vs parallelism",
+                        &series
+                    )
+                );
+                save_json("fig3_bottom", &series);
+            }
+            Err(e) => eprintln!("fig3-bottom failed: {e}"),
+        }
+    }
+    if all || has("--fig4-top") {
+        match experiments::fig4_top(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Figure 4 (top): real-world apps across clusters (parallelism = node cores)",
+                        &series
+                    )
+                );
+                save_json("fig4_top", &series);
+            }
+            Err(e) => eprintln!("fig4-top failed: {e}"),
+        }
+    }
+    if all || has("--fig4-bottom") {
+        match experiments::fig4_bottom(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Figure 4 (bottom): synthetic PQP latency per cluster vs parallelism",
+                        &series
+                    )
+                );
+                save_json("fig4_bottom", &series);
+            }
+            Err(e) => eprintln!("fig4-bottom failed: {e}"),
+        }
+    }
+    if all || has("--fig5") {
+        match experiments::fig5(&scale) {
+            Ok((cells, evals)) => {
+                println!("{}", report::fig5_table(&cells));
+                println!("Overall (held-out) q-error and training:");
+                for e in &evals {
+                    println!(
+                        "  {:4} median q-error {:6.2}  p90 {:7.2}  fit {:7.2}s  epochs {}",
+                        e.model,
+                        e.qerror.median,
+                        e.qerror.p90,
+                        e.report.train_time.as_secs_f64(),
+                        e.report.epochs
+                    );
+                }
+                println!();
+                save_json("fig5_cells", &cells);
+                save_json("fig5_models", &evals);
+            }
+            Err(e) => eprintln!("fig5 failed: {e}"),
+        }
+    }
+    if has("--placement") {
+        match experiments::placement_comparison(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Placement strategies on the mixed cluster (SG p28, join p16)",
+                        &series
+                    )
+                );
+                save_json("placement", &series);
+            }
+            Err(e) => eprintln!("placement failed: {e}"),
+        }
+    }
+    if has("--rates") {
+        match experiments::rate_sweep(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Event-rate sweep: latency vs source rate at parallelism 16",
+                        &series
+                    )
+                );
+                save_json("rates", &series);
+            }
+            Err(e) => eprintln!("rates failed: {e}"),
+        }
+    }
+    if has("--throughput") {
+        match experiments::throughput_sweep(&scale) {
+            Ok(series) => {
+                let mut out = String::from(
+                    "== Throughput: max sustainable rate (tuples/s) per parallelism ==\n",
+                );
+                for s in &series {
+                    out.push_str(&format!("{:6}", s.label));
+                    for (x, rate) in &s.points {
+                        out.push_str(&format!("  {x}: {rate:>9.0}"));
+                    }
+                    out.push('\n');
+                }
+                println!("{out}");
+                save_json("throughput", &series);
+            }
+            Err(e) => eprintln!("throughput failed: {e}"),
+        }
+    }
+    if has("--ablation") {
+        match experiments::ablation(&scale) {
+            Ok(results) => {
+                println!("{}", report::ablation_table(&results));
+                save_json("ablation", &results);
+            }
+            Err(e) => eprintln!("ablation failed: {e}"),
+        }
+    }
+    if all || has("--fig6") {
+        match experiments::fig6(&scale) {
+            Ok(points) => {
+                println!("{}", report::fig6_table(&points));
+                save_json("fig6", &points);
+            }
+            Err(e) => eprintln!("fig6 failed: {e}"),
+        }
+    }
+    println!("JSON series written to {}", out_dir().display());
+}

@@ -1,0 +1,281 @@
+//! Hardware model: node types and clusters from the paper's Table 4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine configuration (CloudLab node type).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeType {
+    /// Type name (CloudLab identifier).
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Clock speed in GHz.
+    pub clock_ghz: f64,
+    /// RAM in GB.
+    pub ram_gb: u64,
+    /// Disk in GB.
+    pub disk_gb: u64,
+    /// Processor family (informational).
+    pub processor: String,
+    /// NIC bandwidth in Gbit/s.
+    pub nic_gbps: f64,
+}
+
+impl NodeType {
+    /// CloudLab `m510`: 8-core 2.0 GHz Xeon D, 64 GB RAM, 10 Gb NIC
+    /// (paper Table 4, the homogeneous cluster's node).
+    pub fn m510() -> Self {
+        NodeType {
+            name: "m510".into(),
+            cores: 8,
+            clock_ghz: 2.0,
+            ram_gb: 64,
+            disk_gb: 256,
+            processor: "Intel Xeon D".into(),
+            nic_gbps: 10.0,
+        }
+    }
+
+    /// CloudLab `c6525_25g`: 16-core 2.2 GHz AMD EPYC, 128 GB RAM, 25 Gb NIC.
+    pub fn c6525_25g() -> Self {
+        NodeType {
+            name: "c6525_25g".into(),
+            cores: 16,
+            clock_ghz: 2.2,
+            ram_gb: 128,
+            disk_gb: 480,
+            processor: "AMD EPYC".into(),
+            nic_gbps: 25.0,
+        }
+    }
+
+    /// CloudLab `c6320`: 28-core 2.0 GHz Haswell, 256 GB RAM, 10 Gb NIC.
+    pub fn c6320() -> Self {
+        NodeType {
+            name: "c6320".into(),
+            cores: 28,
+            clock_ghz: 2.0,
+            ram_gb: 256,
+            disk_gb: 1024,
+            processor: "Intel Haswell".into(),
+            nic_gbps: 10.0,
+        }
+    }
+}
+
+/// Whether a cluster mixes node types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterKind {
+    /// All nodes share one type.
+    Homogeneous,
+    /// Mixed node types.
+    Heterogeneous,
+}
+
+/// One machine in a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Dense node id within the cluster.
+    pub id: usize,
+    /// Its hardware type.
+    pub node_type: NodeType,
+    /// Rack the node sits in; transfers between racks pay an extra network
+    /// hop (paper C2: "distinct network links").
+    #[serde(default)]
+    pub rack: usize,
+}
+
+/// A named set of nodes the PQP is deployed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster name (used in reports).
+    pub name: String,
+    /// Member nodes.
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Build a cluster from node types.
+    pub fn new(name: impl Into<String>, types: Vec<NodeType>) -> Self {
+        Cluster {
+            name: name.into(),
+            nodes: types
+                .into_iter()
+                .enumerate()
+                .map(|(id, node_type)| Node {
+                    id,
+                    node_type,
+                    rack: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's homogeneous cluster: `n` m510 nodes (paper uses 10).
+    pub fn homogeneous_m510(n: usize) -> Self {
+        Cluster::new("m510-homogeneous", vec![NodeType::m510(); n])
+    }
+
+    /// The paper's `c6525_25g` cluster: `n` identical nodes (used as one of
+    /// the "heterogeneous hardware" clusters in Exp. 2).
+    pub fn c6525_25g(n: usize) -> Self {
+        Cluster::new("c6525_25g", vec![NodeType::c6525_25g(); n])
+    }
+
+    /// The paper's `c6320` cluster.
+    pub fn c6320(n: usize) -> Self {
+        Cluster::new("c6320", vec![NodeType::c6320(); n])
+    }
+
+    /// A mixed cluster alternating `c6525_25g` and `c6320` nodes — a
+    /// genuinely heterogeneous deployment (half fast-clock/fast-NIC, half
+    /// many-core).
+    pub fn heterogeneous_mixed(n: usize) -> Self {
+        let types = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    NodeType::c6525_25g()
+                } else {
+                    NodeType::c6320()
+                }
+            })
+            .collect();
+        Cluster::new("mixed-heterogeneous", types)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total cores across nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.node_type.cores).sum()
+    }
+
+    /// Homogeneous or heterogeneous.
+    pub fn kind(&self) -> ClusterKind {
+        let first = match self.nodes.first() {
+            Some(n) => &n.node_type.name,
+            None => return ClusterKind::Homogeneous,
+        };
+        if self.nodes.iter().all(|n| &n.node_type.name == first) {
+            ClusterKind::Homogeneous
+        } else {
+            ClusterKind::Heterogeneous
+        }
+    }
+
+    /// Spread the nodes over `racks` racks round-robin; transfers between
+    /// racks pay an extra hop in the simulator.
+    pub fn with_racks(mut self, racks: usize) -> Self {
+        let racks = racks.max(1);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.rack = i % racks;
+        }
+        self
+    }
+
+    /// Number of distinct racks.
+    pub fn rack_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.rack)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            .max(1)
+    }
+
+    /// Minimum per-node core count — the paper matches parallelism
+    /// categories to this (§4.2: "parallelism degree category as per #
+    /// cores on hardware of each cluster").
+    pub fn min_cores(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.node_type.cores)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, {} cores)",
+            self.name,
+            self.len(),
+            self.total_cores()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_node_specs() {
+        let m510 = NodeType::m510();
+        assert_eq!(m510.cores, 8);
+        assert_eq!(m510.clock_ghz, 2.0);
+        assert_eq!(m510.ram_gb, 64);
+        let epyc = NodeType::c6525_25g();
+        assert_eq!(epyc.cores, 16);
+        assert_eq!(epyc.clock_ghz, 2.2);
+        assert_eq!(epyc.nic_gbps, 25.0);
+        let haswell = NodeType::c6320();
+        assert_eq!(haswell.cores, 28);
+        assert_eq!(haswell.ram_gb, 256);
+    }
+
+    #[test]
+    fn homogeneous_cluster_detection() {
+        assert_eq!(
+            Cluster::homogeneous_m510(10).kind(),
+            ClusterKind::Homogeneous
+        );
+        assert_eq!(
+            Cluster::heterogeneous_mixed(10).kind(),
+            ClusterKind::Heterogeneous
+        );
+    }
+
+    #[test]
+    fn total_cores_sums_nodes() {
+        assert_eq!(Cluster::homogeneous_m510(10).total_cores(), 80);
+        // 5 x 16 + 5 x 28 = 220
+        assert_eq!(Cluster::heterogeneous_mixed(10).total_cores(), 220);
+    }
+
+    #[test]
+    fn min_cores_matches_paper_categories() {
+        assert_eq!(Cluster::homogeneous_m510(10).min_cores(), 8);
+        assert_eq!(Cluster::c6525_25g(10).min_cores(), 16);
+        assert_eq!(Cluster::c6320(10).min_cores(), 28);
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let c = Cluster::heterogeneous_mixed(4);
+        for (i, n) in c.nodes.iter().enumerate() {
+            assert_eq!(n.id, i);
+        }
+    }
+
+    #[test]
+    fn racks_distribute_round_robin() {
+        let c = Cluster::homogeneous_m510(10).with_racks(3);
+        assert_eq!(c.rack_count(), 3);
+        assert_eq!(c.nodes[0].rack, 0);
+        assert_eq!(c.nodes[4].rack, 1);
+        // Default cluster is single-rack.
+        assert_eq!(Cluster::homogeneous_m510(10).rack_count(), 1);
+    }
+}

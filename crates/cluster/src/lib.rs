@@ -1,0 +1,33 @@
+//! # pdsp-cluster
+//!
+//! Heterogeneous cluster model and discrete-event execution simulator — the
+//! CloudLab substitute for PDSP-Bench.
+//!
+//! The original paper deploys Apache Flink on CloudLab clusters (Table 4:
+//! `m510`, `c6525_25g`, `c6320`, ten nodes each) and measures end-to-end
+//! latency of parallel query plans. This crate reproduces the *mechanisms*
+//! that shape those measurements:
+//!
+//! * per-tuple compute cost scaled by node clock speed, with node cores
+//!   shared among the operator instances placed there;
+//! * network transfer (per-hop latency + bandwidth) whenever an edge crosses
+//!   nodes, plus per-connection shuffle overhead that grows with fan-out;
+//! * coordination overhead for stateful operators that grows with
+//!   parallelism — the cause of the paper's "paradox of parallelism" (O2);
+//! * window residency: the paper's latency definition includes window time,
+//!   so windowed aggregations dominate absolute latencies.
+//!
+//! Queries are simulated at *batch* granularity through the same
+//! [`pdsp_engine::PhysicalPlan`] the threaded runtime executes, so both
+//! backends exercise identical plan expansion and routing.
+
+pub mod costs;
+pub mod hardware;
+pub mod placement;
+pub mod rates;
+pub mod simulator;
+
+pub use costs::CostParams;
+pub use hardware::{Cluster, ClusterKind, Node, NodeType};
+pub use placement::{Placement, PlacementStrategy};
+pub use simulator::{SimConfig, SimResult, Simulator};

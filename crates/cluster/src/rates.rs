@@ -1,0 +1,131 @@
+//! Analytic tuple-rate propagation through a logical plan.
+//!
+//! Given per-source event rates, each operator's expected input/output rate
+//! follows from upstream rates and operator selectivities. The simulator
+//! uses these rates to size batches and compute expected window residency;
+//! saturation checks compare per-instance demand against core capacity.
+
+use pdsp_engine::error::Result;
+use pdsp_engine::plan::LogicalPlan;
+
+/// Expected steady-state rates for one logical operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeRates {
+    /// Tuples/second entering the operator (all instances combined).
+    pub input_rate: f64,
+    /// Tuples/second leaving the operator.
+    pub output_rate: f64,
+}
+
+/// Propagate `source_rates` (one per source node, in `plan.sources()` order)
+/// through the plan; returns per-node rates indexed by node id.
+pub fn propagate(plan: &LogicalPlan, source_rates: &[f64]) -> Result<Vec<NodeRates>> {
+    let order = plan.topo_order()?;
+    let sources = plan.sources();
+    let mut rates = vec![
+        NodeRates {
+            input_rate: 0.0,
+            output_rate: 0.0
+        };
+        plan.nodes.len()
+    ];
+    for id in order {
+        let node = &plan.nodes[id];
+        let input: f64 = if let Some(pos) = sources.iter().position(|&s| s == id) {
+            source_rates.get(pos).copied().unwrap_or(0.0)
+        } else {
+            plan.in_edges(id)
+                .iter()
+                .map(|e| rates[e.from].output_rate)
+                .sum()
+        };
+        let sel = node.kind.cost_profile().selectivity;
+        rates[id] = NodeRates {
+            input_rate: input,
+            output_rate: input * sel,
+        };
+    }
+    Ok(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::expr::{CmpOp, Predicate};
+    use pdsp_engine::value::{FieldType, Schema, Value};
+    use pdsp_engine::PlanBuilder;
+
+    #[test]
+    fn filter_thins_rate() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::cmp(0, CmpOp::Lt, Value::Int(5)), 0.25)
+            .sink("k")
+            .build()
+            .unwrap();
+        let r = propagate(&plan, &[1000.0]).unwrap();
+        assert_eq!(r[0].output_rate, 1000.0);
+        assert_eq!(r[1].input_rate, 1000.0);
+        assert_eq!(r[1].output_rate, 250.0);
+        assert_eq!(r[2].input_rate, 250.0);
+    }
+
+    #[test]
+    fn join_sums_inputs() {
+        let mut b = PlanBuilder::new();
+        let s1 = b.add_node(
+            "s1",
+            pdsp_engine::OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let s2 = b.add_node(
+            "s2",
+            pdsp_engine::OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let plan = b
+            .join(
+                "j",
+                s1,
+                s2,
+                pdsp_engine::WindowSpec::tumbling_time(500),
+                0,
+                0,
+            )
+            .sink("k")
+            .build()
+            .unwrap();
+        let r = propagate(&plan, &[600.0, 400.0]).unwrap();
+        assert_eq!(r[2].input_rate, 1000.0);
+        // Join selectivity is taken from the cost profile (0.8).
+        assert!((r[2].output_rate - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chained_filters_compound() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f1", Predicate::True, 0.5)
+            .filter("f2", Predicate::True, 0.5)
+            .sink("k")
+            .build()
+            .unwrap();
+        let r = propagate(&plan, &[1000.0]).unwrap();
+        assert_eq!(r[2].output_rate, 250.0);
+    }
+
+    #[test]
+    fn missing_source_rate_defaults_to_zero() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .sink("k")
+            .build()
+            .unwrap();
+        let r = propagate(&plan, &[]).unwrap();
+        assert_eq!(r[0].input_rate, 0.0);
+    }
+}

@@ -1,0 +1,710 @@
+//! Discrete-event execution simulator.
+//!
+//! The simulator pushes *batches* of tuples through a
+//! [`pdsp_engine::PhysicalPlan`] placed on a [`Cluster`]:
+//!
+//! * arrivals at sources follow a Poisson process at the configured event
+//!   rate (the paper models data as Poisson, §4);
+//! * each batch is serviced on one core of the instance's node — cores are
+//!   shared among the instances placed there, so over-subscription queues
+//!   naturally and under-parallelized stateful operators saturate exactly
+//!   like real deployments;
+//! * routing reuses the engine's partitioning semantics at batch
+//!   granularity (hash/rebalance pick one downstream instance per batch,
+//!   broadcast replicates);
+//! * crossing a node boundary pays per-hop latency plus wire time at the
+//!   slower NIC of the two nodes;
+//! * windowed operators thin the stream by their firing rate and push the
+//!   batch's effective emit time back by the expected window residency —
+//!   the paper's end-to-end latency includes window time.
+//!
+//! The latency recorded at sinks is therefore queueing + service +
+//! network + coordination + window residency, the same composition the
+//! paper describes.
+
+use crate::costs::CostParams;
+use crate::hardware::Cluster;
+use crate::placement::{Placement, PlacementStrategy};
+use crate::rates;
+use pdsp_engine::error::{EngineError, Result};
+use pdsp_engine::operator::OpKind;
+use pdsp_engine::physical::PhysicalPlan;
+use pdsp_engine::plan::{LogicalPlan, Partitioning};
+use pdsp_engine::window::WindowPolicy;
+use pdsp_metrics::{LatencyRecorder, MeasurementProtocol, RunSummary};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Event rate per source node, tuples/second (paper Table 3 range:
+    /// 10 .. 4,000,000).
+    pub event_rate: f64,
+    /// Simulated stream duration in milliseconds.
+    pub duration_ms: u64,
+    /// Batch granularity: how many batches per simulated second per source
+    /// instance (higher = finer queueing resolution, more events).
+    pub batches_per_second: f64,
+    /// RNG seed; every run is fully deterministic given the seed.
+    pub seed: u64,
+    /// Placement strategy.
+    pub placement: PlacementStrategy,
+    /// Cost constants.
+    pub costs: CostParams,
+    /// Estimated distinct keys per keyed operator (drives count-window
+    /// residency: windows fill at the per-key rate).
+    pub keys: usize,
+    /// Key skew for hash-partitioned edges: `None`/`Some(0.0)` = uniform;
+    /// `Some(s)` routes batches to downstream instances Zipf(s)-distributed,
+    /// concentrating load on hot instances — the paper's Zipf data
+    /// distribution option (§4) surfacing as partitioning imbalance.
+    pub key_skew: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            event_rate: 100_000.0,
+            duration_ms: 10_000,
+            batches_per_second: 200.0,
+            seed: 42,
+            placement: PlacementStrategy::CoreWeighted,
+            costs: CostParams::default(),
+            keys: 64,
+            key_skew: None,
+        }
+    }
+}
+
+/// Result of one simulated execution.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Latency distribution at sinks (ms).
+    pub latency: LatencyRecorder,
+    /// Tuples generated at sources.
+    pub tuples_in: u64,
+    /// Tuples delivered at sinks.
+    pub tuples_out: u64,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+    /// Fraction of instance-pairs whose channel crosses nodes.
+    pub cross_node_fraction: f64,
+}
+
+impl SimResult {
+    /// Summarize into the common run-summary shape.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_recorder(
+            &self.latency,
+            self.tuples_in,
+            self.tuples_out,
+            self.sim_seconds,
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    /// Expected tuples in this batch (fractional after thinning).
+    tuples: f64,
+    /// Effective source-emit time (ns); window residency pushes it back.
+    emit_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time_ns: f64,
+    seq: u64,
+    instance: usize,
+    batch: Batch,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns == other.time_ns && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time_ns
+            .total_cmp(&other.time_ns)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-logical-node derived parameters, precomputed before the event loop.
+#[derive(Debug, Clone)]
+struct NodeModel {
+    /// Output tuples per input tuple.
+    selectivity: f64,
+    /// Service demand per tuple at 1 GHz, before node clock scaling.
+    cpu_ns_per_tuple: f64,
+    /// State factor (coordination).
+    state_factor: f64,
+    /// Window residency to add to results, ns.
+    window_residency_ns: f64,
+    /// Whether this is a UDO (higher jitter).
+    is_udo: bool,
+    /// Schema width (for wire bytes).
+    out_width: usize,
+}
+
+/// The execution simulator for one cluster.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cluster: Cluster,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Create a simulator for `cluster` under `config`.
+    pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+        Simulator { cluster, config }
+    }
+
+    /// The cluster being simulated.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Simulate one execution of `plan`.
+    pub fn run(&self, plan: &LogicalPlan) -> Result<SimResult> {
+        let phys = PhysicalPlan::expand(plan)?;
+        let placement = Placement::compute(&phys, &self.cluster, self.config.placement);
+        self.run_placed(&phys, &placement)
+    }
+
+    /// Simulate with an explicit placement.
+    pub fn run_placed(&self, phys: &PhysicalPlan, placement: &Placement) -> Result<SimResult> {
+        let plan = &phys.logical;
+        let cfg = &self.config;
+        let costs = &cfg.costs;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        let schemas = plan.schemas()?;
+        let source_nodes = plan.sources();
+        let source_rates = vec![cfg.event_rate; source_nodes.len()];
+        let node_rates = rates::propagate(plan, &source_rates)?;
+
+        // Per-logical-node models.
+        let models: Vec<NodeModel> = plan
+            .nodes
+            .iter()
+            .map(|n| {
+                let profile = n.kind.cost_profile();
+                let residency_ns = match &n.kind {
+                    // A session's contents wait on average half the session
+                    // span plus the full gap before the watermark closes it.
+                    OpKind::SessionWindow { gap_ms, .. } => {
+                        (*gap_ms as f64 + costs.watermark_delay_ms) * 1e6
+                    }
+                    OpKind::WindowAggregate { window, .. } => {
+                        let half = (window.length as f64 + window.slide as f64) / 2.0;
+                        match window.policy {
+                            WindowPolicy::Time => {
+                                (half + costs.watermark_delay_ms) * 1e6
+                            }
+                            WindowPolicy::Count => {
+                                // Windows fill at the per-key rate.
+                                let in_rate = node_rates[n.id].input_rate.max(1e-3);
+                                let per_key = in_rate / cfg.keys.max(1) as f64;
+                                (half / per_key.max(1e-6)) * 1e9
+                            }
+                        }
+                    }
+                    _ => 0.0,
+                };
+                // Cap residency at the simulated duration: a window that
+                // never fills within the run contributes at most the run.
+                let max_ns = cfg.duration_ms as f64 * 1e6;
+                NodeModel {
+                    selectivity: profile.selectivity.clamp(0.0, 64.0),
+                    cpu_ns_per_tuple: profile.cpu_ns_per_tuple,
+                    state_factor: profile.state_factor,
+                    window_residency_ns: residency_ns.min(max_ns),
+                    is_udo: matches!(n.kind, OpKind::Udo { .. }),
+                    out_width: schemas[n.id].width().max(1),
+                }
+            })
+            .collect();
+
+        // Per-logical-node heterogeneity multiplier on coordination:
+        // instances spanning nodes of differing clock speed pay progress-
+        // alignment overhead (O5/O7 mechanism).
+        let hetero_mult: Vec<f64> = plan
+            .nodes
+            .iter()
+            .map(|n| {
+                let clocks: Vec<f64> = phys.node_instances[n.id]
+                    .iter()
+                    .map(|&i| self.cluster.nodes[placement.node_of[i]].node_type.clock_ghz)
+                    .collect();
+                let (min, max) = clocks.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| {
+                    (lo.min(c), hi.max(c))
+                });
+                if min.is_finite() && min > 0.0 {
+                    1.0 + costs.hetero_coord_penalty * (max / min - 1.0)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        // Per-node core availability.
+        let mut core_free: Vec<Vec<f64>> = self
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| vec![0.0f64; n.node_type.cores])
+            .collect();
+        // An operator instance is single-threaded: its batches serialize on
+        // the instance even when the node has idle cores.
+        let mut inst_free: Vec<f64> = vec![0.0; phys.instance_count()];
+
+        // Per-instance round-robin cursors (one per out-route).
+        let mut rr: Vec<Vec<usize>> = phys
+            .out_routes
+            .iter()
+            .map(|routes| vec![0usize; routes.len()])
+            .collect();
+
+        // Zipf CDFs for skewed hash routing, cached per fan-out degree.
+        let mut zipf_cdfs: std::collections::HashMap<usize, Vec<f64>> =
+            std::collections::HashMap::new();
+        let skew = cfg.key_skew.filter(|&s| s > 0.0);
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+
+        // Generate source arrivals: Poisson per source instance.
+        let duration_ns = cfg.duration_ms as f64 * 1e6;
+        let mut tuples_in = 0.0f64;
+        for (si, &src) in source_nodes.iter().enumerate() {
+            let instances = &phys.node_instances[src];
+            let rate_per_inst = source_rates[si] / instances.len() as f64;
+            let batch_tuples = (rate_per_inst / cfg.batches_per_second).max(1.0);
+            let mean_gap_ns = batch_tuples / rate_per_inst * 1e9;
+            for &inst in instances {
+                let mut t = 0.0f64;
+                loop {
+                    // Exponential inter-arrival.
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    t += -mean_gap_ns * u.ln();
+                    if t >= duration_ns {
+                        break;
+                    }
+                    tuples_in += batch_tuples;
+                    heap.push(Reverse(Event {
+                        time_ns: t,
+                        seq,
+                        instance: inst,
+                        batch: Batch {
+                            tuples: batch_tuples,
+                            emit_ns: t,
+                        },
+                    }));
+                    seq += 1;
+                }
+            }
+        }
+
+        let mut latency = LatencyRecorder::new(200_000);
+        let mut tuples_out = 0.0f64;
+        let sink_set: Vec<bool> = {
+            let mut v = vec![false; phys.instance_count()];
+            for s in phys.sink_instances() {
+                v[s] = true;
+            }
+            v
+        };
+
+        // Guard against runaway event counts from fan-out plans.
+        let max_events: u64 = 4_000_000;
+        let mut processed: u64 = 0;
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            processed += 1;
+            if processed > max_events {
+                return Err(EngineError::Execution(
+                    "simulation exceeded event budget".into(),
+                ));
+            }
+            let inst = &phys.instances[ev.instance];
+            let lnode = inst.node;
+            let model = &models[lnode];
+            let node_id = placement.node_of[ev.instance];
+            let hw = &self.cluster.nodes[node_id].node_type;
+
+            // ---- Service on one core of the node ----
+            let parallelism = plan.nodes[lnode].parallelism;
+            let in_channels = phys.input_channel_count[ev.instance] as f64;
+            let out_targets: usize = phys.out_routes[ev.instance]
+                .iter()
+                .map(|r| r.targets.len())
+                .sum();
+            let per_tuple_ns = (model.cpu_ns_per_tuple
+                + costs.framework_ns_per_tuple
+                + costs.serialize_ns_per_tuple)
+                / hw.clock_ghz
+                + costs.channel_poll_ns * in_channels
+                + costs.coordination_ns(model.state_factor, parallelism) * hetero_mult[lnode];
+            let sigma = if model.is_udo {
+                costs.udo_jitter_std
+            } else {
+                costs.jitter_std
+            };
+            // Lognormal jitter with unit mean.
+            let z: f64 = {
+                // Box-Muller from two uniforms.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
+            let jitter = (sigma * z - sigma * sigma / 2.0).exp();
+            let fanout_cost =
+                costs.shuffle_batch_overhead_ns * (1.0 + 0.05 * out_targets as f64);
+            let service_ns =
+                ev.batch.tuples * per_tuple_ns * jitter + if out_targets > 0 { fanout_cost } else { 0.0 };
+
+            // Pick the earliest-free core on the node; the instance itself
+            // must also be free (single-threaded instances).
+            let cores = &mut core_free[node_id];
+            let (core_idx, &free) = cores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("node has cores");
+            let start = ev.time_ns.max(free).max(inst_free[ev.instance]);
+            let done = start + service_ns;
+            cores[core_idx] = done;
+            inst_free[ev.instance] = done;
+
+            // ---- Operator semantics ----
+            let mut out_batch = ev.batch;
+            out_batch.tuples *= model.selectivity;
+            out_batch.emit_ns -= model.window_residency_ns;
+            if out_batch.tuples < 1e-6 {
+                continue;
+            }
+
+            if sink_set[ev.instance] {
+                // Latency of this batch's representative tuple.
+                let lat_ns = (done - out_batch.emit_ns).max(0.0);
+                latency.record_ms(lat_ns / 1e6);
+                tuples_out += out_batch.tuples;
+                continue;
+            }
+
+            // ---- Routing ----
+            for (ri, route) in phys.out_routes[ev.instance].iter().enumerate() {
+                let pick_targets: Vec<usize> = match &route.partitioning {
+                    Partitioning::Forward => vec![0],
+                    Partitioning::Broadcast => (0..route.targets.len()).collect(),
+                    Partitioning::Rebalance => {
+                        let i = rr[ev.instance][ri] % route.targets.len();
+                        rr[ev.instance][ri] += 1;
+                        vec![i]
+                    }
+                    Partitioning::Hash(_) => {
+                        // Batches stand in for key ranges: uniform by
+                        // default, Zipf-weighted under key skew (hot key
+                        // ranges land on hot instances).
+                        let n = route.targets.len();
+                        let pick = match skew {
+                            None => rng.gen_range(0..n),
+                            Some(s) => {
+                                let cdf = zipf_cdfs.entry(n).or_insert_with(|| {
+                                    let mut acc = 0.0;
+                                    let mut cdf: Vec<f64> = (1..=n)
+                                        .map(|k| {
+                                            acc += (k as f64).powf(-s);
+                                            acc
+                                        })
+                                        .collect();
+                                    let total = acc;
+                                    for c in &mut cdf {
+                                        *c /= total;
+                                    }
+                                    cdf
+                                });
+                                let u: f64 = rng.gen_range(0.0..1.0);
+                                cdf.partition_point(|&c| c < u).min(n - 1)
+                            }
+                        };
+                        vec![pick]
+                    }
+                };
+                for ti in pick_targets {
+                    let target = route.targets[ti];
+                    let dst_node = placement.node_of[target.instance];
+                    let mut arrive = done;
+                    if dst_node != node_id {
+                        let dst = &self.cluster.nodes[dst_node];
+                        let gbps = hw.nic_gbps.min(dst.node_type.nic_gbps);
+                        let bytes =
+                            out_batch.tuples * model.out_width as f64 * costs.bytes_per_field;
+                        arrive += costs.network_hop_ns + costs.wire_ns(bytes, gbps);
+                        if self.cluster.nodes[node_id].rack != dst.rack {
+                            arrive += costs.inter_rack_extra_ns;
+                        }
+                    }
+                    heap.push(Reverse(Event {
+                        time_ns: arrive,
+                        seq,
+                        instance: target.instance,
+                        batch: out_batch,
+                    }));
+                    seq += 1;
+                }
+            }
+        }
+
+        Ok(SimResult {
+            latency,
+            tuples_in: tuples_in.round() as u64,
+            tuples_out: tuples_out.round() as u64,
+            sim_seconds: cfg.duration_ms as f64 / 1e3,
+            cross_node_fraction: placement.cross_node_fraction(phys),
+        })
+    }
+
+    /// The paper's protocol: three runs (different seeds), mean of medians.
+    pub fn measure(&self, plan: &LogicalPlan) -> Result<f64> {
+        let proto = MeasurementProtocol::default();
+        let mut err = None;
+        let result = proto.measure(|run| {
+            let mut sim = self.clone();
+            sim.config.seed = self.config.seed.wrapping_add(run as u64 * 7919);
+            match sim.run(plan) {
+                Ok(r) => r.summary(),
+                Err(e) => {
+                    err = Some(e);
+                    RunSummary {
+                        p50_latency_ms: 0.0,
+                        p90_latency_ms: 0.0,
+                        p99_latency_ms: 0.0,
+                        mean_latency_ms: 0.0,
+                        throughput_in: 0.0,
+                        throughput_out: 0.0,
+                        tuples_out: 0,
+                        tuples_in: 0,
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(result.mean_of_median_latency_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::agg::AggFunc;
+    use pdsp_engine::expr::Predicate;
+    use pdsp_engine::value::{FieldType, Schema};
+    use pdsp_engine::window::WindowSpec;
+    use pdsp_engine::PlanBuilder;
+
+    fn linear_plan(p: usize) -> LogicalPlan {
+        PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
+            .filter("f", Predicate::True, 0.8)
+            .set_parallelism(1, p)
+            .sink("sink")
+            .build()
+            .unwrap()
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            event_rate: 50_000.0,
+            duration_ms: 2_000,
+            batches_per_second: 100.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_given_seed() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let a = sim.run(&linear_plan(4)).unwrap();
+        let b = sim.run(&linear_plan(4)).unwrap();
+        assert_eq!(a.latency.median(), b.latency.median());
+        assert_eq!(a.tuples_out, b.tuples_out);
+    }
+
+    #[test]
+    fn selectivity_thins_output() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let r = sim.run(&linear_plan(4)).unwrap();
+        let ratio = r.tuples_out as f64 / r.tuples_in as f64;
+        assert!(
+            (ratio - 0.8).abs() < 0.05,
+            "filter selectivity 0.8, observed {ratio}"
+        );
+    }
+
+    #[test]
+    fn latencies_are_positive_and_finite() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let r = sim.run(&linear_plan(2)).unwrap();
+        let m = r.latency.median().unwrap();
+        assert!(m > 0.0 && m.is_finite());
+    }
+
+    #[test]
+    fn window_residency_dominates_windowed_latency() {
+        let plain = linear_plan(4);
+        let windowed = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
+            .window_agg_keyed(
+                "agg",
+                WindowSpec::tumbling_time(1000),
+                AggFunc::Avg,
+                1,
+                0,
+            )
+            .set_parallelism(1, 4)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let lp = sim.run(&plain).unwrap().latency.median().unwrap();
+        let lw = sim.run(&windowed).unwrap().latency.median().unwrap();
+        assert!(
+            lw > lp + 400.0,
+            "1s tumbling window must add ~500ms residency: plain {lp}, windowed {lw}"
+        );
+    }
+
+    #[test]
+    fn underparallelized_join_saturates() {
+        // A join at parallelism 1 under 50k ev/s cannot keep up; latency
+        // must blow up relative to parallelism 8.
+        fn join_plan(p: usize) -> LogicalPlan {
+            let mut b = PlanBuilder::new();
+            let s1 = b.add_node(
+                "s1",
+                pdsp_engine::OpKind::Source {
+                    schema: Schema::of(&[FieldType::Int]),
+                },
+                2,
+            );
+            let s2 = b.add_node(
+                "s2",
+                pdsp_engine::OpKind::Source {
+                    schema: Schema::of(&[FieldType::Int]),
+                },
+                2,
+            );
+            b.join("j", s1, s2, WindowSpec::tumbling_time(500), 0, 0)
+                .set_parallelism(2, p)
+                .sink("sink")
+                .build()
+                .unwrap()
+        }
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let l1 = sim.run(&join_plan(1)).unwrap().latency.median().unwrap();
+        let l8 = sim.run(&join_plan(8)).unwrap().latency.median().unwrap();
+        assert!(
+            l1 > 3.0 * l8,
+            "join p=1 should saturate: p1 {l1} ms vs p8 {l8} ms"
+        );
+    }
+
+    #[test]
+    fn faster_cluster_is_faster_for_cpu_bound_work() {
+        // c6525_25g (2.2 GHz, 25G NIC, 16 cores) vs m510 (2.0 GHz, 10G, 8).
+        let plan = linear_plan(8);
+        let cfg = quick_config();
+        let slow = Simulator::new(Cluster::homogeneous_m510(10), cfg.clone());
+        let fast = Simulator::new(Cluster::c6525_25g(10), cfg);
+        let ls = slow.run(&plan).unwrap().latency.median().unwrap();
+        let lf = fast.run(&plan).unwrap().latency.median().unwrap();
+        assert!(lf < ls * 1.05, "c6525 {lf} ms should not lose to m510 {ls} ms");
+    }
+
+    #[test]
+    fn measure_averages_three_seeds() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let m = sim.measure(&linear_plan(4)).unwrap();
+        assert!(m > 0.0 && m.is_finite());
+    }
+
+    #[test]
+    fn cross_rack_clusters_pay_extra_transfer_latency() {
+        let plan = linear_plan(8);
+        let cfg = quick_config();
+        let single = Simulator::new(Cluster::homogeneous_m510(10), cfg.clone());
+        let multi = Simulator::new(Cluster::homogeneous_m510(10).with_racks(5), cfg);
+        let ls = single.run(&plan).unwrap().latency.median().unwrap();
+        let lm = multi.run(&plan).unwrap().latency.median().unwrap();
+        assert!(
+            lm > ls,
+            "5-rack deployment must be slower than single-rack: {ls:.2} vs {lm:.2}"
+        );
+    }
+
+    #[test]
+    fn key_skew_degrades_parallel_latency() {
+        // Under heavy skew most batches hit one instance, so a keyed
+        // operator at p=8 behaves closer to p=1 than under uniform keys.
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
+            .window_agg_keyed(
+                "agg",
+                WindowSpec::tumbling_time(200),
+                AggFunc::Sum,
+                1,
+                0,
+            )
+            .set_parallelism(1, 8)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let mut cfg = quick_config();
+        cfg.event_rate = 1_500_000.0; // ~2 busy cores of aggregation demand
+        let uniform = Simulator::new(Cluster::homogeneous_m510(10), cfg.clone());
+        cfg.key_skew = Some(1.5);
+        let skewed = Simulator::new(Cluster::homogeneous_m510(10), cfg);
+        let lu = uniform.run(&plan).unwrap().latency.median().unwrap();
+        let ls = skewed.run(&plan).unwrap().latency.median().unwrap();
+        assert!(
+            ls > lu * 1.1,
+            "skewed keys must hurt: uniform {lu:.1} ms vs skewed {ls:.1} ms"
+        );
+    }
+
+    #[test]
+    fn event_budget_guards_against_explosion() {
+        // Broadcast into high parallelism from high batch counts must be
+        // caught, not hang.
+        let mut cfg = quick_config();
+        cfg.batches_per_second = 2000.0;
+        cfg.duration_ms = 20_000;
+        let mut plan = linear_plan(64);
+        plan.edges[0].partitioning = Partitioning::Broadcast;
+        plan.edges[1].partitioning = Partitioning::Broadcast;
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), cfg);
+        // Either completes within budget or errors cleanly — must not hang.
+        let _ = sim.run(&plan);
+    }
+}

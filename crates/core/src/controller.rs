@@ -1,0 +1,191 @@
+//! The controller: deploys PQPs on an execution backend, collects the
+//! paper's measurement protocol, and records runs in the document store.
+
+use pdsp_apps::{AppConfig, Application};
+use pdsp_cluster::{Cluster, SimConfig, Simulator};
+use pdsp_engine::error::Result;
+use pdsp_engine::physical::PhysicalPlan;
+use pdsp_engine::plan::LogicalPlan;
+use pdsp_engine::runtime::{RunConfig, SourceFactory, ThreadedRuntime};
+use pdsp_metrics::{LatencyRecorder, RunSummary};
+use pdsp_store::Store;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One recorded benchmark run (the document persisted per execution).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Workload label (application acronym or query-structure label).
+    pub workload: String,
+    /// Cluster name.
+    pub cluster: String,
+    /// Parallelism degrees per plan node.
+    pub parallelism: Vec<usize>,
+    /// Event rate used.
+    pub event_rate: f64,
+    /// Execution backend ("simulator" or "threaded").
+    pub backend: String,
+    /// Collected metrics.
+    pub summary: RunSummary,
+}
+
+/// Orchestrates benchmark execution: the paper's controller component with
+/// the Web UI replaced by a programmatic API.
+pub struct Controller {
+    simulator: Simulator,
+    store: Arc<Store>,
+}
+
+impl Controller {
+    /// Controller over a simulated cluster, recording into `store`.
+    pub fn new(cluster: Cluster, sim: SimConfig, store: Arc<Store>) -> Self {
+        Controller {
+            simulator: Simulator::new(cluster, sim),
+            store,
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+
+    /// The run store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Deploy a plan on the simulated cluster; returns the mean-of-3-run
+    /// median latency and records the run.
+    pub fn run_simulated(&self, workload: &str, plan: &LogicalPlan) -> Result<RunRecord> {
+        let result = self.simulator.run(plan)?;
+        let latency = self.simulator.measure(plan)?;
+        let mut summary = result.summary();
+        summary.p50_latency_ms = latency;
+        let record = RunRecord {
+            workload: workload.to_string(),
+            cluster: self.simulator.cluster().name.clone(),
+            parallelism: plan.nodes.iter().map(|n| n.parallelism).collect(),
+            event_rate: self.simulator.config().event_rate,
+            backend: "simulator".into(),
+            summary,
+        };
+        self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
+        Ok(record)
+    }
+
+    /// Execute an application on the real threaded runtime (bounded input),
+    /// recording end-to-end latencies measured on actual OS threads.
+    pub fn run_threaded(
+        &self,
+        app: &dyn Application,
+        config: &AppConfig,
+        uniform_parallelism: usize,
+    ) -> Result<RunRecord> {
+        let built = app.build(config);
+        let plan = built.plan.with_uniform_parallelism(uniform_parallelism);
+        let record = self.run_threaded_plan(
+            app.info().acronym,
+            &plan,
+            &built.sources,
+            config.event_rate,
+        )?;
+        Ok(record)
+    }
+
+    /// Execute an arbitrary plan on the threaded runtime.
+    pub fn run_threaded_plan(
+        &self,
+        workload: &str,
+        plan: &LogicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        event_rate: f64,
+    ) -> Result<RunRecord> {
+        let phys = PhysicalPlan::expand(plan)?;
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        let result = rt.run(&phys, sources)?;
+        let mut rec = LatencyRecorder::default();
+        for &ns in &result.latencies_ns {
+            rec.record_ns(ns);
+        }
+        let summary = RunSummary::from_recorder(
+            &rec,
+            result.tuples_in,
+            result.tuples_out,
+            result.elapsed.as_secs_f64(),
+        );
+        let record = RunRecord {
+            workload: workload.to_string(),
+            cluster: "local-threads".into(),
+            parallelism: plan.nodes.iter().map(|n| n.parallelism).collect(),
+            event_rate,
+            backend: "threaded".into(),
+            summary,
+        };
+        self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::expr::Predicate;
+    use pdsp_engine::value::{FieldType, Schema};
+    use pdsp_engine::PlanBuilder;
+    use pdsp_store::Filter;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig {
+            event_rate: 20_000.0,
+            duration_ms: 1_000,
+            batches_per_second: 50.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn controller() -> Controller {
+        Controller::new(
+            Cluster::homogeneous_m510(4),
+            quick_sim(),
+            Arc::new(Store::in_memory()),
+        )
+    }
+
+    fn plan() -> LogicalPlan {
+        PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int, FieldType::Double]), 1)
+            .filter("f", Predicate::True, 0.7)
+            .set_parallelism(1, 2)
+            .sink("k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulated_run_is_recorded() {
+        let c = controller();
+        let record = c.run_simulated("linear", &plan()).unwrap();
+        assert_eq!(record.backend, "simulator");
+        assert!(record.summary.p50_latency_ms > 0.0);
+        let stored = c
+            .store()
+            .with("runs", |col| col.find(&Filter::eq("workload", "linear")).len());
+        assert_eq!(stored, 1);
+    }
+
+    #[test]
+    fn threaded_app_run_is_recorded() {
+        let c = controller();
+        let app = pdsp_apps::word_count::WordCount;
+        let cfg = AppConfig {
+            total_tuples: 1_000,
+            ..AppConfig::default()
+        };
+        let record = c.run_threaded(&app, &cfg, 2).unwrap();
+        assert_eq!(record.backend, "threaded");
+        assert_eq!(record.workload, "WC");
+        assert!(record.summary.tuples_in > 0);
+        assert!(record.parallelism.contains(&2));
+    }
+}

@@ -1,0 +1,779 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Every figure and table of §4 maps to one function here returning a typed
+//! data series; `pdsp-bench-benches`'s `figures` binary renders them. Scale
+//! is parameterized: [`ExpScale::quick`] for tests, [`ExpScale::paper`] for
+//! full regeneration.
+
+use crate::ml_manager::{MlManager, ModelEval, TrainingDataSpec};
+use pdsp_apps::{all_applications, AppConfig};
+use pdsp_cluster::{Cluster, SimConfig, Simulator};
+use pdsp_engine::error::Result;
+use pdsp_ml::trainer::{CostModel, TrainOptions};
+use pdsp_ml::Gnn;
+use pdsp_workload::{
+    EnumerationStrategy, ParallelismCategory, ParameterSpace, QueryGenerator, QueryStructure,
+};
+use serde::{Deserialize, Serialize};
+
+/// One latency curve: label plus (x-label, latency-ms) points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySeries {
+    /// Curve label (structure or application).
+    pub label: String,
+    /// (x label, mean-of-3-medians latency in ms).
+    pub points: Vec<(String, f64)>,
+}
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone)]
+pub struct ExpScale {
+    /// Simulator config template (event rate, duration, seed).
+    pub sim: SimConfig,
+    /// Parallelism categories swept in Exp 1 / Exp 2.
+    pub categories: Vec<ParallelismCategory>,
+    /// Training queries for Exp 3 model comparison.
+    pub training_queries: usize,
+    /// Held-out queries for Exp 3 evaluation.
+    pub eval_queries: usize,
+    /// Training-set sizes for the Fig 6 sweep.
+    pub fig6_sizes: Vec<usize>,
+    /// Training options.
+    pub train: TrainOptions,
+}
+
+impl ExpScale {
+    /// Small scale for CI: coarse simulator, few queries.
+    pub fn quick() -> Self {
+        ExpScale {
+            sim: SimConfig {
+                event_rate: 50_000.0,
+                duration_ms: 1_500,
+                batches_per_second: 60.0,
+                ..SimConfig::default()
+            },
+            categories: vec![
+                ParallelismCategory::XS,
+                ParallelismCategory::M,
+                ParallelismCategory::XL,
+            ],
+            training_queries: 24,
+            eval_queries: 12,
+            fig6_sizes: vec![8, 24],
+            train: TrainOptions {
+                max_epochs: 40,
+                patience: 8,
+                ..TrainOptions::default()
+            },
+        }
+    }
+
+    /// Paper-scale regeneration (minutes of wall time).
+    pub fn paper() -> Self {
+        ExpScale {
+            sim: SimConfig {
+                event_rate: 100_000.0,
+                duration_ms: 10_000,
+                batches_per_second: 150.0,
+                ..SimConfig::default()
+            },
+            categories: ParallelismCategory::ALL.to_vec(),
+            training_queries: 240,
+            eval_queries: 90,
+            fig6_sizes: vec![10, 25, 50, 100, 200],
+            train: TrainOptions::default(),
+        }
+    }
+}
+
+fn measure_categories(
+    sim: &Simulator,
+    label: &str,
+    base_plan: &pdsp_engine::plan::LogicalPlan,
+    categories: &[ParallelismCategory],
+) -> Result<LatencySeries> {
+    let mut points = Vec::new();
+    for &cat in categories {
+        let plan = base_plan.clone().with_uniform_parallelism(cat.degree());
+        let latency = sim.measure(&plan)?;
+        points.push((cat.label().to_string(), latency));
+    }
+    Ok(LatencySeries {
+        label: label.to_string(),
+        points,
+    })
+}
+
+/// **Figure 3 (top)** — Exp 1: end-to-end latency of the nine synthetic
+/// query structures across parallelism categories on the homogeneous m510
+/// cluster.
+pub fn fig3_top(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 41);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    // Fix one window across structures so latency differences reflect the
+    // structure and parallelism, not per-query window draws.
+    generator.window_override = Some(pdsp_engine::WindowSpec::tumbling_time(500));
+    QueryStructure::ALL
+        .iter()
+        .map(|&structure| {
+            let query = generator.generate(structure);
+            measure_categories(&sim, structure.label(), &query.plan, &scale.categories)
+        })
+        .collect()
+}
+
+/// **Figure 3 (bottom)** — Exp 1 on the real-world application suite
+/// (same cluster, same categories).
+pub fn fig3_bottom(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let app_config = AppConfig {
+        event_rate: scale.sim.event_rate,
+        total_tuples: 1_000,
+        seed: 13,
+    };
+    all_applications()
+        .iter()
+        .map(|app| {
+            let built = app.build(&app_config);
+            measure_categories(&sim, app.info().acronym, &built.plan, &scale.categories)
+        })
+        .collect()
+}
+
+/// The paper's Exp 2 clusters: homogeneous m510 plus the two
+/// "heterogeneous hardware" clusters, and the mixed deployment.
+pub fn exp2_clusters() -> Vec<Cluster> {
+    vec![
+        Cluster::homogeneous_m510(10),
+        Cluster::c6525_25g(10),
+        Cluster::c6320(10),
+        Cluster::heterogeneous_mixed(10),
+    ]
+}
+
+/// **Figure 4 (top)** — Exp 2: real-world applications across clusters,
+/// parallelism matched to each cluster's per-node core count (m510 -> 8,
+/// c6525_25g -> 16, c6320 -> 28; the mixed cluster uses its minimum, 16).
+pub fn fig4_top(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let app_config = AppConfig {
+        event_rate: scale.sim.event_rate,
+        total_tuples: 1_000,
+        seed: 13,
+    };
+    let clusters = exp2_clusters();
+    all_applications()
+        .iter()
+        .map(|app| {
+            let built = app.build(&app_config);
+            let mut points = Vec::new();
+            for cluster in &clusters {
+                let parallelism = cluster.min_cores();
+                let sim = Simulator::new(cluster.clone(), scale.sim.clone());
+                let plan = built.plan.clone().with_uniform_parallelism(parallelism);
+                points.push((cluster.name.clone(), sim.measure(&plan)?));
+            }
+            Ok(LatencySeries {
+                label: app.info().acronym.to_string(),
+                points,
+            })
+        })
+        .collect()
+}
+
+/// **Figure 4 (bottom)** — Exp 2: synthetic structures across parallelism
+/// categories on each cluster; one series per (cluster, structure-group).
+/// The paper aggregates synthetic PQPs per cluster, so each series is the
+/// mean latency over the nine structures.
+pub fn fig4_bottom(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 43);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    generator.window_override = Some(pdsp_engine::WindowSpec::tumbling_time(500));
+    let queries: Vec<_> = QueryStructure::ALL
+        .iter()
+        .map(|&s| generator.generate(s))
+        .collect();
+    exp2_clusters()
+        .into_iter()
+        .map(|cluster| {
+            let sim = Simulator::new(cluster.clone(), scale.sim.clone());
+            let mut points = Vec::new();
+            for &cat in &scale.categories {
+                let mut total = 0.0;
+                for q in &queries {
+                    let plan = q.plan.clone().with_uniform_parallelism(cat.degree());
+                    total += sim.measure(&plan)?;
+                }
+                points.push((cat.label().to_string(), total / queries.len() as f64));
+            }
+            Ok(LatencySeries {
+                label: cluster.name,
+                points,
+            })
+        })
+        .collect()
+}
+
+/// Per-(model, structure) median q-error — the data behind **Figure 5**.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Cell {
+    /// Model name.
+    pub model: String,
+    /// Query structure label.
+    pub structure: String,
+    /// Median q-error on held-out queries of that structure.
+    pub median_qerror: f64,
+}
+
+/// **Figure 5** — Exp 3(1): q-error of LR / MLP / RF / GNN per synthetic
+/// query structure. Models train on one shared dataset (random parallelism
+/// enumeration over all structures) and evaluate on held-out queries.
+pub fn fig5(scale: &ExpScale) -> Result<(Vec<Fig5Cell>, Vec<ModelEval>)> {
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let manager = MlManager::new(sim);
+    let all = QueryStructure::ALL.to_vec();
+    let train = manager.generate(&TrainingDataSpec {
+        structures: all.clone(),
+        queries: scale.training_queries,
+        strategy: EnumerationStrategy::Random,
+        event_rate: scale.sim.event_rate,
+        seed: 71,
+    })?;
+    let eval = manager.generate(&TrainingDataSpec {
+        structures: all,
+        queries: scale.eval_queries,
+        strategy: EnumerationStrategy::Random,
+        event_rate: scale.sim.event_rate,
+        seed: 72,
+    })?;
+    let mut cells = Vec::new();
+    let mut evals = Vec::new();
+    for mut model in MlManager::registered_models() {
+        let report = model.fit(&train.dataset, &scale.train);
+        let overall = model.evaluate(&eval.dataset).unwrap();
+        for (structure, stats) in
+            MlManager::evaluate_by_structure(model.as_ref(), &eval.dataset, &eval.tags)
+        {
+            cells.push(Fig5Cell {
+                model: model.name().to_string(),
+                structure: structure.label().to_string(),
+                median_qerror: stats.median,
+            });
+        }
+        evals.push(ModelEval {
+            model: model.name().to_string(),
+            report,
+            qerror: overall,
+        });
+    }
+    Ok((cells, evals))
+}
+
+/// One point of the Figure 6 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Point {
+    /// Enumeration strategy ("random" / "rule-based").
+    pub strategy: String,
+    /// Training-set size (number of queries).
+    pub train_queries: usize,
+    /// Median q-error on seen structures.
+    pub seen_qerror: f64,
+    /// Median q-error on unseen structures.
+    pub unseen_qerror: f64,
+    /// Total training time (data generation + fit), seconds.
+    pub total_time_s: f64,
+    /// Fit-only time, seconds.
+    pub fit_time_s: f64,
+}
+
+/// **Figure 6 (a, b)** — Exp 3(2): GNN accuracy and training time as a
+/// function of training-set size under random vs rule-based parallelism
+/// enumeration. Seen structures: linear, 2-way, 3-way join (O9); the
+/// remaining six are unseen at training time.
+pub fn fig6(scale: &ExpScale) -> Result<Vec<Fig6Point>> {
+    let sim = Simulator::new(Cluster::homogeneous_m510(10), scale.sim.clone());
+    let manager = MlManager::new(sim);
+    let seen = QueryStructure::SEEN.to_vec();
+    let unseen: Vec<QueryStructure> = QueryStructure::ALL
+        .iter()
+        .copied()
+        .filter(|s| !seen.contains(s))
+        .collect();
+
+    // Shared evaluation sets (rule-based degrees: realistic deployments).
+    let eval_seen = manager.generate(&TrainingDataSpec {
+        structures: seen.clone(),
+        queries: scale.eval_queries,
+        strategy: EnumerationStrategy::RuleBased,
+        event_rate: scale.sim.event_rate,
+        seed: 101,
+    })?;
+    let eval_unseen = manager.generate(&TrainingDataSpec {
+        structures: unseen,
+        queries: scale.eval_queries,
+        strategy: EnumerationStrategy::RuleBased,
+        event_rate: scale.sim.event_rate,
+        seed: 102,
+    })?;
+
+    let strategies = [
+        ("random", EnumerationStrategy::Random),
+        ("rule-based", EnumerationStrategy::RuleBased),
+    ];
+    let mut out = Vec::new();
+    for (name, strategy) in strategies {
+        for &size in &scale.fig6_sizes {
+            let train = manager.generate(&TrainingDataSpec {
+                structures: seen.clone(),
+                queries: size,
+                strategy: strategy.clone(),
+                event_rate: scale.sim.event_rate,
+                seed: 103,
+            })?;
+            let mut model = Gnn::default();
+            let report = model.fit(&train.dataset, &scale.train);
+            let seen_q = model
+                .evaluate(&eval_seen.dataset)
+                .map(|s| s.median)
+                .unwrap_or(f64::INFINITY);
+            let unseen_q = model
+                .evaluate(&eval_unseen.dataset)
+                .map(|s| s.median)
+                .unwrap_or(f64::INFINITY);
+            out.push(Fig6Point {
+                strategy: name.to_string(),
+                train_queries: size,
+                seen_qerror: seen_q,
+                unseen_qerror: unseen_q,
+                total_time_s: (train.generation_time + report.train_time).as_secs_f64(),
+                fit_time_s: report.train_time.as_secs_f64(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Event-rate sweep: latency of representative workloads as the source
+/// rate steps through Table 3's range at fixed parallelism — the rate
+/// dimension the paper evaluates but does not plot ("Although we evaluate
+/// different event rates, we present results on the highest", §4).
+pub fn rate_sweep(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let rates = [10_000.0, 50_000.0, 100_000.0, 200_000.0, 500_000.0];
+    let cluster = Cluster::homogeneous_m510(10);
+    let mut out = Vec::new();
+
+    // Synthetic 2-way join at parallelism 16.
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 41);
+    generator.window_override = Some(pdsp_engine::WindowSpec::tumbling_time(500));
+    generator.event_rate_override = Some(100_000.0);
+    let join = generator
+        .generate(QueryStructure::TwoWayJoin)
+        .plan
+        .with_uniform_parallelism(16);
+    // Two real-world apps at parallelism 16.
+    let app_config = AppConfig {
+        event_rate: 100_000.0,
+        total_tuples: 1_000,
+        seed: 13,
+    };
+    let workloads: Vec<(String, pdsp_engine::plan::LogicalPlan)> = vec![
+        ("2-way-join".into(), join),
+        (
+            "SG".into(),
+            pdsp_apps::app_by_acronym("SG")
+                .expect("registered")
+                .build(&app_config)
+                .plan
+                .with_uniform_parallelism(16),
+        ),
+        (
+            "WC".into(),
+            pdsp_apps::app_by_acronym("WC")
+                .expect("registered")
+                .build(&app_config)
+                .plan
+                .with_uniform_parallelism(16),
+        ),
+    ];
+    for (label, plan) in workloads {
+        let mut points = Vec::new();
+        for &rate in &rates {
+            let mut cfg = scale.sim.clone();
+            cfg.event_rate = rate;
+            let sim = Simulator::new(cluster.clone(), cfg);
+            points.push((format!("{:.0}k", rate / 1_000.0), sim.measure(&plan)?));
+        }
+        out.push(LatencySeries { label, points });
+    }
+    Ok(out)
+}
+
+/// Highest event rate (tuples/s per source) a plan sustains on the given
+/// simulator configuration: binary search over rates, where "sustained"
+/// means the median latency stays under `latency_budget_ms`. This is the
+/// throughput counterpart of the paper's latency metric ("performance
+/// (latency and throughput)", §3.2).
+pub fn sustainable_rate(
+    cluster: &Cluster,
+    base: &SimConfig,
+    plan: &pdsp_engine::plan::LogicalPlan,
+    latency_budget_ms: f64,
+) -> Result<f64> {
+    let sustained = |rate: f64| -> Result<bool> {
+        let mut cfg = base.clone();
+        cfg.event_rate = rate;
+        let sim = Simulator::new(cluster.clone(), cfg);
+        let result = sim.run(plan)?;
+        Ok(result
+            .latency
+            .median()
+            .map(|m| m <= latency_budget_ms)
+            .unwrap_or(false))
+    };
+    // Latency is NOT monotone in rate: count windows take longer to fill
+    // at low rates (residency explodes), then saturation raises latency
+    // again at high rates. Scan a geometric grid from the top, take the
+    // highest sustained rate, then refine upward by bisection.
+    let max_rate = 8_000_000.0f64;
+    let mut probe = max_rate;
+    let mut best: Option<f64> = None;
+    while probe >= 100.0 {
+        if sustained(probe)? {
+            best = Some(probe);
+            break;
+        }
+        probe /= 2.0;
+    }
+    let Some(mut lo) = best else {
+        return Ok(0.0);
+    };
+    let mut hi = (lo * 2.0).min(max_rate);
+    for _ in 0..8 {
+        let mid = (lo + hi) / 2.0;
+        if sustained(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Throughput experiment: max sustainable rate per workload and
+/// parallelism degree (an extension beyond the paper's latency figures;
+/// the paper names throughput as a collected metric but plots latency).
+pub fn throughput_sweep(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let cluster = Cluster::homogeneous_m510(10);
+    let app_config = AppConfig {
+        event_rate: scale.sim.event_rate,
+        total_tuples: 1_000,
+        seed: 13,
+    };
+    let degrees = [1usize, 8, 64];
+    // Budget: generous enough that window residency alone never fails a
+    // windowed query, tight enough that saturation does.
+    let budget_ms = 5_000.0;
+    ["WC", "SG", "AD"]
+        .iter()
+        .map(|acr| {
+            let app = pdsp_apps::app_by_acronym(acr).expect("known app");
+            let built = app.build(&app_config);
+            let mut points = Vec::new();
+            for &d in &degrees {
+                let plan = built.plan.clone().with_uniform_parallelism(d);
+                let rate = sustainable_rate(&cluster, &scale.sim, &plan, budget_ms)?;
+                points.push((format!("p{d}"), rate));
+            }
+            Ok(LatencySeries {
+                label: acr.to_string(),
+                points,
+            })
+        })
+        .collect()
+}
+
+/// Placement-strategy comparison: the same PQP under RoundRobin,
+/// CoreWeighted, and OperatorLocality placement on the mixed heterogeneous
+/// cluster (the controller's resource-mapping knob, paper S2).
+pub fn placement_comparison(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    use pdsp_cluster::PlacementStrategy;
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 53);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    generator.window_override = Some(pdsp_engine::WindowSpec::tumbling_time(500));
+    let strategies = [
+        ("round-robin", PlacementStrategy::RoundRobin),
+        ("core-weighted", PlacementStrategy::CoreWeighted),
+        ("operator-locality", PlacementStrategy::OperatorLocality),
+    ];
+    // Placement only matters under load: use the compute-heavy SG pipeline
+    // at parallelism 28 — operator-locality packs all of a stage's
+    // instances onto one c6320 while the spreading strategies use the whole
+    // cluster — plus the 2-way join as the light contrast.
+    let sg = pdsp_apps::app_by_acronym("SG")
+        .expect("registered")
+        .build(&AppConfig {
+            event_rate: scale.sim.event_rate,
+            total_tuples: 1_000,
+            seed: 13,
+        })
+        .plan;
+    let join = generator.generate(QueryStructure::TwoWayJoin).plan;
+    let workloads: Vec<(&str, pdsp_engine::plan::LogicalPlan)> = vec![
+        ("SG", sg.with_uniform_parallelism(28)),
+        ("2-way-join", join.with_uniform_parallelism(16)),
+    ];
+    workloads
+        .into_iter()
+        .map(|(label, plan)| {
+            let mut points = Vec::new();
+            for (name, strategy) in strategies {
+                let mut cfg = scale.sim.clone();
+                cfg.placement = strategy;
+                let sim = Simulator::new(Cluster::heterogeneous_mixed(10), cfg);
+                points.push((name.to_string(), sim.measure(&plan)?));
+            }
+            Ok(LatencySeries {
+                label: label.to_string(),
+                points,
+            })
+        })
+        .collect()
+}
+
+/// One ablation configuration: a mechanism switched off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Mechanism label ("baseline", "no-coordination", ...).
+    pub mechanism: String,
+    /// 2-way-join latency at parallelism 16 and 128 (ms) on the mixed
+    /// heterogeneous cluster.
+    pub join_p16_ms: f64,
+    /// Same query at parallelism 128.
+    pub join_p128_ms: f64,
+}
+
+/// Ablation study over the simulator's cost mechanisms (DESIGN.md §5):
+/// disable each mechanism in turn and re-measure the 2-way join sweep that
+/// exhibits the paradox of parallelism. Expectations encoded as tests:
+/// without coordination the p16 -> p128 degradation disappears; without the
+/// heterogeneity penalty the mixed cluster stops paying alignment cost.
+pub fn ablation(scale: &ExpScale) -> Result<Vec<AblationResult>> {
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 47);
+    generator.event_rate_override = Some(scale.sim.event_rate);
+    generator.window_override = Some(pdsp_engine::WindowSpec::tumbling_time(500));
+    let query = generator.generate(QueryStructure::TwoWayJoin);
+
+    type Tweak = Box<dyn Fn(&mut SimConfig)>;
+    let mechanisms: Vec<(&str, Tweak)> = vec![
+        ("baseline", Box::new(|_cfg: &mut SimConfig| {})),
+        (
+            "no-coordination",
+            Box::new(|cfg: &mut SimConfig| cfg.costs.coord_ns_per_tuple = 0.0),
+        ),
+        (
+            "no-hetero-penalty",
+            Box::new(|cfg: &mut SimConfig| cfg.costs.hetero_coord_penalty = 0.0),
+        ),
+        (
+            "no-network",
+            Box::new(|cfg: &mut SimConfig| {
+                cfg.costs.network_hop_ns = 0.0;
+                cfg.costs.serialize_ns_per_tuple = 0.0;
+            }),
+        ),
+        (
+            "no-shuffle-overhead",
+            Box::new(|cfg: &mut SimConfig| cfg.costs.shuffle_batch_overhead_ns = 0.0),
+        ),
+        (
+            "no-jitter",
+            Box::new(|cfg: &mut SimConfig| {
+                cfg.costs.jitter_std = 0.0;
+                cfg.costs.udo_jitter_std = 0.0;
+            }),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (name, tweak) in mechanisms {
+        let mut cfg = scale.sim.clone();
+        tweak(&mut cfg);
+        let sim = Simulator::new(Cluster::heterogeneous_mixed(10), cfg);
+        let p16 = sim.measure(&query.plan.clone().with_uniform_parallelism(16))?;
+        let p128 = sim.measure(&query.plan.clone().with_uniform_parallelism(128))?;
+        out.push(AblationResult {
+            mechanism: name.to_string(),
+            join_p16_ms: p16,
+            join_p128_ms: p128,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_top_produces_all_structures() {
+        let scale = ExpScale::quick();
+        let series = fig3_top(&scale).unwrap();
+        assert_eq!(series.len(), 9);
+        for s in &series {
+            assert_eq!(s.points.len(), scale.categories.len());
+            for (_, latency) in &s.points {
+                assert!(*latency > 0.0 && latency.is_finite(), "{}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_top_covers_all_clusters() {
+        let mut scale = ExpScale::quick();
+        scale.sim.duration_ms = 800;
+        let series = fig4_top(&scale).unwrap();
+        assert_eq!(series.len(), 14);
+        assert_eq!(series[0].points.len(), 4);
+    }
+
+    #[test]
+    fn fig5_compares_four_models() {
+        let scale = ExpScale::quick();
+        let (cells, evals) = fig5(&scale).unwrap();
+        assert_eq!(evals.len(), 4);
+        assert!(!cells.is_empty());
+        for e in &evals {
+            assert!(e.qerror.median >= 1.0 && e.qerror.median.is_finite());
+        }
+    }
+
+    #[test]
+    fn rate_sweep_latency_is_monotone_for_heavy_apps() {
+        let mut scale = ExpScale::quick();
+        scale.sim.duration_ms = 1_000;
+        let series = rate_sweep(&scale).unwrap();
+        let sg = series.iter().find(|s| s.label == "SG").unwrap();
+        let first = sg.points.first().unwrap().1;
+        let last = sg.points.last().unwrap().1;
+        assert!(
+            last > first,
+            "SG latency grows with event rate: {first:.1} -> {last:.1}"
+        );
+        // WC stays far below SG at the top rate.
+        let wc = series.iter().find(|s| s.label == "WC").unwrap();
+        assert!(wc.points.last().unwrap().1 < last);
+    }
+
+    #[test]
+    fn sustainable_rate_grows_with_parallelism_for_heavy_udos() {
+        let scale = ExpScale::quick();
+        let cluster = Cluster::homogeneous_m510(10);
+        let built = pdsp_apps::app_by_acronym("SG")
+            .unwrap()
+            .build(&AppConfig {
+                event_rate: 10_000.0,
+                total_tuples: 500,
+                seed: 3,
+            });
+        let rate_at = |p: usize| {
+            sustainable_rate(
+                &cluster,
+                &scale.sim,
+                &built.plan.clone().with_uniform_parallelism(p),
+                5_000.0,
+            )
+            .unwrap()
+        };
+        let r1 = rate_at(1);
+        let r16 = rate_at(16);
+        assert!(
+            r16 > r1 * 4.0,
+            "SG sustains much more at p16: {r1:.0} -> {r16:.0} tuples/s"
+        );
+    }
+
+    #[test]
+    fn sustainable_rate_zero_budget_is_zero() {
+        let scale = ExpScale::quick();
+        let cluster = Cluster::homogeneous_m510(4);
+        let built = pdsp_apps::app_by_acronym("WC").unwrap().build(&AppConfig {
+            event_rate: 10_000.0,
+            total_tuples: 500,
+            seed: 3,
+        });
+        // A budget below any achievable latency yields rate 0.
+        let r = sustainable_rate(&cluster, &scale.sim, &built.plan, 0.0001).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn placement_comparison_produces_all_strategies() {
+        let scale = ExpScale::quick();
+        let series = placement_comparison(&scale).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 3);
+            for (_, latency) in &s.points {
+                assert!(*latency > 0.0 && latency.is_finite());
+            }
+        }
+        // Packing SG's heavy instances onto few nodes must not beat
+        // spreading them (round-robin).
+        let sg = series.iter().find(|s| s.label == "SG").unwrap();
+        let by_name = |name: &str| {
+            sg.points
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, l)| *l)
+                .unwrap()
+        };
+        assert!(by_name("operator-locality") >= by_name("round-robin") * 0.98);
+    }
+
+    #[test]
+    fn ablation_mechanisms_have_the_expected_direction() {
+        let scale = ExpScale::quick();
+        let results = ablation(&scale).unwrap();
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.mechanism == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        let baseline = get("baseline");
+        // Coordination drives the high-parallelism penalty: removing it
+        // must lower p128 latency.
+        let no_coord = get("no-coordination");
+        assert!(
+            no_coord.join_p128_ms < baseline.join_p128_ms,
+            "no-coordination p128 {:.1} < baseline {:.1}",
+            no_coord.join_p128_ms,
+            baseline.join_p128_ms
+        );
+        // The heterogeneity penalty only exists on mixed clusters; removing
+        // it cannot make things slower.
+        let no_hetero = get("no-hetero-penalty");
+        assert!(no_hetero.join_p128_ms <= baseline.join_p128_ms * 1.01);
+        // Removing mechanisms never increases latency beyond noise.
+        for r in &results {
+            assert!(
+                r.join_p16_ms <= baseline.join_p16_ms * 1.15,
+                "{}: {:.1} vs baseline {:.1}",
+                r.mechanism,
+                r.join_p16_ms,
+                baseline.join_p16_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_sweeps_both_strategies() {
+        let scale = ExpScale::quick();
+        let points = fig6(&scale).unwrap();
+        assert_eq!(points.len(), 2 * scale.fig6_sizes.len());
+        for p in &points {
+            assert!(p.total_time_s >= p.fit_time_s);
+            assert!(p.seen_qerror >= 1.0);
+        }
+    }
+}

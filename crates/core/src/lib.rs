@@ -1,0 +1,19 @@
+//! # pdsp-bench-core
+//!
+//! The PDSP-Bench controller layer (paper §2): orchestrates cluster
+//! provisioning, workload generation, PQP deployment (threaded runtime or
+//! cluster simulator), metric collection into the document store, and the
+//! ML manager that trains and fairly compares learned cost models.
+//!
+//! The `experiments` module regenerates every evaluation artefact of the
+//! paper — Figures 3-6 and Tables 2-4 — as typed data series; the
+//! `report` module renders them as text tables.
+
+pub mod controller;
+pub mod experiments;
+pub mod ml_manager;
+pub mod report;
+
+pub use controller::{Controller, RunRecord};
+pub use experiments::{ExpScale, LatencySeries};
+pub use ml_manager::{MlManager, ModelEval, TrainingDataSpec};

@@ -1,0 +1,256 @@
+//! The ML manager: generates labeled training data by executing generated
+//! PQPs on the simulated cluster, trains every registered cost model on the
+//! *same* data, and reports comparable metrics — the paper's C3 ("fair"
+//! model comparison with consistent training data).
+
+use pdsp_cluster::{ClusterKind, Simulator};
+use pdsp_engine::error::Result;
+use pdsp_ml::dataset::{Dataset, Sample};
+use pdsp_ml::features::{featurize, SampleContext};
+use pdsp_ml::qerror::QErrorStats;
+use pdsp_ml::trainer::{CostModel, TrainOptions, TrainReport};
+use pdsp_ml::{Gnn, LinearRegression, Mlp, RandomForest};
+use pdsp_workload::{
+    EnumerationStrategy, ParallelismEnumerator, ParameterSpace, QueryGenerator, QueryStructure,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What training data to generate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingDataSpec {
+    /// Query structures to draw from (round-robin).
+    pub structures: Vec<QueryStructure>,
+    /// Number of PQPs to generate and execute.
+    pub queries: usize,
+    /// Parallelism enumeration strategy.
+    pub strategy: EnumerationStrategy,
+    /// Event rate per source.
+    pub event_rate: f64,
+    /// Seed for generation.
+    pub seed: u64,
+}
+
+/// A generated dataset plus per-sample structure tags and the wall-clock
+/// cost of producing it (the data-collection share of "training time").
+pub struct LabeledData {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Structure of each sample (parallel to `dataset.samples`).
+    pub tags: Vec<QueryStructure>,
+    /// Time spent generating + executing the queries.
+    pub generation_time: Duration,
+}
+
+/// Evaluation result of one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEval {
+    /// Model name.
+    pub model: String,
+    /// Training report.
+    pub report: TrainReport,
+    /// Q-error on the evaluation set.
+    pub qerror: QErrorStats,
+}
+
+/// The ML manager bound to one simulated cluster.
+pub struct MlManager {
+    simulator: Simulator,
+}
+
+impl MlManager {
+    /// Manager executing labels on `simulator`.
+    pub fn new(simulator: Simulator) -> Self {
+        MlManager { simulator }
+    }
+
+    /// Execution context features for the manager's cluster.
+    pub fn context(&self) -> SampleContext {
+        let cluster = self.simulator.cluster();
+        let mean_clock = cluster
+            .nodes
+            .iter()
+            .map(|n| n.node_type.clock_ghz)
+            .sum::<f64>()
+            / cluster.len().max(1) as f64;
+        SampleContext {
+            event_rate: self.simulator.config().event_rate,
+            total_cores: cluster.total_cores(),
+            mean_clock_ghz: mean_clock,
+            heterogeneous: cluster.kind() == ClusterKind::Heterogeneous,
+        }
+    }
+
+    /// Generate a labeled dataset per the spec: generate PQPs, enumerate
+    /// parallelism degrees, execute each on the simulator, and featurize
+    /// (plan descriptor, context, measured latency).
+    pub fn generate(&self, spec: &TrainingDataSpec) -> Result<LabeledData> {
+        let start = std::time::Instant::now();
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), spec.seed);
+        generator.event_rate_override = Some(spec.event_rate);
+        let mut enumerator = ParallelismEnumerator::new(
+            ParameterSpace::default().parallelism_degrees,
+            self.simulator.cluster().total_cores(),
+            spec.seed ^ 0x5eed,
+        );
+        let mut ctx = self.context();
+        ctx.event_rate = spec.event_rate;
+        let mut samples = Vec::with_capacity(spec.queries);
+        let mut tags = Vec::with_capacity(spec.queries);
+        for i in 0..spec.queries {
+            let structure = spec.structures[i % spec.structures.len()];
+            let query = generator.generate(structure);
+            let degrees =
+                enumerator.enumerate(&query.plan, &spec.strategy, spec.event_rate, 1);
+            let plan = query.plan.with_parallelism(&degrees[0]);
+            let result = self.simulator.run(&plan)?;
+            let latency = result
+                .latency
+                .median()
+                .unwrap_or(self.simulator.config().duration_ms as f64);
+            samples.push(featurize(&plan.descriptor(), &ctx, latency));
+            tags.push(structure);
+        }
+        Ok(LabeledData {
+            dataset: Dataset::new(samples),
+            tags,
+            generation_time: start.elapsed(),
+        })
+    }
+
+    /// The four registered cost models, freshly initialized.
+    pub fn registered_models() -> Vec<Box<dyn CostModel>> {
+        vec![
+            Box::new(LinearRegression::default()),
+            Box::new(Mlp::default()),
+            Box::new(RandomForest::default()),
+            Box::new(Gnn::default()),
+        ]
+    }
+
+    /// Train every registered model on `train` and evaluate on `eval`.
+    pub fn train_and_evaluate(
+        train: &Dataset,
+        eval: &Dataset,
+        opts: &TrainOptions,
+    ) -> Vec<ModelEval> {
+        Self::registered_models()
+            .into_iter()
+            .map(|mut model| {
+                let report = model.fit(train, opts);
+                let qerror = model.evaluate(eval).unwrap_or(QErrorStats {
+                    median: f64::INFINITY,
+                    p90: f64::INFINITY,
+                    p99: f64::INFINITY,
+                    max: f64::INFINITY,
+                    gmean: f64::INFINITY,
+                    count: 0,
+                });
+                ModelEval {
+                    model: model.name().to_string(),
+                    report,
+                    qerror,
+                }
+            })
+            .collect()
+    }
+
+    /// Per-structure q-error of a trained model.
+    pub fn evaluate_by_structure(
+        model: &dyn CostModel,
+        data: &Dataset,
+        tags: &[QueryStructure],
+    ) -> Vec<(QueryStructure, QErrorStats)> {
+        let mut out = Vec::new();
+        for structure in QueryStructure::ALL {
+            let subset: Vec<&Sample> = data
+                .samples
+                .iter()
+                .zip(tags)
+                .filter(|(_, &t)| t == structure)
+                .map(|(s, _)| s)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let pairs: Vec<(f64, f64)> = subset
+                .iter()
+                .map(|s| (s.latency_ms, model.predict(s)))
+                .collect();
+            if let Some(stats) = QErrorStats::compute(&pairs) {
+                out.push((structure, stats));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_cluster::{Cluster, SimConfig};
+
+    fn quick_manager() -> MlManager {
+        let sim = SimConfig {
+            event_rate: 20_000.0,
+            duration_ms: 800,
+            batches_per_second: 40.0,
+            ..SimConfig::default()
+        };
+        MlManager::new(Simulator::new(Cluster::homogeneous_m510(4), sim))
+    }
+
+    fn quick_spec(queries: usize) -> TrainingDataSpec {
+        TrainingDataSpec {
+            structures: vec![QueryStructure::Linear, QueryStructure::TwoWayJoin],
+            queries,
+            strategy: EnumerationStrategy::RuleBased,
+            event_rate: 20_000.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generates_labeled_samples() {
+        let mgr = quick_manager();
+        let data = mgr.generate(&quick_spec(6)).unwrap();
+        assert_eq!(data.dataset.len(), 6);
+        assert_eq!(data.tags.len(), 6);
+        for s in &data.dataset.samples {
+            assert!(s.latency_ms > 0.0, "labels are positive latencies");
+            assert!(!s.graph.node_features.is_empty());
+        }
+        // Round-robin structures.
+        assert_eq!(data.tags[0], QueryStructure::Linear);
+        assert_eq!(data.tags[1], QueryStructure::TwoWayJoin);
+    }
+
+    #[test]
+    fn all_four_models_train_on_generated_data() {
+        let mgr = quick_manager();
+        let data = mgr.generate(&quick_spec(24)).unwrap();
+        let opts = TrainOptions {
+            max_epochs: 20,
+            patience: 5,
+            ..TrainOptions::default()
+        };
+        let evals = MlManager::train_and_evaluate(&data.dataset, &data.dataset, &opts);
+        let names: Vec<&str> = evals.iter().map(|e| e.model.as_str()).collect();
+        assert_eq!(names, vec!["LR", "MLP", "RF", "GNN"]);
+        for e in &evals {
+            assert!(e.qerror.median.is_finite(), "{} q-error", e.model);
+            assert!(e.qerror.median >= 1.0);
+        }
+    }
+
+    #[test]
+    fn per_structure_evaluation_covers_generated_structures() {
+        let mgr = quick_manager();
+        let data = mgr.generate(&quick_spec(12)).unwrap();
+        let mut model = LinearRegression::default();
+        model.fit(&data.dataset, &TrainOptions::default());
+        let by_structure =
+            MlManager::evaluate_by_structure(&model, &data.dataset, &data.tags);
+        assert_eq!(by_structure.len(), 2, "two structures were generated");
+    }
+}

@@ -1,0 +1,321 @@
+//! Fluent construction of logical plans.
+//!
+//! `PlanBuilder` covers the common chain-shaped fragments (source → filters →
+//! window → sink) and exposes explicit node/edge methods for DAG-shaped
+//! plans (joins, unions, diamonds) used by the application suite.
+
+use crate::agg::AggFunc;
+use crate::error::Result;
+use crate::expr::Predicate;
+use crate::operator::OpKind;
+use crate::plan::{LogicalPlan, NodeId, Partitioning};
+use crate::udo::UdoRef;
+use crate::value::Schema;
+use crate::window::WindowSpec;
+
+/// Fluent builder over a [`LogicalPlan`].
+#[derive(Debug)]
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+    /// Most recently added node in the current chain.
+    cursor: Option<NodeId>,
+    /// Default partitioning used by chain methods.
+    default_partitioning: Partitioning,
+}
+
+impl Default for PlanBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanBuilder {
+    /// New empty builder; chain edges default to rebalance (Flink's default
+    /// when parallelism changes).
+    pub fn new() -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::default(),
+            cursor: None,
+            default_partitioning: Partitioning::Rebalance,
+        }
+    }
+
+    /// Override the partitioning used by subsequent chain links.
+    pub fn partition_by(mut self, partitioning: Partitioning) -> Self {
+        self.default_partitioning = partitioning;
+        self
+    }
+
+    /// Add a source and make it the chain cursor.
+    pub fn source(mut self, name: &str, schema: Schema, parallelism: usize) -> Self {
+        let id = self
+            .plan
+            .add_node(name, OpKind::Source { schema }, parallelism);
+        self.cursor = Some(id);
+        self
+    }
+
+    /// Append a filter to the chain.
+    pub fn filter(self, name: &str, predicate: Predicate, selectivity: f64) -> Self {
+        self.chain(
+            name,
+            OpKind::Filter {
+                predicate,
+                selectivity,
+            },
+            None,
+        )
+    }
+
+    /// Append a map.
+    pub fn map(self, name: &str, exprs: Vec<crate::expr::ScalarExpr>) -> Self {
+        self.chain(name, OpKind::Map { exprs }, None)
+    }
+
+    /// Append a flat-map word splitter.
+    pub fn flat_map_split(self, name: &str, field: usize) -> Self {
+        self.chain(name, OpKind::FlatMapSplit { field }, None)
+    }
+
+    /// Append a keyed window aggregate; the incoming edge hash-partitions on
+    /// the key so parallel instances own disjoint key ranges.
+    pub fn window_agg_keyed(
+        self,
+        name: &str,
+        window: WindowSpec,
+        func: AggFunc,
+        agg_field: usize,
+        key_field: usize,
+    ) -> Self {
+        self.chain(
+            name,
+            OpKind::WindowAggregate {
+                window,
+                func,
+                agg_field,
+                key_field: Some(key_field),
+            },
+            Some(Partitioning::Hash(vec![key_field])),
+        )
+    }
+
+    /// Append a global (un-keyed) window aggregate. Parallelism for a global
+    /// window only makes sense at 1; the builder does not enforce it so
+    /// generated "bad plans" remain expressible (the paper benchmarks those
+    /// corner cases too).
+    pub fn window_agg_global(
+        self,
+        name: &str,
+        window: WindowSpec,
+        func: AggFunc,
+        agg_field: usize,
+    ) -> Self {
+        self.chain(
+            name,
+            OpKind::WindowAggregate {
+                window,
+                func,
+                agg_field,
+                key_field: None,
+            },
+            None,
+        )
+    }
+
+    /// Append a keyed session-window aggregate (hash-partitioned on the
+    /// key, like [`PlanBuilder::window_agg_keyed`]).
+    pub fn session_window_keyed(
+        self,
+        name: &str,
+        gap_ms: u64,
+        func: AggFunc,
+        agg_field: usize,
+        key_field: usize,
+    ) -> Self {
+        self.chain(
+            name,
+            OpKind::SessionWindow {
+                gap_ms,
+                func,
+                agg_field,
+                key_field: Some(key_field),
+            },
+            Some(Partitioning::Hash(vec![key_field])),
+        )
+    }
+
+    /// Append a user-defined operator.
+    pub fn udo(self, name: &str, factory: UdoRef) -> Self {
+        self.chain(name, OpKind::Udo { factory }, None)
+    }
+
+    /// Append the sink and finish the chain.
+    pub fn sink(mut self, name: &str) -> Self {
+        let id = self.plan.add_node(name, OpKind::Sink, 1);
+        if let Some(prev) = self.cursor {
+            self.plan
+                .connect(prev, id, self.default_partitioning.clone());
+        }
+        self.cursor = Some(id);
+        self
+    }
+
+    /// Append an arbitrary operator to the chain with an optional edge
+    /// partitioning override.
+    pub fn chain(mut self, name: &str, kind: OpKind, partitioning: Option<Partitioning>) -> Self {
+        let id = self.plan.add_node(name, kind, 1);
+        if let Some(prev) = self.cursor {
+            let part = partitioning.unwrap_or_else(|| self.default_partitioning.clone());
+            self.plan.connect(prev, id, part);
+        }
+        self.cursor = Some(id);
+        self
+    }
+
+    /// Current chain cursor (last added node).
+    pub fn cursor(&self) -> Option<NodeId> {
+        self.cursor
+    }
+
+    /// Move the cursor to an existing node (to branch from it).
+    pub fn at(mut self, node: NodeId) -> Self {
+        self.cursor = Some(node);
+        self
+    }
+
+    /// Add a free node without chaining.
+    pub fn add_node(&mut self, name: &str, kind: OpKind, parallelism: usize) -> NodeId {
+        self.plan.add_node(name, kind, parallelism)
+    }
+
+    /// Add an explicit edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, port: usize, partitioning: Partitioning) {
+        self.plan.connect_port(from, to, port, partitioning);
+    }
+
+    /// Join the chains ending at `left` and `right`; cursor moves to the
+    /// join node. Inputs hash-partition on their join keys.
+    pub fn join(
+        mut self,
+        name: &str,
+        left: NodeId,
+        right: NodeId,
+        window: WindowSpec,
+        left_key: usize,
+        right_key: usize,
+    ) -> Self {
+        let id = self.plan.add_node(
+            name,
+            OpKind::Join {
+                window,
+                left_key,
+                right_key,
+            },
+            1,
+        );
+        self.plan
+            .connect_port(left, id, 0, Partitioning::Hash(vec![left_key]));
+        self.plan
+            .connect_port(right, id, 1, Partitioning::Hash(vec![right_key]));
+        self.cursor = Some(id);
+        self
+    }
+
+    /// Set parallelism on a node after the fact.
+    pub fn set_parallelism(mut self, node: NodeId, parallelism: usize) -> Self {
+        self.plan.nodes[node].parallelism = parallelism;
+        self
+    }
+
+    /// Validate and return the plan.
+    pub fn build(self) -> Result<LogicalPlan> {
+        self.plan.validate()?;
+        Ok(self.plan)
+    }
+
+    /// Return the plan without validation (for tests of invalid plans).
+    pub fn build_unchecked(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::value::{FieldType, Value};
+
+    #[test]
+    fn chain_builder_produces_valid_plan() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 1)
+            .filter(
+                "f1",
+                Predicate::cmp(0, CmpOp::Gt, Value::Int(10)),
+                0.4,
+            )
+            .window_agg_keyed(
+                "agg",
+                WindowSpec::tumbling_count(10),
+                AggFunc::Avg,
+                1,
+                0,
+            )
+            .sink("sink")
+            .build()
+            .unwrap();
+        assert_eq!(plan.nodes.len(), 4);
+        assert_eq!(plan.edges.len(), 3);
+        // Keyed window edge hash-partitions on the key.
+        assert_eq!(plan.edges[1].partitioning, Partitioning::Hash(vec![0]));
+    }
+
+    #[test]
+    fn join_builder_wires_two_ports() {
+        let mut b = PlanBuilder::new();
+        let s1 = b.add_node(
+            "s1",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let s2 = b.add_node(
+            "s2",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let plan = b
+            .join("j", s1, s2, WindowSpec::tumbling_time(100), 0, 0)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let join_id = 2;
+        let ins = plan.in_edges(join_id);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].port, 0);
+        assert_eq!(ins[1].port, 1);
+    }
+
+    #[test]
+    fn set_parallelism_applies() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::True, 1.0)
+            .set_parallelism(1, 16)
+            .sink("k")
+            .build()
+            .unwrap();
+        assert_eq!(plan.nodes[1].parallelism, 16);
+    }
+
+    #[test]
+    fn build_rejects_invalid() {
+        let result = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .build();
+        assert!(result.is_err(), "no sink");
+    }
+}

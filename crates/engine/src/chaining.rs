@@ -1,0 +1,359 @@
+//! Operator chaining (fusion).
+//!
+//! Flink fuses consecutive operators connected by forward edges into one
+//! task, eliminating per-hop channel transfers — a major factor in real
+//! deployments and therefore something a benchmarking system must model.
+//! [`fuse`] rewrites a logical plan by collapsing maximal chains of
+//! *fusable* operators (stateless, single-input, single-consumer,
+//! forward-connected with equal parallelism) into one [`OpKind::Udo`]
+//! whose instance runs the stages back to back.
+//!
+//! Both execution backends benefit: the threaded runtime saves channel
+//! hops and clones; the simulator sees one instance with the summed CPU
+//! cost and the product selectivity — exactly the performance model of a
+//! fused task.
+
+use crate::error::Result;
+use crate::operator::{OpKind, OperatorInstance};
+use crate::plan::{LogicalPlan, NodeId, Partitioning};
+use crate::udo::{CostProfile, Udo, UdoFactory};
+use crate::value::{Schema, Tuple};
+use std::sync::Arc;
+
+/// Whether an operator may participate in a fused chain.
+fn fusable(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Filter { .. } | OpKind::Map { .. } | OpKind::FlatMapSplit { .. }
+    )
+}
+
+/// A fused pipeline of stateless operators, executed as one UDO.
+struct FusedFactory {
+    name: String,
+    stages: Vec<OpKind>,
+    cost: CostProfile,
+}
+
+struct FusedInstance {
+    stages: Vec<Box<dyn OperatorInstance>>,
+}
+
+impl Udo for FusedInstance {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        // Run the tuple through every stage, fanning intermediate results
+        // without re-entering a channel.
+        let mut current = vec![tuple];
+        let mut next = Vec::new();
+        for stage in &mut self.stages {
+            next.clear();
+            for t in current.drain(..) {
+                // Stateless stages cannot fail on well-typed input; errors
+                // (e.g. a literal type mismatch) drop the tuple, matching
+                // filter semantics for incomparable values.
+                let _ = stage.on_tuple(0, t, &mut next);
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        out.append(&mut current);
+    }
+}
+
+impl UdoFactory for FusedFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn create(&self) -> Box<dyn Udo> {
+        Box::new(FusedInstance {
+            stages: self.stages.iter().map(OpKind::instantiate).collect(),
+        })
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        self.cost
+    }
+
+    fn output_schema(&self, input: &Schema) -> Schema {
+        let mut schema = input.clone();
+        for stage in &self.stages {
+            schema = stage
+                .output_schema(&[schema])
+                .expect("fused stages were schema-checked at fuse time");
+        }
+        schema
+    }
+}
+
+/// Fuse maximal chains of fusable operators. Returns the rewritten plan
+/// (node ids are re-assigned); plans without fusable chains come back
+/// structurally identical.
+pub fn fuse(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    plan.validate()?;
+    let n = plan.nodes.len();
+
+    // A node can absorb its single consumer when the edge is forward-like
+    // (forward partitioning or equal-parallelism rebalance with one
+    // upstream producer is NOT fused — we only fuse explicit Forward edges
+    // to preserve routing semantics), both ends are fusable, and the
+    // consumer has exactly one input.
+    let mut absorbed_into = vec![usize::MAX; n]; // consumer -> head of chain
+    let mut chain_of: Vec<Vec<NodeId>> = (0..n).map(|i| vec![i]).collect();
+
+    // Walk in topological order, growing chains head-first.
+    for &id in plan.topo_order()?.iter() {
+        let outs = plan.out_edges(id);
+        if outs.len() != 1 {
+            continue;
+        }
+        let edge = outs[0];
+        let to = edge.to;
+        if edge.partitioning != Partitioning::Forward {
+            continue;
+        }
+        if !fusable(&plan.nodes[id].kind) || !fusable(&plan.nodes[to].kind) {
+            continue;
+        }
+        if plan.in_edges(to).len() != 1 {
+            continue;
+        }
+        if plan.nodes[id].parallelism != plan.nodes[to].parallelism {
+            continue;
+        }
+        // Find the chain head of `id` and append `to`.
+        let head = if absorbed_into[id] == usize::MAX {
+            id
+        } else {
+            absorbed_into[id]
+        };
+        absorbed_into[to] = head;
+        let tail = chain_of[to].clone();
+        chain_of[head].extend(tail);
+        chain_of[to].clear();
+    }
+
+    // Rebuild the plan: one node per surviving chain head / unfused node.
+    let mut rebuilt = LogicalPlan::default();
+    let mut new_id = vec![usize::MAX; n];
+    for old in 0..n {
+        if absorbed_into[old] != usize::MAX {
+            continue; // absorbed into some head
+        }
+        let chain = &chain_of[old];
+        let node = &plan.nodes[old];
+        let id = if chain.len() == 1 {
+            rebuilt.add_node(node.name.clone(), node.kind.clone(), node.parallelism)
+        } else {
+            let stages: Vec<OpKind> = chain.iter().map(|&i| plan.nodes[i].kind.clone()).collect();
+            let name = chain
+                .iter()
+                .map(|&i| plan.nodes[i].name.as_str())
+                .collect::<Vec<_>>()
+                .join("+");
+            let cost = stages.iter().fold(
+                CostProfile::stateless(0.0, 1.0),
+                |acc, s| {
+                    let p = s.cost_profile();
+                    CostProfile {
+                        // Fused stages skip per-hop serialization; summing
+                        // raw CPU already under-counts the unfused channel
+                        // overhead, which is the point of fusing.
+                        cpu_ns_per_tuple: acc.cpu_ns_per_tuple + p.cpu_ns_per_tuple,
+                        selectivity: acc.selectivity * p.selectivity,
+                        state_factor: acc.state_factor.max(p.state_factor),
+                    }
+                },
+            );
+            rebuilt.add_node(
+                name.clone(),
+                OpKind::Udo {
+                    factory: Arc::new(FusedFactory { name, stages, cost }),
+                },
+                node.parallelism,
+            )
+        };
+        new_id[old] = id;
+    }
+    // Map absorbed nodes to their head's new id (for edge rewiring).
+    for old in 0..n {
+        if absorbed_into[old] != usize::MAX {
+            new_id[old] = new_id[absorbed_into[old]];
+        }
+    }
+    // Re-add edges, skipping intra-chain forwards.
+    for e in &plan.edges {
+        let (from, to) = (new_id[e.from], new_id[e.to]);
+        if from == to {
+            continue; // fused away
+        }
+        rebuilt.connect_port(from, to, e.port, e.partitioning.clone());
+    }
+    rebuilt.validate()?;
+    Ok(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Predicate, ScalarExpr};
+    use crate::physical::PhysicalPlan;
+    use crate::runtime::{RunConfig, ThreadedRuntime, VecSource};
+    use crate::value::{FieldType, Value};
+    use crate::PlanBuilder;
+
+    fn chain_plan() -> LogicalPlan {
+        PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f1", Predicate::cmp(0, CmpOp::Ge, Value::Int(10)), 0.9)
+            .set_parallelism(1, 4)
+            .chain(
+                "f2",
+                OpKind::Filter {
+                    predicate: Predicate::cmp(0, CmpOp::Lt, Value::Int(90)),
+                    selectivity: 0.9,
+                },
+                Some(Partitioning::Forward),
+            )
+            .set_parallelism(2, 4)
+            .chain(
+                "double",
+                OpKind::Map {
+                    exprs: vec![ScalarExpr::Mul(
+                        Box::new(ScalarExpr::Field(0)),
+                        Box::new(ScalarExpr::Literal(Value::Int(2))),
+                    )],
+                },
+                Some(Partitioning::Forward),
+            )
+            .set_parallelism(3, 4)
+            .sink("k")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fuse_collapses_forward_chains() {
+        let plan = chain_plan();
+        assert_eq!(plan.nodes.len(), 5);
+        let fused = fuse(&plan).unwrap();
+        // source + fused(f1+f2+double) + sink.
+        assert_eq!(fused.nodes.len(), 3);
+        assert!(fused.nodes.iter().any(|n| n.name == "f1+f2+double"));
+        fused.validate().unwrap();
+    }
+
+    #[test]
+    fn fused_plan_computes_identical_results() {
+        let plan = chain_plan();
+        let fused = fuse(&plan).unwrap();
+        let tuples: Vec<Tuple> = (0..200).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        let run = |p: &LogicalPlan| {
+            let phys = PhysicalPlan::expand(p).unwrap();
+            let mut res = rt.run(&phys, &[VecSource::new(tuples.clone())]).unwrap();
+            let mut vals: Vec<f64> = res
+                .sink_tuples
+                .drain(..)
+                .map(|t| t.values[0].as_f64().unwrap())
+                .collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            (res.tuples_out, vals)
+        };
+        let (n_plain, v_plain) = run(&plan);
+        let (n_fused, v_fused) = run(&fused);
+        assert_eq!(n_plain, n_fused);
+        assert_eq!(v_plain, v_fused);
+        assert_eq!(n_plain, 80, "10..90 doubled");
+    }
+
+    #[test]
+    fn fused_cost_profile_compounds_selectivity() {
+        let fused = fuse(&chain_plan()).unwrap();
+        let udo = fused
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::Udo { .. }))
+            .unwrap();
+        let cost = udo.kind.cost_profile();
+        assert!((cost.selectivity - 0.81).abs() < 1e-9, "0.9 * 0.9 * 1.0");
+        assert!(cost.cpu_ns_per_tuple > 0.0);
+    }
+
+    #[test]
+    fn rebalance_edges_are_not_fused() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f1", Predicate::True, 1.0)
+            .filter("f2", Predicate::True, 1.0) // rebalance edge (default)
+            .sink("k")
+            .build()
+            .unwrap();
+        let fused = fuse(&plan).unwrap();
+        assert_eq!(fused.nodes.len(), plan.nodes.len(), "nothing to fuse");
+    }
+
+    #[test]
+    fn stateful_operators_break_chains() {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int, FieldType::Double]), 1)
+            .filter("f", Predicate::True, 1.0)
+            .window_agg_keyed(
+                "agg",
+                crate::window::WindowSpec::tumbling_count(10),
+                crate::agg::AggFunc::Sum,
+                1,
+                0,
+            )
+            .sink("k")
+            .build()
+            .unwrap();
+        let fused = fuse(&plan).unwrap();
+        assert_eq!(fused.nodes.len(), plan.nodes.len());
+    }
+
+    #[test]
+    fn branching_consumers_break_chains() {
+        // f1 feeds two consumers: must not be absorbed.
+        let mut plan = LogicalPlan::default();
+        let s = plan.add_node(
+            "s",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            2,
+        );
+        let f1 = plan.add_node(
+            "f1",
+            OpKind::Filter {
+                predicate: Predicate::True,
+                selectivity: 1.0,
+            },
+            2,
+        );
+        let f2 = plan.add_node(
+            "f2",
+            OpKind::Filter {
+                predicate: Predicate::True,
+                selectivity: 1.0,
+            },
+            2,
+        );
+        let k1 = plan.add_node("k1", OpKind::Sink, 1);
+        let k2 = plan.add_node("k2", OpKind::Sink, 1);
+        plan.connect(s, f1, Partitioning::Forward);
+        plan.connect(f1, f2, Partitioning::Forward);
+        plan.connect(f1, k1, Partitioning::Rebalance);
+        plan.connect(f2, k2, Partitioning::Rebalance);
+        let fused = fuse(&plan).unwrap();
+        assert_eq!(fused.nodes.len(), 5, "branch point prevents fusion");
+    }
+
+    #[test]
+    fn fusing_reduces_physical_channels() {
+        let plan = chain_plan();
+        let fused = fuse(&plan).unwrap();
+        let before = PhysicalPlan::expand(&plan).unwrap().channel_count();
+        let after = PhysicalPlan::expand(&fused).unwrap().channel_count();
+        assert!(after < before, "{after} < {before}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// All errors that plan construction, validation, physical expansion, or
+/// execution can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The logical plan contains a cycle (dataflow graphs must be DAGs).
+    CyclicPlan,
+    /// An edge references a node id that does not exist.
+    UnknownNode(usize),
+    /// An operator received a tuple whose arity does not match its schema.
+    SchemaMismatch {
+        /// Name of the operator that rejected the tuple.
+        operator: String,
+        /// Expected number of fields.
+        expected: usize,
+        /// Observed number of fields.
+        actual: usize,
+    },
+    /// A forward edge connects operators with different parallelism.
+    ForwardParallelismMismatch {
+        /// Upstream operator name.
+        from: String,
+        /// Downstream operator name.
+        to: String,
+        /// Upstream parallelism.
+        from_parallelism: usize,
+        /// Downstream parallelism.
+        to_parallelism: usize,
+    },
+    /// A hash edge references a key field outside the upstream schema.
+    InvalidKeyField {
+        /// Operator whose output is being partitioned.
+        operator: String,
+        /// Offending field index.
+        field: usize,
+        /// Width of the upstream schema.
+        schema_width: usize,
+    },
+    /// Plan has no source operator.
+    NoSource,
+    /// Plan has no sink operator.
+    NoSink,
+    /// Parallelism of zero was requested.
+    ZeroParallelism(String),
+    /// An expression referenced a field outside the tuple.
+    FieldOutOfBounds {
+        /// Referenced index.
+        index: usize,
+        /// Tuple width.
+        width: usize,
+    },
+    /// A comparison between incompatible value types.
+    TypeError(String),
+    /// A join operator was wired with the wrong number of inputs.
+    JoinArity {
+        /// Operator name.
+        operator: String,
+        /// Number of input edges found.
+        inputs: usize,
+    },
+    /// Runtime failure (worker panic, channel disconnect).
+    Execution(String),
+    /// Plan validation failed with a free-form reason.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::CyclicPlan => write!(f, "logical plan contains a cycle"),
+            EngineError::UnknownNode(id) => write!(f, "edge references unknown node {id}"),
+            EngineError::SchemaMismatch {
+                operator,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "operator '{operator}' expected tuples of width {expected}, got {actual}"
+            ),
+            EngineError::ForwardParallelismMismatch {
+                from,
+                to,
+                from_parallelism,
+                to_parallelism,
+            } => write!(
+                f,
+                "forward edge {from} -> {to} requires equal parallelism \
+                 ({from_parallelism} != {to_parallelism})"
+            ),
+            EngineError::InvalidKeyField {
+                operator,
+                field,
+                schema_width,
+            } => write!(
+                f,
+                "hash partitioning on '{operator}' uses field {field} but schema width is {schema_width}"
+            ),
+            EngineError::NoSource => write!(f, "plan has no source operator"),
+            EngineError::NoSink => write!(f, "plan has no sink operator"),
+            EngineError::ZeroParallelism(name) => {
+                write!(f, "operator '{name}' has parallelism 0")
+            }
+            EngineError::FieldOutOfBounds { index, width } => {
+                write!(f, "expression references field {index} in tuple of width {width}")
+            }
+            EngineError::TypeError(msg) => write!(f, "type error: {msg}"),
+            EngineError::JoinArity { operator, inputs } => {
+                write!(f, "join operator '{operator}' requires 2 inputs, found {inputs}")
+            }
+            EngineError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_operator_names() {
+        let err = EngineError::ForwardParallelismMismatch {
+            from: "filter".into(),
+            to: "agg".into(),
+            from_parallelism: 2,
+            to_parallelism: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("filter"));
+        assert!(text.contains("agg"));
+        assert!(text.contains('2'));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EngineError::CyclicPlan);
+    }
+
+    #[test]
+    fn display_is_distinct_per_variant() {
+        let variants = [
+            EngineError::CyclicPlan.to_string(),
+            EngineError::NoSource.to_string(),
+            EngineError::NoSink.to_string(),
+            EngineError::UnknownNode(3).to_string(),
+            EngineError::ZeroParallelism("x".into()).to_string(),
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            for b in variants.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Scalar expressions and filter predicates.
+//!
+//! PDSP-Bench's synthetic query generator randomizes filter functions
+//! (`<, >, <=, >=, ==, !=`), their operand data types, and literals (Table 3).
+//! Predicates here mirror that space and additionally support boolean
+//! composition for the chained-filter query structures.
+
+use crate::error::{EngineError, Result};
+use crate::value::{Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators available to filter predicates (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// All comparison operators, for random enumeration.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ];
+
+    /// Evaluate against an ordering (`None` = incomparable).
+    fn holds(self, ord: Option<Ordering>, equal: bool) -> bool {
+        match self {
+            CmpOp::Eq => equal,
+            CmpOp::Ne => !equal,
+            CmpOp::Lt => ord == Some(Ordering::Less),
+            CmpOp::Le => matches!(ord, Some(Ordering::Less | Ordering::Equal)),
+            CmpOp::Gt => ord == Some(Ordering::Greater),
+            CmpOp::Ge => matches!(ord, Some(Ordering::Greater | Ordering::Equal)),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression over a tuple, used by map/projection operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalarExpr {
+    /// Read field at index.
+    Field(usize),
+    /// Constant.
+    Literal(Value),
+    /// `lhs + rhs` (numeric).
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// `lhs - rhs` (numeric).
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// `lhs * rhs` (numeric).
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// `lhs / rhs` (numeric; divide-by-zero yields an error).
+    Div(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            ScalarExpr::Field(i) => {
+                tuple
+                    .values
+                    .get(*i)
+                    .cloned()
+                    .ok_or(EngineError::FieldOutOfBounds {
+                        index: *i,
+                        width: tuple.width(),
+                    })
+            }
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Add(a, b) => numeric_op(a, b, tuple, "+", |x, y| Ok(x + y)),
+            ScalarExpr::Sub(a, b) => numeric_op(a, b, tuple, "-", |x, y| Ok(x - y)),
+            ScalarExpr::Mul(a, b) => numeric_op(a, b, tuple, "*", |x, y| Ok(x * y)),
+            ScalarExpr::Div(a, b) => numeric_op(a, b, tuple, "/", |x, y| {
+                if y == 0.0 {
+                    Err(EngineError::TypeError("division by zero".into()))
+                } else {
+                    Ok(x / y)
+                }
+            }),
+        }
+    }
+
+    /// Largest field index referenced by the expression, if any.
+    pub fn max_field(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Field(i) => Some(*i),
+            ScalarExpr::Literal(_) => None,
+            ScalarExpr::Add(a, b)
+            | ScalarExpr::Sub(a, b)
+            | ScalarExpr::Mul(a, b)
+            | ScalarExpr::Div(a, b) => match (a.max_field(), b.max_field()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+        }
+    }
+}
+
+fn numeric_op(
+    a: &ScalarExpr,
+    b: &ScalarExpr,
+    tuple: &Tuple,
+    op: &str,
+    f: impl Fn(f64, f64) -> Result<f64>,
+) -> Result<Value> {
+    let (va, vb) = (a.eval(tuple)?, b.eval(tuple)?);
+    let (x, y) = match (va.as_f64(), vb.as_f64()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(EngineError::TypeError(format!(
+                "non-numeric operand to '{op}'"
+            )))
+        }
+    };
+    f(x, y).map(Value::Double)
+}
+
+/// A boolean predicate over a tuple: the filter operator's condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `tuple[field] <op> literal`.
+    Compare {
+        /// Field index in the input tuple.
+        field: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        literal: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (identity filter; useful in generated plans).
+    True,
+}
+
+impl Predicate {
+    /// Convenience constructor for the common comparison form.
+    pub fn cmp(field: usize, op: CmpOp, literal: Value) -> Self {
+        Predicate::Compare { field, op, literal }
+    }
+
+    /// Evaluate against a tuple. Incomparable pairs (e.g. string vs int)
+    /// evaluate to `false` rather than erroring, matching the generator's
+    /// "invalid literals simply never match" semantics.
+    pub fn eval(&self, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Compare { field, op, literal } => {
+                let v = tuple
+                    .values
+                    .get(*field)
+                    .ok_or(EngineError::FieldOutOfBounds {
+                        index: *field,
+                        width: tuple.width(),
+                    })?;
+                let ord = v.partial_cmp_value(literal);
+                let equal = v == literal;
+                Ok(op.holds(ord, equal))
+            }
+            Predicate::And(a, b) => Ok(a.eval(tuple)? && b.eval(tuple)?),
+            Predicate::Or(a, b) => Ok(a.eval(tuple)? || b.eval(tuple)?),
+            Predicate::Not(p) => Ok(!p.eval(tuple)?),
+        }
+    }
+
+    /// Largest field index referenced, for schema validation.
+    pub fn max_field(&self) -> Option<usize> {
+        match self {
+            Predicate::True => None,
+            Predicate::Compare { field, .. } => Some(*field),
+            Predicate::And(a, b) | Predicate::Or(a, b) => match (a.max_field(), b.max_field()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+            Predicate::Not(p) => p.max_field(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn compare_int_lt() {
+        let p = Predicate::cmp(0, CmpOp::Lt, Value::Int(10));
+        assert!(p.eval(&t(vec![Value::Int(5)])).unwrap());
+        assert!(!p.eval(&t(vec![Value::Int(10)])).unwrap());
+        assert!(!p.eval(&t(vec![Value::Int(15)])).unwrap());
+    }
+
+    #[test]
+    fn compare_all_ops_against_equal_values() {
+        let tup = t(vec![Value::Double(3.0)]);
+        let lit = Value::Int(3); // cross-type numeric equality
+        let expect = [
+            (CmpOp::Lt, false),
+            (CmpOp::Le, true),
+            (CmpOp::Gt, false),
+            (CmpOp::Ge, true),
+            (CmpOp::Eq, true),
+            (CmpOp::Ne, false),
+        ];
+        for (op, want) in expect {
+            let p = Predicate::cmp(0, op, lit.clone());
+            assert_eq!(p.eval(&tup).unwrap(), want, "op {op}");
+        }
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let p = Predicate::cmp(0, CmpOp::Ge, Value::str("mango"));
+        assert!(p.eval(&t(vec![Value::str("zebra")])).unwrap());
+        assert!(!p.eval(&t(vec![Value::str("apple")])).unwrap());
+    }
+
+    #[test]
+    fn incomparable_types_are_false_not_error() {
+        let p = Predicate::cmp(0, CmpOp::Lt, Value::str("x"));
+        assert!(!p.eval(&t(vec![Value::Int(1)])).unwrap());
+        // But Ne across types is true (they are not equal).
+        let p = Predicate::cmp(0, CmpOp::Ne, Value::str("x"));
+        assert!(p.eval(&t(vec![Value::Int(1)])).unwrap());
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let p = Predicate::And(
+            Box::new(Predicate::cmp(0, CmpOp::Gt, Value::Int(0))),
+            Box::new(Predicate::Not(Box::new(Predicate::cmp(
+                0,
+                CmpOp::Gt,
+                Value::Int(10),
+            )))),
+        );
+        assert!(p.eval(&t(vec![Value::Int(5)])).unwrap());
+        assert!(!p.eval(&t(vec![Value::Int(11)])).unwrap());
+        assert!(!p.eval(&t(vec![Value::Int(0)])).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_field_is_error() {
+        let p = Predicate::cmp(3, CmpOp::Eq, Value::Int(1));
+        assert!(matches!(
+            p.eval(&t(vec![Value::Int(1)])),
+            Err(EngineError::FieldOutOfBounds { index: 3, width: 1 })
+        ));
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let e = ScalarExpr::Add(
+            Box::new(ScalarExpr::Field(0)),
+            Box::new(ScalarExpr::Mul(
+                Box::new(ScalarExpr::Field(1)),
+                Box::new(ScalarExpr::Literal(Value::Double(2.0))),
+            )),
+        );
+        let v = e.eval(&t(vec![Value::Int(1), Value::Int(3)])).unwrap();
+        assert_eq!(v, Value::Double(7.0));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = ScalarExpr::Div(
+            Box::new(ScalarExpr::Literal(Value::Int(1))),
+            Box::new(ScalarExpr::Literal(Value::Int(0))),
+        );
+        assert!(e.eval(&t(vec![])).is_err());
+    }
+
+    #[test]
+    fn max_field_tracks_references() {
+        let p = Predicate::Or(
+            Box::new(Predicate::cmp(2, CmpOp::Eq, Value::Int(1))),
+            Box::new(Predicate::cmp(7, CmpOp::Eq, Value::Int(1))),
+        );
+        assert_eq!(p.max_field(), Some(7));
+        assert_eq!(Predicate::True.max_field(), None);
+    }
+}

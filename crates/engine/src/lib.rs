@@ -1,0 +1,49 @@
+//! # pdsp-engine
+//!
+//! A parallel dataflow stream-processing engine: the System Under Test
+//! substrate for PDSP-Bench (standing in for Apache Flink in the original
+//! paper).
+//!
+//! The engine follows the classic dataflow abstraction the paper relies on:
+//!
+//! * a [`plan::LogicalPlan`] is a DAG of operators ([`operator::OpKind`]) with
+//!   per-operator *parallelism hints* and per-edge *partitioning strategies*
+//!   ([`plan::Partitioning`]: forward, rebalance, hash, broadcast);
+//! * [`physical::PhysicalPlan`] expands each logical operator into
+//!   `parallelism` physical instances and materializes the channel matrix
+//!   between instance pairs;
+//! * [`runtime::ThreadedRuntime`] executes a physical plan on real OS threads
+//!   connected by bounded channels, stamping per-tuple end-to-end latency at
+//!   the sink;
+//! * the sibling crate `pdsp-cluster` executes the *same* physical plan on a
+//!   simulated heterogeneous cluster instead.
+//!
+//! Operators cover the PDSP-Bench operator vocabulary: source, filter, map,
+//! flat-map, key-by, windowed aggregation (tumbling/sliding x count/time),
+//! windowed symmetric-hash joins (2-way and chained multi-way), union, sink,
+//! and user-defined operators (UDOs) used by the real-world application suite.
+
+pub mod agg;
+pub mod builder;
+pub mod chaining;
+pub mod error;
+pub mod expr;
+pub mod message;
+pub mod operator;
+pub mod physical;
+pub mod plan;
+pub mod runtime;
+pub mod state;
+pub mod udo;
+pub mod value;
+pub mod window;
+
+pub use builder::PlanBuilder;
+pub use error::{EngineError, Result};
+pub use expr::{CmpOp, Predicate, ScalarExpr};
+pub use operator::OpKind;
+pub use physical::PhysicalPlan;
+pub use plan::{Edge, LogicalNode, LogicalPlan, NodeId, Partitioning};
+pub use runtime::{RunConfig, RunResult, ThreadedRuntime};
+pub use value::{Field, FieldType, Schema, Tuple, Value};
+pub use window::{WindowKind, WindowPolicy, WindowSpec};

@@ -1,0 +1,748 @@
+//! Multi-threaded execution of physical plans.
+//!
+//! Every physical instance runs as an OS thread connected by bounded
+//! crossbeam channels (the engine's backpressure). Sources stamp `emit_ns`
+//! on each tuple; sinks compute end-to-end latency on delivery — the
+//! paper's end-to-end latency definition (source production to sink
+//! delivery, §4 Metrics).
+
+use crate::error::{EngineError, Result};
+use crate::message::{Message, WatermarkTracker};
+use crate::operator::OpKind;
+use crate::physical::{PhysicalPlan, RouteTargets, RouterState};
+use crate::value::Tuple;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A factory producing per-instance tuple iterators for one source node.
+///
+/// The engine calls `instance_iter(i, p)` once per physical source instance;
+/// implementations must return disjoint (or intentionally overlapping)
+/// partitions of the stream.
+pub trait SourceFactory: Send + Sync {
+    /// Iterator of tuples for instance `instance_index` of `parallelism`.
+    fn instance_iter(
+        &self,
+        instance_index: usize,
+        parallelism: usize,
+    ) -> Box<dyn Iterator<Item = Tuple> + Send>;
+}
+
+/// A source over a fixed tuple vector, partitioned round-robin across
+/// instances. Handy for tests and examples.
+pub struct VecSource {
+    tuples: Arc<Vec<Tuple>>,
+}
+
+impl VecSource {
+    /// Wrap a vector of tuples.
+    pub fn new(tuples: Vec<Tuple>) -> Arc<Self> {
+        Arc::new(VecSource {
+            tuples: Arc::new(tuples),
+        })
+    }
+}
+
+impl SourceFactory for VecSource {
+    fn instance_iter(
+        &self,
+        instance_index: usize,
+        parallelism: usize,
+    ) -> Box<dyn Iterator<Item = Tuple> + Send> {
+        let tuples = Arc::clone(&self.tuples);
+        let iter = (0..tuples.len())
+            .filter(move |i| i % parallelism == instance_index)
+            .map(move |i| tuples[i].clone());
+        Box::new(iter.collect::<Vec<_>>().into_iter())
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Emit a watermark every N source tuples.
+    pub watermark_interval: usize,
+    /// Bounded out-of-orderness: watermarks trail the maximum observed
+    /// event time by this many ms, so disordered tuples within the bound
+    /// are not late (Flink's BoundedOutOfOrderness strategy).
+    pub watermark_lateness_ms: i64,
+    /// Channel capacity (tuples) between instances — the backpressure bound.
+    pub channel_capacity: usize,
+    /// Keep at most this many sink tuples in the result (latencies are
+    /// always collected for all).
+    pub capture_limit: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            watermark_interval: 64,
+            watermark_lateness_ms: 0,
+            channel_capacity: 1024,
+            capture_limit: 100_000,
+        }
+    }
+}
+
+/// Per-logical-operator execution counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Logical node id.
+    pub node: usize,
+    /// Operator name.
+    pub name: String,
+    /// Tuples received across all instances.
+    pub tuples_in: u64,
+    /// Tuples emitted across all instances.
+    pub tuples_out: u64,
+}
+
+impl OperatorStats {
+    /// Observed selectivity (out/in); `None` before any input.
+    pub fn observed_selectivity(&self) -> Option<f64> {
+        (self.tuples_in > 0).then(|| self.tuples_out as f64 / self.tuples_in as f64)
+    }
+}
+
+/// Result of one plan execution.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Tuples delivered at sinks (up to `capture_limit`).
+    pub sink_tuples: Vec<Tuple>,
+    /// Per-delivered-tuple end-to-end latency in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Total tuples delivered at sinks.
+    pub tuples_out: u64,
+    /// Total tuples emitted by sources.
+    pub tuples_in: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Per-logical-operator counters (intermediate operators only; sources
+    /// appear with tuples_in == tuples_out == emitted, sinks with
+    /// tuples_out == 0).
+    pub operator_stats: Vec<OperatorStats>,
+}
+
+impl RunResult {
+    /// Source throughput in tuples/second.
+    pub fn throughput_in(&self) -> f64 {
+        self.tuples_in as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// p-th latency percentile in nanoseconds (p in `[0, 100]`).
+    pub fn latency_percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[rank.min(v.len() - 1)])
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Envelope {
+    channel: usize,
+    msg: Message,
+}
+
+/// The multi-threaded executor.
+pub struct ThreadedRuntime {
+    config: RunConfig,
+}
+
+impl ThreadedRuntime {
+    /// Create a runtime with the given config.
+    pub fn new(config: RunConfig) -> Self {
+        ThreadedRuntime { config }
+    }
+
+    /// Execute `plan`, feeding each source node (in plan order) from the
+    /// corresponding factory in `sources`.
+    pub fn run(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+    ) -> Result<RunResult> {
+        let source_nodes = plan.logical.sources();
+        if sources.len() != source_nodes.len() {
+            return Err(EngineError::Execution(format!(
+                "plan has {} source nodes but {} source factories were supplied",
+                source_nodes.len(),
+                sources.len()
+            )));
+        }
+
+        let n = plan.instance_count();
+        // Channels: one mpsc queue per instance; envelopes carry the input
+        // channel slot for watermark bookkeeping.
+        let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Envelope>(self.config.channel_capacity);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+        // Sink results flow back over a dedicated channel.
+        let (sink_tx, sink_rx) = bounded::<(Vec<Tuple>, Vec<u64>, u64)>(n.max(4));
+        // Source input counts.
+        let (count_tx, count_rx) = bounded::<u64>(n.max(4));
+        // Per-instance operator counters: (logical node, in, out).
+        let (stats_tx, stats_rx) = bounded::<(usize, u64, u64)>(n.max(4));
+
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+
+        for inst in &plan.instances {
+            let node = &plan.logical.nodes[inst.node];
+            let routes = plan.out_routes[inst.id].clone();
+            let downstream: Vec<Vec<Sender<Envelope>>> = routes
+                .iter()
+                .map(|r| {
+                    r.targets
+                        .iter()
+                        .map(|t| senders[t.instance].as_ref().expect("sender alive").clone())
+                        .collect()
+                })
+                .collect();
+            let route_meta = routes;
+
+            match &node.kind {
+                OpKind::Source { .. } => {
+                    let factory = {
+                        let src_pos = source_nodes
+                            .iter()
+                            .position(|&s| s == inst.node)
+                            .expect("source node");
+                        Arc::clone(&sources[src_pos])
+                    };
+                    let parallelism = node.parallelism;
+                    let index = inst.index;
+                    let wm_interval = self.config.watermark_interval.max(1);
+                    let lateness = self.config.watermark_lateness_ms;
+                    let count_tx = count_tx.clone();
+                    let stats_tx_src = stats_tx.clone();
+                    let lnode = inst.node;
+                    handles.push(std::thread::spawn(move || -> Result<()> {
+                        let mut router = RouterState::new(route_meta.len());
+                        let mut max_et = i64::MIN;
+                        let mut emitted: u64 = 0;
+                        for mut tuple in factory.instance_iter(index, parallelism) {
+                            tuple.emit_ns = start.elapsed().as_nanos() as u64;
+                            max_et = max_et.max(tuple.event_time);
+                            emitted += 1;
+                            send_tuple(&route_meta, &downstream, &mut router, tuple)?;
+                            if emitted.is_multiple_of(wm_interval as u64) {
+                                let wm = max_et.saturating_sub(lateness);
+                                broadcast(&route_meta, &downstream, Message::Watermark(wm))?;
+                            }
+                        }
+                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        let _ = count_tx.send(emitted);
+                        let _ = stats_tx_src.send((lnode, emitted, emitted));
+                        Ok(())
+                    }));
+                }
+                OpKind::Sink => {
+                    let rx = receivers[inst.id].take().expect("receiver");
+                    let channels = plan.input_channel_count[inst.id];
+                    let sink_tx = sink_tx.clone();
+                    let stats_tx_sink = stats_tx.clone();
+                    let lnode = inst.node;
+                    let capture_limit = self.config.capture_limit;
+                    handles.push(std::thread::spawn(move || -> Result<()> {
+                        let mut captured = Vec::new();
+                        let mut latencies = Vec::new();
+                        let mut total: u64 = 0;
+                        let mut closed = 0usize;
+                        while closed < channels {
+                            let Ok(env) = rx.recv() else { break };
+                            match env.msg {
+                                Message::Data(t) => {
+                                    let now = start.elapsed().as_nanos() as u64;
+                                    latencies.push(now.saturating_sub(t.emit_ns));
+                                    total += 1;
+                                    if captured.len() < capture_limit {
+                                        captured.push(t);
+                                    }
+                                }
+                                Message::Watermark(_) => {}
+                                Message::Eos => closed += 1,
+                            }
+                        }
+                        let _ = sink_tx.send((captured, latencies, total));
+                        let _ = stats_tx_sink.send((lnode, total, 0));
+                        Ok(())
+                    }));
+                }
+                kind => {
+                    let mut op = kind.instantiate();
+                    let rx = receivers[inst.id].take().expect("receiver");
+                    let channels = plan.input_channel_count[inst.id];
+                    let ports = plan.channel_ports[inst.id].clone();
+                    let name = node.name.clone();
+                    let stats_tx_op = stats_tx.clone();
+                    let lnode = inst.node;
+                    handles.push(std::thread::spawn(move || -> Result<()> {
+                        let mut router = RouterState::new(route_meta.len());
+                        let mut tracker = WatermarkTracker::new(channels);
+                        let mut out = Vec::new();
+                        let mut closed = 0usize;
+                        let (mut n_in, mut n_out) = (0u64, 0u64);
+                        while closed < channels {
+                            let Ok(env) = rx.recv() else {
+                                return Err(EngineError::Execution(format!(
+                                    "operator '{name}' lost its input channels"
+                                )));
+                            };
+                            match env.msg {
+                                Message::Data(t) => {
+                                    n_in += 1;
+                                    out.clear();
+                                    op.on_tuple(ports[env.channel], t, &mut out)?;
+                                    n_out += out.len() as u64;
+                                    for t in out.drain(..) {
+                                        send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                    }
+                                }
+                                Message::Watermark(wm) => {
+                                    if let Some(w) = tracker.observe(env.channel, wm) {
+                                        out.clear();
+                                        op.on_watermark(w, &mut out);
+                                        n_out += out.len() as u64;
+                                        for t in out.drain(..) {
+                                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                        }
+                                        broadcast(&route_meta, &downstream, Message::Watermark(w))?;
+                                    }
+                                }
+                                Message::Eos => {
+                                    closed += 1;
+                                    if let Some(w) = tracker.close_channel(env.channel) {
+                                        if closed < channels {
+                                            out.clear();
+                                            op.on_watermark(w, &mut out);
+                                            n_out += out.len() as u64;
+                                            for t in out.drain(..) {
+                                                send_tuple(
+                                                    &route_meta,
+                                                    &downstream,
+                                                    &mut router,
+                                                    t,
+                                                )?;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        out.clear();
+                        op.on_flush(&mut out);
+                        n_out += out.len() as u64;
+                        for t in out.drain(..) {
+                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                        }
+                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        let _ = stats_tx_op.send((lnode, n_in, n_out));
+                        Ok(())
+                    }));
+                }
+            }
+        }
+        // Drop our copies so receivers see disconnects if a worker dies.
+        drop(sink_tx);
+        drop(count_tx);
+        drop(stats_tx);
+        senders.clear();
+
+        let mut result = RunResult {
+            sink_tuples: Vec::new(),
+            latencies_ns: Vec::new(),
+            tuples_out: 0,
+            tuples_in: 0,
+            elapsed: Duration::ZERO,
+            operator_stats: plan
+                .logical
+                .nodes
+                .iter()
+                .map(|n| OperatorStats {
+                    node: n.id,
+                    name: n.name.clone(),
+                    tuples_in: 0,
+                    tuples_out: 0,
+                })
+                .collect(),
+        };
+        for (captured, lats, total) in sink_rx.iter() {
+            let room = self.config.capture_limit - result.sink_tuples.len().min(self.config.capture_limit);
+            result
+                .sink_tuples
+                .extend(captured.into_iter().take(room));
+            result.latencies_ns.extend(lats);
+            result.tuples_out += total;
+        }
+        for c in count_rx.iter() {
+            result.tuples_in += c;
+        }
+        for (node, n_in, n_out) in stats_rx.iter() {
+            let s = &mut result.operator_stats[node];
+            s.tuples_in += n_in;
+            s.tuples_out += n_out;
+        }
+
+        let mut first_err: Option<EngineError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or(Some(EngineError::Execution("worker panicked".into())))
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        result.elapsed = start.elapsed();
+        Ok(result)
+    }
+}
+
+fn send_tuple(
+    routes: &[crate::physical::OutRoute],
+    downstream: &[Vec<Sender<Envelope>>],
+    router: &mut RouterState,
+    tuple: Tuple,
+) -> Result<()> {
+    for (ri, route) in routes.iter().enumerate() {
+        match router.select(ri, route, &tuple) {
+            RouteTargets::One(i) => {
+                let target = route.targets[i];
+                downstream[ri][i]
+                    .send(Envelope {
+                        channel: target.channel,
+                        msg: Message::Data(tuple.clone()),
+                    })
+                    .map_err(|_| EngineError::Execution("downstream disconnected".into()))?;
+            }
+            RouteTargets::All => {
+                for (i, target) in route.targets.iter().enumerate() {
+                    downstream[ri][i]
+                        .send(Envelope {
+                            channel: target.channel,
+                            msg: Message::Data(tuple.clone()),
+                        })
+                        .map_err(|_| EngineError::Execution("downstream disconnected".into()))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn broadcast(
+    routes: &[crate::physical::OutRoute],
+    downstream: &[Vec<Sender<Envelope>>],
+    msg: Message,
+) -> Result<()> {
+    for (ri, route) in routes.iter().enumerate() {
+        for (i, target) in route.targets.iter().enumerate() {
+            downstream[ri][i]
+                .send(Envelope {
+                    channel: target.channel,
+                    msg: msg.clone(),
+                })
+                .map_err(|_| EngineError::Execution("downstream disconnected".into()))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::builder::PlanBuilder;
+    use crate::expr::{CmpOp, Predicate};
+    use crate::value::{FieldType, Schema, Value};
+    use crate::window::WindowSpec;
+
+    fn int_tuples(range: std::ops::Range<i64>) -> Vec<Tuple> {
+        range
+            .map(|i| {
+                let mut t = Tuple::new(vec![Value::Int(i)]);
+                t.event_time = i;
+                t
+            })
+            .collect()
+    }
+
+    fn run_plan(plan: crate::plan::LogicalPlan, tuples: Vec<Tuple>) -> RunResult {
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        rt.run(&phys, &[VecSource::new(tuples)]).unwrap()
+    }
+
+    #[test]
+    fn filter_pipeline_end_to_end() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::cmp(0, CmpOp::Ge, Value::Int(50)), 0.5)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, int_tuples(0..100));
+        assert_eq!(res.tuples_out, 50);
+        assert_eq!(res.tuples_in, 100);
+        assert!(res.latencies_ns.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn parallel_filter_preserves_cardinality() {
+        for p in [1, 2, 4, 8] {
+            let plan = PlanBuilder::new()
+                .source("src", Schema::of(&[FieldType::Int]), 2)
+                .filter("f", Predicate::cmp(0, CmpOp::Lt, Value::Int(30)), 0.3)
+                .set_parallelism(1, p)
+                .sink("sink")
+                .build()
+                .unwrap();
+            let res = run_plan(plan, int_tuples(0..100));
+            assert_eq!(res.tuples_out, 30, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn keyed_window_agg_partitions_by_key() {
+        // keys 0..4, 25 tuples each; tumbling count 5 per key -> 5 windows/key.
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| {
+                let mut t = Tuple::new(vec![Value::Int(i % 4), Value::Int(i)]);
+                t.event_time = i;
+                t
+            })
+            .collect();
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Int]), 1)
+            .window_agg_keyed(
+                "agg",
+                WindowSpec::tumbling_count(5),
+                AggFunc::Count,
+                1,
+                0,
+            )
+            .set_parallelism(1, 4)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, tuples);
+        assert_eq!(res.tuples_out, 20, "4 keys x 5 windows");
+        for t in &res.sink_tuples {
+            assert_eq!(t.values[2], Value::Double(5.0));
+        }
+    }
+
+    #[test]
+    fn time_window_fires_via_watermarks_midstream() {
+        // 1000 tuples at 1ms spacing, tumbling 100ms window, watermarks every
+        // 64 tuples: most windows fire before EOS.
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .window_agg_global("agg", WindowSpec::tumbling_time(100), AggFunc::Count, 0)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, int_tuples(0..1000));
+        assert_eq!(res.tuples_out, 10);
+        for t in &res.sink_tuples {
+            assert_eq!(t.values[1], Value::Double(100.0));
+        }
+    }
+
+    #[test]
+    fn join_two_sources() {
+        let mut b = PlanBuilder::new();
+        let s1 = b.add_node(
+            "s1",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let s2 = b.add_node(
+            "s2",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let plan = b
+            .join("j", s1, s2, WindowSpec::tumbling_time(1_000_000), 0, 0)
+            .set_parallelism(2, 2)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        let res = rt
+            .run(
+                &phys,
+                &[
+                    VecSource::new(int_tuples(0..50)),
+                    VecSource::new(int_tuples(0..50)),
+                ],
+            )
+            .unwrap();
+        // Every left tuple joins exactly its equal right tuple.
+        assert_eq!(res.tuples_out, 50);
+        for t in &res.sink_tuples {
+            assert_eq!(t.values[0], t.values[1]);
+        }
+    }
+
+    #[test]
+    fn word_count_flatmap_agg() {
+        let sentences: Vec<Tuple> = (0..20)
+            .map(|i| {
+                let mut t = Tuple::new(vec![Value::str("a b c d e")]);
+                t.event_time = i;
+                t
+            })
+            .collect();
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Str]), 1)
+            .flat_map_split("split", 0)
+            .window_agg_keyed(
+                "count",
+                WindowSpec::tumbling_count(20),
+                AggFunc::Count,
+                0,
+                0,
+            )
+            .set_parallelism(1, 2)
+            .set_parallelism(2, 2)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, sentences);
+        // 5 distinct words x 20 occurrences: each key fires once at count 20.
+        assert_eq!(res.tuples_out, 5);
+        for t in &res.sink_tuples {
+            assert_eq!(t.values[2], Value::Double(20.0));
+        }
+    }
+
+    #[test]
+    fn bounded_lateness_absorbs_out_of_order_tuples() {
+        // 1000 tuples whose event times are shuffled within +/-8ms. With a
+        // lateness bound of 16ms the tumbling windows still count every
+        // tuple; with no bound some tuples arrive behind the watermark and
+        // are dropped.
+        let make_tuples = || -> Vec<Tuple> {
+            (0..1000i64)
+                .map(|i| {
+                    let mut t = Tuple::new(vec![Value::Int(i)]);
+                    t.event_time = i + (i * 7919 % 17) - 8; // +/-8ms jitter
+                    t
+                })
+                .collect()
+        };
+        let plan = || {
+            PlanBuilder::new()
+                .source("src", Schema::of(&[FieldType::Int]), 1)
+                .window_agg_global("agg", WindowSpec::tumbling_time(100), AggFunc::Count, 0)
+                .sink("sink")
+                .build()
+                .unwrap()
+        };
+        let run = |lateness: i64| {
+            let phys = PhysicalPlan::expand(&plan()).unwrap();
+            let rt = ThreadedRuntime::new(RunConfig {
+                watermark_lateness_ms: lateness,
+                watermark_interval: 16,
+                ..RunConfig::default()
+            });
+            let res = rt.run(&phys, &[VecSource::new(make_tuples())]).unwrap();
+            res.sink_tuples
+                .iter()
+                .map(|t| t.values[1].as_f64().unwrap() as u64)
+                .sum::<u64>()
+        };
+        let counted_with_bound = run(16);
+        let counted_without = run(0);
+        assert_eq!(counted_with_bound, 1000, "bounded lateness loses nothing");
+        assert!(
+            counted_without < 1000,
+            "without a lateness bound some tuples are late: {counted_without}"
+        );
+    }
+
+    #[test]
+    fn session_window_groups_bursts_end_to_end() {
+        // Two bursts per key separated by a 500ms quiet period; gap 100ms.
+        let mut tuples = Vec::new();
+        for key in 0..3i64 {
+            for burst in 0..2i64 {
+                for i in 0..10i64 {
+                    let mut t = Tuple::new(vec![Value::Int(key), Value::Int(i)]);
+                    t.event_time = burst * 1_000 + i * 20; // 20ms spacing
+                    tuples.push(t);
+                }
+            }
+        }
+        tuples.sort_by_key(|t| t.event_time);
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Int]), 1)
+            .session_window_keyed("sessions", 100, AggFunc::Count, 1, 0)
+            .set_parallelism(1, 2)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, tuples);
+        // 3 keys x 2 bursts = 6 sessions of 10 events each.
+        assert_eq!(res.tuples_out, 6);
+        for t in &res.sink_tuples {
+            assert_eq!(t.values[2], Value::Double(10.0));
+        }
+    }
+
+    #[test]
+    fn source_factory_mismatch_is_error() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        assert!(rt.run(&phys, &[]).is_err());
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::True, 1.0)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let res = run_plan(plan, int_tuples(0..500));
+        let p50 = res.latency_percentile_ns(50.0).unwrap();
+        let p99 = res.latency_percentile_ns(99.0).unwrap();
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn vec_source_partitions_disjointly() {
+        let src = VecSource::new(int_tuples(0..10));
+        let a: Vec<_> = src.instance_iter(0, 2).collect();
+        let b: Vec<_> = src.instance_iter(1, 2).collect();
+        assert_eq!(a.len() + b.len(), 10);
+        for t in &a {
+            assert!(!b.contains(t));
+        }
+    }
+}

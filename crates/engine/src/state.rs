@@ -1,0 +1,246 @@
+//! Keyed operator state: the symmetric-hash join buffer.
+//!
+//! Joins in PDSP-Bench queries are windowed equi-joins (Figure 2's 2-way
+//! join; synthetic structures go up to 6-way via chained binary joins). The
+//! buffer retains each side's tuples for the window extent and probes the
+//! opposite side on arrival.
+
+use crate::value::{KeyValue, Tuple, Value};
+use crate::window::{WindowPolicy, WindowSpec};
+use std::collections::{HashMap, VecDeque};
+
+/// One side of a symmetric hash join.
+#[derive(Debug, Default)]
+struct JoinSide {
+    /// key -> buffered tuples (oldest first).
+    buckets: HashMap<KeyValue, VecDeque<Tuple>>,
+    /// Total buffered tuples across keys (state-size accounting).
+    len: usize,
+}
+
+impl JoinSide {
+    fn insert(&mut self, key: Value, tuple: Tuple, max_per_key: Option<usize>) {
+        let bucket = self.buckets.entry(KeyValue(key)).or_default();
+        bucket.push_back(tuple);
+        self.len += 1;
+        if let Some(cap) = max_per_key {
+            while bucket.len() > cap {
+                bucket.pop_front();
+                self.len -= 1;
+            }
+        }
+    }
+
+    fn evict_older_than(&mut self, min_event_time: i64) {
+        let mut evicted = 0usize;
+        self.buckets.retain(|_, bucket| {
+            while bucket
+                .front()
+                .is_some_and(|t| t.event_time < min_event_time)
+            {
+                bucket.pop_front();
+                evicted += 1;
+            }
+            !bucket.is_empty()
+        });
+        self.len -= evicted;
+    }
+}
+
+/// Windowed symmetric hash join state for one physical join instance.
+///
+/// * Time policy: tuples `l`, `r` join when `|l.event_time - r.event_time|
+///   < length` (interval-join semantics); state is evicted by watermark.
+/// * Count policy: each side retains the last `length` tuples per key.
+#[derive(Debug)]
+pub struct JoinState {
+    spec: WindowSpec,
+    left_key: usize,
+    right_key: usize,
+    left: JoinSide,
+    right: JoinSide,
+}
+
+impl JoinState {
+    /// Create join state over the given window and key fields.
+    pub fn new(spec: WindowSpec, left_key: usize, right_key: usize) -> Self {
+        JoinState {
+            spec,
+            left_key,
+            right_key,
+            left: JoinSide::default(),
+            right: JoinSide::default(),
+        }
+    }
+
+    /// Total buffered tuples on both sides.
+    pub fn buffered(&self) -> usize {
+        self.left.len + self.right.len
+    }
+
+    /// Process a tuple arriving on `port` (0 = left, 1 = right); pushes
+    /// concatenated join results into `out`.
+    pub fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        let (own_key_idx, other_key_idx) = if port == 0 {
+            (self.left_key, self.right_key)
+        } else {
+            (self.right_key, self.left_key)
+        };
+        let Some(key) = tuple.values.get(own_key_idx).cloned() else {
+            return; // key field missing: tuple cannot participate
+        };
+
+        // Probe the opposite side.
+        let probe = if port == 0 { &self.right } else { &self.left };
+        let _ = other_key_idx;
+        if let Some(bucket) = probe.buckets.get(&KeyValue(key.clone())) {
+            for other in bucket {
+                if self.spec.policy == WindowPolicy::Time {
+                    let dt = (tuple.event_time - other.event_time).unsigned_abs();
+                    if dt >= self.spec.length {
+                        continue;
+                    }
+                }
+                let (l, r) = if port == 0 {
+                    (&tuple, other)
+                } else {
+                    (other, &tuple)
+                };
+                let mut values = Vec::with_capacity(l.values.len() + r.values.len());
+                values.extend_from_slice(&l.values);
+                values.extend_from_slice(&r.values);
+                out.push(Tuple {
+                    values,
+                    event_time: l.event_time.max(r.event_time),
+                    emit_ns: l.emit_ns.max(r.emit_ns),
+                });
+            }
+        }
+
+        // Insert into own side.
+        let max_per_key = match self.spec.policy {
+            WindowPolicy::Count => Some(self.spec.length as usize),
+            WindowPolicy::Time => None,
+        };
+        let side = if port == 0 {
+            &mut self.left
+        } else {
+            &mut self.right
+        };
+        side.insert(key, tuple, max_per_key);
+    }
+
+    /// Watermark: evict time-window state that can no longer join.
+    pub fn on_watermark(&mut self, watermark: i64) {
+        if self.spec.policy == WindowPolicy::Time {
+            let horizon = watermark.saturating_sub(self.spec.length as i64);
+            self.left.evict_older_than(horizon);
+            self.right.evict_older_than(horizon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(key: i64, et: i64) -> Tuple {
+        let mut t = Tuple::new(vec![Value::Int(key), Value::Int(et * 10)]);
+        t.event_time = et;
+        t
+    }
+
+    #[test]
+    fn matching_keys_join_within_window() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(100), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(1, 10), &mut out);
+        assert!(out.is_empty(), "nothing buffered on right yet");
+        j.on_tuple(1, t(1, 20), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values.len(), 4, "concatenated width");
+        assert_eq!(out[0].event_time, 20);
+    }
+
+    #[test]
+    fn non_matching_keys_do_not_join() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(100), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(1, 10), &mut out);
+        j.on_tuple(1, t(2, 20), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn time_window_bounds_join_distance() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(1, 0), &mut out);
+        j.on_tuple(1, t(1, 49), &mut out);
+        assert_eq!(out.len(), 1, "within window");
+        j.on_tuple(1, t(1, 50), &mut out);
+        assert_eq!(out.len(), 1, "exactly window length apart: no join");
+    }
+
+    #[test]
+    fn watermark_evicts_expired_state() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(1, 0), &mut out);
+        assert_eq!(j.buffered(), 1);
+        j.on_watermark(100);
+        assert_eq!(j.buffered(), 0);
+        j.on_tuple(1, t(1, 40), &mut out);
+        assert!(out.is_empty(), "left side was evicted");
+    }
+
+    #[test]
+    fn count_window_caps_per_key_buffer() {
+        let mut j = JoinState::new(WindowSpec::tumbling_count(2), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(1, 1), &mut out);
+        j.on_tuple(0, t(1, 2), &mut out);
+        j.on_tuple(0, t(1, 3), &mut out); // evicts et=1
+        j.on_tuple(1, t(1, 4), &mut out);
+        assert_eq!(out.len(), 2, "joins with the 2 retained left tuples");
+        assert_eq!(j.buffered(), 3);
+    }
+
+    #[test]
+    fn multiple_matches_produce_cross_product() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(1000), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(7, 1), &mut out);
+        j.on_tuple(0, t(7, 2), &mut out);
+        j.on_tuple(0, t(7, 3), &mut out);
+        j.on_tuple(1, t(7, 4), &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn join_key_fields_can_differ_per_side() {
+        // Left keys on field 1, right keys on field 0.
+        let mut j = JoinState::new(WindowSpec::tumbling_time(1000), 1, 0);
+        let mut out = Vec::new();
+        let mut left = Tuple::new(vec![Value::str("x"), Value::Int(5)]);
+        left.event_time = 1;
+        j.on_tuple(0, left, &mut out);
+        let mut right = Tuple::new(vec![Value::Int(5), Value::str("y")]);
+        right.event_time = 2;
+        j.on_tuple(1, right, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn emit_ns_propagates_max() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(1000), 0, 0);
+        let mut out = Vec::new();
+        let mut a = t(1, 1);
+        a.emit_ns = 100;
+        let mut b = t(1, 2);
+        b.emit_ns = 300;
+        j.on_tuple(0, a, &mut out);
+        j.on_tuple(1, b, &mut out);
+        assert_eq!(out[0].emit_ns, 300);
+    }
+}

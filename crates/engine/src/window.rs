@@ -1,0 +1,783 @@
+//! Window specifications and window state machines.
+//!
+//! PDSP-Bench enumerates window *type* (sliding, tumbling) and *policy*
+//! (count-based, time-based) independently, with window durations of
+//! 250-3000 ms, lengths of 5-1000 tuples and slide ratios of 0.3-0.7
+//! (Table 3). A tumbling window is represented as a sliding window whose
+//! slide equals its length, which the assigner exploits.
+
+use crate::agg::{Accumulator, AggFunc};
+use crate::value::{KeyValue, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Window type: tumbling (non-overlapping) or sliding (overlapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// Non-overlapping; slide == length.
+    Tumbling,
+    /// Overlapping; slide < length.
+    Sliding,
+}
+
+/// Window policy: what "length" counts — tuples or milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Length/slide measured in tuples per key.
+    Count,
+    /// Length/slide measured in event-time milliseconds.
+    Time,
+}
+
+/// A fully specified window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Count or time policy.
+    pub policy: WindowPolicy,
+    /// Window length (tuples or ms according to policy).
+    pub length: u64,
+    /// Slide (tuples or ms). `slide == length` means tumbling.
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// Tumbling count window of `length` tuples.
+    pub fn tumbling_count(length: u64) -> Self {
+        WindowSpec {
+            policy: WindowPolicy::Count,
+            length,
+            slide: length,
+        }
+    }
+
+    /// Sliding count window.
+    pub fn sliding_count(length: u64, slide: u64) -> Self {
+        WindowSpec {
+            policy: WindowPolicy::Count,
+            length,
+            slide,
+        }
+    }
+
+    /// Tumbling time window of `length_ms`.
+    pub fn tumbling_time(length_ms: u64) -> Self {
+        WindowSpec {
+            policy: WindowPolicy::Time,
+            length: length_ms,
+            slide: length_ms,
+        }
+    }
+
+    /// Sliding time window.
+    pub fn sliding_time(length_ms: u64, slide_ms: u64) -> Self {
+        WindowSpec {
+            policy: WindowPolicy::Time,
+            length: length_ms,
+            slide: slide_ms,
+        }
+    }
+
+    /// Derived window kind.
+    pub fn kind(&self) -> WindowKind {
+        if self.slide >= self.length {
+            WindowKind::Tumbling
+        } else {
+            WindowKind::Sliding
+        }
+    }
+
+    /// Number of panes a sliding window spans (1 for tumbling).
+    pub fn panes_per_window(&self) -> u64 {
+        self.length.div_ceil(self.slide.max(1))
+    }
+
+    /// Whether the spec is structurally valid (non-zero, slide <= length).
+    pub fn is_valid(&self) -> bool {
+        self.length > 0 && self.slide > 0 && self.slide <= self.length
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unit = match self.policy {
+            WindowPolicy::Count => "tuples",
+            WindowPolicy::Time => "ms",
+        };
+        write!(
+            f,
+            "{:?} {:?} len={} {} slide={}",
+            self.kind(),
+            self.policy,
+            self.length,
+            unit,
+            self.slide
+        )
+    }
+}
+
+/// One fired window result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult {
+    /// Grouping key (`None` for global windows).
+    pub key: Option<Value>,
+    /// Window end: event-time ms for time windows, cumulative per-key tuple
+    /// count for count windows.
+    pub window_end: i64,
+    /// Aggregate value (`None` when the aggregated window was empty).
+    pub value: Option<f64>,
+    /// Number of tuples aggregated.
+    pub count: u64,
+    /// Latest `emit_ns` among contributing tuples — the window result
+    /// inherits it so sink latency covers the full pipeline.
+    pub emit_ns: u64,
+    /// Latest event time among contributing tuples.
+    pub event_time: i64,
+}
+
+/// Per-key pane state for time windows.
+#[derive(Debug, Clone)]
+struct TimePane {
+    acc: Accumulator,
+    max_emit_ns: u64,
+    max_event_time: i64,
+}
+
+/// Per-key time-window state: panes plus the fire cursor (end of the next
+/// window to fire), preventing duplicate firings across watermarks.
+#[derive(Debug, Clone, Default)]
+struct TimeKeyState {
+    panes: BTreeMap<i64, TimePane>,
+    next_end: Option<i64>,
+}
+
+const fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Per-key buffer for count windows.
+#[derive(Debug, Clone)]
+struct CountBuf {
+    values: VecDeque<(f64, u64, i64)>, // (value, emit_ns, event_time)
+    seen: u64,
+    since_fire: u64,
+}
+
+/// Keyed (or global) window aggregation state machine.
+///
+/// Count windows fire synchronously on tuple arrival; time windows fire when
+/// the watermark passes a window end. Time windows use pane-based
+/// pre-aggregation so sliding windows cost O(panes) per fire rather than
+/// O(window contents).
+pub struct KeyedWindower {
+    spec: WindowSpec,
+    func: AggFunc,
+    /// Pane size for time windows: gcd(length, slide), so pane boundaries
+    /// align exactly with every window start *and* end even when the length
+    /// is not a multiple of the slide (ratios like 0.3/0.7 in Table 3).
+    pane_ms: i64,
+    /// Time policy: key -> pane/cursor state.
+    time_state: HashMap<KeyValue, TimeKeyState>,
+    /// Count policy: key -> ring buffer.
+    count_state: HashMap<KeyValue, CountBuf>,
+    /// Key used for global (un-keyed) windows.
+    global_key: Value,
+    keyed: bool,
+    /// Highest watermark observed; time-policy tuples behind it are late.
+    watermark: i64,
+    /// Late (dropped) tuple count.
+    late_events: u64,
+}
+
+impl KeyedWindower {
+    /// Create a windower. `keyed == false` aggregates the whole stream.
+    pub fn new(spec: WindowSpec, func: AggFunc, keyed: bool) -> Self {
+        KeyedWindower {
+            spec,
+            func,
+            pane_ms: gcd(spec.length.max(1), spec.slide.max(1)) as i64,
+            time_state: HashMap::new(),
+            count_state: HashMap::new(),
+            global_key: Value::Int(0),
+            keyed,
+            watermark: i64::MIN,
+            late_events: 0,
+        }
+    }
+
+    /// Tuples dropped because they arrived behind the watermark (time
+    /// policy only; count windows have no notion of lateness).
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// The window spec.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Ingest one (key, value) pair; count windows may fire immediately.
+    pub fn push(
+        &mut self,
+        key: Option<&Value>,
+        value: f64,
+        tuple: &Tuple,
+        out: &mut Vec<WindowResult>,
+    ) {
+        let key = if self.keyed {
+            key.cloned().unwrap_or_else(|| self.global_key.clone())
+        } else {
+            self.global_key.clone()
+        };
+        match self.spec.policy {
+            WindowPolicy::Time => {
+                if tuple.event_time < self.watermark {
+                    self.late_events += 1;
+                    return;
+                }
+                self.push_time(key, value, tuple)
+            }
+            WindowPolicy::Count => self.push_count(key, value, tuple, out),
+        }
+    }
+
+    fn push_time(&mut self, key: Value, value: f64, tuple: &Tuple) {
+        let pane_start = tuple.event_time.div_euclid(self.pane_ms) * self.pane_ms;
+        let func = self.func;
+        let pane = self
+            .time_state
+            .entry(KeyValue(key))
+            .or_default()
+            .panes
+            .entry(pane_start)
+            .or_insert_with(|| TimePane {
+                acc: Accumulator::new(func),
+                max_emit_ns: 0,
+                max_event_time: i64::MIN,
+            });
+        pane.acc.push(value);
+        pane.max_emit_ns = pane.max_emit_ns.max(tuple.emit_ns);
+        pane.max_event_time = pane.max_event_time.max(tuple.event_time);
+    }
+
+    fn push_count(&mut self, key: Value, value: f64, tuple: &Tuple, out: &mut Vec<WindowResult>) {
+        let len = self.spec.length as usize;
+        let slide = self.spec.slide;
+        let buf = self
+            .count_state
+            .entry(KeyValue(key.clone()))
+            .or_insert_with(|| CountBuf {
+                values: VecDeque::with_capacity(len.min(4096)),
+                seen: 0,
+                since_fire: 0,
+            });
+        buf.values.push_back((value, tuple.emit_ns, tuple.event_time));
+        if buf.values.len() > len {
+            buf.values.pop_front();
+        }
+        buf.seen += 1;
+        buf.since_fire += 1;
+        // Fire once the first full window exists, then every `slide` tuples.
+        let fire = buf.seen >= self.spec.length && buf.since_fire >= slide;
+        if fire {
+            buf.since_fire = 0;
+            let mut acc = Accumulator::new(self.func);
+            let mut max_emit = 0u64;
+            let mut max_et = i64::MIN;
+            for &(v, e, t) in &buf.values {
+                acc.push(v);
+                max_emit = max_emit.max(e);
+                max_et = max_et.max(t);
+            }
+            out.push(WindowResult {
+                key: if self.keyed { Some(key) } else { None },
+                window_end: buf.seen as i64,
+                value: acc.finish(),
+                count: acc.count(),
+                emit_ns: max_emit,
+                event_time: max_et,
+            });
+        }
+    }
+
+    /// Advance the watermark (event-time ms); fires all complete time
+    /// windows. No-op for count windows.
+    pub fn on_watermark(&mut self, watermark: i64, out: &mut Vec<WindowResult>) {
+        if self.spec.policy != WindowPolicy::Time {
+            return;
+        }
+        self.watermark = self.watermark.max(watermark);
+        let slide = self.spec.slide as i64;
+        let length = self.spec.length as i64;
+        let keyed = self.keyed;
+        let func = self.func;
+        for (key, state) in self.time_state.iter_mut() {
+            let Some((&first_pane, _)) = state.panes.iter().next() else {
+                continue;
+            };
+            // Earliest window end covering the first pane: smallest
+            // k*slide + length with k*slide > first_pane - length.
+            let k_min = (first_pane - length).div_euclid(slide) + 1;
+            let earliest_end = k_min * slide + length;
+            let mut next_end = state.next_end.map_or(earliest_end, |c| c.max(earliest_end));
+            while watermark >= next_end && !state.panes.is_empty() {
+                let w_start = next_end - length;
+                let mut acc = Accumulator::new(func);
+                let mut max_emit = 0u64;
+                let mut max_et = i64::MIN;
+                for (_, pane) in state.panes.range(w_start..next_end) {
+                    acc.merge(&pane.acc);
+                    max_emit = max_emit.max(pane.max_emit_ns);
+                    max_et = max_et.max(pane.max_event_time);
+                }
+                if acc.count() > 0 {
+                    out.push(WindowResult {
+                        key: if keyed { Some(key.0.clone()) } else { None },
+                        window_end: next_end,
+                        value: acc.finish(),
+                        count: acc.count(),
+                        emit_ns: max_emit,
+                        event_time: max_et,
+                    });
+                }
+                // `next_end` saturates rather than wrapping when flushed
+                // with watermark == i64::MAX.
+                next_end = next_end.saturating_add(slide);
+                // Panes entirely before the next window's start are dead.
+                let next_start = next_end - length;
+                let expired: Vec<i64> = state
+                    .panes
+                    .range(..next_start)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in expired {
+                    state.panes.remove(&k);
+                }
+            }
+            state.next_end = Some(next_end);
+        }
+        self.time_state.retain(|_, s| !s.panes.is_empty());
+    }
+
+    /// Flush at end-of-stream: fire all remaining time windows.
+    pub fn flush(&mut self, out: &mut Vec<WindowResult>) {
+        self.on_watermark(i64::MAX, out);
+    }
+
+    /// Number of live keys (for state-size accounting).
+    pub fn key_count(&self) -> usize {
+        match self.spec.policy {
+            WindowPolicy::Time => self.time_state.len(),
+            WindowPolicy::Count => self.count_state.len(),
+        }
+    }
+
+    /// Pane size in ms for time windows (gcd of length and slide).
+    pub fn pane_ms(&self) -> i64 {
+        self.pane_ms
+    }
+}
+
+/// Session-window state for one key.
+#[derive(Debug, Clone)]
+struct SessionState {
+    acc: Accumulator,
+    start_et: i64,
+    last_et: i64,
+    max_emit_ns: u64,
+}
+
+/// Keyed session windows: a session groups events whose gaps stay below
+/// `gap_ms`; a session fires once the watermark passes `last event + gap`.
+///
+/// Session windows extend the paper's tumbling/sliding vocabulary with the
+/// third standard Flink window type, so generated workloads can cover
+/// activity-burst analytics (an expressiveness extension over Table 3).
+pub struct SessionWindower {
+    gap_ms: i64,
+    func: AggFunc,
+    keyed: bool,
+    sessions: HashMap<KeyValue, SessionState>,
+    global_key: Value,
+    /// Events that arrived behind the watermark and were dropped.
+    late_events: u64,
+    watermark: i64,
+}
+
+impl SessionWindower {
+    /// Session windows with the given inactivity gap (ms).
+    pub fn new(gap_ms: u64, func: AggFunc, keyed: bool) -> Self {
+        SessionWindower {
+            gap_ms: gap_ms.max(1) as i64,
+            func,
+            keyed,
+            sessions: HashMap::new(),
+            global_key: Value::Int(0),
+            late_events: 0,
+            watermark: i64::MIN,
+        }
+    }
+
+    /// The inactivity gap in ms.
+    pub fn gap_ms(&self) -> i64 {
+        self.gap_ms
+    }
+
+    /// Number of dropped late events.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Live (unfired) sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn fire(key: Option<Value>, s: &SessionState, out: &mut Vec<WindowResult>) {
+        out.push(WindowResult {
+            key,
+            window_end: s.last_et + 1,
+            value: s.acc.finish(),
+            count: s.acc.count(),
+            emit_ns: s.max_emit_ns,
+            event_time: s.last_et,
+        });
+    }
+
+    /// Ingest one (key, value) pair; a gap larger than `gap_ms` closes the
+    /// previous session for that key immediately.
+    pub fn push(
+        &mut self,
+        key: Option<&Value>,
+        value: f64,
+        tuple: &Tuple,
+        out: &mut Vec<WindowResult>,
+    ) {
+        if tuple.event_time < self.watermark {
+            self.late_events += 1;
+            return;
+        }
+        let key_v = if self.keyed {
+            key.cloned().unwrap_or_else(|| self.global_key.clone())
+        } else {
+            self.global_key.clone()
+        };
+        let keyed = self.keyed;
+        let entry = self.sessions.entry(KeyValue(key_v.clone()));
+        let state = match entry {
+            std::collections::hash_map::Entry::Occupied(mut occ) => {
+                if tuple.event_time - occ.get().last_et > self.gap_ms {
+                    // Gap exceeded: close the old session, start fresh.
+                    Self::fire(
+                        keyed.then(|| key_v.clone()),
+                        occ.get(),
+                        out,
+                    );
+                    *occ.get_mut() = SessionState {
+                        acc: Accumulator::new(self.func),
+                        start_et: tuple.event_time,
+                        last_et: tuple.event_time,
+                        max_emit_ns: 0,
+                    };
+                }
+                occ.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(vac) => vac.insert(SessionState {
+                acc: Accumulator::new(self.func),
+                start_et: tuple.event_time,
+                last_et: tuple.event_time,
+                max_emit_ns: 0,
+            }),
+        };
+        state.acc.push(value);
+        state.last_et = state.last_et.max(tuple.event_time);
+        state.max_emit_ns = state.max_emit_ns.max(tuple.emit_ns);
+    }
+
+    /// Advance the watermark; sessions inactive past the gap fire.
+    pub fn on_watermark(&mut self, watermark: i64, out: &mut Vec<WindowResult>) {
+        self.watermark = self.watermark.max(watermark);
+        let gap = self.gap_ms;
+        let keyed = self.keyed;
+        let expired: Vec<KeyValue> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.last_et.saturating_add(gap) <= watermark)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in expired {
+            if let Some(s) = self.sessions.remove(&k) {
+                Self::fire(keyed.then(|| k.0.clone()), &s, out);
+            }
+        }
+    }
+
+    /// Fire everything (end of stream).
+    pub fn flush(&mut self, out: &mut Vec<WindowResult>) {
+        self.on_watermark(i64::MAX, out);
+    }
+
+    /// Event-time length of the currently open session for a key (tests /
+    /// introspection).
+    pub fn session_span(&self, key: &Value) -> Option<i64> {
+        self.sessions
+            .get(&KeyValue(key.clone()))
+            .map(|s| s.last_et - s.start_et)
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+
+    fn t(et: i64) -> Tuple {
+        let mut t = Tuple::new(vec![Value::Int(0)]);
+        t.event_time = et;
+        t
+    }
+
+    #[test]
+    fn events_within_gap_form_one_session() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, false);
+        let mut out = Vec::new();
+        for et in [0, 50, 120, 180] {
+            w.push(None, 1.0, &t(et), &mut out);
+        }
+        assert!(out.is_empty());
+        w.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 4);
+    }
+
+    #[test]
+    fn gap_exceeded_closes_session_inline() {
+        let mut w = SessionWindower::new(100, AggFunc::Sum, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &t(0), &mut out);
+        w.push(None, 2.0, &t(50), &mut out);
+        w.push(None, 10.0, &t(500), &mut out); // gap 450 > 100
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Some(3.0));
+        w.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].value, Some(10.0));
+    }
+
+    #[test]
+    fn watermark_fires_inactive_sessions_only() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, true);
+        let mut out = Vec::new();
+        let (a, b) = (Value::str("a"), Value::str("b"));
+        w.push(Some(&a), 1.0, &t(0), &mut out);
+        w.push(Some(&b), 1.0, &t(450), &mut out);
+        w.on_watermark(200, &mut out);
+        assert_eq!(out.len(), 1, "only key a is inactive past the gap");
+        assert_eq!(out[0].key, Some(Value::str("a")));
+        assert_eq!(w.open_sessions(), 1);
+    }
+
+    #[test]
+    fn late_events_are_counted_and_dropped() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &t(1_000), &mut out);
+        w.on_watermark(900, &mut out);
+        w.push(None, 1.0, &t(500), &mut out); // behind the watermark
+        assert_eq!(w.late_events(), 1);
+        w.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 1, "late event did not join the session");
+    }
+
+    #[test]
+    fn session_span_tracks_extent() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, true);
+        let mut out = Vec::new();
+        let k = Value::Int(7);
+        w.push(Some(&k), 1.0, &t(10), &mut out);
+        w.push(Some(&k), 1.0, &t(90), &mut out);
+        assert_eq!(w.session_span(&k), Some(80));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple_at(et: i64) -> Tuple {
+        let mut t = Tuple::new(vec![Value::Int(0)]);
+        t.event_time = et;
+        t
+    }
+
+    #[test]
+    fn spec_kind_derivation() {
+        assert_eq!(WindowSpec::tumbling_count(10).kind(), WindowKind::Tumbling);
+        assert_eq!(
+            WindowSpec::sliding_count(10, 5).kind(),
+            WindowKind::Sliding
+        );
+        assert_eq!(WindowSpec::tumbling_time(500).kind(), WindowKind::Tumbling);
+    }
+
+    #[test]
+    fn spec_validity() {
+        assert!(WindowSpec::tumbling_count(5).is_valid());
+        assert!(!WindowSpec::sliding_count(5, 0).is_valid());
+        assert!(!WindowSpec::sliding_count(0, 1).is_valid());
+        assert!(!WindowSpec {
+            policy: WindowPolicy::Count,
+            length: 5,
+            slide: 6
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn tumbling_count_window_fires_every_n() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_count(3), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        for i in 1..=7 {
+            w.push(None, i as f64, &tuple_at(i), &mut out);
+        }
+        // Fires at tuples 3 and 6.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, Some(1.0 + 2.0 + 3.0));
+        assert_eq!(out[1].value, Some(4.0 + 5.0 + 6.0));
+    }
+
+    #[test]
+    fn sliding_count_window_overlap() {
+        let mut w = KeyedWindower::new(WindowSpec::sliding_count(4, 2), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        for i in 1..=8 {
+            w.push(None, i as f64, &tuple_at(i), &mut out);
+        }
+        // First fire at tuple 4 (1+2+3+4), then every 2: [3..6], [5..8].
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value, Some(10.0));
+        assert_eq!(out[1].value, Some(3.0 + 4.0 + 5.0 + 6.0));
+        assert_eq!(out[2].value, Some(5.0 + 6.0 + 7.0 + 8.0));
+    }
+
+    #[test]
+    fn keyed_count_windows_are_independent() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_count(2), AggFunc::Count, true);
+        let mut out = Vec::new();
+        let (ka, kb) = (Value::str("a"), Value::str("b"));
+        w.push(Some(&ka), 1.0, &tuple_at(1), &mut out);
+        w.push(Some(&kb), 1.0, &tuple_at(2), &mut out);
+        assert!(out.is_empty());
+        w.push(Some(&ka), 1.0, &tuple_at(3), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, Some(Value::str("a")));
+    }
+
+    #[test]
+    fn tumbling_time_window_fires_on_watermark() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(10), &mut out);
+        w.push(None, 2.0, &tuple_at(50), &mut out);
+        w.push(None, 4.0, &tuple_at(120), &mut out);
+        assert!(out.is_empty());
+        w.on_watermark(99, &mut out);
+        assert!(out.is_empty(), "window [0,100) not complete at wm=99");
+        w.on_watermark(100, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Some(3.0));
+        assert_eq!(out[0].window_end, 100);
+        w.flush(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].value, Some(4.0));
+    }
+
+    #[test]
+    fn sliding_time_window_counts_overlaps() {
+        // length 100, slide 50: tuple at t=60 is in [0,100) and [50,150).
+        let mut w = KeyedWindower::new(WindowSpec::sliding_time(100, 50), AggFunc::Count, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(60), &mut out);
+        w.flush(&mut out);
+        let containing: Vec<i64> = out
+            .iter()
+            .filter(|r| r.count > 0)
+            .map(|r| r.window_end)
+            .collect();
+        assert_eq!(containing, vec![100, 150]);
+    }
+
+    #[test]
+    fn time_window_results_carry_latest_emit_ns() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        let mut t1 = tuple_at(10);
+        t1.emit_ns = 111;
+        let mut t2 = tuple_at(20);
+        t2.emit_ns = 222;
+        w.push(None, 1.0, &t1, &mut out);
+        w.push(None, 1.0, &t2, &mut out);
+        w.flush(&mut out);
+        assert_eq!(out[0].emit_ns, 222);
+    }
+
+    #[test]
+    fn watermark_is_idempotent() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        w.push(None, 5.0, &tuple_at(10), &mut out);
+        w.on_watermark(200, &mut out);
+        w.on_watermark(200, &mut out);
+        w.on_watermark(300, &mut out);
+        assert_eq!(out.len(), 1, "window must fire exactly once");
+    }
+
+    #[test]
+    fn negative_event_times_align_correctly() {
+        // div_euclid keeps panes aligned for negative timestamps.
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Count, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(-50), &mut out);
+        w.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window_end, 0); // window [-100, 0)
+    }
+
+    #[test]
+    fn late_time_tuples_are_dropped_and_counted() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Count, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(150), &mut out);
+        w.on_watermark(120, &mut out);
+        // Behind the watermark: dropped.
+        w.push(None, 1.0, &tuple_at(90), &mut out);
+        assert_eq!(w.late_events(), 1);
+        // At/ahead of the watermark: accepted.
+        w.push(None, 1.0, &tuple_at(130), &mut out);
+        assert_eq!(w.late_events(), 1);
+        w.flush(&mut out);
+        let total: u64 = out.iter().map(|r| r.count).sum();
+        assert_eq!(total, 2, "only the on-time tuples are aggregated");
+    }
+
+    #[test]
+    fn count_policy_ignores_watermarks() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_count(5), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(1), &mut out);
+        w.on_watermark(i64::MAX, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panes_per_window() {
+        assert_eq!(WindowSpec::sliding_time(100, 30).panes_per_window(), 4);
+        assert_eq!(WindowSpec::tumbling_time(100).panes_per_window(), 1);
+    }
+}

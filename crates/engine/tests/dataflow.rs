@@ -1,0 +1,347 @@
+//! Topology integration tests for the threaded runtime: unions, broadcast
+//! edges, diamonds, multi-sink plans, and chained multi-way joins.
+
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::expr::{CmpOp, Predicate};
+use pdsp_engine::operator::OpKind;
+use pdsp_engine::physical::PhysicalPlan;
+use pdsp_engine::plan::{LogicalPlan, Partitioning};
+use pdsp_engine::runtime::{RunConfig, ThreadedRuntime, VecSource};
+use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
+use pdsp_engine::window::WindowSpec;
+use pdsp_engine::PlanBuilder;
+use std::sync::Arc;
+
+fn int_tuples(range: std::ops::Range<i64>) -> Vec<Tuple> {
+    range
+        .map(|i| {
+            let mut t = Tuple::new(vec![Value::Int(i)]);
+            t.event_time = i;
+            t
+        })
+        .collect()
+}
+
+fn rt() -> ThreadedRuntime {
+    ThreadedRuntime::new(RunConfig::default())
+}
+
+#[test]
+fn union_merges_two_sources() {
+    let mut plan = LogicalPlan::default();
+    let s1 = plan.add_node(
+        "s1",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let s2 = plan.add_node(
+        "s2",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let u = plan.add_node("union", OpKind::Union, 2);
+    let k = plan.add_node("sink", OpKind::Sink, 1);
+    plan.connect(s1, u, Partitioning::Rebalance);
+    plan.connect(s2, u, Partitioning::Rebalance);
+    plan.connect(u, k, Partitioning::Rebalance);
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt()
+        .run(
+            &phys,
+            &[
+                VecSource::new(int_tuples(0..60)),
+                VecSource::new(int_tuples(100..140)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(res.tuples_out, 100);
+    let from_first = res
+        .sink_tuples
+        .iter()
+        .filter(|t| t.values[0].as_i64().unwrap() < 100)
+        .count();
+    assert_eq!(from_first, 60);
+}
+
+#[test]
+fn broadcast_replicates_to_every_instance() {
+    // source --broadcast--> count-agg (3 instances) -> sink.
+    // Each of the 3 instances receives all 90 tuples; tumbling count 30
+    // fires 3 windows per instance.
+    let mut plan = LogicalPlan::default();
+    let s = plan.add_node(
+        "s",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let agg = plan.add_node(
+        "agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(30),
+            func: AggFunc::Count,
+            agg_field: 0,
+            key_field: None,
+        },
+        3,
+    );
+    let k = plan.add_node("sink", OpKind::Sink, 1);
+    plan.connect(s, agg, Partitioning::Broadcast);
+    plan.connect(agg, k, Partitioning::Rebalance);
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..90))]).unwrap();
+    assert_eq!(res.tuples_out, 9, "3 instances x 3 windows");
+    for t in &res.sink_tuples {
+        assert_eq!(t.values[1], Value::Double(30.0));
+    }
+}
+
+#[test]
+fn diamond_topology_counts_both_branches() {
+    // source -> {evens filter, odds filter} -> union -> sink: the two
+    // branches partition the stream, the union restores it.
+    let mut plan = LogicalPlan::default();
+    let s = plan.add_node(
+        "s",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let evens = plan.add_node(
+        "lt50",
+        OpKind::Filter {
+            predicate: Predicate::cmp(0, CmpOp::Lt, Value::Int(50)),
+            selectivity: 0.5,
+        },
+        2,
+    );
+    let odds = plan.add_node(
+        "ge50",
+        OpKind::Filter {
+            predicate: Predicate::cmp(0, CmpOp::Ge, Value::Int(50)),
+            selectivity: 0.5,
+        },
+        2,
+    );
+    let u = plan.add_node("union", OpKind::Union, 1);
+    let k = plan.add_node("sink", OpKind::Sink, 1);
+    plan.connect(s, evens, Partitioning::Rebalance);
+    plan.connect(s, odds, Partitioning::Rebalance);
+    plan.connect(evens, u, Partitioning::Rebalance);
+    plan.connect(odds, u, Partitioning::Rebalance);
+    plan.connect(u, k, Partitioning::Rebalance);
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    assert_eq!(res.tuples_out, 100, "branches are complementary");
+}
+
+#[test]
+fn multi_sink_plans_deliver_to_both() {
+    let mut plan = LogicalPlan::default();
+    let s = plan.add_node(
+        "s",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let f = plan.add_node(
+        "f",
+        OpKind::Filter {
+            predicate: Predicate::cmp(0, CmpOp::Lt, Value::Int(30)),
+            selectivity: 0.3,
+        },
+        1,
+    );
+    let k1 = plan.add_node("sink-raw", OpKind::Sink, 1);
+    let k2 = plan.add_node("sink-filtered", OpKind::Sink, 1);
+    plan.connect(s, f, Partitioning::Rebalance);
+    plan.connect(s, k1, Partitioning::Rebalance);
+    plan.connect(f, k2, Partitioning::Rebalance);
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    // sink-raw gets all 100, sink-filtered the 30 below the threshold.
+    assert_eq!(res.tuples_out, 130);
+}
+
+#[test]
+fn three_way_join_chains_binary_joins() {
+    let mut b = PlanBuilder::new();
+    let schema = Schema::of(&[FieldType::Int]);
+    let s1 = b.add_node("s1", OpKind::Source { schema: schema.clone() }, 1);
+    let s2 = b.add_node("s2", OpKind::Source { schema: schema.clone() }, 1);
+    let s3 = b.add_node("s3", OpKind::Source { schema }, 1);
+    let b = b.join("j1", s1, s2, WindowSpec::tumbling_time(1_000_000), 0, 0);
+    let j1 = b.cursor().unwrap();
+    let plan = b
+        .join("j2", j1, s3, WindowSpec::tumbling_time(1_000_000), 0, 0)
+        .set_parallelism(3, 2)
+        .set_parallelism(4, 2)
+        .sink("sink")
+        .build()
+        .unwrap();
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt()
+        .run(
+            &phys,
+            &[
+                VecSource::new(int_tuples(0..40)),
+                VecSource::new(int_tuples(0..40)),
+                VecSource::new(int_tuples(0..40)),
+            ],
+        )
+        .unwrap();
+    // Every key joins across all three streams exactly once.
+    assert_eq!(res.tuples_out, 40);
+    for t in &res.sink_tuples {
+        assert_eq!(t.values.len(), 3, "three concatenated fields");
+        assert_eq!(t.values[0], t.values[1]);
+        assert_eq!(t.values[1], t.values[2]);
+    }
+}
+
+#[test]
+fn high_parallelism_smoke_64_instances() {
+    let plan = PlanBuilder::new()
+        .source("s", Schema::of(&[FieldType::Int]), 4)
+        .filter("f", Predicate::cmp(0, CmpOp::Ge, Value::Int(0)), 1.0)
+        .set_parallelism(1, 64)
+        .sink("k")
+        .build()
+        .unwrap();
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    assert_eq!(phys.instance_count(), 4 + 64 + 1);
+    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..2_000))]).unwrap();
+    assert_eq!(res.tuples_out, 2_000);
+}
+
+#[test]
+fn udo_in_parallel_dataflow_keeps_key_locality() {
+    use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+    use std::collections::HashSet;
+
+    // A UDO that tags every tuple with a per-instance id; with hash
+    // partitioning each key must always land on the same instance.
+    struct Tagger {
+        id: i64,
+    }
+    impl Udo for Tagger {
+        fn on_tuple(&mut self, _p: usize, t: Tuple, out: &mut Vec<Tuple>) {
+            let mut values = t.values.clone();
+            values.push(Value::Int(self.id));
+            out.push(Tuple {
+                values,
+                event_time: t.event_time,
+                emit_ns: t.emit_ns,
+            });
+        }
+    }
+    struct TaggerFactory {
+        counter: std::sync::atomic::AtomicI64,
+    }
+    impl UdoFactory for TaggerFactory {
+        fn name(&self) -> &str {
+            "tagger"
+        }
+        fn create(&self) -> Box<dyn Udo> {
+            Box::new(Tagger {
+                id: self
+                    .counter
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+            })
+        }
+        fn cost_profile(&self) -> CostProfile {
+            CostProfile::stateless(100.0, 1.0)
+        }
+        fn output_schema(&self, input: &Schema) -> Schema {
+            let mut fields = input.fields.clone();
+            fields.push(pdsp_engine::value::Field::new("tag", FieldType::Int));
+            Schema::new(fields)
+        }
+    }
+
+    let plan = PlanBuilder::new()
+        .source("s", Schema::of(&[FieldType::Int]), 1)
+        .chain(
+            "tag",
+            OpKind::Udo {
+                factory: Arc::new(TaggerFactory {
+                    counter: std::sync::atomic::AtomicI64::new(0),
+                }),
+            },
+            Some(Partitioning::Hash(vec![0])),
+        )
+        .set_parallelism(1, 4)
+        .sink("k")
+        .build()
+        .unwrap();
+    let tuples: Vec<Tuple> = (0..400).map(|i| Tuple::new(vec![Value::Int(i % 10)])).collect();
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(tuples)]).unwrap();
+    assert_eq!(res.tuples_out, 400);
+    // Each key maps to exactly one instance tag.
+    let mut per_key: std::collections::HashMap<i64, HashSet<i64>> = Default::default();
+    for t in &res.sink_tuples {
+        let key = t.values[0].as_i64().unwrap();
+        let tag = t.values[1].as_i64().unwrap();
+        per_key.entry(key).or_default().insert(tag);
+    }
+    for (key, tags) in &per_key {
+        assert_eq!(tags.len(), 1, "key {key} visited {tags:?}");
+    }
+}
+
+#[test]
+fn operator_stats_track_selectivity() {
+    // 30% filter: observed selectivity must match the predicate exactly.
+    let plan = PlanBuilder::new()
+        .source("s", Schema::of(&[FieldType::Int]), 2)
+        .filter("f", Predicate::cmp(0, CmpOp::Lt, Value::Int(30)), 0.3)
+        .set_parallelism(1, 4)
+        .sink("k")
+        .build()
+        .unwrap();
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    let filter = res
+        .operator_stats
+        .iter()
+        .find(|s| s.name == "f")
+        .expect("filter stats");
+    assert_eq!(filter.tuples_in, 100);
+    assert_eq!(filter.tuples_out, 30);
+    assert_eq!(filter.observed_selectivity(), Some(0.3));
+    let source = &res.operator_stats[0];
+    assert_eq!(source.tuples_in, 100);
+    let sink = res.operator_stats.last().unwrap();
+    assert_eq!(sink.tuples_in, 30);
+    assert_eq!(sink.tuples_out, 0);
+}
+
+#[test]
+fn operator_stats_capture_flatmap_expansion() {
+    use pdsp_engine::value::Value as V;
+    let sentences: Vec<Tuple> = (0..50)
+        .map(|_| Tuple::new(vec![V::str("a b c d")]))
+        .collect();
+    let plan = PlanBuilder::new()
+        .source("s", Schema::of(&[FieldType::Str]), 1)
+        .flat_map_split("split", 0)
+        .sink("k")
+        .build()
+        .unwrap();
+    let phys = PhysicalPlan::expand(&plan).unwrap();
+    let res = rt().run(&phys, &[VecSource::new(sentences)]).unwrap();
+    let split = res
+        .operator_stats
+        .iter()
+        .find(|s| s.name == "split")
+        .unwrap();
+    assert_eq!(split.observed_selectivity(), Some(4.0));
+}

@@ -1,0 +1,162 @@
+//! Property tests for window correctness: the pane-based time windower must
+//! agree exactly with a brute-force reference implementation on arbitrary
+//! event sequences, window specs, and watermark schedules.
+
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::value::{Tuple, Value};
+use pdsp_engine::window::{KeyedWindower, WindowSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Brute-force reference: enumerate all windows [k*slide, k*slide+len) that
+/// contain at least one event and aggregate their contents directly.
+fn reference_time_windows(
+    events: &[(i64, f64)],
+    spec: WindowSpec,
+    func: AggFunc,
+) -> BTreeMap<i64, (f64, u64)> {
+    let len = spec.length as i64;
+    let slide = spec.slide as i64;
+    let mut out = BTreeMap::new();
+    if events.is_empty() {
+        return out;
+    }
+    let min_t = events.iter().map(|&(t, _)| t).min().unwrap();
+    let max_t = events.iter().map(|&(t, _)| t).max().unwrap();
+    let k_lo = (min_t - len).div_euclid(slide);
+    let k_hi = max_t.div_euclid(slide) + 1;
+    for k in k_lo..=k_hi {
+        let start = k * slide;
+        let end = start + len;
+        let contents: Vec<f64> = events
+            .iter()
+            .filter(|&&(t, _)| t >= start && t < end)
+            .map(|&(_, v)| v)
+            .collect();
+        if contents.is_empty() {
+            continue;
+        }
+        let agg = match func {
+            AggFunc::Sum => contents.iter().sum(),
+            AggFunc::Count => contents.len() as f64,
+            AggFunc::Min => contents.iter().copied().fold(f64::INFINITY, f64::min),
+            AggFunc::Max => contents.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggFunc::Avg | AggFunc::Mean => {
+                contents.iter().sum::<f64>() / contents.len() as f64
+            }
+        };
+        out.insert(end, (agg, contents.len() as u64));
+    }
+    out
+}
+
+fn run_windower(
+    events: &[(i64, f64)],
+    spec: WindowSpec,
+    func: AggFunc,
+    watermark_every: usize,
+) -> BTreeMap<i64, (f64, u64)> {
+    let mut w = KeyedWindower::new(spec, func, false);
+    let mut results = Vec::new();
+    for (i, &(t, v)) in events.iter().enumerate() {
+        let mut tuple = Tuple::new(vec![Value::Double(v)]);
+        tuple.event_time = t;
+        w.push(None, v, &tuple, &mut results);
+        // Periodic watermarks at the running max event time (events are fed
+        // in sorted order below, so nothing is late).
+        if watermark_every > 0 && (i + 1) % watermark_every == 0 {
+            w.on_watermark(t, &mut results);
+        }
+    }
+    w.flush(&mut results);
+    results
+        .into_iter()
+        .map(|r| (r.window_end, (r.value.unwrap(), r.count)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pane-based tumbling/sliding time windows match the brute-force
+    /// reference for every aggregate function, any length/slide combination
+    /// (including non-divisible ratios), and any watermark cadence.
+    #[test]
+    fn time_windows_match_reference(
+        mut times in prop::collection::vec(0i64..5_000, 1..120),
+        length in 1u64..400,
+        slide_pct in 10u64..=100,
+        func_idx in 0usize..6,
+        wm_every in 0usize..10,
+    ) {
+        times.sort_unstable();
+        let slide = ((length * slide_pct) / 100).max(1);
+        let spec = WindowSpec::sliding_time(length, slide);
+        let func = AggFunc::ALL[func_idx];
+        // Values derived from times, deterministic.
+        let events: Vec<(i64, f64)> = times
+            .iter()
+            .map(|&t| (t, ((t * 7919) % 997) as f64 / 10.0))
+            .collect();
+
+        let got = run_windower(&events, spec, func, wm_every);
+        let want = reference_time_windows(&events, spec, func);
+
+        prop_assert_eq!(got.len(), want.len(), "window count");
+        for (end, (w_val, w_count)) in &want {
+            let (g_val, g_count) = got
+                .get(end)
+                .unwrap_or_else(|| panic!("missing window ending at {end}"));
+            prop_assert_eq!(g_count, w_count, "count of window {}", end);
+            prop_assert!(
+                (g_val - w_val).abs() <= 1e-9 * (1.0 + w_val.abs()),
+                "window {}: got {}, want {}", end, g_val, w_val
+            );
+        }
+    }
+
+    /// Keyed windows are exactly the union of per-key global windows.
+    #[test]
+    fn keyed_windows_decompose_by_key(
+        mut times in prop::collection::vec(0i64..2_000, 1..80),
+        keys in prop::collection::vec(0i64..4, 80),
+        length in 10u64..200,
+    ) {
+        times.sort_unstable();
+        let spec = WindowSpec::tumbling_time(length);
+        let events: Vec<(i64, i64)> = times
+            .iter()
+            .zip(&keys)
+            .map(|(&t, &k)| (t, k))
+            .collect();
+
+        // Keyed run.
+        let mut keyed = KeyedWindower::new(spec, AggFunc::Count, true);
+        let mut keyed_results = Vec::new();
+        for &(t, k) in &events {
+            let mut tuple = Tuple::new(vec![Value::Int(k)]);
+            tuple.event_time = t;
+            keyed.push(Some(&Value::Int(k)), 1.0, &tuple, &mut keyed_results);
+        }
+        keyed.flush(&mut keyed_results);
+
+        // Per-key reference.
+        for key in 0..4i64 {
+            let per_key: Vec<(i64, f64)> = events
+                .iter()
+                .filter(|&&(_, k)| k == key)
+                .map(|&(t, _)| (t, 1.0))
+                .collect();
+            let want = reference_time_windows(&per_key, spec, AggFunc::Count);
+            let got: BTreeMap<i64, u64> = keyed_results
+                .iter()
+                .filter(|r| r.key == Some(Value::Int(key)))
+                .map(|r| (r.window_end, r.count))
+                .collect();
+            prop_assert_eq!(got.len(), want.len(), "key {}", key);
+            for (end, (_, count)) in &want {
+                prop_assert_eq!(got.get(end), Some(count), "key {} window {}", key, end);
+            }
+        }
+    }
+}

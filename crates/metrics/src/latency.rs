@@ -1,0 +1,145 @@
+//! Latency recording: exact small-sample storage with automatic spill to
+//! streaming estimators for unbounded runs.
+
+use crate::percentile::{exact_percentile, P2Quantile};
+
+/// Records per-tuple end-to-end latencies (milliseconds) and answers
+/// percentile queries. Below `exact_cap` samples everything is kept and
+/// percentiles are exact; beyond it, P² estimators take over.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    exact_cap: usize,
+    samples: Vec<f64>,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new(100_000)
+    }
+}
+
+impl LatencyRecorder {
+    /// Recorder keeping up to `exact_cap` exact samples.
+    pub fn new(exact_cap: usize) -> Self {
+        LatencyRecorder {
+            exact_cap,
+            samples: Vec::new(),
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one latency in milliseconds.
+    pub fn record_ms(&mut self, ms: f64) {
+        self.count += 1;
+        self.sum += ms;
+        self.min = self.min.min(ms);
+        self.max = self.max.max(ms);
+        if self.samples.len() < self.exact_cap {
+            self.samples.push(ms);
+        }
+        self.p50.observe(ms);
+        self.p90.observe(ms);
+        self.p99.observe(ms);
+    }
+
+    /// Record a latency in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.record_ms(ns as f64 / 1e6);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ms.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum recorded latency.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Percentile (p in `[0, 100]`): exact while all samples are retained,
+    /// P² estimate afterwards (supported points: 50, 90, 99; other p values
+    /// fall back to the exact prefix).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count as usize <= self.samples.len() {
+            return exact_percentile(&self.samples, p);
+        }
+        match p {
+            x if (x - 50.0).abs() < 1e-9 => self.p50.estimate(),
+            x if (x - 90.0).abs() < 1e-9 => self.p90.estimate(),
+            x if (x - 99.0).abs() < 1e-9 => self.p99.estimate(),
+            _ => exact_percentile(&self.samples, p),
+        }
+    }
+
+    /// Median (p50) in ms — the paper's reported metric.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_phase_median() {
+        let mut r = LatencyRecorder::new(100);
+        for v in [10.0, 20.0, 30.0] {
+            r.record_ms(v);
+        }
+        assert_eq!(r.median(), Some(20.0));
+        assert_eq!(r.mean(), Some(20.0));
+        assert_eq!(r.min(), Some(10.0));
+        assert_eq!(r.max(), Some(30.0));
+    }
+
+    #[test]
+    fn spill_phase_uses_p2() {
+        let mut r = LatencyRecorder::new(10);
+        for i in 1..=10_000 {
+            r.record_ms(i as f64);
+        }
+        let m = r.median().unwrap();
+        assert!((m - 5000.0).abs() / 5000.0 < 0.05, "median {m}");
+        assert_eq!(r.count(), 10_000);
+    }
+
+    #[test]
+    fn record_ns_converts() {
+        let mut r = LatencyRecorder::default();
+        r.record_ns(2_500_000); // 2.5 ms
+        assert_eq!(r.median(), Some(2.5));
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let r = LatencyRecorder::default();
+        assert_eq!(r.median(), None);
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.count(), 0);
+    }
+}

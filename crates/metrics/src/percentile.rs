@@ -1,0 +1,208 @@
+//! Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+//! 1985). Long-running queries produce millions of latency samples; P² keeps
+//! five markers instead of the full sample set.
+
+/// Streaming estimator of a single quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// Target quantile in (0,1).
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    /// Samples observed.
+    count: usize,
+    /// First five samples (bootstrap).
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `p` in (0, 1), e.g. 0.5 for the median.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one sample.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                for i in 0..5 {
+                    self.q[i] = self.init[i];
+                }
+            }
+            return;
+        }
+
+        // Locate cell k such that q[k] <= x < q[k+1].
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for item in self.n.iter_mut().skip(k + 1) {
+            *item += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate (`None` until a sample arrives).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 && self.count <= self.init.len() {
+            // Fewer than 5 samples: exact.
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = (self.p * (v.len() - 1) as f64).round() as usize;
+            return Some(v[rank]);
+        }
+        Some(self.q[2])
+    }
+}
+
+/// Exact percentile over a sorted copy (reference implementation used by
+/// small-sample paths and tests).
+pub fn exact_percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+    Some(v[rank.min(v.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentile_basics() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(exact_percentile(&v, 50.0), Some(3.0));
+        assert_eq!(exact_percentile(&v, 0.0), Some(1.0));
+        assert_eq!(exact_percentile(&v, 100.0), Some(5.0));
+        assert_eq!(exact_percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn p2_median_on_uniform_sequence() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 1..=10_001 {
+            est.observe(i as f64);
+        }
+        let m = est.estimate().unwrap();
+        assert!(
+            (m - 5001.0).abs() / 5001.0 < 0.02,
+            "median estimate {m} too far from 5001"
+        );
+    }
+
+    #[test]
+    fn p2_p99_on_skewed_distribution() {
+        // Deterministic LCG; exponential-ish via inverse transform.
+        let mut est = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        let mut state: u64 = 12345;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            let x = -(1.0 - u).ln();
+            est.observe(x);
+            all.push(x);
+        }
+        let exact = exact_percentile(&all, 99.0).unwrap();
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - exact).abs() / exact < 0.08,
+            "p99 estimate {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn small_sample_estimates_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), Some(10.0));
+        est.observe(20.0);
+        est.observe(30.0);
+        assert_eq!(est.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_quantile_panics() {
+        P2Quantile::new(1.5);
+    }
+}

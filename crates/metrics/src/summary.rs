@@ -1,0 +1,162 @@
+//! Run summaries and the paper's measurement protocol.
+//!
+//! PDSP-Bench executes each PQP "three times for N minutes each" and reports
+//! the *mean of three runs of the median latency* (§4, Metrics).
+//! [`MeasurementProtocol`] encodes exactly that so every experiment reports
+//! the same statistic.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Median (p50) end-to-end latency in ms.
+    pub p50_latency_ms: f64,
+    /// p90 latency in ms.
+    pub p90_latency_ms: f64,
+    /// p99 latency in ms.
+    pub p99_latency_ms: f64,
+    /// Mean latency in ms.
+    pub mean_latency_ms: f64,
+    /// Source throughput, tuples/second.
+    pub throughput_in: f64,
+    /// Sink throughput, tuples/second.
+    pub throughput_out: f64,
+    /// Tuples delivered at sinks.
+    pub tuples_out: u64,
+    /// Tuples emitted by sources.
+    pub tuples_in: u64,
+}
+
+impl RunSummary {
+    /// Build from a latency recorder plus counters.
+    pub fn from_recorder(
+        rec: &crate::latency::LatencyRecorder,
+        tuples_in: u64,
+        tuples_out: u64,
+        elapsed_secs: f64,
+    ) -> Self {
+        let span = elapsed_secs.max(1e-9);
+        RunSummary {
+            p50_latency_ms: rec.median().unwrap_or(0.0),
+            p90_latency_ms: rec.percentile(90.0).unwrap_or(0.0),
+            p99_latency_ms: rec.percentile(99.0).unwrap_or(0.0),
+            mean_latency_ms: rec.mean().unwrap_or(0.0),
+            throughput_in: tuples_in as f64 / span,
+            throughput_out: tuples_out as f64 / span,
+            tuples_out,
+            tuples_in,
+        }
+    }
+}
+
+/// The paper's protocol: run R times, report the mean of per-run medians.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementProtocol {
+    /// Number of repeated runs (paper: 3).
+    pub runs: usize,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        MeasurementProtocol { runs: 3 }
+    }
+}
+
+impl MeasurementProtocol {
+    /// Mean of per-run median latencies.
+    pub fn aggregate_latency_ms(&self, runs: &[RunSummary]) -> Option<f64> {
+        if runs.is_empty() {
+            return None;
+        }
+        Some(runs.iter().map(|r| r.p50_latency_ms).sum::<f64>() / runs.len() as f64)
+    }
+
+    /// Execute `run_fn` `self.runs` times and aggregate.
+    pub fn measure(&self, mut run_fn: impl FnMut(usize) -> RunSummary) -> ProtocolResult {
+        let runs: Vec<RunSummary> = (0..self.runs.max(1)).map(&mut run_fn).collect();
+        let latency = self.aggregate_latency_ms(&runs).unwrap_or(0.0);
+        ProtocolResult {
+            mean_of_median_latency_ms: latency,
+            runs,
+        }
+    }
+}
+
+/// Aggregated result of a repeated measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolResult {
+    /// Mean of per-run median latencies (the paper's headline number).
+    pub mean_of_median_latency_ms: f64,
+    /// Individual run summaries.
+    pub runs: Vec<RunSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyRecorder;
+
+    fn summary(p50: f64) -> RunSummary {
+        RunSummary {
+            p50_latency_ms: p50,
+            p90_latency_ms: p50 * 2.0,
+            p99_latency_ms: p50 * 3.0,
+            mean_latency_ms: p50 * 1.2,
+            throughput_in: 1000.0,
+            throughput_out: 900.0,
+            tuples_out: 900,
+            tuples_in: 1000,
+        }
+    }
+
+    #[test]
+    fn mean_of_medians() {
+        let proto = MeasurementProtocol::default();
+        let agg = proto
+            .aggregate_latency_ms(&[summary(10.0), summary(20.0), summary(30.0)])
+            .unwrap();
+        assert!((agg - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_invokes_run_fn_thrice() {
+        let proto = MeasurementProtocol::default();
+        let mut calls = 0;
+        let result = proto.measure(|i| {
+            calls += 1;
+            summary((i + 1) as f64 * 10.0)
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(result.runs.len(), 3);
+        assert!((result.mean_of_median_latency_ms - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_recorder_computes_throughput() {
+        let mut rec = LatencyRecorder::default();
+        for v in [1.0, 2.0, 3.0] {
+            rec.record_ms(v);
+        }
+        let s = RunSummary::from_recorder(&rec, 100, 50, 2.0);
+        assert_eq!(s.throughput_in, 50.0);
+        assert_eq!(s.throughput_out, 25.0);
+        assert_eq!(s.p50_latency_ms, 2.0);
+    }
+
+    #[test]
+    fn empty_runs_aggregate_to_none() {
+        assert_eq!(
+            MeasurementProtocol::default().aggregate_latency_ms(&[]),
+            None
+        );
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let s = summary(5.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

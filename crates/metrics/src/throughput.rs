@@ -1,0 +1,111 @@
+//! Throughput measurement over fixed windows.
+
+/// Counts events against a (possibly simulated) clock and reports
+/// tuples/second, both overall and per fixed-size window.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window_ns: u64,
+    total: u64,
+    start_ns: Option<u64>,
+    last_ns: u64,
+    window_start_ns: u64,
+    window_count: u64,
+    window_rates: Vec<f64>,
+}
+
+impl ThroughputMeter {
+    /// Meter with the given window size in nanoseconds.
+    pub fn new(window_ns: u64) -> Self {
+        ThroughputMeter {
+            window_ns: window_ns.max(1),
+            total: 0,
+            start_ns: None,
+            last_ns: 0,
+            window_start_ns: 0,
+            window_count: 0,
+            window_rates: Vec::new(),
+        }
+    }
+
+    /// Record `n` events at clock `now_ns`.
+    pub fn record(&mut self, now_ns: u64, n: u64) {
+        if self.start_ns.is_none() {
+            self.start_ns = Some(now_ns);
+            self.window_start_ns = now_ns;
+        }
+        self.last_ns = self.last_ns.max(now_ns);
+        self.total += n;
+        // Close windows that passed.
+        while now_ns >= self.window_start_ns + self.window_ns {
+            let rate = self.window_count as f64 / (self.window_ns as f64 / 1e9);
+            self.window_rates.push(rate);
+            self.window_count = 0;
+            self.window_start_ns += self.window_ns;
+        }
+        self.window_count += n;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Overall rate in events/second.
+    pub fn overall_rate(&self) -> Option<f64> {
+        let start = self.start_ns?;
+        let span = (self.last_ns.saturating_sub(start)) as f64 / 1e9;
+        if span <= 0.0 {
+            return None;
+        }
+        Some(self.total as f64 / span)
+    }
+
+    /// Per-window rates observed so far (closed windows only).
+    pub fn window_rates(&self) -> &[f64] {
+        &self.window_rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn overall_rate_spans_first_to_last() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(0, 100);
+        m.record(2 * SEC, 100);
+        let r = m.overall_rate().unwrap();
+        assert!((r - 100.0).abs() < 1e-6, "200 events over 2s = {r}");
+    }
+
+    #[test]
+    fn window_rates_close_on_boundary() {
+        let mut m = ThroughputMeter::new(SEC);
+        for i in 0..10 {
+            m.record(i * SEC / 10, 50); // 500 events in first second
+        }
+        m.record(SEC + 1, 1); // crosses boundary
+        assert_eq!(m.window_rates().len(), 1);
+        assert!((m.window_rates()[0] - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_meter_has_no_rate() {
+        let m = ThroughputMeter::new(SEC);
+        assert_eq!(m.overall_rate(), None);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn gaps_produce_zero_windows() {
+        let mut m = ThroughputMeter::new(SEC);
+        m.record(0, 10);
+        m.record(3 * SEC, 10); // two empty windows in between
+        assert_eq!(m.window_rates().len(), 3);
+        assert_eq!(m.window_rates()[1], 0.0);
+        assert_eq!(m.window_rates()[2], 0.0);
+    }
+}

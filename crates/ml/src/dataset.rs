@@ -1,0 +1,161 @@
+//! Training data containers shared by all four cost models.
+
+use serde::{Deserialize, Serialize};
+
+/// Graph encoding of a PQP for the GNN: per-node feature vectors plus
+/// directed edges (upstream -> downstream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSample {
+    /// One feature vector per plan node (equal lengths).
+    pub node_features: Vec<Vec<f64>>,
+    /// Directed edges as (from, to) node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphSample {
+    /// Node-feature dimensionality (0 for an empty graph).
+    pub fn feature_dim(&self) -> usize {
+        self.node_features.first().map_or(0, Vec::len)
+    }
+}
+
+/// One training example: flat features for tabular models, graph encoding
+/// for the GNN, and the measured latency label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flat feature vector.
+    pub flat: Vec<f64>,
+    /// Graph encoding.
+    pub graph: GraphSample,
+    /// Label: measured end-to-end latency (ms), strictly positive.
+    pub latency_ms: f64,
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Examples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Build from samples.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Flat feature dimensionality.
+    pub fn flat_dim(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.flat.len())
+    }
+
+    /// Deterministic train/validation split: every `k`-th example goes to
+    /// validation (k = round(1/fraction)), so callers need no RNG and
+    /// repeated calls agree.
+    pub fn split(&self, val_fraction: f64) -> (Dataset, Dataset) {
+        let k = (1.0 / val_fraction.clamp(0.05, 0.5)).round() as usize;
+        let mut train = Vec::new();
+        let mut val = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if (i + 1) % k == 0 {
+                val.push(s.clone());
+            } else {
+                train.push(s.clone());
+            }
+        }
+        if val.is_empty() && !train.is_empty() {
+            val.push(train.pop().unwrap());
+        }
+        (Dataset::new(train), Dataset::new(val))
+    }
+
+    /// Labels in log space (what the models regress on).
+    pub fn log_labels(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| s.latency_ms.max(1e-6).ln())
+            .collect()
+    }
+
+    /// Per-dimension mean/std of the flat features (std floored at 1e-9),
+    /// for normalization inside the neural models.
+    pub fn flat_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let d = self.flat_dim();
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for s in &self.samples {
+            for (m, &x) in mean.iter_mut().zip(&s.flat) {
+                *m += x / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for s in &self.samples {
+            for ((sd, &x), m) in std.iter_mut().zip(&s.flat).zip(&mean) {
+                *sd += (x - m) * (x - m) / n;
+            }
+        }
+        for sd in &mut std {
+            *sd = sd.sqrt().max(1e-9);
+        }
+        (mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(x: f64, y: f64) -> Sample {
+        Sample {
+            flat: vec![x, 2.0 * x],
+            graph: GraphSample {
+                node_features: vec![vec![x]],
+                edges: vec![],
+            },
+            latency_ms: y,
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let d = Dataset::new((0..100).map(|i| sample(i as f64, 1.0 + i as f64)).collect());
+        let (t1, v1) = d.split(0.2);
+        let (t2, v2) = d.split(0.2);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(v1.len(), v2.len());
+        assert_eq!(t1.len() + v1.len(), 100);
+        assert_eq!(v1.len(), 20);
+    }
+
+    #[test]
+    fn split_never_leaves_validation_empty() {
+        let d = Dataset::new(vec![sample(1.0, 2.0), sample(2.0, 3.0)]);
+        let (_, v) = d.split(0.2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn log_labels_are_finite_for_tiny_latencies() {
+        let d = Dataset::new(vec![sample(1.0, 0.0)]);
+        assert!(d.log_labels()[0].is_finite());
+    }
+
+    #[test]
+    fn flat_stats_normalize_correctly() {
+        let d = Dataset::new(vec![sample(0.0, 1.0), sample(2.0, 1.0)]);
+        let (mean, std) = d.flat_stats();
+        assert_eq!(mean[0], 1.0);
+        assert_eq!(std[0], 1.0);
+        assert_eq!(mean[1], 2.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Featurization: PQP descriptor + execution context -> model inputs.
+//!
+//! The flat encoding feeds LR/MLP/RF; the graph encoding (one feature
+//! vector per plan node + the DAG's edges) feeds the GNN, following the
+//! ZeroTune-style "operators as nodes, dataflow as edges" representation
+//! the paper cites for its GNN cost model.
+
+use crate::dataset::{GraphSample, Sample};
+use pdsp_engine::operator::OpTag;
+use pdsp_engine::plan::PlanDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// Execution context of a measured run (everything that is not plan
+/// structure but affects cost).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleContext {
+    /// Event rate per source, tuples/second.
+    pub event_rate: f64,
+    /// Total cores in the cluster.
+    pub total_cores: usize,
+    /// Mean node clock, GHz.
+    pub mean_clock_ghz: f64,
+    /// Whether the cluster mixes node types.
+    pub heterogeneous: bool,
+}
+
+/// Per-node graph feature dimensionality.
+pub const NODE_FEATURE_DIM: usize = OpTag::ALL.len() + 7;
+
+/// Encode one plan node.
+fn node_features(
+    node: &pdsp_engine::plan::NodeDescriptor,
+    ctx: &SampleContext,
+) -> Vec<f64> {
+    let mut f = vec![0.0; NODE_FEATURE_DIM];
+    f[node.op.tag.index()] = 1.0;
+    let base = OpTag::ALL.len();
+    f[base] = (node.parallelism as f64).ln_1p();
+    f[base + 1] = node.op.cpu_ns_per_tuple.ln_1p();
+    f[base + 2] = node.op.selectivity.min(64.0);
+    f[base + 3] = node.op.state_factor;
+    f[base + 4] = node.op.window.map_or(0.0, |w| (w.length as f64).ln_1p());
+    f[base + 5] = node.op.window.map_or(0.0, |w| (w.slide as f64).ln_1p());
+    f[base + 6] = ctx.event_rate.ln_1p();
+    f
+}
+
+/// Flat feature dimensionality.
+pub const FLAT_FEATURE_DIM: usize = OpTag::ALL.len() + 14;
+
+/// Build the flat feature vector for tabular models.
+pub fn flat_features(plan: &PlanDescriptor, ctx: &SampleContext) -> Vec<f64> {
+    let mut f = vec![0.0; FLAT_FEATURE_DIM];
+    // Operator-family counts.
+    for node in &plan.nodes {
+        f[node.op.tag.index()] += 1.0;
+    }
+    let base = OpTag::ALL.len();
+    let degrees: Vec<f64> = plan.nodes.iter().map(|n| n.parallelism as f64).collect();
+    let total: f64 = degrees.iter().sum();
+    let max = degrees.iter().copied().fold(0.0, f64::max);
+    let mean = total / degrees.len().max(1) as f64;
+    f[base] = total.ln_1p();
+    f[base + 1] = max.ln_1p();
+    f[base + 2] = mean.ln_1p();
+    // Aggregate cost/selectivity structure.
+    f[base + 3] = plan
+        .nodes
+        .iter()
+        .map(|n| n.op.cpu_ns_per_tuple)
+        .sum::<f64>()
+        .ln_1p();
+    f[base + 4] = plan.nodes.iter().map(|n| n.op.state_factor).sum();
+    f[base + 5] = plan
+        .nodes
+        .iter()
+        .filter(|n| n.op.selectivity < 1.0)
+        .map(|n| n.op.selectivity)
+        .product::<f64>();
+    f[base + 6] = plan
+        .nodes
+        .iter()
+        .filter_map(|n| n.op.window)
+        .map(|w| (w.length as f64).ln_1p())
+        .sum::<f64>();
+    f[base + 7] = plan.edges.len() as f64;
+    // Context.
+    f[base + 8] = ctx.event_rate.ln_1p();
+    f[base + 9] = (ctx.total_cores as f64).ln_1p();
+    f[base + 10] = ctx.mean_clock_ghz;
+    f[base + 11] = ctx.heterogeneous as u8 as f64;
+    // Interaction terms the paper's trends hinge on: demand vs capacity and
+    // coordination pressure (joins x parallelism).
+    let joins = f[OpTag::Join.index()];
+    f[base + 12] = ctx.event_rate.ln_1p() - (ctx.total_cores as f64).ln_1p();
+    f[base + 13] = joins * max.ln_1p();
+    f
+}
+
+/// Build a full [`Sample`] (flat + graph) from a plan descriptor, its
+/// context, and the measured latency label.
+pub fn featurize(plan: &PlanDescriptor, ctx: &SampleContext, latency_ms: f64) -> Sample {
+    let graph = GraphSample {
+        node_features: plan
+            .nodes
+            .iter()
+            .map(|n| node_features(n, ctx))
+            .collect(),
+        edges: plan.edges.iter().map(|e| (e.from, e.to)).collect(),
+    };
+    Sample {
+        flat: flat_features(plan, ctx),
+        graph,
+        latency_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::expr::Predicate;
+    use pdsp_engine::value::{FieldType, Schema};
+    use pdsp_engine::PlanBuilder;
+
+    fn ctx() -> SampleContext {
+        SampleContext {
+            event_rate: 100_000.0,
+            total_cores: 80,
+            mean_clock_ghz: 2.0,
+            heterogeneous: false,
+        }
+    }
+
+    fn descriptor(parallelism: usize) -> PlanDescriptor {
+        PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::True, 0.5)
+            .set_parallelism(1, parallelism)
+            .sink("k")
+            .build()
+            .unwrap()
+            .descriptor()
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let s = featurize(&descriptor(4), &ctx(), 12.0);
+        assert_eq!(s.flat.len(), FLAT_FEATURE_DIM);
+        assert_eq!(s.graph.feature_dim(), NODE_FEATURE_DIM);
+        assert_eq!(s.graph.node_features.len(), 3);
+        assert_eq!(s.graph.edges.len(), 2);
+    }
+
+    #[test]
+    fn parallelism_moves_features() {
+        let a = featurize(&descriptor(1), &ctx(), 1.0);
+        let b = featurize(&descriptor(64), &ctx(), 1.0);
+        assert_ne!(a.flat, b.flat);
+        assert_ne!(a.graph.node_features[1], b.graph.node_features[1]);
+        // Source node features are unaffected by filter parallelism.
+        assert_eq!(a.graph.node_features[0], b.graph.node_features[0]);
+    }
+
+    #[test]
+    fn one_hot_tags_are_set() {
+        let s = featurize(&descriptor(2), &ctx(), 1.0);
+        // flat: 1 source + 1 filter + 1 sink counted.
+        assert_eq!(s.flat[OpTag::Source.index()], 1.0);
+        assert_eq!(s.flat[OpTag::Filter.index()], 1.0);
+        assert_eq!(s.flat[OpTag::Sink.index()], 1.0);
+        assert_eq!(s.flat[OpTag::Join.index()], 0.0);
+        // graph: node 1 is the filter.
+        assert_eq!(s.graph.node_features[1][OpTag::Filter.index()], 1.0);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let s = featurize(
+            &descriptor(128),
+            &SampleContext {
+                event_rate: 4_000_000.0,
+                total_cores: 280,
+                mean_clock_ghz: 2.2,
+                heterogeneous: true,
+            },
+            50_000.0,
+        );
+        assert!(s.flat.iter().all(|x| x.is_finite()));
+        assert!(s
+            .graph
+            .node_features
+            .iter()
+            .flatten()
+            .all(|x| x.is_finite()));
+    }
+}

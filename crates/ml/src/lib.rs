@@ -1,0 +1,34 @@
+//! # pdsp-ml
+//!
+//! Learned cost models for parallel stream processing, from scratch:
+//!
+//! * [`linreg::LinearRegression`] — ridge regression, closed form;
+//! * [`mlp::Mlp`] — multi-layer perceptron with Adam and early stopping;
+//! * [`forest::RandomForest`] — bagged CART regression trees;
+//! * [`gnn::Gnn`] — message-passing graph neural network over the PQP DAG
+//!   (ZeroTune-style encoding), hand-derived gradients.
+//!
+//! All four implement [`trainer::CostModel`] so the benchmark's ML manager
+//! trains and evaluates them on identical data with identical metrics
+//! (q-error, training time) — the paper's "fair comparison" requirement
+//! (C3). Labels are end-to-end latencies; models fit `ln(latency)` and
+//! report q-error on the raw scale.
+
+pub mod dataset;
+pub mod features;
+pub mod forest;
+pub mod gnn;
+pub mod linalg;
+pub mod linreg;
+pub mod mlp;
+pub mod qerror;
+pub mod trainer;
+
+pub use dataset::{Dataset, GraphSample, Sample};
+pub use features::{featurize, SampleContext};
+pub use forest::RandomForest;
+pub use gnn::Gnn;
+pub use linreg::LinearRegression;
+pub use mlp::Mlp;
+pub use qerror::{qerror, QErrorStats};
+pub use trainer::{CostModel, TrainOptions, TrainReport};

@@ -1,0 +1,167 @@
+//! Ridge linear regression on log-latency — the simplest cost model
+//! (Ganapathi et al.'s approach in the paper's lineage).
+
+use crate::dataset::{Dataset, Sample};
+use crate::linalg::Matrix;
+use crate::trainer::{mse_log, CostModel, TrainOptions, TrainReport};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Closed-form ridge regression: `w = (X^T X + lambda I)^-1 X^T y` with an
+/// intercept column, fit in log-latency space.
+///
+/// Serializable: a trained model round-trips through serde (the ML
+/// manager persists trained models in the document store).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// L2 regularization strength.
+    pub lambda: f64,
+    weights: Vec<f64>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new(1e-2)
+    }
+}
+
+impl LinearRegression {
+    /// Ridge model with regularization `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        LinearRegression {
+            lambda,
+            weights: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
+    }
+
+    fn design_row(&self, flat: &[f64]) -> Vec<f64> {
+        let mut row = Vec::with_capacity(flat.len() + 1);
+        row.push(1.0);
+        for ((x, m), s) in flat.iter().zip(&self.mean).zip(&self.std) {
+            row.push((x - m) / s);
+        }
+        row
+    }
+}
+
+impl CostModel for LinearRegression {
+    fn name(&self) -> &str {
+        "LR"
+    }
+
+    fn fit(&mut self, data: &Dataset, opts: &TrainOptions) -> TrainReport {
+        let start = Instant::now();
+        let (train, val) = data.split(opts.val_fraction);
+        let (mean, std) = train.flat_stats();
+        self.mean = mean;
+        self.std = std;
+        let d = train.flat_dim() + 1;
+        let mut x = Matrix::zeros(train.len(), d);
+        for (i, s) in train.samples.iter().enumerate() {
+            for (j, v) in self.design_row(&s.flat).into_iter().enumerate() {
+                x.set(i, j, v);
+            }
+        }
+        let y = train.log_labels();
+        let mut gram = x.gram();
+        for i in 0..d {
+            gram.add_at(i, i, self.lambda * train.len().max(1) as f64);
+        }
+        let xty = x.tmatvec(&y);
+        self.weights = gram
+            .cholesky_solve(&xty)
+            .unwrap_or_else(|| vec![0.0; d]);
+        TrainReport {
+            train_time: start.elapsed(),
+            epochs: 1,
+            early_stopped: false,
+            train_loss: mse_log(self, &train),
+            val_loss: mse_log(self, &val),
+            train_examples: train.len(),
+        }
+    }
+
+    fn predict(&self, sample: &Sample) -> f64 {
+        if self.weights.is_empty() {
+            return 1.0;
+        }
+        let row = self.design_row(&sample.flat);
+        let log_pred: f64 = row.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
+        log_pred.clamp(-20.0, 30.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GraphSample;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        // latency = exp(0.5 + 2*x0 - x1): exactly log-linear.
+        let samples = (0..n)
+            .map(|i| {
+                let x0 = (i % 10) as f64 / 10.0;
+                let x1 = (i % 7) as f64 / 7.0;
+                Sample {
+                    flat: vec![x0, x1],
+                    graph: GraphSample {
+                        node_features: vec![],
+                        edges: vec![],
+                    },
+                    latency_ms: (0.5 + 2.0 * x0 - x1).exp(),
+                }
+            })
+            .collect();
+        Dataset::new(samples)
+    }
+
+    #[test]
+    fn recovers_log_linear_relationship() {
+        let data = linear_dataset(200);
+        let mut m = LinearRegression::new(1e-6);
+        let report = m.fit(&data, &TrainOptions::default());
+        assert!(report.val_loss < 1e-3, "val loss {}", report.val_loss);
+        let q = m.evaluate(&data).unwrap();
+        assert!(q.median < 1.05, "median q-error {}", q.median);
+    }
+
+    #[test]
+    fn unfit_model_predicts_fallback() {
+        let m = LinearRegression::default();
+        let s = linear_dataset(1).samples[0].clone();
+        assert_eq!(m.predict(&s), 1.0);
+    }
+
+    #[test]
+    fn predictions_are_positive_and_finite() {
+        let data = linear_dataset(50);
+        let mut m = LinearRegression::default();
+        m.fit(&data, &TrainOptions::default());
+        for s in &data.samples {
+            let p = m.predict(s);
+            assert!(p > 0.0 && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn regularization_shrinks_extrapolation() {
+        let data = linear_dataset(50);
+        let mut strong = LinearRegression::new(100.0);
+        let mut weak = LinearRegression::new(1e-9);
+        strong.fit(&data, &TrainOptions::default());
+        weak.fit(&data, &TrainOptions::default());
+        let mut far = data.samples[0].clone();
+        far.flat = vec![100.0, -100.0];
+        // Heavy ridge keeps the extreme prediction closer to the mean label.
+        let mean_label = (data.samples.iter().map(|s| s.latency_ms.ln()).sum::<f64>()
+            / data.len() as f64)
+            .exp();
+        let ds = (strong.predict(&far).ln() - mean_label.ln()).abs();
+        let dw = (weak.predict(&far).ln() - mean_label.ln()).abs();
+        assert!(ds < dw);
+    }
+}

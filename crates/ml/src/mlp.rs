@@ -1,0 +1,358 @@
+//! Multi-layer perceptron cost model: ReLU hidden layers, Adam, early
+//! stopping on validation loss. Regresses log-latency on normalized flat
+//! features.
+
+// Index-based loops are intentional in the numeric kernels: they mirror
+// the mathematical notation and keep strides explicit.
+#![allow(clippy::needless_range_loop)]
+use crate::dataset::{Dataset, Sample};
+use crate::trainer::{mse_log, CostModel, EarlyStopper, TrainOptions, TrainReport};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One dense layer's parameters and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut ChaCha8Rng) -> Self {
+        // He initialization.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.b.clone();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            out[o] += row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        }
+        out
+    }
+}
+
+/// Gradient accumulators for one layer.
+#[derive(Debug, Clone)]
+struct LayerGrad {
+    dw: Vec<f64>,
+    db: Vec<f64>,
+}
+
+/// The MLP cost model. Serializable once trained.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    layers: Vec<Layer>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    adam_t: u64,
+}
+
+impl Default for Mlp {
+    fn default() -> Self {
+        Mlp::new(vec![64, 32])
+    }
+}
+
+impl Mlp {
+    /// MLP with the given hidden widths.
+    pub fn new(hidden: Vec<usize>) -> Self {
+        Mlp {
+            hidden,
+            layers: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+            adam_t: 0,
+        }
+    }
+
+    fn normalize(&self, flat: &[f64]) -> Vec<f64> {
+        flat.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((x, m), s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Forward pass storing activations (post-ReLU per layer, input first).
+    fn forward_full(&self, x: &[f64]) -> (Vec<Vec<f64>>, f64) {
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut h = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&h);
+            let last = li == self.layers.len() - 1;
+            if !last {
+                for v in &mut z {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(z.clone());
+            h = z;
+        }
+        let y = h[0];
+        (acts, y)
+    }
+
+    /// Backward pass for one example; returns per-layer gradients.
+    fn backward(&self, acts: &[Vec<f64>], dy: f64) -> Vec<LayerGrad> {
+        let n = self.layers.len();
+        let mut grads: Vec<LayerGrad> = self
+            .layers
+            .iter()
+            .map(|l| LayerGrad {
+                dw: vec![0.0; l.w.len()],
+                db: vec![0.0; l.b.len()],
+            })
+            .collect();
+        // Delta at the output layer (linear).
+        let mut delta = vec![dy];
+        for li in (0..n).rev() {
+            let layer = &self.layers[li];
+            let input = &acts[li];
+            let grad = &mut grads[li];
+            for o in 0..layer.n_out {
+                let d = delta[o];
+                grad.db[o] += d;
+                let row = &mut grad.dw[o * layer.n_in..(o + 1) * layer.n_in];
+                for (g, &xi) in row.iter_mut().zip(input) {
+                    *g += d * xi;
+                }
+            }
+            if li > 0 {
+                // Propagate through the previous ReLU.
+                let mut prev = vec![0.0; layer.n_in];
+                for o in 0..layer.n_out {
+                    let d = delta[o];
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (p, &w) in prev.iter_mut().zip(row) {
+                        *p += d * w;
+                    }
+                }
+                // ReLU derivative uses the stored post-activation (>0 iff
+                // pre-activation > 0 for ReLU).
+                for (p, &a) in prev.iter_mut().zip(&acts[li]) {
+                    if a <= 0.0 {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        grads
+    }
+
+    fn adam_step(&mut self, grads: &[LayerGrad], lr: f64, batch: f64) {
+        self.adam_t += 1;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let t = self.adam_t as f64;
+        let corr1 = 1.0 - b1.powf(t);
+        let corr2 = 1.0 - b2.powf(t);
+        for (layer, grad) in self.layers.iter_mut().zip(grads) {
+            for (i, &g) in grad.dw.iter().enumerate() {
+                let g = g / batch;
+                layer.mw[i] = b1 * layer.mw[i] + (1.0 - b1) * g;
+                layer.vw[i] = b2 * layer.vw[i] + (1.0 - b2) * g * g;
+                layer.w[i] -= lr * (layer.mw[i] / corr1) / ((layer.vw[i] / corr2).sqrt() + eps);
+            }
+            for (i, &g) in grad.db.iter().enumerate() {
+                let g = g / batch;
+                layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
+                layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
+                layer.b[i] -= lr * (layer.mb[i] / corr1) / ((layer.vb[i] / corr2).sqrt() + eps);
+            }
+        }
+    }
+}
+
+impl CostModel for Mlp {
+    fn name(&self) -> &str {
+        "MLP"
+    }
+
+    fn fit(&mut self, data: &Dataset, opts: &TrainOptions) -> TrainReport {
+        let start = Instant::now();
+        let (train, val) = data.split(opts.val_fraction);
+        let (mean, std) = train.flat_stats();
+        self.mean = mean;
+        self.std = std;
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+        // Build layers: input -> hidden* -> 1.
+        let mut dims = vec![train.flat_dim()];
+        dims.extend(&self.hidden);
+        dims.push(1);
+        self.layers = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        self.adam_t = 0;
+
+        let xs: Vec<Vec<f64>> = train.samples.iter().map(|s| self.normalize(&s.flat)).collect();
+        let ys = train.log_labels();
+        let n = xs.len();
+        let batch_size = 32.min(n.max(1));
+        let mut stopper = EarlyStopper::new(opts.patience);
+        let mut epochs = 0;
+        let mut early = false;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..opts.max_epochs {
+            epochs += 1;
+            // Shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(batch_size) {
+                let mut grads: Option<Vec<LayerGrad>> = None;
+                for &i in chunk {
+                    let (acts, pred) = self.forward_full(&xs[i]);
+                    let dy = 2.0 * (pred - ys[i]);
+                    let g = self.backward(&acts, dy);
+                    match &mut grads {
+                        None => grads = Some(g),
+                        Some(acc) => {
+                            for (a, b) in acc.iter_mut().zip(g) {
+                                for (x, y) in a.dw.iter_mut().zip(b.dw) {
+                                    *x += y;
+                                }
+                                for (x, y) in a.db.iter_mut().zip(b.db) {
+                                    *x += y;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(g) = grads {
+                    self.adam_step(&g, opts.learning_rate, chunk.len() as f64);
+                }
+            }
+            let val_loss = mse_log(self, &val);
+            if stopper.observe(val_loss) {
+                early = true;
+                break;
+            }
+        }
+
+        TrainReport {
+            train_time: start.elapsed(),
+            epochs,
+            early_stopped: early,
+            train_loss: mse_log(self, &train),
+            val_loss: mse_log(self, &val),
+            train_examples: train.len(),
+        }
+    }
+
+    fn predict(&self, sample: &Sample) -> f64 {
+        if self.layers.is_empty() {
+            return 1.0;
+        }
+        let x = self.normalize(&sample.flat);
+        let (_, y) = self.forward_full(&x);
+        y.clamp(-20.0, 30.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GraphSample;
+
+    fn nonlinear_dataset(n: usize) -> Dataset {
+        // latency = exp(sin-free nonlinearity): |x0 - 0.5| * 4 + x1^2.
+        let samples = (0..n)
+            .map(|i| {
+                let x0 = (i % 13) as f64 / 13.0;
+                let x1 = (i % 29) as f64 / 29.0;
+                let log_lat = (x0 - 0.5).abs() * 4.0 + x1 * x1;
+                Sample {
+                    flat: vec![x0, x1],
+                    graph: GraphSample {
+                        node_features: vec![],
+                        edges: vec![],
+                    },
+                    latency_ms: log_lat.exp(),
+                }
+            })
+            .collect();
+        Dataset::new(samples)
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let data = nonlinear_dataset(400);
+        let mut m = Mlp::new(vec![32, 16]);
+        let opts = TrainOptions {
+            max_epochs: 300,
+            patience: 40,
+            ..TrainOptions::default()
+        };
+        let report = m.fit(&data, &opts);
+        assert!(
+            report.val_loss < 0.05,
+            "MLP should fit |x|-shaped target, val loss {}",
+            report.val_loss
+        );
+        let q = m.evaluate(&data).unwrap();
+        assert!(q.median < 1.3, "median q-error {}", q.median);
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_plateau() {
+        let data = nonlinear_dataset(100);
+        let mut m = Mlp::new(vec![8]);
+        let opts = TrainOptions {
+            max_epochs: 10_000,
+            patience: 5,
+            ..TrainOptions::default()
+        };
+        let report = m.fit(&data, &opts);
+        assert!(report.epochs < 10_000, "must stop early");
+        assert!(report.early_stopped);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = nonlinear_dataset(60);
+        let opts = TrainOptions {
+            max_epochs: 20,
+            ..TrainOptions::default()
+        };
+        let mut a = Mlp::default();
+        let mut b = Mlp::default();
+        a.fit(&data, &opts);
+        b.fit(&data, &opts);
+        let s = &data.samples[7];
+        assert_eq!(a.predict(s), b.predict(s));
+    }
+
+    #[test]
+    fn unfit_model_predicts_fallback() {
+        let m = Mlp::default();
+        assert_eq!(m.predict(&nonlinear_dataset(1).samples[0]), 1.0);
+    }
+}

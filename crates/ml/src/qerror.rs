@@ -1,0 +1,100 @@
+//! Q-error: the standard accuracy metric for learned cost models
+//! (Leis et al., "How good are query optimizers, really?"). For true cost
+//! `c` and prediction `c'`, `q(c, c') = max(c/c', c'/c) >= 1`; 1 is a
+//! perfect prediction.
+
+use serde::{Deserialize, Serialize};
+
+/// Q-error of one prediction. Non-positive inputs are clamped to a small
+/// epsilon (latencies are strictly positive by construction).
+pub fn qerror(truth: f64, prediction: f64) -> f64 {
+    let t = truth.max(1e-9);
+    let p = prediction.max(1e-9);
+    (t / p).max(p / t)
+}
+
+/// Aggregate q-error statistics over an evaluation set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QErrorStats {
+    /// Median q-error.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Geometric mean.
+    pub gmean: f64,
+    /// Number of evaluated pairs.
+    pub count: usize,
+}
+
+impl QErrorStats {
+    /// Compute over (truth, prediction) pairs; `None` when empty.
+    pub fn compute(pairs: &[(f64, f64)]) -> Option<QErrorStats> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut qs: Vec<f64> = pairs.iter().map(|&(t, p)| qerror(t, p)).collect();
+        qs.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            let rank = (p * (qs.len() - 1) as f64).round() as usize;
+            qs[rank.min(qs.len() - 1)]
+        };
+        let gmean = (qs.iter().map(|q| q.ln()).sum::<f64>() / qs.len() as f64).exp();
+        Some(QErrorStats {
+            median: pct(0.5),
+            p90: pct(0.9),
+            p99: pct(0.99),
+            max: *qs.last().unwrap(),
+            gmean,
+            count: qs.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        assert_eq!(qerror(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn qerror_is_symmetric_in_ratio() {
+        assert_eq!(qerror(10.0, 5.0), 2.0);
+        assert_eq!(qerror(5.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn qerror_is_at_least_one() {
+        for (t, p) in [(1.0, 3.0), (100.0, 0.1), (7.0, 7.0)] {
+            assert!(qerror(t, p) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn non_positive_inputs_are_clamped() {
+        assert!(qerror(0.0, 1.0).is_finite());
+        assert!(qerror(1.0, -5.0).is_finite());
+    }
+
+    #[test]
+    fn stats_on_known_set() {
+        let pairs = [(10.0, 10.0), (10.0, 20.0), (10.0, 40.0)];
+        let s = QErrorStats::compute(&pairs).unwrap();
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 3);
+        // gmean of {1, 2, 4} = 2.
+        assert!((s.gmean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        assert_eq!(QErrorStats::compute(&[]), None);
+    }
+}

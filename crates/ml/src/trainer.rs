@@ -1,0 +1,161 @@
+//! The uniform training interface: every cost model trains on the same
+//! [`Dataset`] under the same [`TrainOptions`] and reports the same
+//! [`TrainReport`] — the "fair comparison" plumbing of the paper's ML
+//! manager (C3).
+
+use crate::dataset::{Dataset, Sample};
+use crate::qerror::QErrorStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Shared training options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Maximum epochs for iterative models.
+    pub max_epochs: usize,
+    /// Early stopping: halt when validation loss has not improved for this
+    /// many consecutive epochs (the paper applies this uniformly).
+    pub patience: usize,
+    /// Validation fraction.
+    pub val_fraction: f64,
+    /// Learning rate for gradient-based models.
+    pub learning_rate: f64,
+    /// RNG seed (initialization, bagging).
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            max_epochs: 400,
+            patience: 20,
+            val_fraction: 0.2,
+            learning_rate: 3e-3,
+            seed: 17,
+        }
+    }
+}
+
+/// What a training run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Wall-clock training time.
+    pub train_time: Duration,
+    /// Epochs actually run (1 for closed-form / tree models).
+    pub epochs: usize,
+    /// Whether early stopping triggered.
+    pub early_stopped: bool,
+    /// Final training loss (MSE in log space).
+    pub train_loss: f64,
+    /// Final validation loss.
+    pub val_loss: f64,
+    /// Training examples used.
+    pub train_examples: usize,
+}
+
+/// A learned cost model predicting end-to-end latency.
+pub trait CostModel: Send {
+    /// Model name for reports ("LR", "MLP", "RF", "GNN").
+    fn name(&self) -> &str;
+
+    /// Fit on the dataset.
+    fn fit(&mut self, data: &Dataset, opts: &TrainOptions) -> TrainReport;
+
+    /// Predict latency in ms for one sample (its label field is ignored).
+    fn predict(&self, sample: &Sample) -> f64;
+
+    /// Evaluate q-error over a dataset.
+    fn evaluate(&self, data: &Dataset) -> Option<QErrorStats> {
+        let pairs: Vec<(f64, f64)> = data
+            .samples
+            .iter()
+            .map(|s| (s.latency_ms, self.predict(s)))
+            .collect();
+        QErrorStats::compute(&pairs)
+    }
+}
+
+/// Early-stopping state machine shared by the iterative models.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    patience: usize,
+    best: f64,
+    since_best: usize,
+}
+
+impl EarlyStopper {
+    /// Stopper with the given patience.
+    pub fn new(patience: usize) -> Self {
+        EarlyStopper {
+            patience,
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// Observe a validation loss; returns true when training should halt.
+    pub fn observe(&mut self, val_loss: f64) -> bool {
+        if val_loss < self.best - 1e-12 {
+            self.best = val_loss;
+            self.since_best = 0;
+            false
+        } else {
+            self.since_best += 1;
+            self.since_best >= self.patience
+        }
+    }
+
+    /// Best validation loss seen.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+/// Mean squared error between predictions (log space) and log labels.
+pub fn mse_log(model: &dyn CostModel, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.samples
+        .iter()
+        .map(|s| {
+            let pred = model.predict(s).max(1e-6).ln();
+            let truth = s.latency_ms.max(1e-6).ln();
+            (pred - truth) * (pred - truth)
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_stopper_waits_for_patience() {
+        let mut s = EarlyStopper::new(3);
+        assert!(!s.observe(1.0));
+        assert!(!s.observe(0.5)); // improvement resets
+        assert!(!s.observe(0.6));
+        assert!(!s.observe(0.6));
+        assert!(s.observe(0.7)); // third non-improvement
+        assert_eq!(s.best(), 0.5);
+    }
+
+    #[test]
+    fn improvement_resets_counter() {
+        let mut s = EarlyStopper::new(2);
+        assert!(!s.observe(1.0));
+        assert!(!s.observe(1.1));
+        assert!(!s.observe(0.9)); // reset
+        assert!(!s.observe(1.0));
+        assert!(s.observe(1.0));
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = TrainOptions::default();
+        assert!(o.patience < o.max_epochs);
+        assert!(o.val_fraction > 0.0 && o.val_fraction < 0.5);
+    }
+}

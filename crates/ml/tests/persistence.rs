@@ -1,0 +1,99 @@
+//! Trained models round-trip through serde: predictions after
+//! deserialization match the original exactly.
+
+use pdsp_ml::dataset::{Dataset, GraphSample, Sample};
+use pdsp_ml::trainer::{CostModel, TrainOptions};
+use pdsp_ml::{Gnn, LinearRegression, Mlp, RandomForest};
+
+fn dataset(n: usize) -> Dataset {
+    let samples = (0..n)
+        .map(|i| {
+            let x0 = ((i * 37) % 101) as f64 / 100.0;
+            let x1 = ((i * 53) % 103) as f64 / 100.0;
+            let chain = 2 + i % 3;
+            let node_features = (0..chain)
+                .map(|k| vec![k as f64, x0, x1])
+                .collect::<Vec<_>>();
+            let edges = (0..chain - 1).map(|k| (k, k + 1)).collect();
+            Sample {
+                flat: vec![x0, x1, chain as f64],
+                graph: GraphSample {
+                    node_features,
+                    edges,
+                },
+                latency_ms: (1.0 + 2.0 * x0 + x1 + chain as f64 * 0.3).exp(),
+            }
+        })
+        .collect();
+    Dataset::new(samples)
+}
+
+fn opts() -> TrainOptions {
+    TrainOptions {
+        max_epochs: 25,
+        patience: 10,
+        ..TrainOptions::default()
+    }
+}
+
+fn assert_roundtrip<M>(mut model: M)
+where
+    M: CostModel + serde::Serialize + serde::de::DeserializeOwned,
+{
+    let data = dataset(80);
+    model.fit(&data, &opts());
+    let json = serde_json::to_string(&model).expect("serialize");
+    let restored: M = serde_json::from_str(&json).expect("deserialize");
+    for s in data.samples.iter().take(20) {
+        assert_eq!(
+            model.predict(s),
+            restored.predict(s),
+            "{} prediction must survive the round trip",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn linear_regression_roundtrips() {
+    assert_roundtrip(LinearRegression::default());
+}
+
+#[test]
+fn mlp_roundtrips() {
+    assert_roundtrip(Mlp::default());
+}
+
+#[test]
+fn random_forest_roundtrips() {
+    assert_roundtrip(RandomForest::new(10, 8, 4));
+}
+
+#[test]
+fn gnn_roundtrips() {
+    assert_roundtrip(Gnn::new(8, 2));
+}
+
+#[test]
+fn trained_model_persists_in_document_store() {
+    // The full ML-manager persistence path: train -> store -> reload ->
+    // identical predictions.
+    use pdsp_store::{Filter, Store};
+    let data = dataset(60);
+    let mut model = LinearRegression::default();
+    model.fit(&data, &opts());
+
+    let store = Store::in_memory();
+    store.with_mut("models", |c| {
+        c.insert(serde_json::json!({
+            "name": "LR",
+            "params": serde_json::to_value(&model).unwrap(),
+        }));
+    });
+    let restored: LinearRegression = store.with("models", |c| {
+        let doc = c.find_one(&Filter::eq("name", "LR")).expect("stored");
+        serde_json::from_value(doc.body["params"].clone()).expect("valid params")
+    });
+    let s = &data.samples[7];
+    assert_eq!(model.predict(s), restored.predict(s));
+}

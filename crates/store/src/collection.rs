@@ -1,0 +1,196 @@
+//! A collection of JSON documents with auto-assigned ids.
+
+use crate::query::Filter;
+use serde_json::Value;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Document identifier within one collection.
+pub type DocId = u64;
+
+/// A stored document: id + JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Collection-unique id.
+    pub id: DocId,
+    /// JSON body.
+    pub body: Value,
+}
+
+/// An ordered collection of documents.
+#[derive(Debug, Default)]
+pub struct Collection {
+    docs: Vec<Document>,
+    next_id: DocId,
+}
+
+impl Collection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Collection::default()
+    }
+
+    /// Insert a document; returns its id.
+    pub fn insert(&mut self, body: Value) -> DocId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.docs.push(Document { id, body });
+        id
+    }
+
+    /// Insert a serializable value.
+    pub fn insert_ser<T: serde::Serialize>(&mut self, value: &T) -> serde_json::Result<DocId> {
+        Ok(self.insert(serde_json::to_value(value)?))
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.iter().find(|d| d.id == id)
+    }
+
+    /// All documents matching the filter.
+    pub fn find(&self, filter: &Filter) -> Vec<&Document> {
+        self.docs.iter().filter(|d| filter.matches(&d.body)).collect()
+    }
+
+    /// First match.
+    pub fn find_one(&self, filter: &Filter) -> Option<&Document> {
+        self.docs.iter().find(|d| filter.matches(&d.body))
+    }
+
+    /// Delete matching documents; returns how many were removed.
+    pub fn delete(&mut self, filter: &Filter) -> usize {
+        let before = self.docs.len();
+        self.docs.retain(|d| !filter.matches(&d.body));
+        before - self.docs.len()
+    }
+
+    /// Deserialize all matches into `T`, skipping documents that fail.
+    pub fn find_as<T: serde::de::DeserializeOwned>(&self, filter: &Filter) -> Vec<T> {
+        self.find(filter)
+            .into_iter()
+            .filter_map(|d| serde_json::from_value(d.body.clone()).ok())
+            .collect()
+    }
+
+    /// Iterate over all documents.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// Persist as JSON-lines (`{"_id": .., "body": ..}` per line).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for d in &self.docs {
+            let line = serde_json::json!({"_id": d.id, "body": d.body});
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Load from JSON-lines; malformed lines are an error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut docs = Vec::new();
+        let mut next_id: DocId = 0;
+        for line in f.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            let id = v
+                .get("_id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "missing _id")
+                })?;
+            let body = v.get("body").cloned().unwrap_or(Value::Null);
+            next_id = next_id.max(id + 1);
+            docs.push(Document { id, body });
+        }
+        Ok(Collection { docs, next_id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut c = Collection::new();
+        assert_eq!(c.insert(json!({"a": 1})), 0);
+        assert_eq!(c.insert(json!({"a": 2})), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn find_filters_documents() {
+        let mut c = Collection::new();
+        for i in 0..10 {
+            c.insert(json!({"i": i, "even": i % 2 == 0}));
+        }
+        assert_eq!(c.find(&Filter::eq("even", true)).len(), 5);
+        assert_eq!(c.find(&Filter::Gt("i".into(), 6.5)).len(), 3);
+    }
+
+    #[test]
+    fn delete_removes_matches() {
+        let mut c = Collection::new();
+        for i in 0..6 {
+            c.insert(json!({"i": i}));
+        }
+        assert_eq!(c.delete(&Filter::Lt("i".into(), 3.0)), 3);
+        assert_eq!(c.len(), 3);
+        assert!(c.find_one(&Filter::eq("i", 0)).is_none());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("pdsp_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("col.jsonl");
+        let mut c = Collection::new();
+        c.insert(json!({"x": 1}));
+        c.insert(json!({"x": [1, 2, 3], "nested": {"y": "z"}}));
+        c.save(&path).unwrap();
+        let loaded = Collection::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(1).unwrap().body["nested"]["y"], "z");
+        // Ids continue after load.
+        let mut loaded = loaded;
+        assert_eq!(loaded.insert(json!({})), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Row {
+            app: String,
+            latency: f64,
+        }
+        let mut c = Collection::new();
+        c.insert_ser(&Row {
+            app: "WC".into(),
+            latency: 4.2,
+        })
+        .unwrap();
+        let rows: Vec<Row> = c.find_as(&Filter::eq("app", "WC"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].latency, 4.2);
+    }
+}

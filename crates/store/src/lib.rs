@@ -1,0 +1,18 @@
+//! # pdsp-store
+//!
+//! Embedded document store — the MongoDB substitute in PDSP-Bench's
+//! workflow (§2: "we allow to store the generated workload in a database,
+//! e.g., MongoDB, that can be used for training ML models").
+//!
+//! Collections hold schemaless JSON documents with auto-assigned ids,
+//! support field-equality filtering and simple comparison queries, and
+//! persist as JSON-lines files so benchmark runs and training datasets
+//! survive process restarts.
+
+pub mod collection;
+pub mod query;
+pub mod store;
+
+pub use collection::{Collection, DocId, Document};
+pub use query::Filter;
+pub use store::Store;

@@ -1,0 +1,100 @@
+//! Document filters: a small MongoDB-style query language.
+
+use serde_json::Value;
+
+/// A predicate over documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// `doc[field] == value` (dotted paths supported: "config.rate").
+    Eq(String, Value),
+    /// Numeric `doc[field] > value`.
+    Gt(String, f64),
+    /// Numeric `doc[field] < value`.
+    Lt(String, f64),
+    /// Conjunction.
+    And(Vec<Filter>),
+    /// Disjunction.
+    Or(Vec<Filter>),
+}
+
+/// Resolve a dotted path within a JSON value.
+pub fn lookup<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = doc;
+    for part in path.split('.') {
+        cur = cur.get(part)?;
+    }
+    Some(cur)
+}
+
+impl Filter {
+    /// Shorthand equality filter.
+    pub fn eq(field: &str, value: impl Into<Value>) -> Self {
+        Filter::Eq(field.to_string(), value.into())
+    }
+
+    /// Evaluate against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Eq(path, v) => lookup(doc, path) == Some(v),
+            Filter::Gt(path, x) => lookup(doc, path)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v > *x),
+            Filter::Lt(path, x) => lookup(doc, path)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v < *x),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc() -> Value {
+        json!({"app": "WC", "latency": 42.5, "config": {"rate": 100000, "cluster": "m510"}})
+    }
+
+    #[test]
+    fn eq_on_top_level_and_nested() {
+        assert!(Filter::eq("app", "WC").matches(&doc()));
+        assert!(!Filter::eq("app", "SA").matches(&doc()));
+        assert!(Filter::eq("config.cluster", "m510").matches(&doc()));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        assert!(Filter::Gt("latency".into(), 40.0).matches(&doc()));
+        assert!(!Filter::Gt("latency".into(), 50.0).matches(&doc()));
+        assert!(Filter::Lt("config.rate".into(), 1e6).matches(&doc()));
+    }
+
+    #[test]
+    fn missing_fields_never_match() {
+        assert!(!Filter::eq("nope", 1).matches(&doc()));
+        assert!(!Filter::Gt("nope".into(), 0.0).matches(&doc()));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let f = Filter::And(vec![
+            Filter::eq("app", "WC"),
+            Filter::Or(vec![
+                Filter::Gt("latency".into(), 100.0),
+                Filter::Lt("latency".into(), 50.0),
+            ]),
+        ]);
+        assert!(f.matches(&doc()));
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        assert!(Filter::All.matches(&doc()));
+        assert!(Filter::All.matches(&json!(null)));
+    }
+}

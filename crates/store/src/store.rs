@@ -1,0 +1,121 @@
+//! The top-level store: named collections with optional directory-backed
+//! persistence, safe for concurrent use.
+
+use crate::collection::Collection;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A named-collection store (one MongoDB "database").
+#[derive(Default)]
+pub struct Store {
+    collections: RwLock<HashMap<String, Collection>>,
+    dir: Option<PathBuf>,
+}
+
+impl Store {
+    /// In-memory store.
+    pub fn in_memory() -> Self {
+        Store::default()
+    }
+
+    /// Directory-backed store: collections load from / save to
+    /// `<dir>/<name>.jsonl`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut collections = HashMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                if let Some(name) = path.file_stem().and_then(|s| s.to_str()) {
+                    collections.insert(name.to_string(), Collection::load(&path)?);
+                }
+            }
+        }
+        Ok(Store {
+            collections: RwLock::new(collections),
+            dir: Some(dir),
+        })
+    }
+
+    /// Run `f` with read access to a collection (empty if absent).
+    pub fn with<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> R {
+        let guard = self.collections.read();
+        match guard.get(name) {
+            Some(c) => f(c),
+            None => f(&Collection::new()),
+        }
+    }
+
+    /// Run `f` with write access to a collection (created if absent).
+    pub fn with_mut<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+        let mut guard = self.collections.write();
+        f(guard.entry(name.to_string()).or_default())
+    }
+
+    /// Collection names.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Persist all collections (no-op for in-memory stores).
+    pub fn flush(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let guard = self.collections.read();
+        for (name, col) in guard.iter() {
+            col.save(&dir.join(format!("{name}.jsonl")))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+    use serde_json::json;
+
+    #[test]
+    fn collections_are_created_on_demand() {
+        let s = Store::in_memory();
+        s.with_mut("runs", |c| {
+            c.insert(json!({"x": 1}));
+        });
+        assert_eq!(s.with("runs", |c| c.len()), 1);
+        assert_eq!(s.with("missing", |c| c.len()), 0);
+        assert_eq!(s.collection_names(), vec!["runs"]);
+    }
+
+    #[test]
+    fn flush_and_reopen_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pdsp_store_{}", std::process::id()));
+        let s = Store::open(&dir).unwrap();
+        s.with_mut("workloads", |c| {
+            c.insert(json!({"app": "SG", "rate": 100000}));
+            c.insert(json!({"app": "WC", "rate": 1000}));
+        });
+        s.flush().unwrap();
+        drop(s);
+        let s2 = Store::open(&dir).unwrap();
+        assert_eq!(s2.with("workloads", |c| c.len()), 2);
+        let found = s2.with("workloads", |c| {
+            c.find(&Filter::eq("app", "SG")).len()
+        });
+        assert_eq!(found, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_flush_is_noop() {
+        let s = Store::in_memory();
+        s.with_mut("a", |c| {
+            c.insert(json!(1));
+        });
+        s.flush().unwrap();
+    }
+}

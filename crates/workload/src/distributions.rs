@@ -1,0 +1,160 @@
+//! Sampling distributions for stream generation.
+//!
+//! The paper models event arrivals as Poisson ("many real-world
+//! applications, e.g., network traffic, sensor networks, are poisson
+//! distributed", §4) and also supports Zipf for skewed key popularity.
+//! Implemented by hand (inversion / rejection) so the only RNG dependency
+//! is the seedable generator itself.
+
+use rand::Rng;
+
+/// A discrete sampling distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub enum Distribution {
+    /// Every value equally likely.
+    Uniform {
+        /// Exclusive upper bound.
+        n: u64,
+    },
+    /// Zipf-distributed ranks (1 is most popular), mapped to `0..n`.
+    Zipf(Zipf),
+}
+
+impl Distribution {
+    /// Sample one value in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        match self {
+            Distribution::Uniform { n } => rng.gen_range(0..(*n).max(1)),
+            Distribution::Zipf(z) => z.sample(rng) - 1,
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`: P(k) ∝ k^-s.
+///
+/// Exact inverse-CDF sampling over a precomputed cumulative table with
+/// binary search — O(n) memory at construction, O(log n) per sample, which
+/// is the right trade-off for the key-cardinality ranges the generator uses
+/// (up to ~1e6 keys).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "zipf needs n >= 1");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+/// Poisson-process inter-arrival gap generator: exponentially distributed
+/// gaps with the given mean (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct PoissonGaps {
+    mean_gap_ns: f64,
+}
+
+impl PoissonGaps {
+    /// Gaps for an arrival rate of `rate` events/second.
+    pub fn for_rate(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        PoissonGaps {
+            mean_gap_ns: 1e9 / rate,
+        }
+    }
+
+    /// Sample the next gap in nanoseconds.
+    pub fn next_gap_ns(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        -self.mean_gap_ns * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn poisson_gaps_have_right_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let gaps = PoissonGaps::for_rate(1000.0); // mean 1ms = 1e6 ns
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| gaps.next_gap_ns(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 1e6).abs() / 1e6 < 0.03,
+            "mean gap {mean} should be ~1e6"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let z = Zipf::new(100, 1.2);
+        let mut counts = vec![0u64; 101];
+        for _ in 0..50_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+            counts[k as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[1] > counts[10] * 5);
+    }
+
+    #[test]
+    fn zipf_handles_s_equal_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let z = Zipf::new(50, 1.0);
+        for _ in 0..5_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let d = Distribution::Uniform { n: 10 };
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(1000, 0.9);
+        let a: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! # pdsp-workload
+//!
+//! The workload generator — the core PDSP-Bench component (§3): synthetic
+//! data-stream generation (tuple width, field types, event rate —
+//! Table 3), synthetic parallel-query-plan generation across nine query
+//! structures, selectivity estimation so generated filters keep
+//! `0 < sel < 1`, and the six parallelism enumeration strategies
+//! (Random, Rule-based, Exhaustive, MinAvgMax, Increasing,
+//! Parameter-based).
+
+pub mod data_gen;
+pub mod distributions;
+pub mod enumerators;
+pub mod query_gen;
+pub mod selectivity;
+pub mod space;
+pub mod trace;
+
+pub use data_gen::{StreamConfig, SyntheticStream};
+pub use distributions::{Distribution, PoissonGaps, Zipf};
+pub use enumerators::{EnumerationStrategy, ParallelismEnumerator};
+pub use query_gen::{QueryGenerator, QueryStructure};
+pub use selectivity::SelectivityEstimator;
+pub use space::{ParallelismCategory, ParameterSpace};
+pub use trace::{Trace, TraceSource};

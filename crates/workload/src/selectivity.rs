@@ -1,0 +1,186 @@
+//! Selectivity estimation for generated filter predicates.
+//!
+//! Random filter literals can yield filters nothing passes (or everything
+//! does); the paper's generator estimates selectivity on sampled data and
+//! keeps only literals with `0 < sel < 1` (§3.1). The estimator both
+//! *measures* a predicate's selectivity on a sample and *solves* for a
+//! literal achieving a target selectivity via sample quantiles.
+
+use pdsp_engine::expr::{CmpOp, Predicate};
+use pdsp_engine::value::{Tuple, Value};
+
+/// Sample-based selectivity estimation.
+#[derive(Debug, Clone)]
+pub struct SelectivityEstimator {
+    sample: Vec<Tuple>,
+}
+
+impl SelectivityEstimator {
+    /// Estimator over a data sample (a few thousand tuples suffice).
+    pub fn new(sample: Vec<Tuple>) -> Self {
+        SelectivityEstimator { sample }
+    }
+
+    /// Number of sample tuples.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Fraction of sample tuples the predicate accepts.
+    pub fn estimate(&self, predicate: &Predicate) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .sample
+            .iter()
+            .filter(|t| predicate.eval(t).unwrap_or(false))
+            .count();
+        hits as f64 / self.sample.len() as f64
+    }
+
+    /// Find a literal for `field <op> literal` whose selectivity is close to
+    /// `target` (in (0,1)), using the sample's value quantiles. Returns
+    /// `None` when the field has too few distinct values to hit the band.
+    pub fn literal_for_target(
+        &self,
+        field: usize,
+        op: CmpOp,
+        target: f64,
+    ) -> Option<Value> {
+        let mut values: Vec<&Value> = self
+            .sample
+            .iter()
+            .filter_map(|t| t.values.get(field))
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| {
+            a.partial_cmp_value(b)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = values.len();
+        let lit = match op {
+            // sel(v < lit) = target  => lit at quantile `target`.
+            CmpOp::Lt | CmpOp::Le => values[(target * (n - 1) as f64) as usize].clone(),
+            // sel(v > lit) = target  => lit at quantile `1 - target`.
+            CmpOp::Gt | CmpOp::Ge => values[((1.0 - target) * (n - 1) as f64) as usize].clone(),
+            // Equality: pick the most frequent value (selectivity = its
+            // frequency); inequality mirrors it.
+            CmpOp::Eq | CmpOp::Ne => {
+                let mut best: Option<(&Value, usize)> = None;
+                let mut i = 0;
+                while i < n {
+                    let mut j = i + 1;
+                    while j < n && values[j] == values[i] {
+                        j += 1;
+                    }
+                    if best.is_none_or(|(_, c)| j - i > c) {
+                        best = Some((values[i], j - i));
+                    }
+                    i = j;
+                }
+                best.map(|(v, _)| v.clone())?
+            }
+        };
+        let predicate = Predicate::cmp(field, op, lit.clone());
+        let sel = self.estimate(&predicate);
+        (sel > 0.0 && sel < 1.0).then_some(lit)
+    }
+
+    /// Draw a valid filter predicate on `field` with selectivity inside
+    /// `band`, trying each comparison op and target until one fits.
+    pub fn valid_filter(
+        &self,
+        field: usize,
+        ops: &[CmpOp],
+        band: (f64, f64),
+        target: f64,
+    ) -> Option<(Predicate, f64)> {
+        let target = target.clamp(band.0, band.1);
+        for &op in ops {
+            if let Some(lit) = self.literal_for_target(field, op, target) {
+                let p = Predicate::cmp(field, op, lit);
+                let sel = self.estimate(&p);
+                if sel >= band.0 && sel <= band.1 {
+                    return Some((p, sel));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsp_engine::value::Value;
+
+    fn int_sample(n: i64) -> SelectivityEstimator {
+        SelectivityEstimator::new(
+            (0..n)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::str(format!("s{}", i % 10))]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn estimate_matches_exact_fraction() {
+        let est = int_sample(100);
+        let p = Predicate::cmp(0, CmpOp::Lt, Value::Int(25));
+        assert!((est.estimate(&p) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn literal_for_lt_hits_target() {
+        let est = int_sample(1000);
+        let lit = est.literal_for_target(0, CmpOp::Lt, 0.3).unwrap();
+        let sel = est.estimate(&Predicate::cmp(0, CmpOp::Lt, lit));
+        assert!((sel - 0.3).abs() < 0.02, "sel {sel}");
+    }
+
+    #[test]
+    fn literal_for_gt_hits_target() {
+        let est = int_sample(1000);
+        let lit = est.literal_for_target(0, CmpOp::Gt, 0.7).unwrap();
+        let sel = est.estimate(&Predicate::cmp(0, CmpOp::Gt, lit));
+        assert!((sel - 0.7).abs() < 0.02, "sel {sel}");
+    }
+
+    #[test]
+    fn equality_picks_frequent_value() {
+        let est = int_sample(100);
+        // String field has 10 values x 10 occurrences each.
+        let lit = est.literal_for_target(1, CmpOp::Eq, 0.1).unwrap();
+        let sel = est.estimate(&Predicate::cmp(1, CmpOp::Eq, lit));
+        assert!((sel - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_fields_are_rejected() {
+        // All values identical: no literal can give 0 < sel < 1 for Lt.
+        let est = SelectivityEstimator::new(
+            (0..50).map(|_| Tuple::new(vec![Value::Int(7)])).collect(),
+        );
+        assert_eq!(est.literal_for_target(0, CmpOp::Lt, 0.5), None);
+        assert_eq!(est.literal_for_target(0, CmpOp::Eq, 0.5), None);
+    }
+
+    #[test]
+    fn valid_filter_stays_in_band() {
+        let est = int_sample(500);
+        let (p, sel) = est
+            .valid_filter(0, &CmpOp::ALL, (0.05, 0.95), 0.5)
+            .unwrap();
+        assert!(sel > 0.05 && sel < 0.95);
+        assert!((est.estimate(&p) - sel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_estimates_zero() {
+        let est = SelectivityEstimator::new(vec![]);
+        assert_eq!(est.estimate(&Predicate::True), 0.0);
+        assert_eq!(est.literal_for_target(0, CmpOp::Lt, 0.5), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! The workload parameter space (paper Table 3).
+//!
+//! Every range the PDSP-Bench generator enumerates over lives here, so the
+//! `figures --table3` report and the generators draw from one source of
+//! truth.
+
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::expr::CmpOp;
+use pdsp_engine::value::FieldType;
+use serde::{Deserialize, Serialize};
+
+/// Parallelism categories the paper plots (XS .. XXL). The paper discusses
+/// degrees up to and beyond 128 with observations keyed to 8/16/28 (per-node
+/// cores), 64 and 128; the category ladder reflects that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelismCategory {
+    /// Degree 1.
+    XS,
+    /// Degree 4.
+    S,
+    /// Degree 8 (one m510 node's cores).
+    M,
+    /// Degree 16 (one c6525_25g node's cores).
+    L,
+    /// Degree 64.
+    XL,
+    /// Degree 128.
+    XXL,
+}
+
+impl ParallelismCategory {
+    /// All categories in ascending order.
+    pub const ALL: [ParallelismCategory; 6] = [
+        ParallelismCategory::XS,
+        ParallelismCategory::S,
+        ParallelismCategory::M,
+        ParallelismCategory::L,
+        ParallelismCategory::XL,
+        ParallelismCategory::XXL,
+    ];
+
+    /// The parallelism degree this category applies.
+    pub fn degree(self) -> usize {
+        match self {
+            ParallelismCategory::XS => 1,
+            ParallelismCategory::S => 4,
+            ParallelismCategory::M => 8,
+            ParallelismCategory::L => 16,
+            ParallelismCategory::XL => 64,
+            ParallelismCategory::XXL => 128,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParallelismCategory::XS => "XS",
+            ParallelismCategory::S => "S",
+            ParallelismCategory::M => "M",
+            ParallelismCategory::L => "L",
+            ParallelismCategory::XL => "XL",
+            ParallelismCategory::XXL => "XXL",
+        }
+    }
+}
+
+/// The enumerable parameter ranges of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    /// Event rates in events/second.
+    pub event_rates: Vec<f64>,
+    /// Tuple widths (data items per tuple).
+    pub tuple_widths: Vec<usize>,
+    /// Field types drawn for synthetic streams.
+    pub field_types: Vec<FieldType>,
+    /// Window durations in ms (time policy).
+    pub window_durations_ms: Vec<u64>,
+    /// Window lengths in tuples (count policy).
+    pub window_lengths: Vec<u64>,
+    /// Slide ratios applied to the window length.
+    pub slide_ratios: Vec<f64>,
+    /// Aggregate functions.
+    pub agg_functions: Vec<AggFunc>,
+    /// Filter comparison operators.
+    pub filter_ops: Vec<CmpOp>,
+    /// Parallelism degrees enumerable per operator.
+    pub parallelism_degrees: Vec<usize>,
+    /// Selectivity band accepted for generated filters (paper: 0 < sel < 1).
+    pub selectivity_band: (f64, f64),
+}
+
+impl Default for ParameterSpace {
+    fn default() -> Self {
+        ParameterSpace {
+            event_rates: vec![
+                10.0, 100.0, 1_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0, 200_000.0,
+                500_000.0, 1_000_000.0, 2_000_000.0, 4_000_000.0,
+            ],
+            tuple_widths: (1..=15).collect(),
+            field_types: vec![FieldType::Str, FieldType::Double, FieldType::Int],
+            window_durations_ms: vec![250, 500, 1_000, 1_500, 2_000, 2_500, 3_000],
+            window_lengths: vec![5, 10, 50, 100, 500, 1_000],
+            slide_ratios: vec![0.3, 0.4, 0.5, 0.6, 0.7],
+            agg_functions: AggFunc::ALL.to_vec(),
+            filter_ops: CmpOp::ALL.to_vec(),
+            parallelism_degrees: vec![1, 2, 4, 8, 12, 16, 24, 32, 64, 96, 128],
+            selectivity_band: (0.05, 0.95),
+        }
+    }
+}
+
+impl ParameterSpace {
+    /// Highest configured event rate (the paper presents most results at
+    /// its top rate).
+    pub fn max_event_rate(&self) -> f64 {
+        self.event_rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Render the Table 3-style report rows: (parameter, range).
+    pub fn table3_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Parallelism degree".into(),
+                format!("{:?}", self.parallelism_degrees),
+            ),
+            (
+                "Window duration (ms)".into(),
+                format!("{:?}", self.window_durations_ms),
+            ),
+            (
+                "Window length (tuples)".into(),
+                format!("{:?}", self.window_lengths),
+            ),
+            (
+                "Sliding length (ratio)".into(),
+                format!("{:?} x window length", self.slide_ratios),
+            ),
+            (
+                "Window types and policy".into(),
+                "type: sliding and tumbling, policy: count and time-based".into(),
+            ),
+            (
+                "Window aggr. functions".into(),
+                self.agg_functions
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            (
+                "Filter functions".into(),
+                self.filter_ops
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            (
+                "Tuple width x types".into(),
+                format!(
+                    "[1 - {}] x [str, double, int]",
+                    self.tuple_widths.iter().max().unwrap_or(&0)
+                ),
+            ),
+            (
+                "Event rate (events/sec)".into(),
+                format!("{:?}", self.event_rates),
+            ),
+            (
+                "Partitioning strategy".into(),
+                "forward, rebalance, hashing (+ broadcast)".into(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_monotone() {
+        let degrees: Vec<usize> = ParallelismCategory::ALL
+            .iter()
+            .map(|c| c.degree())
+            .collect();
+        assert!(degrees.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(degrees.first(), Some(&1));
+        assert_eq!(degrees.last(), Some(&128));
+    }
+
+    #[test]
+    fn default_space_matches_table3() {
+        let s = ParameterSpace::default();
+        assert_eq!(s.max_event_rate(), 4_000_000.0);
+        assert_eq!(s.tuple_widths.len(), 15);
+        assert_eq!(s.slide_ratios, vec![0.3, 0.4, 0.5, 0.6, 0.7]);
+        assert!(s.window_durations_ms.contains(&250));
+        assert!(s.window_durations_ms.contains(&3_000));
+        assert!(s.parallelism_degrees.contains(&128));
+    }
+
+    #[test]
+    fn table3_report_has_all_rows() {
+        let rows = ParameterSpace::default().table3_rows();
+        assert!(rows.len() >= 10);
+        assert!(rows.iter().any(|(k, _)| k.contains("Event rate")));
+    }
+
+    #[test]
+    fn selectivity_band_is_open_interval() {
+        let (lo, hi) = ParameterSpace::default().selectivity_band;
+        assert!(lo > 0.0 && hi < 1.0 && lo < hi);
+    }
+}

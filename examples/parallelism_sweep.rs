@@ -1,0 +1,83 @@
+//! Parallelism enumeration strategies in action: generates a 2-way-join
+//! PQP, enumerates parallelism degrees with each of the six strategies,
+//! and simulates the resulting plans — showing why random enumeration
+//! produces noisy/bad plans while rule-based degrees track demand (§3.1).
+//!
+//! ```text
+//! cargo run --release --example parallelism_sweep
+//! ```
+
+use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
+use pdsp_bench::workload::{
+    EnumerationStrategy, ParallelismEnumerator, ParameterSpace, QueryGenerator, QueryStructure,
+};
+
+fn main() {
+    let event_rate = 200_000.0;
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 5);
+    generator.event_rate_override = Some(event_rate);
+    let query = generator.generate(QueryStructure::TwoWayJoin);
+    println!("Query: 2-way join, window {}\n", query.window);
+
+    let cluster = Cluster::homogeneous_m510(10);
+    let sim = Simulator::new(
+        cluster.clone(),
+        SimConfig {
+            event_rate,
+            duration_ms: 3_000,
+            ..SimConfig::default()
+        },
+    );
+    let mut enumerator = ParallelismEnumerator::new(
+        ParameterSpace::default().parallelism_degrees,
+        cluster.total_cores(),
+        9,
+    );
+
+    let strategies: Vec<(&str, EnumerationStrategy, usize)> = vec![
+        ("Random", EnumerationStrategy::Random, 4),
+        ("RuleBased", EnumerationStrategy::RuleBased, 4),
+        ("MinAvgMax", EnumerationStrategy::MinAvgMax, 3),
+        ("Increasing", EnumerationStrategy::Increasing, 4),
+        ("Exhaustive", EnumerationStrategy::Exhaustive, 3),
+        (
+            "ParameterBased",
+            EnumerationStrategy::ParameterBased(vec![4, 4, 8, 8]),
+            1,
+        ),
+    ];
+
+    println!(
+        "{:16} {:>28} {:>14}",
+        "strategy", "degrees (per operator)", "latency (ms)"
+    );
+    for (name, strategy, count) in strategies {
+        let assignments = enumerator.enumerate(&query.plan, &strategy, event_rate, count);
+        for degrees in assignments {
+            let plan = query.plan.clone().with_parallelism(&degrees);
+            let latency = sim
+                .run(&plan)
+                .ok()
+                .and_then(|r| r.latency.median())
+                .unwrap_or(f64::NAN);
+            let tunable: Vec<usize> = plan
+                .nodes
+                .iter()
+                .filter(|n| {
+                    !matches!(
+                        n.kind,
+                        pdsp_bench::engine::OpKind::Source { .. }
+                            | pdsp_bench::engine::OpKind::Sink
+                    )
+                })
+                .map(|n| n.parallelism)
+                .collect();
+            println!("{:16} {:>28} {:>14.1}", name, format!("{tunable:?}"), latency);
+        }
+    }
+    println!(
+        "\nRule-based degrees follow each operator's demand (the join gets the\n\
+         instances, the filters stay small); random assignments include the\n\
+         noisy and outright bad plans the paper warns about."
+    );
+}

@@ -1,0 +1,58 @@
+//! Smart Grid on simulated clusters: runs the DEBS'14 Smart Grid
+//! application on the paper's three CloudLab cluster types at several
+//! parallelism degrees and prints the latency matrix — a single-app slice
+//! of Experiment 2 (Figure 4 top).
+//!
+//! ```text
+//! cargo run --release --example smart_grid_cluster
+//! ```
+
+use pdsp_bench::apps::{app_by_acronym, AppConfig};
+use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
+
+fn main() {
+    let app = app_by_acronym("SG").expect("smart grid is registered");
+    let built = app.build(&AppConfig {
+        event_rate: 100_000.0,
+        total_tuples: 1_000,
+        seed: 7,
+    });
+    println!("Application: {} — {}", app.info().name, app.info().description);
+
+    let sim_config = SimConfig {
+        event_rate: 100_000.0,
+        duration_ms: 4_000,
+        ..SimConfig::default()
+    };
+    let clusters = [
+        Cluster::homogeneous_m510(10),
+        Cluster::c6525_25g(10),
+        Cluster::c6320(10),
+        Cluster::heterogeneous_mixed(10),
+    ];
+    let degrees = [1usize, 8, 16, 64, 128];
+
+    print!("{:24}", "cluster \\ parallelism");
+    for d in degrees {
+        print!("{d:>12}");
+    }
+    println!();
+    for cluster in clusters {
+        let sim = Simulator::new(cluster.clone(), sim_config.clone());
+        print!("{:24}", cluster.name);
+        for d in degrees {
+            let plan = built.plan.clone().with_uniform_parallelism(d);
+            match sim.measure(&plan) {
+                Ok(latency) => print!("{latency:>11.1}m"),
+                Err(e) => print!("{:>12}", format!("err:{e}")),
+            }
+        }
+        println!();
+    }
+    println!("(mean of 3 runs of median end-to-end latency, ms)");
+    println!(
+        "\nNote how the UDO-heavy median detector saturates at low parallelism\n\
+         and how the faster clusters (c6525_25g clock, c6320 cores) shift the\n\
+         curve — the paper's observations O1/O5 for SG."
+    );
+}

@@ -1,0 +1,78 @@
+//! Train and compare learned cost models: generates a labeled workload with
+//! the ML manager (queries executed on the simulated cluster), trains all
+//! four models on the same data, and reports q-error + training cost — a
+//! small-scale Experiment 3.
+//!
+//! ```text
+//! cargo run --release --example train_cost_model
+//! ```
+
+use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
+use pdsp_bench::core::ml_manager::{MlManager, TrainingDataSpec};
+use pdsp_bench::ml::trainer::TrainOptions;
+use pdsp_bench::workload::{EnumerationStrategy, QueryStructure};
+
+fn main() {
+    let sim_config = SimConfig {
+        event_rate: 100_000.0,
+        duration_ms: 2_500,
+        ..SimConfig::default()
+    };
+    let manager = MlManager::new(Simulator::new(
+        Cluster::homogeneous_m510(10),
+        sim_config.clone(),
+    ));
+
+    println!("Generating 60 training + 30 evaluation queries (simulated)...");
+    let train = manager
+        .generate(&TrainingDataSpec {
+            structures: QueryStructure::ALL.to_vec(),
+            queries: 60,
+            strategy: EnumerationStrategy::RuleBased,
+            event_rate: sim_config.event_rate,
+            seed: 1,
+        })
+        .expect("training data");
+    let eval = manager
+        .generate(&TrainingDataSpec {
+            structures: QueryStructure::ALL.to_vec(),
+            queries: 30,
+            strategy: EnumerationStrategy::RuleBased,
+            event_rate: sim_config.event_rate,
+            seed: 2,
+        })
+        .expect("evaluation data");
+    println!(
+        "  data generation took {:.1}s + {:.1}s\n",
+        train.generation_time.as_secs_f64(),
+        eval.generation_time.as_secs_f64()
+    );
+
+    let opts = TrainOptions::default();
+    let evals = MlManager::train_and_evaluate(&train.dataset, &eval.dataset, &opts);
+
+    println!(
+        "{:6} {:>12} {:>10} {:>10} {:>8} {:>10}",
+        "model", "median q-err", "p90 q-err", "fit (s)", "epochs", "early-stop"
+    );
+    for e in &evals {
+        println!(
+            "{:6} {:>12.2} {:>10.2} {:>10.2} {:>8} {:>10}",
+            e.model,
+            e.qerror.median,
+            e.qerror.p90,
+            e.report.train_time.as_secs_f64(),
+            e.report.epochs,
+            e.report.early_stopped
+        );
+    }
+
+    let best = evals
+        .iter()
+        .min_by(|a, b| a.qerror.median.total_cmp(&b.qerror.median))
+        .unwrap();
+    println!(
+        "\nBest model on held-out queries: {} (median q-error {:.2})",
+        best.model, best.qerror.median
+    );
+}

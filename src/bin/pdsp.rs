@@ -1,0 +1,184 @@
+//! `pdsp` — command-line front end for PDSP-Bench (the programmatic
+//! replacement for the paper's web UI).
+//!
+//! ```text
+//! pdsp list-apps
+//! pdsp run-app SG --parallelism 16 --backend sim --cluster mixed --rate 100000
+//! pdsp run-app WC --backend threads --tuples 20000
+//! pdsp run-query 2-way-join --parallelism 8 --rate 200000
+//! pdsp tables
+//! ```
+
+use pdsp_bench::apps::{all_applications, app_by_acronym, AppConfig};
+use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
+use pdsp_bench::core::controller::Controller;
+use pdsp_bench::core::report;
+use pdsp_bench::store::Store;
+use pdsp_bench::workload::{ParameterSpace, QueryGenerator, QueryStructure};
+use std::sync::Arc;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_cluster(name: &str) -> Option<Cluster> {
+    match name {
+        "m510" => Some(Cluster::homogeneous_m510(10)),
+        "c6525" | "c6525_25g" => Some(Cluster::c6525_25g(10)),
+        "c6320" => Some(Cluster::c6320(10)),
+        "mixed" | "heterogeneous" => Some(Cluster::heterogeneous_mixed(10)),
+        _ => None,
+    }
+}
+
+fn parse_structure(label: &str) -> Option<QueryStructure> {
+    QueryStructure::ALL.iter().copied().find(|s| s.label() == label)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pdsp list-apps\n  pdsp tables\n  pdsp run-app <ACRONYM> \
+         [--parallelism N] [--backend sim|threads] [--cluster m510|c6525|c6320|mixed] \
+         [--rate EV_PER_S] [--tuples N]\n  pdsp run-query <structure> \
+         [--parallelism N] [--cluster ...] [--rate EV_PER_S]\n\
+         structures: {}",
+        QueryStructure::ALL
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    match command.as_str() {
+        "list-apps" => {
+            println!("{}", report::table2());
+        }
+        "tables" => {
+            println!("{}", report::table2());
+            println!("{}", report::table3());
+            println!("{}", report::table4());
+        }
+        "run-app" => {
+            let Some(acr) = args.get(1) else { usage() };
+            let Some(app) = app_by_acronym(acr) else {
+                eprintln!(
+                    "unknown application '{acr}'; known: {}",
+                    all_applications()
+                        .iter()
+                        .map(|a| a.info().acronym)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            };
+            let parallelism: usize = flag_value(&args, "--parallelism")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4);
+            let rate: f64 = flag_value(&args, "--rate")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100_000.0);
+            let tuples: usize = flag_value(&args, "--tuples")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10_000);
+            let cluster = flag_value(&args, "--cluster")
+                .and_then(|c| parse_cluster(&c))
+                .unwrap_or_else(|| Cluster::homogeneous_m510(10));
+            let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".into());
+
+            let sim_config = SimConfig {
+                event_rate: rate,
+                ..SimConfig::default()
+            };
+            let controller =
+                Controller::new(cluster.clone(), sim_config, Arc::new(Store::in_memory()));
+            let info = app.info();
+            println!("{} ({}) on {}", info.name, info.acronym, cluster);
+            let record = match backend.as_str() {
+                "threads" => controller.run_threaded(
+                    app.as_ref(),
+                    &AppConfig {
+                        event_rate: rate,
+                        total_tuples: tuples,
+                        seed: 1,
+                    },
+                    parallelism,
+                ),
+                "sim" => {
+                    let built = app.build(&AppConfig {
+                        event_rate: rate,
+                        total_tuples: tuples,
+                        seed: 1,
+                    });
+                    let plan = built.plan.with_uniform_parallelism(parallelism);
+                    controller.run_simulated(info.acronym, &plan)
+                }
+                other => {
+                    eprintln!("unknown backend '{other}' (sim|threads)");
+                    std::process::exit(2);
+                }
+            };
+            match record {
+                Ok(r) => {
+                    println!("backend      : {}", r.backend);
+                    println!("parallelism  : {:?}", r.parallelism);
+                    println!("p50 latency  : {:.2} ms", r.summary.p50_latency_ms);
+                    println!("p99 latency  : {:.2} ms", r.summary.p99_latency_ms);
+                    println!("tuples in/out: {} / {}", r.summary.tuples_in, r.summary.tuples_out);
+                    println!("throughput   : {:.0} t/s", r.summary.throughput_in);
+                }
+                Err(e) => {
+                    eprintln!("run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "run-query" => {
+            let Some(label) = args.get(1) else { usage() };
+            let Some(structure) = parse_structure(label) else {
+                eprintln!("unknown structure '{label}'");
+                usage();
+            };
+            let parallelism: usize = flag_value(&args, "--parallelism")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4);
+            let rate: f64 = flag_value(&args, "--rate")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100_000.0);
+            let cluster = flag_value(&args, "--cluster")
+                .and_then(|c| parse_cluster(&c))
+                .unwrap_or_else(|| Cluster::homogeneous_m510(10));
+            let mut generator = QueryGenerator::new(ParameterSpace::default(), 7);
+            generator.event_rate_override = Some(rate);
+            let query = generator.generate(structure);
+            let plan = query.plan.with_uniform_parallelism(parallelism);
+            let sim = Simulator::new(
+                cluster.clone(),
+                SimConfig {
+                    event_rate: rate,
+                    ..SimConfig::default()
+                },
+            );
+            println!(
+                "{} (window {}) at parallelism {parallelism} on {cluster}",
+                structure.label(),
+                query.window
+            );
+            match sim.measure(&plan) {
+                Ok(latency) => println!("mean-of-3-medians latency: {latency:.2} ms"),
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,295 @@
+//! The paper's key observations O1-O9 (§4), asserted as integration tests
+//! against the simulated cluster and the ML pipeline. Each test encodes the
+//! *shape* the paper reports (who wins, in which direction), not absolute
+//! numbers.
+
+use pdsp_bench::apps::{app_by_acronym, AppConfig};
+use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
+use pdsp_bench::core::ml_manager::{MlManager, TrainingDataSpec};
+use pdsp_bench::engine::plan::LogicalPlan;
+use pdsp_bench::ml::trainer::{CostModel, TrainOptions};
+use pdsp_bench::ml::Gnn;
+use pdsp_bench::workload::{
+    EnumerationStrategy, ParameterSpace, QueryGenerator, QueryStructure,
+};
+
+fn sim_config(event_rate: f64) -> SimConfig {
+    SimConfig {
+        event_rate,
+        duration_ms: 2_000,
+        batches_per_second: 80.0,
+        ..SimConfig::default()
+    }
+}
+
+fn m510() -> Simulator {
+    Simulator::new(Cluster::homogeneous_m510(10), sim_config(100_000.0))
+}
+
+fn synthetic(structure: QueryStructure) -> LogicalPlan {
+    let mut generator = QueryGenerator::new(ParameterSpace::default(), 41);
+    generator.event_rate_override = Some(100_000.0);
+    generator.window_override =
+        Some(pdsp_bench::engine::WindowSpec::tumbling_time(500));
+    generator.generate(structure).plan
+}
+
+fn app_plan(acronym: &str) -> LogicalPlan {
+    app_by_acronym(acronym)
+        .unwrap()
+        .build(&AppConfig {
+            event_rate: 100_000.0,
+            total_tuples: 1_000,
+            seed: 13,
+        })
+        .plan
+}
+
+fn measure(sim: &Simulator, plan: &LogicalPlan, parallelism: usize) -> f64 {
+    sim.measure(&plan.clone().with_uniform_parallelism(parallelism))
+        .expect("simulation succeeds")
+}
+
+/// O1 — increasing parallelism speeds up multi-way join queries (and
+/// data-intensive UDO applications), while plain filter chains stay flat.
+#[test]
+fn o1_parallelism_speeds_up_joins_but_not_filters() {
+    let sim = m510();
+    let join = synthetic(QueryStructure::FourWayJoin);
+    let join_p1 = measure(&sim, &join, 1);
+    let join_p8 = measure(&sim, &join, 8);
+    assert!(
+        join_p8 < join_p1 * 0.9,
+        "4-way join should gain from parallelism: p1 {join_p1:.0} ms vs p8 {join_p8:.0} ms"
+    );
+
+    let filters = synthetic(QueryStructure::TwoFilter);
+    let f_p1 = measure(&sim, &filters, 1);
+    let f_p8 = measure(&sim, &filters, 8);
+    let ratio = f_p1 / f_p8;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "filter chains stay flat across parallelism: p1 {f_p1:.0} vs p8 {f_p8:.0}"
+    );
+}
+
+/// O2 — the paradox of parallelism: beyond a threshold, coordination
+/// overhead outweighs the benefit; join latency at 128 is no better than
+/// at 16 (and data-intensive UDOs like SG keep improving, unlike joins).
+#[test]
+fn o2_parallelism_paradox_for_joins() {
+    let sim = m510();
+    let join = synthetic(QueryStructure::TwoWayJoin);
+    let p16 = measure(&sim, &join, 16);
+    let p128 = measure(&sim, &join, 128);
+    assert!(
+        p128 >= p16 * 0.97,
+        "beyond the threshold parallelism stops helping joins: p16 {p16:.1} vs p128 {p128:.1}"
+    );
+
+    // SG (heavy UDO) by contrast still gains markedly from 16 -> 128.
+    let sg = app_plan("SG");
+    let sg16 = measure(&sim, &sg, 16);
+    let sg128 = measure(&sim, &sg, 128);
+    assert!(
+        sg128 < sg16 * 0.8,
+        "SG keeps gaining at extreme parallelism: p16 {sg16:.0} vs p128 {sg128:.0}"
+    );
+}
+
+/// O3 — queries with UDOs show less predictable performance: run-to-run
+/// variability (different seeds) is higher for the UDO-heavy application
+/// than for a standard-operator query.
+#[test]
+fn o3_udo_latency_is_less_predictable() {
+    let cv = |plan: &LogicalPlan| {
+        let lats: Vec<f64> = (0..6)
+            .map(|seed| {
+                let mut cfg = sim_config(100_000.0);
+                cfg.seed = 1000 + seed;
+                let sim = Simulator::new(Cluster::homogeneous_m510(10), cfg);
+                sim.run(&plan.clone().with_uniform_parallelism(8))
+                    .unwrap()
+                    .latency
+                    .median()
+                    .unwrap()
+            })
+            .collect();
+        let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+        let var = lats.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / lats.len() as f64;
+        var.sqrt() / mean
+    };
+    let udo_cv = cv(&app_plan("TM"));
+    let std_cv = cv(&synthetic(QueryStructure::Linear));
+    assert!(
+        udo_cv > std_cv,
+        "UDO app varies more across runs: TM cv {udo_cv:.4} vs linear cv {std_cv:.4}"
+    );
+}
+
+/// O4 — the effect of parallelism on latency is non-linear: doubling
+/// resources does not halve latency uniformly; successive speedup factors
+/// differ substantially for a data-intensive application.
+#[test]
+fn o4_nonlinear_parallelism_effect() {
+    let sim = m510();
+    let sd = app_plan("SD");
+    let p1 = measure(&sim, &sd, 1);
+    let p8 = measure(&sim, &sd, 8);
+    let p64 = measure(&sim, &sd, 64);
+    let early_speedup = p1 / p8; // per 8x resources
+    let late_speedup = p8 / p64; // per 8x resources
+    assert!(
+        early_speedup > 2.0 * late_speedup || late_speedup > 2.0 * early_speedup,
+        "speedup is not uniform: 1->8 gives {early_speedup:.1}x, 8->64 gives {late_speedup:.1}x"
+    );
+}
+
+/// O5 — a more powerful heterogeneous environment does not accelerate
+/// every query: SG benefits substantially from the mixed cluster while AD's
+/// gain is comparatively marginal.
+#[test]
+fn o5_heterogeneous_hardware_helps_unevenly() {
+    let homog = Simulator::new(Cluster::homogeneous_m510(10), sim_config(100_000.0));
+    let hetero = Simulator::new(
+        Cluster::heterogeneous_mixed(10),
+        sim_config(100_000.0),
+    );
+    let gain = |acr: &str, p: usize| {
+        let plan = app_plan(acr);
+        measure(&homog, &plan, p) / measure(&hetero, &plan, p)
+    };
+    let sg_gain = gain("SG", 16);
+    let ad_gain = gain("AD", 16);
+    assert!(
+        sg_gain > ad_gain,
+        "SG gains more from heterogeneity than AD: SG {sg_gain:.2}x vs AD {ad_gain:.2}x"
+    );
+    assert!(sg_gain > 1.1, "SG must benefit: {sg_gain:.2}x");
+}
+
+/// O6 — no single optimal parallelism exists across workloads: the best
+/// category for a filter chain differs from the best for a heavy UDO app.
+#[test]
+fn o6_optimal_parallelism_is_workload_dependent() {
+    let sim = m510();
+    let degrees = [1usize, 8, 64];
+    let argmin = |plan: &LogicalPlan| {
+        degrees
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                measure(&sim, plan, a).total_cmp(&measure(&sim, plan, b))
+            })
+            .unwrap()
+    };
+    let best_filters = argmin(&synthetic(QueryStructure::ThreeFilter));
+    let best_sg = argmin(&app_plan("SG"));
+    assert_ne!(
+        best_filters, best_sg,
+        "optimal degree differs across workloads (filters {best_filters}, SG {best_sg})"
+    );
+}
+
+/// O7 — neither cluster type wins universally: at least one workload is
+/// faster on the homogeneous cluster and at least one on the heterogeneous
+/// one (same parallelism).
+#[test]
+fn o7_no_universal_cluster_choice() {
+    let homog = Simulator::new(Cluster::homogeneous_m510(10), sim_config(100_000.0));
+    let hetero = Simulator::new(
+        Cluster::heterogeneous_mixed(10),
+        sim_config(100_000.0),
+    );
+    // Coordination-dominated synthetic joins run better on the homogeneous
+    // cluster (no progress-alignment penalty across uneven nodes)...
+    let join = synthetic(QueryStructure::ThreeWayJoin);
+    let join_homog = measure(&homog, &join, 64);
+    let join_hetero = measure(&hetero, &join, 64);
+    assert!(
+        join_homog < join_hetero,
+        "synthetic join prefers the homogeneous cluster: {join_homog:.1} vs {join_hetero:.1}"
+    );
+    // ...while service-dominated real-world UDO apps exploit the mixed
+    // cluster's extra cores and faster clocks.
+    let sg = app_plan("SG");
+    let sg_homog = measure(&homog, &sg, 16);
+    let sg_hetero = measure(&hetero, &sg, 16);
+    assert!(
+        sg_hetero < sg_homog,
+        "SG prefers the heterogeneous cluster: {sg_hetero:.1} vs {sg_homog:.1}"
+    );
+}
+
+/// O8 — the graph representation helps: the GNN's median q-error beats the
+/// linear-regression baseline and stays in a usable band.
+#[test]
+fn o8_gnn_outperforms_linear_baseline() {
+    let manager = MlManager::new(m510());
+    let spec = |seed| TrainingDataSpec {
+        structures: QueryStructure::ALL.to_vec(),
+        queries: 54,
+        strategy: EnumerationStrategy::Random,
+        event_rate: 100_000.0,
+        seed,
+    };
+    let train = manager.generate(&spec(71)).unwrap();
+    let eval = manager.generate(&spec(72)).unwrap();
+    let opts = TrainOptions {
+        max_epochs: 150,
+        patience: 25,
+        ..TrainOptions::default()
+    };
+    let evals = MlManager::train_and_evaluate(&train.dataset, &eval.dataset, &opts);
+    let q = |name: &str| {
+        evals
+            .iter()
+            .find(|e| e.model == name)
+            .map(|e| e.qerror.median)
+            .unwrap()
+    };
+    assert!(
+        q("GNN") <= q("LR"),
+        "GNN ({:.2}) must beat the LR baseline ({:.2})",
+        q("GNN"),
+        q("LR")
+    );
+    assert!(q("GNN") < 5.0, "GNN q-error in a usable band: {:.2}", q("GNN"));
+}
+
+/// O9 — data-efficient training: with the same number of training queries,
+/// rule-based enumeration yields predictions at least as accurate as random
+/// enumeration on realistic (rule-based) deployments.
+#[test]
+fn o9_rule_based_enumeration_is_data_efficient() {
+    let manager = MlManager::new(m510());
+    let gen = |strategy: EnumerationStrategy, seed: u64, queries: usize| {
+        manager
+            .generate(&TrainingDataSpec {
+                structures: QueryStructure::SEEN.to_vec(),
+                queries,
+                strategy,
+                event_rate: 100_000.0,
+                seed,
+            })
+            .unwrap()
+    };
+    let eval = gen(EnumerationStrategy::RuleBased, 202, 24);
+    let opts = TrainOptions {
+        max_epochs: 120,
+        patience: 20,
+        ..TrainOptions::default()
+    };
+    let fit_q = |strategy: EnumerationStrategy| {
+        let train = gen(strategy, 201, 30);
+        let mut model = Gnn::default();
+        model.fit(&train.dataset, &opts);
+        model.evaluate(&eval.dataset).unwrap().median
+    };
+    let rule = fit_q(EnumerationStrategy::RuleBased);
+    let random = fit_q(EnumerationStrategy::Random);
+    assert!(
+        rule <= random * 1.1,
+        "rule-based training data is at least as effective: rule {rule:.2} vs random {random:.2}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over cross-crate invariants.
+
+use pdsp_bench::cluster::{Cluster, Placement, PlacementStrategy};
+use pdsp_bench::engine::agg::{Accumulator, AggFunc};
+use pdsp_bench::engine::physical::PhysicalPlan;
+use pdsp_bench::engine::runtime::{RunConfig, ThreadedRuntime, VecSource};
+use pdsp_bench::engine::value::{FieldType, Schema, Tuple, Value};
+use pdsp_bench::engine::window::{KeyedWindower, WindowSpec};
+use pdsp_bench::engine::{expr::CmpOp, expr::Predicate, PlanBuilder};
+use pdsp_bench::ml::qerror::qerror;
+use pdsp_bench::workload::{
+    EnumerationStrategy, ParallelismEnumerator, ParameterSpace, QueryGenerator, QueryStructure,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated synthetic query is a valid plan that expands, for
+    /// any structure and seed.
+    #[test]
+    fn generated_queries_always_validate(seed in 0u64..500, idx in 0usize..9) {
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), seed);
+        let query = generator.generate(QueryStructure::ALL[idx]);
+        prop_assert!(query.plan.validate().is_ok());
+        let phys = PhysicalPlan::expand(&query.plan).unwrap();
+        prop_assert_eq!(phys.instance_count(), query.plan.total_instances());
+    }
+
+    /// Parallelism enumerators never exceed the core cap and never produce
+    /// zero degrees, for any strategy.
+    #[test]
+    fn enumerated_degrees_are_bounded(seed in 0u64..200, cap in 1usize..300, pick in 0usize..5) {
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), seed);
+        let query = generator.generate(QueryStructure::TwoWayJoin);
+        let strategy = match pick {
+            0 => EnumerationStrategy::Random,
+            1 => EnumerationStrategy::RuleBased,
+            2 => EnumerationStrategy::MinAvgMax,
+            3 => EnumerationStrategy::Increasing,
+            _ => EnumerationStrategy::ParameterBased(vec![3, 5, 7]),
+        };
+        let mut e = ParallelismEnumerator::new(
+            ParameterSpace::default().parallelism_degrees, cap, seed);
+        for degrees in e.enumerate(&query.plan, &strategy, 1e5, 4) {
+            for &d in &degrees {
+                prop_assert!(d >= 1);
+                prop_assert!(d <= cap.max(7), "degree {} above cap {}", d, cap);
+            }
+            prop_assert!(query.plan.clone().with_parallelism(&degrees).validate().is_ok());
+        }
+    }
+
+    /// Count windows fire exactly floor((n - length)/slide) + 1 times once
+    /// n >= length (single key).
+    #[test]
+    fn count_window_fire_count(n in 1u64..400, length in 1u64..50, slide_ratio in 1u64..10) {
+        let slide = (length * slide_ratio / 10).max(1).min(length);
+        let spec = WindowSpec::sliding_count(length, slide);
+        let mut w = KeyedWindower::new(spec, AggFunc::Count, false);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let mut t = Tuple::new(vec![Value::Int(0)]);
+            t.event_time = i as i64;
+            w.push(None, 1.0, &t, &mut out);
+        }
+        let expected = if n >= length { (n - length) / slide + 1 } else { 0 };
+        prop_assert_eq!(out.len() as u64, expected);
+    }
+
+    /// Accumulator merge is associative-equivalent to a single pass.
+    #[test]
+    fn accumulator_merge_matches_single_pass(
+        vals in prop::collection::vec(-1e6f64..1e6, 1..64),
+        split in 0usize..64,
+        func_idx in 0usize..6,
+    ) {
+        let func = AggFunc::ALL[func_idx];
+        let split = split.min(vals.len());
+        let mut single = Accumulator::new(func);
+        for &v in &vals { single.push(v); }
+        let mut left = Accumulator::new(func);
+        let mut right = Accumulator::new(func);
+        for &v in &vals[..split] { left.push(v); }
+        for &v in &vals[split..] { right.push(v); }
+        left.merge(&right);
+        let (a, b) = (single.finish().unwrap(), left.finish().unwrap());
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{} vs {}", a, b);
+    }
+
+    /// q-error is >= 1 and symmetric for all positive pairs.
+    #[test]
+    fn qerror_properties(t in 1e-6f64..1e9, p in 1e-6f64..1e9) {
+        let q = qerror(t, p);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - qerror(p, t)).abs() < 1e-9);
+    }
+
+    /// Filter execution matches predicate semantics exactly: output count
+    /// equals the number of matching inputs, at any parallelism.
+    #[test]
+    fn parallel_filter_is_exact(threshold in -50i64..50, parallelism in 1usize..9) {
+        let tuples: Vec<Tuple> = (-50..50).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        let expected = tuples
+            .iter()
+            .filter(|t| matches!(&t.values[0], Value::Int(v) if *v < threshold))
+            .count() as u64;
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 1)
+            .filter("f", Predicate::cmp(0, CmpOp::Lt, Value::Int(threshold)), 0.5)
+            .set_parallelism(1, parallelism)
+            .sink("k")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let result = ThreadedRuntime::new(RunConfig::default())
+            .run(&phys, &[VecSource::new(tuples)])
+            .unwrap();
+        prop_assert_eq!(result.tuples_out, expected);
+    }
+
+    /// Placement assigns every instance to a real node under all
+    /// strategies, and per-node counts sum to the instance count.
+    #[test]
+    fn placement_is_total(parallelism in 1usize..64, nodes in 1usize..12, strat in 0usize..3) {
+        let plan = PlanBuilder::new()
+            .source("s", Schema::of(&[FieldType::Int]), 2)
+            .filter("f", Predicate::True, 1.0)
+            .set_parallelism(1, parallelism)
+            .sink("k")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let cluster = Cluster::heterogeneous_mixed(nodes);
+        let strategy = [
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::CoreWeighted,
+            PlacementStrategy::OperatorLocality,
+        ][strat];
+        let placement = Placement::compute(&phys, &cluster, strategy);
+        prop_assert_eq!(placement.node_of.len(), phys.instance_count());
+        for &n in &placement.node_of {
+            prop_assert!(n < cluster.len());
+        }
+        let counts = placement.per_node_counts(cluster.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), phys.instance_count());
+    }
+}
