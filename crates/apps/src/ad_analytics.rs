@@ -124,13 +124,7 @@ impl Application for AdAnalytics {
         });
 
         let mut b = PlanBuilder::new();
-        let imp_src = b.add_node(
-            "impressions",
-            OpKind::Source {
-                schema: imp_schema,
-            },
-            1,
-        );
+        let imp_src = b.add_node("impressions", OpKind::Source { schema: imp_schema }, 1);
         let click_src = b.add_node(
             "clicks",
             OpKind::Source {

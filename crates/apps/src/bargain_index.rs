@@ -90,7 +90,8 @@ impl Application for BargainIndex {
             acronym: "BI",
             name: "Bargain Index",
             area: "Finance",
-            description: "Per-symbol VWAP; asks priced below VWAP emit a volume-weighted bargain index",
+            description:
+                "Per-symbol VWAP; asks priced below VWAP emit a volume-weighted bargain index",
             uses_udo: true,
             sources: 1,
         }

@@ -29,11 +29,7 @@ impl Udo for VisitState {
         };
         let repeat = !self.seen.insert((user, url));
         out.push(Tuple {
-            values: vec![
-                Value::Int(url),
-                Value::Int(user),
-                Value::Int(repeat as i64),
-            ],
+            values: vec![Value::Int(url), Value::Int(user), Value::Int(repeat as i64)],
             event_time: tuple.event_time,
             emit_ns: tuple.emit_ns,
         });

@@ -115,16 +115,62 @@ where
 
 /// Words used by text-producing sources (WC, SA, TT).
 pub const WORDS: [&str; 40] = [
-    "stream", "data", "flink", "storm", "latency", "window", "join", "filter", "great", "bad",
-    "awesome", "terrible", "good", "poor", "fast", "slow", "cloud", "edge", "query", "plan",
-    "operator", "parallel", "benchmark", "tuple", "event", "rate", "state", "key", "happy", "sad",
-    "love", "hate", "excellent", "awful", "amazing", "boring", "win", "fail", "nice", "worst",
+    "stream",
+    "data",
+    "flink",
+    "storm",
+    "latency",
+    "window",
+    "join",
+    "filter",
+    "great",
+    "bad",
+    "awesome",
+    "terrible",
+    "good",
+    "poor",
+    "fast",
+    "slow",
+    "cloud",
+    "edge",
+    "query",
+    "plan",
+    "operator",
+    "parallel",
+    "benchmark",
+    "tuple",
+    "event",
+    "rate",
+    "state",
+    "key",
+    "happy",
+    "sad",
+    "love",
+    "hate",
+    "excellent",
+    "awful",
+    "amazing",
+    "boring",
+    "win",
+    "fail",
+    "nice",
+    "worst",
 ];
 
 /// Hashtags used by social sources.
 pub const HASHTAGS: [&str; 12] = [
-    "#streaming", "#bigdata", "#flink", "#iot", "#ml", "#cloud", "#debs", "#sigmod", "#tpctc",
-    "#rust", "#realtime", "#benchmark",
+    "#streaming",
+    "#bigdata",
+    "#flink",
+    "#iot",
+    "#ml",
+    "#cloud",
+    "#debs",
+    "#sigmod",
+    "#tpctc",
+    "#rust",
+    "#realtime",
+    "#benchmark",
 ];
 
 /// Build a random sentence of `len` words.
@@ -184,8 +230,9 @@ mod tests {
             total_tuples: 4_000,
             ..AppConfig::default()
         };
-        let stream =
-            ClosureStream::new(Schema::of(&[FieldType::Int]), &cfg, |_, _| vec![Value::Int(0)]);
+        let stream = ClosureStream::new(Schema::of(&[FieldType::Int]), &cfg, |_, _| {
+            vec![Value::Int(0)]
+        });
         let tuples: Vec<Tuple> = stream.instance_iter(0, 1).collect();
         let span = (tuples.last().unwrap().event_time - tuples[0].event_time) as f64;
         assert!(

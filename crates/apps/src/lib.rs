@@ -42,8 +42,8 @@ pub mod smart_grid;
 pub mod spike_detection;
 pub mod tpch;
 pub mod traffic_monitoring;
-pub mod variations;
 pub mod trending_topics;
+pub mod variations;
 pub mod word_count;
 
 pub use common::{AppConfig, Application, BuiltApp, ClosureStream};

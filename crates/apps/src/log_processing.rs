@@ -15,7 +15,14 @@ use std::sync::Arc;
 
 /// Region labels the geo lookup can produce.
 pub const REGIONS: [&str; 8] = [
-    "na-east", "na-west", "eu-west", "eu-central", "ap-south", "ap-east", "sa-east", "af-north",
+    "na-east",
+    "na-west",
+    "eu-west",
+    "eu-central",
+    "ap-south",
+    "ap-east",
+    "sa-east",
+    "af-north",
 ];
 
 /// Maps an IPv4-as-integer to a region via longest-prefix style bucketing

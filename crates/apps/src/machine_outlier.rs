@@ -153,7 +153,11 @@ mod tests {
         };
         let mut out = Vec::new();
         for v in [40.0, 41.0, 39.0, 40.5, 40.2, 39.8] {
-            s.on_tuple(0, Tuple::new(vec![Value::Int(1), Value::Double(v)]), &mut out);
+            s.on_tuple(
+                0,
+                Tuple::new(vec![Value::Int(1), Value::Double(v)]),
+                &mut out,
+            );
         }
         out.clear();
         s.on_tuple(

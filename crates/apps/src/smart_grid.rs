@@ -102,7 +102,7 @@ impl Application for SmartGrid {
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let plug = (i % 400) as i64;
             let house = plug / 10; // 10 plugs per house, 40 houses
-            // Houses 0-3 run heavy appliances.
+                                   // Houses 0-3 run heavy appliances.
             let base = if house < 4 { 900.0 } else { 120.0 };
             vec![
                 Value::Int(plug),

@@ -31,10 +31,10 @@ impl Udo for DetectorState {
         ) else {
             return;
         };
-        let (window, sum) = self.windows.entry(device).or_insert((
-            VecDeque::with_capacity(MA_WINDOW),
-            0.0,
-        ));
+        let (window, sum) = self
+            .windows
+            .entry(device)
+            .or_insert((VecDeque::with_capacity(MA_WINDOW), 0.0));
         let avg_before = if window.is_empty() {
             value
         } else {

@@ -23,7 +23,8 @@ impl Application for TpcH {
             acronym: "TPCH",
             name: "TPC-H streaming Q1",
             area: "E-commerce",
-            description: "Lineitem pricing summary: shipdate filter, discount map, revenue per return flag",
+            description:
+                "Lineitem pricing summary: shipdate filter, discount map, revenue per return flag",
             uses_udo: false,
             sources: 1,
         }

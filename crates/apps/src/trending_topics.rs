@@ -63,11 +63,7 @@ struct RankerState {
 
 impl RankerState {
     fn topk(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(String, f64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(K);
         v
@@ -211,11 +207,7 @@ mod tests {
         let feed = |r: &mut RankerState, out: &mut Vec<Tuple>, tag: &str, c: f64| {
             r.on_tuple(
                 0,
-                Tuple::new(vec![
-                    Value::str(tag),
-                    Value::Timestamp(0),
-                    Value::Double(c),
-                ]),
+                Tuple::new(vec![Value::str(tag), Value::Timestamp(0), Value::Double(c)]),
                 out,
             );
         };

@@ -215,10 +215,15 @@ mod tests {
             .build(&AppConfig::default())
             .plan;
         let varied = apply(&base, &Variation::SwapAggFunc(AggFunc::Max)).unwrap();
-        let has_max = varied
-            .nodes
-            .iter()
-            .any(|n| matches!(n.kind, OpKind::WindowAggregate { func: AggFunc::Max, .. }));
+        let has_max = varied.nodes.iter().any(|n| {
+            matches!(
+                n.kind,
+                OpKind::WindowAggregate {
+                    func: AggFunc::Max,
+                    ..
+                }
+            )
+        });
         assert!(has_max);
     }
 

@@ -19,7 +19,8 @@ impl Application for WordCount {
             acronym: "WC",
             name: "Word Count",
             area: "Text processing",
-            description: "Counts word frequency over sentence streams (flatMap + keyed window count)",
+            description:
+                "Counts word frequency over sentence streams (flatMap + keyed window count)",
             uses_udo: false,
             sources: 1,
         }

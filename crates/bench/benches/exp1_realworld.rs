@@ -28,11 +28,9 @@ fn bench_fig3_bottom(c: &mut Criterion) {
             ParallelismCategory::XL,
         ] {
             let plan = built.plan.clone().with_uniform_parallelism(cat.degree());
-            group.bench_with_input(
-                BenchmarkId::new(acronym, cat.label()),
-                &plan,
-                |b, plan| b.iter(|| sim.run(plan).unwrap().latency.median()),
-            );
+            group.bench_with_input(BenchmarkId::new(acronym, cat.label()), &plan, |b, plan| {
+                b.iter(|| sim.run(plan).unwrap().latency.median())
+            });
         }
     }
     group.finish();

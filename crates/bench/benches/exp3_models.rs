@@ -35,11 +35,15 @@ fn bench_fig5(c: &mut Criterion) {
     group.bench_function("LR", |b| {
         b.iter(|| LinearRegression::default().fit(&data.dataset, &opts))
     });
-    group.bench_function("MLP", |b| b.iter(|| Mlp::default().fit(&data.dataset, &opts)));
+    group.bench_function("MLP", |b| {
+        b.iter(|| Mlp::default().fit(&data.dataset, &opts))
+    });
     group.bench_function("RF", |b| {
         b.iter(|| RandomForest::default().fit(&data.dataset, &opts))
     });
-    group.bench_function("GNN", |b| b.iter(|| Gnn::default().fit(&data.dataset, &opts)));
+    group.bench_function("GNN", |b| {
+        b.iter(|| Gnn::default().fit(&data.dataset, &opts))
+    });
     group.finish();
 
     // Inference latency per model (single prediction).

@@ -7,8 +7,9 @@
 //!
 //! Flags: `--table2 --table3 --table4 --fig3-top --fig3-bottom --fig4-top
 //! --fig4-bottom --fig5 --fig6 --all`, plus `--ablation` (cost-mechanism
-//! toggles), `--throughput` (sustainable-rate sweep) and `--rates`
-//! (latency vs event rate) — extensions that
+//! toggles), `--throughput` (sustainable-rate sweep), `--rates`
+//! (latency vs event rate) and `--fault` (recovery time and p99 latency
+//! vs checkpoint interval under a node failure) — extensions that
 //! are not paper figures and therefore not part of `--all`. Scale via
 //! `--quick` (default) or `--paper`. JSON copies land in
 //! `target/figures/`.
@@ -183,6 +184,21 @@ fn main() {
                 save_json("throughput", &series);
             }
             Err(e) => eprintln!("throughput failed: {e}"),
+        }
+    }
+    if has("--fault") {
+        match experiments::exp4_fault(&scale) {
+            Ok(series) => {
+                println!(
+                    "{}",
+                    report::latency_table(
+                        "Fault tolerance: recovery time and p99 latency vs checkpoint interval",
+                        &series
+                    )
+                );
+                save_json("fault", &series);
+            }
+            Err(e) => eprintln!("fault failed: {e}"),
         }
     }
     if has("--ablation") {

@@ -1,0 +1,238 @@
+//! Node-failure modeling for the discrete-event simulator.
+//!
+//! Failures are either *scripted* (a node dies at a fixed simulated time)
+//! or drawn from a per-node exponential MTTF distribution, deterministic
+//! given the simulation seed. A failed node freezes for a modeled recovery
+//! interval:
+//!
+//! ```text
+//! recovery = detection timeout
+//!          + state restore (snapshot bytes / restore bandwidth)
+//!          + replay backlog (half a checkpoint interval, in expectation)
+//! ```
+//!
+//! which makes recovery time monotone in both checkpoint interval and
+//! snapshot state size — the trade-off the fault experiments sweep.
+
+use crate::costs::CostParams;
+use pdsp_engine::error::{EngineError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A failure injected at a fixed simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScriptedFailure {
+    /// Simulated time of the failure in milliseconds.
+    pub at_ms: f64,
+    /// Cluster node that fails.
+    pub node: usize,
+}
+
+/// Node-failure model and recovery-cost parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Failures at fixed times (applied in addition to MTTF draws).
+    #[serde(default)]
+    pub failures: Vec<ScriptedFailure>,
+    /// Mean time to failure per node, ms; `None` disables random failures.
+    #[serde(default)]
+    pub mttf_ms: Option<f64>,
+    /// Time until the supervisor notices a dead node, ms.
+    pub detection_timeout_ms: f64,
+    /// Checkpoint interval, ms: the expected replay backlog after restore
+    /// is half of it.
+    pub checkpoint_interval_ms: f64,
+    /// Bandwidth at which snapshot state is re-read on restart (disk or
+    /// NIC, whichever bounds it), Gbit/s.
+    pub restore_gbps: f64,
+    /// Multiplier on the modeled snapshot size (sweep knob for the
+    /// recovery-vs-state-size experiments).
+    pub state_scale: f64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            failures: Vec::new(),
+            mttf_ms: None,
+            detection_timeout_ms: 500.0,
+            checkpoint_interval_ms: 1_000.0,
+            restore_gbps: 1.0,
+            state_scale: 1.0,
+        }
+    }
+}
+
+impl FailureModel {
+    /// Validate the model's parameters.
+    pub fn validate(&self, cluster_nodes: usize) -> Result<()> {
+        if self.detection_timeout_ms < 0.0
+            || self.checkpoint_interval_ms < 0.0
+            || self.state_scale < 0.0
+        {
+            return Err(EngineError::InvalidConfig(
+                "failure model times and scales must be non-negative".into(),
+            ));
+        }
+        if self.restore_gbps <= 0.0 {
+            return Err(EngineError::InvalidConfig(
+                "failure model restore_gbps must be positive".into(),
+            ));
+        }
+        if let Some(mttf) = self.mttf_ms {
+            if mttf <= 0.0 {
+                return Err(EngineError::InvalidConfig(
+                    "failure model mttf_ms must be positive".into(),
+                ));
+            }
+        }
+        for f in &self.failures {
+            if f.node >= cluster_nodes {
+                return Err(EngineError::InvalidConfig(format!(
+                    "scripted failure targets node {} but the cluster has {} nodes",
+                    f.node, cluster_nodes
+                )));
+            }
+            if f.at_ms < 0.0 {
+                return Err(EngineError::InvalidConfig(
+                    "scripted failure time must be non-negative".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concrete failure times for one run: scripted entries plus MTTF
+    /// draws, sorted by time. Deterministic given `seed` and independent of
+    /// the simulator's main RNG stream.
+    pub fn schedule(
+        &self,
+        cluster_nodes: usize,
+        duration_ms: f64,
+        seed: u64,
+    ) -> Vec<ScriptedFailure> {
+        let mut all: Vec<ScriptedFailure> = self
+            .failures
+            .iter()
+            .filter(|f| f.at_ms < duration_ms)
+            .cloned()
+            .collect();
+        if let Some(mttf) = self.mttf_ms {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_F417_u64);
+            for node in 0..cluster_nodes {
+                let mut t = 0.0f64;
+                loop {
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    t += -mttf * u.ln();
+                    if t >= duration_ms {
+                        break;
+                    }
+                    all.push(ScriptedFailure { at_ms: t, node });
+                }
+            }
+        }
+        all.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        all
+    }
+
+    /// Modeled recovery time for a node holding `state_bytes` of snapshot
+    /// state.
+    pub fn recovery_ms(&self, state_bytes: f64, costs: &CostParams) -> f64 {
+        let restore_ms = costs.wire_ns(state_bytes * self.state_scale, self.restore_gbps) / 1e6;
+        self.detection_timeout_ms + restore_ms + 0.5 * self.checkpoint_interval_ms
+    }
+}
+
+/// One recovered node failure observed during a simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Simulated time of the failure, ms.
+    pub at_ms: f64,
+    /// The node that failed.
+    pub node: usize,
+    /// Modeled recovery duration, ms.
+    pub recovery_ms: f64,
+    /// Snapshot state held on the node at failure time, bytes (after
+    /// `state_scale`).
+    pub state_bytes: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_is_monotone_in_checkpoint_interval() {
+        let costs = CostParams::default();
+        let mut prev = 0.0;
+        for interval in [100.0, 500.0, 1_000.0, 5_000.0] {
+            let m = FailureModel {
+                checkpoint_interval_ms: interval,
+                ..FailureModel::default()
+            };
+            let r = m.recovery_ms(1e6, &costs);
+            assert!(r >= prev, "interval {interval}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn recovery_is_monotone_in_state_size() {
+        let costs = CostParams::default();
+        let m = FailureModel::default();
+        let mut prev = 0.0;
+        for bytes in [0.0, 1e3, 1e6, 1e9] {
+            let r = m.recovery_ms(bytes, &costs);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let m = FailureModel {
+            mttf_ms: Some(3_000.0),
+            failures: vec![ScriptedFailure {
+                at_ms: 500.0,
+                node: 1,
+            }],
+            ..FailureModel::default()
+        };
+        let a = m.schedule(4, 10_000.0, 7);
+        let b = m.schedule(4, 10_000.0, 7);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ms, y.at_ms);
+            assert_eq!(x.node, y.node);
+        }
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FailureModel::default().validate(4).is_ok());
+        assert!(FailureModel {
+            restore_gbps: 0.0,
+            ..FailureModel::default()
+        }
+        .validate(4)
+        .is_err());
+        assert!(FailureModel {
+            mttf_ms: Some(-1.0),
+            ..FailureModel::default()
+        }
+        .validate(4)
+        .is_err());
+        assert!(FailureModel {
+            failures: vec![ScriptedFailure {
+                at_ms: 1.0,
+                node: 9
+            }],
+            ..FailureModel::default()
+        }
+        .validate(4)
+        .is_err());
+    }
+}

@@ -22,12 +22,14 @@
 //! backends exercise identical plan expansion and routing.
 
 pub mod costs;
+pub mod failure;
 pub mod hardware;
 pub mod placement;
 pub mod rates;
 pub mod simulator;
 
 pub use costs::CostParams;
+pub use failure::{FailureModel, RecoveryEvent, ScriptedFailure};
 pub use hardware::{Cluster, ClusterKind, Node, NodeType};
 pub use placement::{Placement, PlacementStrategy};
 pub use simulator::{SimConfig, SimResult, Simulator};

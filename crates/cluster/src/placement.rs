@@ -35,9 +35,7 @@ impl Placement {
         assert!(!cluster.is_empty(), "cannot place on an empty cluster");
         let n_inst = plan.instance_count();
         let node_of = match strategy {
-            PlacementStrategy::RoundRobin => {
-                (0..n_inst).map(|i| i % cluster.len()).collect()
-            }
+            PlacementStrategy::RoundRobin => (0..n_inst).map(|i| i % cluster.len()).collect(),
             PlacementStrategy::CoreWeighted => {
                 // Greedy: always place on the node with the lowest
                 // occupancy-to-cores ratio.

@@ -23,6 +23,7 @@
 //! paper describes.
 
 use crate::costs::CostParams;
+use crate::failure::{FailureModel, RecoveryEvent, ScriptedFailure};
 use crate::hardware::Cluster;
 use crate::placement::{Placement, PlacementStrategy};
 use crate::rates;
@@ -63,6 +64,9 @@ pub struct SimConfig {
     /// concentrating load on hot instances — the paper's Zipf data
     /// distribution option (§4) surfacing as partitioning imbalance.
     pub key_skew: Option<f64>,
+    /// Node-failure model; `None` simulates a failure-free cluster.
+    #[serde(default)]
+    pub failure: Option<FailureModel>,
 }
 
 impl Default for SimConfig {
@@ -76,7 +80,41 @@ impl Default for SimConfig {
             costs: CostParams::default(),
             keys: 64,
             key_skew: None,
+            failure: None,
         }
+    }
+}
+
+impl SimConfig {
+    /// Check the configuration can drive a simulation at all; failures
+    /// surface as typed errors instead of NaN latencies or hangs.
+    pub fn validate(&self) -> Result<()> {
+        if self.event_rate <= 0.0 || !self.event_rate.is_finite() {
+            return Err(EngineError::InvalidConfig(
+                "event_rate must be positive and finite".into(),
+            ));
+        }
+        if self.duration_ms == 0 {
+            return Err(EngineError::InvalidConfig(
+                "duration_ms must be at least 1".into(),
+            ));
+        }
+        if self.batches_per_second <= 0.0 || !self.batches_per_second.is_finite() {
+            return Err(EngineError::InvalidConfig(
+                "batches_per_second must be positive and finite".into(),
+            ));
+        }
+        if self.keys == 0 {
+            return Err(EngineError::InvalidConfig("keys must be at least 1".into()));
+        }
+        if let Some(s) = self.key_skew {
+            if s < 0.0 || !s.is_finite() {
+                return Err(EngineError::InvalidConfig(
+                    "key_skew must be non-negative and finite".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -93,6 +131,8 @@ pub struct SimResult {
     pub sim_seconds: f64,
     /// Fraction of instance-pairs whose channel crosses nodes.
     pub cross_node_fraction: f64,
+    /// Node failures applied during the run, with their modeled recovery.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl SimResult {
@@ -193,8 +233,22 @@ impl Simulator {
     pub fn run_placed(&self, phys: &PhysicalPlan, placement: &Placement) -> Result<SimResult> {
         let plan = &phys.logical;
         let cfg = &self.config;
+        cfg.validate()?;
         let costs = &cfg.costs;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // Failure schedule: deterministic, drawn from a dedicated RNG
+        // stream so enabling failures does not perturb arrival/jitter draws.
+        let failure_model = cfg.failure.as_ref();
+        let mut failure_queue: std::collections::VecDeque<ScriptedFailure> = match failure_model {
+            Some(fm) => {
+                fm.validate(self.cluster.nodes.len())?;
+                fm.schedule(self.cluster.nodes.len(), cfg.duration_ms as f64, cfg.seed)
+                    .into()
+            }
+            None => Default::default(),
+        };
+        let mut recoveries: Vec<RecoveryEvent> = Vec::new();
 
         let schemas = plan.schemas()?;
         let source_nodes = plan.sources();
@@ -216,9 +270,7 @@ impl Simulator {
                     OpKind::WindowAggregate { window, .. } => {
                         let half = (window.length as f64 + window.slide as f64) / 2.0;
                         match window.policy {
-                            WindowPolicy::Time => {
-                                (half + costs.watermark_delay_ms) * 1e6
-                            }
+                            WindowPolicy::Time => (half + costs.watermark_delay_ms) * 1e6,
                             WindowPolicy::Count => {
                                 // Windows fill at the per-key rate.
                                 let in_rate = node_rates[n.id].input_rate.max(1e-3);
@@ -275,6 +327,9 @@ impl Simulator {
         // An operator instance is single-threaded: its batches serialize on
         // the instance even when the node has idle cores.
         let mut inst_free: Vec<f64> = vec![0.0; phys.instance_count()];
+        // Cumulative tuples processed per instance — proxies the snapshot
+        // state a failed node must restore.
+        let mut inst_tuples: Vec<f64> = vec![0.0; phys.instance_count()];
 
         // Per-instance round-robin cursors (one per out-route).
         let mut rr: Vec<Vec<usize>> = phys
@@ -344,6 +399,42 @@ impl Simulator {
                     "simulation exceeded event budget".into(),
                 ));
             }
+            // Apply node failures that are due. The failed node's cores and
+            // instances freeze for the modeled recovery interval; queued
+            // batches then drain, producing the post-failure latency spike.
+            while failure_queue
+                .front()
+                .is_some_and(|f| f.at_ms * 1e6 <= ev.time_ns)
+            {
+                let f = failure_queue.pop_front().expect("front checked");
+                let fm = failure_model.expect("failures only scheduled with a model");
+                let mut state_bytes = 0.0f64;
+                for (i, pinst) in phys.instances.iter().enumerate() {
+                    if placement.node_of[i] == f.node {
+                        let m = &models[pinst.node];
+                        state_bytes += inst_tuples[i]
+                            * m.state_factor
+                            * m.out_width as f64
+                            * costs.bytes_per_field;
+                    }
+                }
+                let recovery_ms = fm.recovery_ms(state_bytes, costs);
+                let until = f.at_ms * 1e6 + recovery_ms * 1e6;
+                for slot in &mut core_free[f.node] {
+                    *slot = slot.max(until);
+                }
+                for (i, free) in inst_free.iter_mut().enumerate() {
+                    if placement.node_of[i] == f.node {
+                        *free = free.max(until);
+                    }
+                }
+                recoveries.push(RecoveryEvent {
+                    at_ms: f.at_ms,
+                    node: f.node,
+                    recovery_ms,
+                    state_bytes: state_bytes * fm.state_scale,
+                });
+            }
             let inst = &phys.instances[ev.instance];
             let lnode = inst.node;
             let model = &models[lnode];
@@ -376,10 +467,9 @@ impl Simulator {
                 (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
             };
             let jitter = (sigma * z - sigma * sigma / 2.0).exp();
-            let fanout_cost =
-                costs.shuffle_batch_overhead_ns * (1.0 + 0.05 * out_targets as f64);
-            let service_ns =
-                ev.batch.tuples * per_tuple_ns * jitter + if out_targets > 0 { fanout_cost } else { 0.0 };
+            let fanout_cost = costs.shuffle_batch_overhead_ns * (1.0 + 0.05 * out_targets as f64);
+            let service_ns = ev.batch.tuples * per_tuple_ns * jitter
+                + if out_targets > 0 { fanout_cost } else { 0.0 };
 
             // Pick the earliest-free core on the node; the instance itself
             // must also be free (single-threaded instances).
@@ -388,11 +478,17 @@ impl Simulator {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("node has cores");
+                .ok_or_else(|| {
+                    EngineError::InvalidConfig(format!(
+                        "cluster node {node_id} has no cores to run instance {}",
+                        ev.instance
+                    ))
+                })?;
             let start = ev.time_ns.max(free).max(inst_free[ev.instance]);
             let done = start + service_ns;
             cores[core_idx] = done;
             inst_free[ev.instance] = done;
+            inst_tuples[ev.instance] += ev.batch.tuples;
 
             // ---- Operator semantics ----
             let mut out_batch = ev.batch;
@@ -480,6 +576,7 @@ impl Simulator {
             tuples_out: tuples_out.round() as u64,
             sim_seconds: cfg.duration_ms as f64 / 1e3,
             cross_node_fraction: placement.cross_node_fraction(phys),
+            recoveries,
         })
     }
 
@@ -575,13 +672,7 @@ mod tests {
         let plain = linear_plan(4);
         let windowed = PlanBuilder::new()
             .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
-            .window_agg_keyed(
-                "agg",
-                WindowSpec::tumbling_time(1000),
-                AggFunc::Avg,
-                1,
-                0,
-            )
+            .window_agg_keyed("agg", WindowSpec::tumbling_time(1000), AggFunc::Avg, 1, 0)
             .set_parallelism(1, 4)
             .sink("sink")
             .build()
@@ -639,7 +730,10 @@ mod tests {
         let fast = Simulator::new(Cluster::c6525_25g(10), cfg);
         let ls = slow.run(&plan).unwrap().latency.median().unwrap();
         let lf = fast.run(&plan).unwrap().latency.median().unwrap();
-        assert!(lf < ls * 1.05, "c6525 {lf} ms should not lose to m510 {ls} ms");
+        assert!(
+            lf < ls * 1.05,
+            "c6525 {lf} ms should not lose to m510 {ls} ms"
+        );
     }
 
     #[test]
@@ -669,13 +763,7 @@ mod tests {
         // operator at p=8 behaves closer to p=1 than under uniform keys.
         let plan = PlanBuilder::new()
             .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 2)
-            .window_agg_keyed(
-                "agg",
-                WindowSpec::tumbling_time(200),
-                AggFunc::Sum,
-                1,
-                0,
-            )
+            .window_agg_keyed("agg", WindowSpec::tumbling_time(200), AggFunc::Sum, 1, 0)
             .set_parallelism(1, 8)
             .sink("sink")
             .build()
@@ -691,6 +779,82 @@ mod tests {
             ls > lu * 1.1,
             "skewed keys must hurt: uniform {lu:.1} ms vs skewed {ls:.1} ms"
         );
+    }
+
+    #[test]
+    fn scripted_failure_records_recovery_and_raises_tail_latency() {
+        let plan = linear_plan(8);
+        let clean_cfg = quick_config();
+        let mut failing_cfg = clean_cfg.clone();
+        failing_cfg.failure = Some(crate::failure::FailureModel {
+            failures: vec![crate::failure::ScriptedFailure {
+                at_ms: 1_000.0,
+                node: 0,
+            }],
+            detection_timeout_ms: 200.0,
+            checkpoint_interval_ms: 500.0,
+            ..crate::failure::FailureModel::default()
+        });
+        let clean = Simulator::new(Cluster::homogeneous_m510(4), clean_cfg)
+            .run(&plan)
+            .unwrap();
+        let failing = Simulator::new(Cluster::homogeneous_m510(4), failing_cfg)
+            .run(&plan)
+            .unwrap();
+        assert!(clean.recoveries.is_empty());
+        assert_eq!(failing.recoveries.len(), 1);
+        let rec = &failing.recoveries[0];
+        assert_eq!(rec.node, 0);
+        assert!(
+            rec.recovery_ms >= 200.0 + 250.0,
+            "detection + half interval"
+        );
+        // Batches queued behind the frozen node drain late: the failing
+        // run's worst latency must show the spike.
+        let lc = clean.latency.percentile(99.0).unwrap();
+        let lf = failing.latency.percentile(99.0).unwrap();
+        assert!(
+            lf > lc,
+            "p99 with failure {lf:.1} ms must exceed failure-free {lc:.1} ms"
+        );
+    }
+
+    #[test]
+    fn mttf_failures_are_deterministic_given_seed() {
+        let mut cfg = quick_config();
+        cfg.failure = Some(crate::failure::FailureModel {
+            mttf_ms: Some(1_500.0),
+            ..crate::failure::FailureModel::default()
+        });
+        let sim = Simulator::new(Cluster::homogeneous_m510(4), cfg);
+        let a = sim.run(&linear_plan(4)).unwrap();
+        let b = sim.run(&linear_plan(4)).unwrap();
+        assert!(!a.recoveries.is_empty(), "MTTF 1.5s over 2s draws failures");
+        assert_eq!(a.recoveries.len(), b.recoveries.len());
+        assert_eq!(a.latency.median(), b.latency.median());
+    }
+
+    #[test]
+    fn invalid_sim_config_is_rejected() {
+        let sim = Simulator::new(
+            Cluster::homogeneous_m510(4),
+            SimConfig {
+                event_rate: 0.0,
+                ..quick_config()
+            },
+        );
+        assert!(matches!(
+            sim.run(&linear_plan(2)),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let sim = Simulator::new(
+            Cluster::homogeneous_m510(4),
+            SimConfig {
+                keys: 0,
+                ..quick_config()
+            },
+        );
+        assert!(sim.run(&linear_plan(2)).is_err());
     }
 
     #[test]

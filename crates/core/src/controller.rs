@@ -3,14 +3,16 @@
 
 use pdsp_apps::{AppConfig, Application};
 use pdsp_cluster::{Cluster, SimConfig, Simulator};
-use pdsp_engine::error::Result;
+use pdsp_engine::error::{EngineError, Result};
 use pdsp_engine::physical::PhysicalPlan;
 use pdsp_engine::plan::LogicalPlan;
 use pdsp_engine::runtime::{RunConfig, SourceFactory, ThreadedRuntime};
 use pdsp_metrics::{LatencyRecorder, RunSummary};
 use pdsp_store::Store;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
 
 /// One recorded benchmark run (the document persisted per execution).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,6 +29,159 @@ pub struct RunRecord {
     pub backend: String,
     /// Collected metrics.
     pub summary: RunSummary,
+}
+
+/// Retry policy for one benchmark datapoint: attempt budget, per-attempt
+/// wall-clock timeout, and a fixed backoff between attempts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per datapoint (at least 1).
+    pub max_attempts: usize,
+    /// Per-attempt wall-clock timeout.
+    pub timeout: Duration,
+    /// Sleep between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            timeout: Duration::from_secs(60),
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validate the policy.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(EngineError::InvalidConfig(
+                "retry policy needs max_attempts >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a sweep datapoint was obtained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatapointStatus {
+    /// First attempt succeeded.
+    Ok,
+    /// Succeeded after one or more failed attempts.
+    Recovered {
+        /// Total attempts, including the successful one.
+        attempts: usize,
+    },
+    /// Every attempt failed; the sweep carries on without this point.
+    Degraded,
+}
+
+/// Result of a retried run: the status, the value when one attempt
+/// succeeded, and the last error otherwise.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// How the value was obtained.
+    pub status: DatapointStatus,
+    /// The successful attempt's result, absent when degraded.
+    pub value: Option<T>,
+    /// The last attempt's error when degraded.
+    pub error: Option<EngineError>,
+}
+
+/// Run `attempt` up to `policy.max_attempts` times, each bounded by
+/// `policy.timeout`. Every attempt executes on its own thread so a hung
+/// backend cannot stall the sweep; a timed-out attempt's thread is
+/// abandoned (it detaches and exits on its own, its late result is
+/// discarded).
+pub fn run_with_retry<T, F>(policy: &RetryPolicy, attempt: F) -> RetryOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> Result<T> + Send + Sync + 'static,
+{
+    if let Err(e) = policy.validate() {
+        return RetryOutcome {
+            status: DatapointStatus::Degraded,
+            value: None,
+            error: Some(e),
+        };
+    }
+    let attempt = Arc::new(attempt);
+    let mut last_err = None;
+    for n in 1..=policy.max_attempts {
+        let f = Arc::clone(&attempt);
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            tx.send(f(n)).ok();
+        });
+        match rx.recv_timeout(policy.timeout) {
+            Ok(Ok(value)) => {
+                let status = if n == 1 {
+                    DatapointStatus::Ok
+                } else {
+                    DatapointStatus::Recovered { attempts: n }
+                };
+                return RetryOutcome {
+                    status,
+                    value: Some(value),
+                    error: None,
+                };
+            }
+            Ok(Err(e)) => last_err = Some(e),
+            Err(_) => {
+                last_err = Some(EngineError::Execution(format!(
+                    "attempt {n} timed out after {:.1}s",
+                    policy.timeout.as_secs_f64()
+                )))
+            }
+        }
+        if n < policy.max_attempts {
+            thread::sleep(policy.backoff);
+        }
+    }
+    RetryOutcome {
+        status: DatapointStatus::Degraded,
+        value: None,
+        error: last_err,
+    }
+}
+
+/// Run one closure per sweep item under the retry policy. A persistently
+/// failing item yields a degraded outcome in place instead of aborting the
+/// remaining items.
+pub fn sweep_with_retry<X, T, F>(
+    policy: &RetryPolicy,
+    items: Vec<X>,
+    run: F,
+) -> Vec<(X, RetryOutcome<T>)>
+where
+    X: Clone + Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(&X, usize) -> Result<T> + Send + Sync + 'static,
+{
+    let run = Arc::new(run);
+    items
+        .into_iter()
+        .map(|x| {
+            let run = Arc::clone(&run);
+            let item = x.clone();
+            let outcome = run_with_retry(policy, move |attempt| run(&item, attempt));
+            (x, outcome)
+        })
+        .collect()
+}
+
+/// One datapoint of a parallelism sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Uniform parallelism degree of this datapoint.
+    pub parallelism: usize,
+    /// How the datapoint was obtained.
+    pub status: DatapointStatus,
+    /// The recorded run, absent when the point degraded.
+    pub record: Option<RunRecord>,
 }
 
 /// Orchestrates benchmark execution: the paper's controller component with
@@ -84,12 +239,8 @@ impl Controller {
     ) -> Result<RunRecord> {
         let built = app.build(config);
         let plan = built.plan.with_uniform_parallelism(uniform_parallelism);
-        let record = self.run_threaded_plan(
-            app.info().acronym,
-            &plan,
-            &built.sources,
-            config.event_rate,
-        )?;
+        let record =
+            self.run_threaded_plan(app.info().acronym, &plan, &built.sources, config.event_rate)?;
         Ok(record)
     }
 
@@ -124,6 +275,52 @@ impl Controller {
         };
         self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
         Ok(record)
+    }
+
+    /// Sweep a plan across uniform parallelism degrees with per-point
+    /// retry: a degree whose run keeps failing (or hangs past the timeout)
+    /// becomes a degraded datapoint instead of aborting the whole sweep.
+    pub fn sweep_simulated(
+        &self,
+        workload: &str,
+        plan: &LogicalPlan,
+        degrees: &[usize],
+        policy: &RetryPolicy,
+    ) -> Vec<SweepPoint> {
+        degrees
+            .iter()
+            .map(|&degree| {
+                let cluster = self.simulator.cluster().clone();
+                let cfg = self.simulator.config().clone();
+                let swept = plan.clone().with_uniform_parallelism(degree);
+                let run_plan = swept.clone();
+                let outcome = run_with_retry(policy, move |_attempt| {
+                    let sim = Simulator::new(cluster.clone(), cfg.clone());
+                    let result = sim.run(&run_plan)?;
+                    let latency = sim.measure(&run_plan)?;
+                    let mut summary = result.summary();
+                    summary.p50_latency_ms = latency;
+                    Ok(summary)
+                });
+                let record = outcome.value.map(|summary| {
+                    let record = RunRecord {
+                        workload: workload.to_string(),
+                        cluster: self.simulator.cluster().name.clone(),
+                        parallelism: swept.nodes.iter().map(|n| n.parallelism).collect(),
+                        event_rate: self.simulator.config().event_rate,
+                        backend: "simulator".into(),
+                        summary,
+                    };
+                    self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
+                    record
+                });
+                SweepPoint {
+                    parallelism: degree,
+                    status: outcome.status,
+                    record,
+                }
+            })
+            .collect()
     }
 }
 
@@ -168,10 +365,135 @@ mod tests {
         let record = c.run_simulated("linear", &plan()).unwrap();
         assert_eq!(record.backend, "simulator");
         assert!(record.summary.p50_latency_ms > 0.0);
-        let stored = c
-            .store()
-            .with("runs", |col| col.find(&Filter::eq("workload", "linear")).len());
+        let stored = c.store().with("runs", |col| {
+            col.find(&Filter::eq("workload", "linear")).len()
+        });
         assert_eq!(stored, 1);
+    }
+
+    #[test]
+    fn retry_recovers_after_transient_failures() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(1),
+        };
+        let outcome = run_with_retry(&policy, move |_| {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(pdsp_engine::error::EngineError::Execution(
+                    "transient".into(),
+                ))
+            } else {
+                Ok(42u64)
+            }
+        });
+        assert_eq!(outcome.status, DatapointStatus::Recovered { attempts: 3 });
+        assert_eq!(outcome.value, Some(42));
+        assert!(outcome.error.is_none());
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_degrades_after_the_attempt_budget() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(1),
+        };
+        let outcome: RetryOutcome<u64> = run_with_retry(&policy, |_| {
+            Err(pdsp_engine::error::EngineError::Execution(
+                "permanently broken".into(),
+            ))
+        });
+        assert_eq!(outcome.status, DatapointStatus::Degraded);
+        assert!(outcome.value.is_none());
+        assert!(outcome
+            .error
+            .map(|e| e.to_string().contains("permanently broken"))
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn retry_times_out_hung_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            timeout: Duration::from_millis(50),
+            backoff: Duration::from_millis(1),
+        };
+        let outcome: RetryOutcome<u64> = run_with_retry(&policy, |_| {
+            thread::sleep(Duration::from_secs(30));
+            Ok(0)
+        });
+        assert_eq!(outcome.status, DatapointStatus::Degraded);
+        assert!(outcome
+            .error
+            .map(|e| e.to_string().contains("timed out"))
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn sweep_recovers_flaky_points_and_continues_past_degraded_ones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(1),
+        };
+        let flaky_calls = Arc::new(AtomicUsize::new(0));
+        let counter = flaky_calls.clone();
+        // "flaky" fails deterministically twice, then succeeds; "broken"
+        // never succeeds; the sweep must still reach "tail".
+        let points = sweep_with_retry(
+            &policy,
+            vec!["steady", "flaky", "broken", "tail"],
+            move |x, _| match *x {
+                "flaky" => {
+                    if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                        Err(pdsp_engine::error::EngineError::Execution("flake".into()))
+                    } else {
+                        Ok(1u64)
+                    }
+                }
+                "broken" => Err(pdsp_engine::error::EngineError::Execution(
+                    "always fails".into(),
+                )),
+                _ => Ok(0),
+            },
+        );
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].1.status, DatapointStatus::Ok);
+        assert_eq!(
+            points[1].1.status,
+            DatapointStatus::Recovered { attempts: 3 },
+            "datapoint failing twice then succeeding is marked recovered"
+        );
+        assert_eq!(points[1].1.value, Some(1));
+        assert_eq!(points[2].1.status, DatapointStatus::Degraded);
+        assert_eq!(
+            points[3].1.status,
+            DatapointStatus::Ok,
+            "sweep continues past the degraded point"
+        );
+    }
+
+    #[test]
+    fn simulated_sweep_records_each_parallelism() {
+        let c = controller();
+        let points = c.sweep_simulated("linear", &plan(), &[1, 2], &RetryPolicy::default());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.status, DatapointStatus::Ok);
+            let record = p.record.as_ref().expect("healthy point has a record");
+            assert!(record.summary.p50_latency_ms > 0.0);
+            assert!(record.parallelism.contains(&p.parallelism));
+        }
+        let stored = c.store().with("runs", |col| {
+            col.find(&Filter::eq("workload", "linear")).len()
+        });
+        assert_eq!(stored, 2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::ml_manager::{MlManager, ModelEval, TrainingDataSpec};
 use pdsp_apps::{all_applications, AppConfig};
-use pdsp_cluster::{Cluster, SimConfig, Simulator};
+use pdsp_cluster::{Cluster, FailureModel, ScriptedFailure, SimConfig, Simulator};
 use pdsp_engine::error::Result;
 use pdsp_ml::trainer::{CostModel, TrainOptions};
 use pdsp_ml::Gnn;
@@ -540,6 +540,77 @@ pub fn placement_comparison(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
         .collect()
 }
 
+/// **Exp 4 (extension)** — fault tolerance: mean recovery time and p99
+/// latency as a function of the checkpoint interval, with one scripted
+/// node failure a third into the run, against the no-failure baseline.
+/// The simulator's recovery model (detection timeout + state restore +
+/// expected replay backlog of half a checkpoint interval) makes recovery
+/// time monotone in the interval; the frozen node shows up as a p99 spike.
+///
+/// Returns three series over the same interval axis: `recovery-time`
+/// (mean modeled recovery, ms), `p99-with-failure`, and `p99-no-failure`
+/// (the constant baseline).
+pub fn exp4_fault(scale: &ExpScale) -> Result<Vec<LatencySeries>> {
+    let cluster = Cluster::homogeneous_m510(10);
+    let plan = pdsp_apps::app_by_acronym("WC")
+        .expect("registered")
+        .build(&AppConfig {
+            event_rate: scale.sim.event_rate,
+            total_tuples: 1_000,
+            seed: 13,
+        })
+        .plan
+        .with_uniform_parallelism(10);
+    let intervals = [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0];
+
+    let baseline = Simulator::new(cluster.clone(), scale.sim.clone()).run(&plan)?;
+    let base_p99 = baseline.latency.percentile(99.0).unwrap_or(0.0);
+
+    let mut recovery = Vec::new();
+    let mut with_failure = Vec::new();
+    let mut no_failure = Vec::new();
+    for &interval in &intervals {
+        let mut cfg = scale.sim.clone();
+        cfg.failure = Some(FailureModel {
+            failures: vec![ScriptedFailure {
+                at_ms: cfg.duration_ms as f64 / 3.0,
+                node: 0,
+            }],
+            detection_timeout_ms: 200.0,
+            checkpoint_interval_ms: interval,
+            ..FailureModel::default()
+        });
+        let result = Simulator::new(cluster.clone(), cfg).run(&plan)?;
+        let mean_recovery = if result.recoveries.is_empty() {
+            0.0
+        } else {
+            result.recoveries.iter().map(|r| r.recovery_ms).sum::<f64>()
+                / result.recoveries.len() as f64
+        };
+        let label = format!("{interval:.0}ms");
+        recovery.push((label.clone(), mean_recovery));
+        with_failure.push((
+            label.clone(),
+            result.latency.percentile(99.0).unwrap_or(0.0),
+        ));
+        no_failure.push((label, base_p99));
+    }
+    Ok(vec![
+        LatencySeries {
+            label: "recovery-time".into(),
+            points: recovery,
+        },
+        LatencySeries {
+            label: "p99-with-failure".into(),
+            points: with_failure,
+        },
+        LatencySeries {
+            label: "p99-no-failure".into(),
+            points: no_failure,
+        },
+    ])
+}
+
 /// One ablation configuration: a mechanism switched off.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AblationResult {
@@ -668,13 +739,11 @@ mod tests {
     fn sustainable_rate_grows_with_parallelism_for_heavy_udos() {
         let scale = ExpScale::quick();
         let cluster = Cluster::homogeneous_m510(10);
-        let built = pdsp_apps::app_by_acronym("SG")
-            .unwrap()
-            .build(&AppConfig {
-                event_rate: 10_000.0,
-                total_tuples: 500,
-                seed: 3,
-            });
+        let built = pdsp_apps::app_by_acronym("SG").unwrap().build(&AppConfig {
+            event_rate: 10_000.0,
+            total_tuples: 500,
+            seed: 3,
+        });
         let rate_at = |p: usize| {
             sustainable_rate(
                 &cluster,
@@ -764,6 +833,38 @@ mod tests {
                 baseline.join_p16_ms
             );
         }
+    }
+
+    #[test]
+    fn exp4_fault_recovery_is_monotone_and_spikes_p99() {
+        let mut scale = ExpScale::quick();
+        scale.sim.duration_ms = 1_500;
+        let series = exp4_fault(&scale).unwrap();
+        let by_label = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"))
+        };
+        let recovery = by_label("recovery-time");
+        assert_eq!(recovery.points.len(), 5);
+        let mut prev = 0.0;
+        for (x, r) in &recovery.points {
+            assert!(*r > 0.0, "the scripted failure was recovered at {x}");
+            assert!(
+                *r >= prev,
+                "recovery time is monotone in checkpoint interval: {r} < {prev} at {x}"
+            );
+            prev = *r;
+        }
+        // The frozen node shows up in the tail latency at the largest
+        // interval (longest outage).
+        let with = by_label("p99-with-failure").points.last().unwrap().1;
+        let without = by_label("p99-no-failure").points.last().unwrap().1;
+        assert!(
+            with > without,
+            "failure raises p99: {with:.1} ms vs baseline {without:.1} ms"
+        );
     }
 
     #[test]

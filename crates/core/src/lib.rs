@@ -14,6 +14,9 @@ pub mod experiments;
 pub mod ml_manager;
 pub mod report;
 
-pub use controller::{Controller, RunRecord};
+pub use controller::{
+    run_with_retry, sweep_with_retry, Controller, DatapointStatus, RetryOutcome, RetryPolicy,
+    RunRecord, SweepPoint,
+};
 pub use experiments::{ExpScale, LatencySeries};
 pub use ml_manager::{MlManager, ModelEval, TrainingDataSpec};

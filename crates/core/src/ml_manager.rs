@@ -100,8 +100,7 @@ impl MlManager {
         for i in 0..spec.queries {
             let structure = spec.structures[i % spec.structures.len()];
             let query = generator.generate(structure);
-            let degrees =
-                enumerator.enumerate(&query.plan, &spec.strategy, spec.event_rate, 1);
+            let degrees = enumerator.enumerate(&query.plan, &spec.strategy, spec.event_rate, 1);
             let plan = query.plan.with_parallelism(&degrees[0]);
             let result = self.simulator.run(&plan)?;
             let latency = result
@@ -249,8 +248,7 @@ mod tests {
         let data = mgr.generate(&quick_spec(12)).unwrap();
         let mut model = LinearRegression::default();
         model.fit(&data.dataset, &TrainOptions::default());
-        let by_structure =
-            MlManager::evaluate_by_structure(&model, &data.dataset, &data.tags);
+        let by_structure = MlManager::evaluate_by_structure(&model, &data.dataset, &data.tags);
         assert_eq!(by_structure.len(), 2, "two structures were generated");
     }
 }

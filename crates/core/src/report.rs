@@ -127,9 +127,8 @@ pub fn fig5_table(cells: &[Fig5Cell]) -> String {
 
 /// Render the Figure 6 sweep.
 pub fn fig6_table(points: &[Fig6Point]) -> String {
-    let mut out = String::from(
-        "== Figure 6: GNN training efficiency, random vs rule-based enumeration ==\n",
-    );
+    let mut out =
+        String::from("== Figure 6: GNN training efficiency, random vs rule-based enumeration ==\n");
     out.push_str(&format!(
         "{:12} {:>8} {:>12} {:>14} {:>12} {:>10}\n",
         "strategy", "queries", "q-err(seen)", "q-err(unseen)", "total(s)", "fit(s)"
@@ -137,7 +136,12 @@ pub fn fig6_table(points: &[Fig6Point]) -> String {
     for p in points {
         out.push_str(&format!(
             "{:12} {:>8} {:>12.2} {:>14.2} {:>12.2} {:>10.2}\n",
-            p.strategy, p.train_queries, p.seen_qerror, p.unseen_qerror, p.total_time_s, p.fit_time_s
+            p.strategy,
+            p.train_queries,
+            p.seen_qerror,
+            p.unseen_qerror,
+            p.total_time_s,
+            p.fit_time_s
         ));
     }
     // The paper's O9 headline is time-to-accuracy: report when each
@@ -163,9 +167,8 @@ pub fn fig6_table(points: &[Fig6Point]) -> String {
 
 /// Render the ablation study.
 pub fn ablation_table(results: &[AblationResult]) -> String {
-    let mut out = String::from(
-        "== Ablation: 2-way join on the mixed cluster, mechanism toggles ==\n",
-    );
+    let mut out =
+        String::from("== Ablation: 2-way join on the mixed cluster, mechanism toggles ==\n");
     out.push_str(&format!(
         "{:22} {:>12} {:>12} {:>10}\n",
         "mechanism", "p16 (ms)", "p128 (ms)", "p128/p16"

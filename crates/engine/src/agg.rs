@@ -122,6 +122,40 @@ impl Accumulator {
     }
 }
 
+// Checkpoint snapshots serialize accumulators through JSON, which cannot
+// carry the non-finite min/max sentinels of an empty accumulator; floats
+// are therefore encoded as IEEE-754 bit patterns.
+impl Serialize for Accumulator {
+    fn to_json_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("func".into(), self.func.to_json_value());
+        map.insert("count".into(), self.count.to_json_value());
+        map.insert("sum_bits".into(), self.sum.to_bits().to_json_value());
+        map.insert("min_bits".into(), self.min.to_bits().to_json_value());
+        map.insert("max_bits".into(), self.max.to_bits().to_json_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for Accumulator {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::new("Accumulator: expected object"))?;
+        let field = |key: &str| {
+            obj.get(key)
+                .ok_or_else(|| serde::Error::new(format!("Accumulator: missing field `{key}`")))
+        };
+        Ok(Accumulator {
+            func: AggFunc::from_json_value(field("func")?)?,
+            count: u64::from_json_value(field("count")?)?,
+            sum: f64::from_bits(u64::from_json_value(field("sum_bits")?)?),
+            min: f64::from_bits(u64::from_json_value(field("min_bits")?)?),
+            max: f64::from_bits(u64::from_json_value(field("max_bits")?)?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +202,21 @@ mod tests {
             }
             left.merge(&right);
             assert_eq!(left.finish(), acc_of(func, &vals), "func {func}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_nonfinite_sentinels() {
+        for func in AggFunc::ALL {
+            let mut acc = Accumulator::new(func);
+            let empty: Accumulator =
+                serde_json::from_value(serde_json::to_value(acc).unwrap()).unwrap();
+            assert_eq!(empty, acc, "empty accumulator roundtrip ({func})");
+            acc.push(2.5);
+            acc.push(-1.0);
+            let full: Accumulator =
+                serde_json::from_value(serde_json::to_value(acc).unwrap()).unwrap();
+            assert_eq!(full, acc, "filled accumulator roundtrip ({func})");
         }
     }
 

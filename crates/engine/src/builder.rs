@@ -249,18 +249,8 @@ mod tests {
     fn chain_builder_produces_valid_plan() {
         let plan = PlanBuilder::new()
             .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 1)
-            .filter(
-                "f1",
-                Predicate::cmp(0, CmpOp::Gt, Value::Int(10)),
-                0.4,
-            )
-            .window_agg_keyed(
-                "agg",
-                WindowSpec::tumbling_count(10),
-                AggFunc::Avg,
-                1,
-                0,
-            )
+            .filter("f1", Predicate::cmp(0, CmpOp::Gt, Value::Int(10)), 0.4)
+            .window_agg_keyed("agg", WindowSpec::tumbling_count(10), AggFunc::Avg, 1, 0)
             .sink("sink")
             .build()
             .unwrap();

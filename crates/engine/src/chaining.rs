@@ -150,9 +150,9 @@ pub fn fuse(plan: &LogicalPlan) -> Result<LogicalPlan> {
                 .map(|&i| plan.nodes[i].name.as_str())
                 .collect::<Vec<_>>()
                 .join("+");
-            let cost = stages.iter().fold(
-                CostProfile::stateless(0.0, 1.0),
-                |acc, s| {
+            let cost = stages
+                .iter()
+                .fold(CostProfile::stateless(0.0, 1.0), |acc, s| {
                     let p = s.cost_profile();
                     CostProfile {
                         // Fused stages skip per-hop serialization; summing
@@ -162,8 +162,7 @@ pub fn fuse(plan: &LogicalPlan) -> Result<LogicalPlan> {
                         selectivity: acc.selectivity * p.selectivity,
                         state_factor: acc.state_factor.max(p.state_factor),
                     }
-                },
-            );
+                });
             rebuilt.add_node(
                 name.clone(),
                 OpKind::Udo {

@@ -68,6 +68,28 @@ pub enum EngineError {
     Execution(String),
     /// Plan validation failed with a free-form reason.
     InvalidPlan(String),
+    /// A worker thread panicked; `cause` carries the panic payload when it
+    /// was a string.
+    WorkerPanicked {
+        /// Logical node id of the panicking instance.
+        node: usize,
+        /// Instance index within the node.
+        instance: usize,
+        /// Panic message (or a placeholder for non-string payloads).
+        cause: String,
+    },
+    /// A fault injector deliberately killed an operator instance.
+    FaultInjected {
+        /// Logical node id of the killed instance.
+        node: usize,
+        /// Instance index within the node.
+        instance: usize,
+    },
+    /// A runtime or fault-tolerance configuration value is unusable.
+    InvalidConfig(String),
+    /// State snapshot or restore failed (serialization error, missing
+    /// checkpoint part).
+    Checkpoint(String),
 }
 
 impl fmt::Display for EngineError {
@@ -115,6 +137,19 @@ impl fmt::Display for EngineError {
             }
             EngineError::Execution(msg) => write!(f, "execution failed: {msg}"),
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::WorkerPanicked {
+                node,
+                instance,
+                cause,
+            } => write!(
+                f,
+                "worker for node {node} instance {instance} panicked: {cause}"
+            ),
+            EngineError::FaultInjected { node, instance } => {
+                write!(f, "injected fault killed node {node} instance {instance}")
+            }
+            EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }

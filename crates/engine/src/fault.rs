@@ -1,0 +1,1014 @@
+//! Fault injection and checkpoint-based recovery.
+//!
+//! [`FtRuntime`] wraps the threaded execution model with aligned checkpoint
+//! barriers (Chandy–Lamport as deployed in Flink): source instances emit
+//! [`Message::Barrier`] every `checkpoint_interval_tuples` tuples, operators
+//! align barriers across their input channels, snapshot their state through
+//! [`OperatorInstance::snapshot`], and forward the barrier. A supervising
+//! loop detects worker death — a panic or a [`FaultInjector`] firing —
+//! restores the last complete snapshot, rewinds each source to its recorded
+//! offset and replays. Under [`DeliveryMode::ExactlyOnce`] channels that
+//! already delivered the in-flight barrier are blocked until the checkpoint
+//! completes, so snapshots contain exactly the pre-barrier prefix; under
+//! [`DeliveryMode::AtLeastOnce`] nothing blocks and replay may re-deliver.
+//!
+//! UDO state is opaque to the engine and is *not* snapshotted; jobs with
+//! stateful UDOs recover with at-least-once semantics regardless of mode.
+
+use crate::error::{EngineError, Result};
+use crate::message::{Message, WatermarkTracker};
+use crate::operator::{OpKind, OperatorInstance};
+use crate::physical::{PhysicalPlan, RouterState};
+use crate::runtime::{
+    broadcast, panic_cause, pick_root_error, send_tuple, take_receiver, Envelope, OperatorStats,
+    RunConfig, RunResult, SourceFactory,
+};
+use crate::value::Tuple;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When an injected fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// After the target instance has processed this many tuples (counted
+    /// per attempt, so a restarted instance is not re-killed).
+    AfterTuples(u64),
+    /// After this much wall-clock time since the injector was armed.
+    AfterMillis(u64),
+}
+
+/// How the fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStyle {
+    /// The worker returns [`EngineError::FaultInjected`] (clean error path).
+    Error,
+    /// The worker thread panics (exercises panic capture).
+    Panic,
+}
+
+struct InjectorInner {
+    node: usize,
+    instance: usize,
+    trigger: FaultTrigger,
+    style: FaultStyle,
+    fired: AtomicBool,
+    armed_at: Instant,
+}
+
+/// Kills one operator instance once, at a configurable point. Cloneable;
+/// all clones share the single-shot trigger.
+#[derive(Clone)]
+pub struct FaultInjector {
+    inner: Arc<InjectorInner>,
+}
+
+impl FaultInjector {
+    /// Injector that kills instance `instance` of logical node `node`.
+    pub fn new(node: usize, instance: usize, trigger: FaultTrigger, style: FaultStyle) -> Self {
+        FaultInjector {
+            inner: Arc::new(InjectorInner {
+                node,
+                instance,
+                trigger,
+                style,
+                fired: AtomicBool::new(false),
+                armed_at: Instant::now(),
+            }),
+        }
+    }
+
+    /// Kill after the target processed `tuples` tuples (error style).
+    pub fn after_tuples(node: usize, instance: usize, tuples: u64) -> Self {
+        FaultInjector::new(
+            node,
+            instance,
+            FaultTrigger::AfterTuples(tuples),
+            FaultStyle::Error,
+        )
+    }
+
+    /// Kill `ms` milliseconds after arming (error style).
+    pub fn after_millis(node: usize, instance: usize, ms: u64) -> Self {
+        FaultInjector::new(
+            node,
+            instance,
+            FaultTrigger::AfterMillis(ms),
+            FaultStyle::Error,
+        )
+    }
+
+    /// Same target and trigger, but the worker panics instead of erroring.
+    pub fn panicking(self) -> Self {
+        FaultInjector::new(
+            self.inner.node,
+            self.inner.instance,
+            self.inner.trigger,
+            FaultStyle::Panic,
+        )
+    }
+
+    /// Whether the fault has already fired.
+    pub fn fired(&self) -> bool {
+        self.inner.fired.load(Ordering::SeqCst)
+    }
+
+    /// Called by workers on each processed tuple. Errors (or panics) once
+    /// when the target instance crosses the trigger.
+    pub fn check(&self, node: usize, instance: usize, tuples_seen: u64) -> Result<()> {
+        let i = &*self.inner;
+        if node != i.node || instance != i.instance || i.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let due = match i.trigger {
+            FaultTrigger::AfterTuples(n) => tuples_seen >= n,
+            FaultTrigger::AfterMillis(ms) => i.armed_at.elapsed() >= Duration::from_millis(ms),
+        };
+        if due && !i.fired.swap(true, Ordering::SeqCst) {
+            match i.style {
+                FaultStyle::Error => {
+                    return Err(EngineError::FaultInjected { node, instance });
+                }
+                FaultStyle::Panic => {
+                    panic!("injected fault killed node {node} instance {instance}")
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Delivery guarantee the checkpoint protocol provides after recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// No channel blocking: replay may re-deliver tuples processed between
+    /// the restored checkpoint and the failure.
+    AtLeastOnce,
+    /// Aligned barriers with channel blocking: state and sink output reflect
+    /// each tuple exactly once.
+    ExactlyOnce,
+}
+
+/// Backoff between restart attempts.
+#[derive(Debug, Clone, Copy)]
+pub enum Backoff {
+    /// The same delay before every restart.
+    Fixed(Duration),
+    /// `initial * factor^restart`, capped at `max`.
+    Exponential {
+        /// Delay before the first restart.
+        initial: Duration,
+        /// Multiplier per successive restart.
+        factor: f64,
+        /// Upper bound on the delay.
+        max: Duration,
+    },
+}
+
+/// How many times, and how eagerly, the supervisor restarts a failed job.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Maximum restarts before the job error is surfaced (Flink's
+    /// fixed-delay restart strategy).
+    pub max_restarts: usize,
+    /// Delay schedule between failure detection and respawn.
+    pub backoff: Backoff,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            backoff: Backoff::Fixed(Duration::from_millis(10)),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Delay before restart number `restart` (0-based).
+    pub fn delay(&self, restart: usize) -> Duration {
+        match self.backoff {
+            Backoff::Fixed(d) => d,
+            Backoff::Exponential {
+                initial,
+                factor,
+                max,
+            } => {
+                let scaled = initial.as_secs_f64() * factor.max(1.0).powi(restart as i32);
+                Duration::from_secs_f64(scaled.min(max.as_secs_f64()))
+            }
+        }
+    }
+}
+
+/// Configuration of the fault-tolerant runtime.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Each source instance emits a barrier every this many tuples.
+    pub checkpoint_interval_tuples: u64,
+    /// Delivery guarantee (channel blocking on barriers).
+    pub mode: DeliveryMode,
+    /// Restart budget and backoff.
+    pub restart: RestartPolicy,
+    /// Underlying runtime configuration.
+    pub run: RunConfig,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            checkpoint_interval_tuples: 256,
+            mode: DeliveryMode::ExactlyOnce,
+            restart: RestartPolicy::default(),
+            run: RunConfig::default(),
+        }
+    }
+}
+
+impl FtConfig {
+    /// Validate the combined configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.run.validate()?;
+        if self.checkpoint_interval_tuples == 0 {
+            return Err(EngineError::InvalidConfig(
+                "checkpoint_interval_tuples must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Recovery bookkeeping of one fault-tolerant run.
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    /// Execution attempts (1 = no failure).
+    pub attempts: usize,
+    /// Checkpoints for which every instance produced its part.
+    pub completed_checkpoints: u64,
+    /// Id of the checkpoint the last restart restored (None = cold restart
+    /// or no failure).
+    pub restored_checkpoint: Option<u64>,
+    /// Per-restart recovery time: failure detection to respawn, including
+    /// backoff, in milliseconds.
+    pub recovery_times_ms: Vec<f64>,
+    /// Source tuples re-emitted during replay (emitted-at-failure minus
+    /// restored offset, summed over source instances and restarts).
+    pub replayed_tuples: u64,
+    /// Sink deliveries repeated because of replay (at-least-once only).
+    pub duplicate_tuples: u64,
+    /// Sink deliveries discarded by restoring the sink snapshot
+    /// (exactly-once only; they are re-delivered exactly once).
+    pub rolled_back_tuples: u64,
+    /// Tuples dropped behind the watermark across operators.
+    pub late_tuples: u64,
+    /// Delivery mode the run used.
+    pub mode: DeliveryMode,
+}
+
+/// Result of a fault-tolerant execution.
+#[derive(Debug)]
+pub struct FtRunResult {
+    /// The usual run result (elapsed includes recovery time).
+    pub result: RunResult,
+    /// Recovery accounting.
+    pub recovery: RecoveryStats,
+}
+
+/// Aligns checkpoint barriers across an instance's input channels. A
+/// channel at EOS counts as having delivered every barrier (its prefix is
+/// fully processed, so the snapshot stays consistent).
+struct BarrierAligner {
+    channels: usize,
+    received: HashMap<u64, Vec<bool>>,
+    closed: Vec<bool>,
+}
+
+impl BarrierAligner {
+    fn new(channels: usize) -> Self {
+        BarrierAligner {
+            channels,
+            received: HashMap::new(),
+            closed: vec![false; channels],
+        }
+    }
+
+    fn is_complete(&self, id: u64) -> bool {
+        let Some(seen) = self.received.get(&id) else {
+            return false;
+        };
+        (0..self.channels).all(|c| seen[c] || self.closed[c])
+    }
+
+    /// Record a barrier; returns true when checkpoint `id` just completed.
+    fn barrier(&mut self, id: u64, channel: usize) -> bool {
+        let seen = self
+            .received
+            .entry(id)
+            .or_insert_with(|| vec![false; self.channels]);
+        seen[channel] = true;
+        let complete = self.is_complete(id);
+        if complete {
+            self.received.remove(&id);
+        }
+        complete
+    }
+
+    /// A channel reached EOS; returns ids (ascending) completed by it.
+    fn close(&mut self, channel: usize) -> Vec<u64> {
+        self.closed[channel] = true;
+        let mut done: Vec<u64> = self
+            .received
+            .keys()
+            .copied()
+            .filter(|&id| self.is_complete(id))
+            .collect();
+        done.sort_unstable();
+        for id in &done {
+            self.received.remove(id);
+        }
+        done
+    }
+}
+
+/// Sink-side state captured in checkpoints (and, at-least-once, carried
+/// across restarts from the failure-time partial).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SinkState {
+    captured: Vec<Tuple>,
+    latencies: Vec<u64>,
+    total: u64,
+}
+
+fn encode<T: Serialize>(value: &T, what: &str) -> Result<Vec<u8>> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| EngineError::Checkpoint(format!("{what} snapshot: {e}")))
+}
+
+fn decode<T: serde::Deserialize>(bytes: &[u8], what: &str) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| EngineError::Checkpoint(format!("{what} snapshot not utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| EngineError::Checkpoint(format!("{what} restore: {e}")))
+}
+
+/// Everything one attempt reports back to the supervisor.
+struct Attempt {
+    outcome: std::result::Result<(), EngineError>,
+    /// (checkpoint id, instance id, state bytes) parts produced.
+    new_parts: Vec<(u64, usize, Vec<u8>)>,
+    /// Final (on success) or partial (on failure) sink states by instance.
+    sink_states: HashMap<usize, SinkState>,
+    /// (logical node, tuples in, tuples out, late) per finished instance.
+    op_stats: Vec<(usize, u64, u64, u64)>,
+}
+
+/// The supervising fault-tolerant executor.
+pub struct FtRuntime {
+    config: FtConfig,
+}
+
+impl FtRuntime {
+    /// Create a fault-tolerant runtime.
+    pub fn new(config: FtConfig) -> Self {
+        FtRuntime { config }
+    }
+
+    /// Execute `plan` under supervision. `injector` optionally kills one
+    /// instance; any worker panic is likewise treated as a failure and
+    /// recovered from the last complete checkpoint.
+    pub fn run(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        injector: Option<FaultInjector>,
+    ) -> Result<FtRunResult> {
+        self.config.validate()?;
+        let source_nodes = plan.logical.sources();
+        if sources.len() != source_nodes.len() {
+            return Err(EngineError::Execution(format!(
+                "plan has {} source nodes but {} source factories were supplied",
+                source_nodes.len(),
+                sources.len()
+            )));
+        }
+        let n = plan.instance_count();
+        let start = Instant::now();
+        let emitted: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        // Checkpoint parts accumulated across attempts: id -> instance -> bytes.
+        let mut parts: HashMap<u64, HashMap<usize, Vec<u8>>> = HashMap::new();
+        let mut sink_partials: HashMap<usize, SinkState> = HashMap::new();
+        let mut restore: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut stats = RecoveryStats {
+            attempts: 0,
+            completed_checkpoints: 0,
+            restored_checkpoint: None,
+            recovery_times_ms: Vec::new(),
+            replayed_tuples: 0,
+            duplicate_tuples: 0,
+            rolled_back_tuples: 0,
+            late_tuples: 0,
+            mode: self.config.mode,
+        };
+
+        loop {
+            stats.attempts += 1;
+            let attempt =
+                self.run_attempt(plan, sources, injector.clone(), &restore, &emitted, start)?;
+            for (id, inst, bytes) in attempt.new_parts {
+                parts.entry(id).or_default().insert(inst, bytes);
+            }
+            stats.completed_checkpoints = parts.values().filter(|p| p.len() == n).count() as u64;
+
+            match attempt.outcome {
+                Ok(()) => {
+                    stats.late_tuples = attempt.op_stats.iter().map(|&(_, _, _, l)| l).sum();
+                    let result =
+                        self.assemble(plan, attempt.sink_states, attempt.op_stats, &emitted, start);
+                    return Ok(FtRunResult {
+                        result,
+                        recovery: stats,
+                    });
+                }
+                Err(root) => {
+                    let detected = Instant::now();
+                    let restarts_used = stats.attempts - 1;
+                    for (inst, st) in attempt.sink_states {
+                        sink_partials.insert(inst, st);
+                    }
+                    if restarts_used >= self.config.restart.max_restarts {
+                        return Err(root);
+                    }
+                    // Restore point: newest checkpoint with a part from
+                    // every instance.
+                    let restored = parts
+                        .iter()
+                        .filter(|(_, p)| p.len() == n)
+                        .map(|(&id, _)| id)
+                        .max();
+                    stats.restored_checkpoint = restored;
+                    restore.clear();
+                    let mut ckpt_sink_total = 0u64;
+                    if let Some(id) = restored {
+                        for (&inst, bytes) in &parts[&id] {
+                            restore.insert(inst, bytes.clone());
+                        }
+                        for inst_meta in &plan.instances {
+                            if matches!(plan.logical.nodes[inst_meta.node].kind, OpKind::Sink) {
+                                if let Some(bytes) = parts[&id].get(&inst_meta.id) {
+                                    let st: SinkState = decode(bytes, "sink")?;
+                                    ckpt_sink_total += st.total;
+                                }
+                            }
+                        }
+                    }
+                    // Replay accounting from the shared emitted counters.
+                    for inst_meta in &plan.instances {
+                        if !matches!(
+                            plan.logical.nodes[inst_meta.node].kind,
+                            OpKind::Source { .. }
+                        ) {
+                            continue;
+                        }
+                        let at_failure = emitted[inst_meta.id].load(Ordering::SeqCst);
+                        let offset = restore
+                            .get(&inst_meta.id)
+                            .map(|b| decode::<u64>(b, "source offset"))
+                            .transpose()?
+                            .unwrap_or(0);
+                        stats.replayed_tuples += at_failure.saturating_sub(offset);
+                    }
+                    let partial_total: u64 = sink_partials.values().map(|s| s.total).sum();
+                    let delta = partial_total.saturating_sub(ckpt_sink_total);
+                    match self.config.mode {
+                        DeliveryMode::AtLeastOnce => {
+                            stats.duplicate_tuples += delta;
+                            // Sinks keep their failure-time state: nothing
+                            // delivered is un-delivered.
+                            for (inst, st) in &sink_partials {
+                                restore.insert(*inst, encode(st, "sink")?);
+                            }
+                        }
+                        DeliveryMode::ExactlyOnce => {
+                            stats.rolled_back_tuples += delta;
+                        }
+                    }
+                    std::thread::sleep(self.config.restart.delay(restarts_used));
+                    stats
+                        .recovery_times_ms
+                        .push(detected.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+        }
+    }
+
+    fn assemble(
+        &self,
+        plan: &PhysicalPlan,
+        sink_states: HashMap<usize, SinkState>,
+        op_stats: Vec<(usize, u64, u64, u64)>,
+        emitted: &Arc<Vec<AtomicU64>>,
+        start: Instant,
+    ) -> RunResult {
+        let mut result = RunResult {
+            sink_tuples: Vec::new(),
+            latencies_ns: Vec::new(),
+            tuples_out: 0,
+            tuples_in: 0,
+            elapsed: Duration::ZERO,
+            operator_stats: plan
+                .logical
+                .nodes
+                .iter()
+                .map(|node| OperatorStats {
+                    node: node.id,
+                    name: node.name.clone(),
+                    tuples_in: 0,
+                    tuples_out: 0,
+                })
+                .collect(),
+        };
+        for st in sink_states.into_values() {
+            let room = self.config.run.capture_limit
+                - result.sink_tuples.len().min(self.config.run.capture_limit);
+            result
+                .sink_tuples
+                .extend(st.captured.into_iter().take(room));
+            result.latencies_ns.extend(st.latencies);
+            result.tuples_out += st.total;
+        }
+        for inst_meta in &plan.instances {
+            if matches!(
+                plan.logical.nodes[inst_meta.node].kind,
+                OpKind::Source { .. }
+            ) {
+                result.tuples_in += emitted[inst_meta.id].load(Ordering::SeqCst);
+            }
+        }
+        for (node, n_in, n_out, _) in op_stats {
+            let s = &mut result.operator_stats[node];
+            s.tuples_in += n_in;
+            s.tuples_out += n_out;
+        }
+        result.elapsed = start.elapsed();
+        result
+    }
+
+    /// Spawn one full topology, join it, and report what happened. `Err`
+    /// from this function is a non-retryable setup failure.
+    fn run_attempt(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        injector: Option<FaultInjector>,
+        restore: &HashMap<usize, Vec<u8>>,
+        emitted_counters: &Arc<Vec<AtomicU64>>,
+        start: Instant,
+    ) -> Result<Attempt> {
+        let source_nodes = plan.logical.sources();
+        let n = plan.instance_count();
+        let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Envelope>(self.config.run.channel_capacity);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+        // Per-attempt report channels; unbounded so post-join draining
+        // can never block a worker.
+        let (sink_tx, sink_rx) = unbounded::<(usize, SinkState)>();
+        let (stats_tx, stats_rx) = unbounded::<(usize, u64, u64, u64)>();
+        let (coord_tx, coord_rx) = unbounded::<(u64, usize, Vec<u8>)>();
+
+        let exactly_once = self.config.mode == DeliveryMode::ExactlyOnce;
+        let ckpt_interval = self.config.checkpoint_interval_tuples;
+        let mut handles = Vec::with_capacity(n);
+
+        for inst in &plan.instances {
+            let node = &plan.logical.nodes[inst.node];
+            let routes = plan.out_routes[inst.id].clone();
+            let mut downstream: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(routes.len());
+            for r in &routes {
+                let mut txs = Vec::with_capacity(r.targets.len());
+                for t in r.targets.iter() {
+                    let tx = senders[t.instance].as_ref().ok_or_else(|| {
+                        EngineError::Execution(format!(
+                            "internal routing error: no sender for instance {}",
+                            t.instance
+                        ))
+                    })?;
+                    txs.push(tx.clone());
+                }
+                downstream.push(txs);
+            }
+            let route_meta = routes;
+            let injector = injector.clone();
+            let inst_id = inst.id;
+            let lnode = inst.node;
+            let index = inst.index;
+            let restore_bytes = restore.get(&inst.id).cloned();
+
+            match &node.kind {
+                OpKind::Source { .. } => {
+                    let src_pos = source_nodes
+                        .iter()
+                        .position(|&s| s == inst.node)
+                        .ok_or_else(|| {
+                            EngineError::Execution(format!(
+                                "instance {} references node {} which is not a source",
+                                inst.id, inst.node
+                            ))
+                        })?;
+                    let factory = Arc::clone(&sources[src_pos]);
+                    let parallelism = node.parallelism;
+                    let wm_interval = self.config.run.watermark_interval.max(1) as u64;
+                    let lateness = self.config.run.watermark_lateness_ms;
+                    let stats_tx = stats_tx.clone();
+                    let coord_tx = coord_tx.clone();
+                    let counter = Arc::clone(emitted_counters);
+                    let start_offset = restore_bytes
+                        .as_deref()
+                        .map(|b| decode::<u64>(b, "source offset"))
+                        .transpose()?
+                        .unwrap_or(0);
+                    let worker = std::thread::spawn(move || -> Result<()> {
+                        let mut router = RouterState::new(route_meta.len());
+                        let mut max_et = i64::MIN;
+                        let mut emitted = start_offset;
+                        counter[inst_id].store(emitted, Ordering::SeqCst);
+                        let iter = factory
+                            .instance_iter(index, parallelism)
+                            .skip(start_offset as usize);
+                        for mut tuple in iter {
+                            if let Some(inj) = &injector {
+                                inj.check(lnode, index, emitted - start_offset)?;
+                            }
+                            tuple.emit_ns = start.elapsed().as_nanos() as u64;
+                            max_et = max_et.max(tuple.event_time);
+                            emitted += 1;
+                            counter[inst_id].store(emitted, Ordering::SeqCst);
+                            send_tuple(&route_meta, &downstream, &mut router, tuple)?;
+                            if emitted.is_multiple_of(ckpt_interval) {
+                                let id = emitted / ckpt_interval;
+                                let _ = coord_tx.send((
+                                    id,
+                                    inst_id,
+                                    encode(&emitted, "source offset")?,
+                                ));
+                                broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                            }
+                            if emitted.is_multiple_of(wm_interval) {
+                                let wm = max_et.saturating_sub(lateness);
+                                broadcast(&route_meta, &downstream, Message::Watermark(wm))?;
+                            }
+                        }
+                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        let _ = stats_tx.send((lnode, emitted, emitted, 0));
+                        Ok(())
+                    });
+                    handles.push((lnode, index, worker));
+                }
+                OpKind::Sink => {
+                    let rx = take_receiver(&mut receivers, inst.id)?;
+                    let channels = plan.input_channel_count[inst.id];
+                    let sink_tx = sink_tx.clone();
+                    let stats_tx = stats_tx.clone();
+                    let coord_tx = coord_tx.clone();
+                    let capture_limit = self.config.run.capture_limit;
+                    let name = node.name.clone();
+                    let worker = std::thread::spawn(move || -> Result<()> {
+                        let mut st = match restore_bytes.as_deref() {
+                            Some(b) => decode::<SinkState>(b, "sink")?,
+                            None => SinkState::default(),
+                        };
+                        let mut aligner = BarrierAligner::new(channels);
+                        let mut blocked = vec![false; channels];
+                        let mut pending: Vec<VecDeque<Envelope>> =
+                            (0..channels).map(|_| VecDeque::new()).collect();
+                        let mut closed = 0usize;
+                        let mut seen_this_attempt = 0u64;
+                        while closed < channels {
+                            let env = match next_envelope(&rx, &blocked, &mut pending) {
+                                Some(Ok(env)) => env,
+                                Some(Err(())) => {
+                                    // Upstream died: hand the partial state
+                                    // to the supervisor before erroring.
+                                    let _ = sink_tx.send((inst_id, st));
+                                    return Err(EngineError::Execution(format!(
+                                        "sink '{name}' lost its input channels"
+                                    )));
+                                }
+                                None => continue,
+                            };
+                            match env.msg {
+                                Message::Data(t) => {
+                                    if let Some(inj) = &injector {
+                                        if let Err(e) = inj.check(lnode, index, seen_this_attempt) {
+                                            let _ = sink_tx.send((inst_id, st));
+                                            return Err(e);
+                                        }
+                                    }
+                                    seen_this_attempt += 1;
+                                    let now = start.elapsed().as_nanos() as u64;
+                                    st.latencies.push(now.saturating_sub(t.emit_ns));
+                                    st.total += 1;
+                                    if st.captured.len() < capture_limit {
+                                        st.captured.push(t);
+                                    }
+                                }
+                                Message::Watermark(_) => {}
+                                Message::Barrier(id) => {
+                                    if aligner.barrier(id, env.channel) {
+                                        let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
+                                        blocked.iter_mut().for_each(|b| *b = false);
+                                    } else if exactly_once {
+                                        blocked[env.channel] = true;
+                                    }
+                                }
+                                Message::Eos => {
+                                    closed += 1;
+                                    blocked[env.channel] = false;
+                                    for id in aligner.close(env.channel) {
+                                        let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
+                                        blocked.iter_mut().for_each(|b| *b = false);
+                                    }
+                                }
+                            }
+                        }
+                        let _ = stats_tx.send((lnode, st.total, 0, 0));
+                        let _ = sink_tx.send((inst_id, st));
+                        Ok(())
+                    });
+                    handles.push((lnode, index, worker));
+                }
+                kind => {
+                    let mut op = kind.instantiate();
+                    if let Some(b) = restore_bytes.as_deref() {
+                        op.restore(b)?;
+                    }
+                    let rx = take_receiver(&mut receivers, inst.id)?;
+                    let channels = plan.input_channel_count[inst.id];
+                    let ports = plan.channel_ports[inst.id].clone();
+                    let name = node.name.clone();
+                    let stats_tx = stats_tx.clone();
+                    let coord_tx = coord_tx.clone();
+                    let worker = std::thread::spawn(move || -> Result<()> {
+                        let mut router = RouterState::new(route_meta.len());
+                        let mut tracker = WatermarkTracker::new(channels);
+                        let mut aligner = BarrierAligner::new(channels);
+                        let mut blocked = vec![false; channels];
+                        let mut pending: Vec<VecDeque<Envelope>> =
+                            (0..channels).map(|_| VecDeque::new()).collect();
+                        let mut out = Vec::new();
+                        let mut closed = 0usize;
+                        let (mut n_in, mut n_out) = (0u64, 0u64);
+                        let checkpoint = |op: &dyn OperatorInstance, id: u64| -> Result<()> {
+                            let _ = coord_tx.send((id, inst_id, op.snapshot()?));
+                            Ok(())
+                        };
+                        while closed < channels {
+                            let env = match next_envelope(&rx, &blocked, &mut pending) {
+                                Some(Ok(env)) => env,
+                                Some(Err(())) => {
+                                    return Err(EngineError::Execution(format!(
+                                        "operator '{name}' lost its input channels"
+                                    )));
+                                }
+                                None => continue,
+                            };
+                            match env.msg {
+                                Message::Data(t) => {
+                                    if let Some(inj) = &injector {
+                                        inj.check(lnode, index, n_in)?;
+                                    }
+                                    n_in += 1;
+                                    out.clear();
+                                    op.on_tuple(ports[env.channel], t, &mut out)?;
+                                    n_out += out.len() as u64;
+                                    for t in out.drain(..) {
+                                        send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                    }
+                                }
+                                Message::Watermark(wm) => {
+                                    if let Some(w) = tracker.observe(env.channel, wm) {
+                                        out.clear();
+                                        op.on_watermark(w, &mut out);
+                                        n_out += out.len() as u64;
+                                        for t in out.drain(..) {
+                                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                        }
+                                        broadcast(&route_meta, &downstream, Message::Watermark(w))?;
+                                    }
+                                }
+                                Message::Barrier(id) => {
+                                    if aligner.barrier(id, env.channel) {
+                                        checkpoint(&*op, id)?;
+                                        broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                        blocked.iter_mut().for_each(|b| *b = false);
+                                    } else if exactly_once {
+                                        blocked[env.channel] = true;
+                                    }
+                                }
+                                Message::Eos => {
+                                    closed += 1;
+                                    blocked[env.channel] = false;
+                                    for id in aligner.close(env.channel) {
+                                        checkpoint(&*op, id)?;
+                                        broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                        blocked.iter_mut().for_each(|b| *b = false);
+                                    }
+                                    if let Some(w) = tracker.close_channel(env.channel) {
+                                        if closed < channels {
+                                            out.clear();
+                                            op.on_watermark(w, &mut out);
+                                            n_out += out.len() as u64;
+                                            for t in out.drain(..) {
+                                                send_tuple(
+                                                    &route_meta,
+                                                    &downstream,
+                                                    &mut router,
+                                                    t,
+                                                )?;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        out.clear();
+                        op.on_flush(&mut out);
+                        n_out += out.len() as u64;
+                        for t in out.drain(..) {
+                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                        }
+                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        let _ = stats_tx.send((lnode, n_in, n_out, op.late_events()));
+                        Ok(())
+                    });
+                    handles.push((lnode, index, worker));
+                }
+            }
+        }
+        drop(sink_tx);
+        drop(stats_tx);
+        drop(coord_tx);
+        senders.clear();
+
+        let mut errors: Vec<EngineError> = Vec::new();
+        for (node, instance, h) in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => errors.push(e),
+                Err(payload) => errors.push(EngineError::WorkerPanicked {
+                    node,
+                    instance,
+                    cause: panic_cause(&*payload),
+                }),
+            }
+        }
+        let outcome = match pick_root_error(errors) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        };
+        Ok(Attempt {
+            outcome,
+            new_parts: coord_rx.iter().collect(),
+            sink_states: sink_rx.iter().collect(),
+            op_stats: stats_rx.iter().collect(),
+        })
+    }
+}
+
+/// Pull the next processable envelope: buffered envelopes of unblocked
+/// channels first, then the shared receiver. `Some(Err(()))` = the channel
+/// disconnected; `None` = the received envelope was buffered (blocked
+/// channel), call again.
+fn next_envelope(
+    rx: &Receiver<Envelope>,
+    blocked: &[bool],
+    pending: &mut [VecDeque<Envelope>],
+) -> Option<std::result::Result<Envelope, ()>> {
+    for (c, queue) in pending.iter_mut().enumerate() {
+        if !blocked[c] {
+            if let Some(env) = queue.pop_front() {
+                return Some(Ok(env));
+            }
+        }
+    }
+    match rx.recv() {
+        Ok(env) => {
+            if blocked[env.channel] {
+                pending[env.channel].push_back(env);
+                None
+            } else {
+                Some(Ok(env))
+            }
+        }
+        Err(_) => Some(Err(())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligner_completes_when_all_channels_deliver() {
+        let mut a = BarrierAligner::new(3);
+        assert!(!a.barrier(1, 0));
+        assert!(!a.barrier(1, 1));
+        assert!(a.barrier(1, 2));
+    }
+
+    #[test]
+    fn aligner_counts_closed_channels_as_delivered() {
+        let mut a = BarrierAligner::new(2);
+        assert!(a.close(1).is_empty());
+        assert!(a.barrier(1, 0), "closed channel no longer constrains");
+    }
+
+    #[test]
+    fn aligner_close_completes_outstanding_ids_in_order() {
+        let mut a = BarrierAligner::new(2);
+        assert!(!a.barrier(2, 0));
+        assert!(!a.barrier(1, 0));
+        assert_eq!(a.close(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn aligner_tracks_multiple_outstanding_ids() {
+        // At-least-once: a fast channel delivers barrier 2 before the slow
+        // one delivers barrier 1.
+        let mut a = BarrierAligner::new(2);
+        assert!(!a.barrier(1, 0));
+        assert!(!a.barrier(2, 0));
+        assert!(a.barrier(1, 1));
+        assert!(a.barrier(2, 1));
+    }
+
+    #[test]
+    fn injector_fires_exactly_once_for_its_target() {
+        let inj = FaultInjector::after_tuples(3, 1, 5);
+        assert!(inj.check(2, 1, 100).is_ok(), "other node untouched");
+        assert!(inj.check(3, 0, 100).is_ok(), "other instance untouched");
+        assert!(inj.check(3, 1, 4).is_ok(), "below threshold");
+        assert!(matches!(
+            inj.check(3, 1, 5),
+            Err(EngineError::FaultInjected {
+                node: 3,
+                instance: 1
+            })
+        ));
+        assert!(inj.fired());
+        assert!(inj.check(3, 1, 500).is_ok(), "single shot");
+    }
+
+    #[test]
+    fn panicking_injector_panics() {
+        let inj = FaultInjector::after_tuples(0, 0, 0).panicking();
+        let res = std::panic::catch_unwind(|| {
+            let _ = inj.check(0, 0, 0);
+        });
+        assert!(res.is_err());
+        assert!(inj.fired());
+    }
+
+    #[test]
+    fn backoff_schedules() {
+        let fixed = RestartPolicy {
+            max_restarts: 3,
+            backoff: Backoff::Fixed(Duration::from_millis(7)),
+        };
+        assert_eq!(fixed.delay(0), Duration::from_millis(7));
+        assert_eq!(fixed.delay(5), Duration::from_millis(7));
+        let exp = RestartPolicy {
+            max_restarts: 3,
+            backoff: Backoff::Exponential {
+                initial: Duration::from_millis(10),
+                factor: 2.0,
+                max: Duration::from_millis(25),
+            },
+        };
+        assert_eq!(exp.delay(0), Duration::from_millis(10));
+        assert_eq!(exp.delay(1), Duration::from_millis(20));
+        assert_eq!(exp.delay(2), Duration::from_millis(25), "capped");
+    }
+
+    #[test]
+    fn ft_config_validation() {
+        let mut cfg = FtConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.checkpoint_interval_tuples = 0;
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
+        let bad_run = FtConfig {
+            run: RunConfig {
+                channel_capacity: 0,
+                ..RunConfig::default()
+            },
+            ..FtConfig::default()
+        };
+        assert!(bad_run.validate().is_err());
+    }
+}

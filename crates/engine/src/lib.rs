@@ -28,6 +28,7 @@ pub mod builder;
 pub mod chaining;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod message;
 pub mod operator;
 pub mod physical;
@@ -41,6 +42,10 @@ pub mod window;
 pub use builder::PlanBuilder;
 pub use error::{EngineError, Result};
 pub use expr::{CmpOp, Predicate, ScalarExpr};
+pub use fault::{
+    Backoff, DeliveryMode, FaultInjector, FaultStyle, FaultTrigger, FtConfig, FtRunResult,
+    FtRuntime, RecoveryStats, RestartPolicy,
+};
 pub use operator::OpKind;
 pub use physical::PhysicalPlan;
 pub use plan::{Edge, LogicalNode, LogicalPlan, NodeId, Partitioning};

@@ -10,6 +10,10 @@ pub enum Message {
     /// Event-time watermark (ms): no tuple with event time < wm follows on
     /// this channel.
     Watermark(i64),
+    /// Checkpoint barrier (Chandy–Lamport / Flink style): all tuples of
+    /// checkpoint `id` precede it on this channel. Operators align barriers
+    /// across inputs, snapshot their state, then forward the barrier.
+    Barrier(u64),
     /// End of stream on this channel.
     Eos,
 }

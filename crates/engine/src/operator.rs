@@ -236,8 +236,7 @@ impl OpKind {
                 }
                 Ok(Schema::of(&[FieldType::Str]))
             }
-            OpKind::WindowAggregate { key_field, .. }
-            | OpKind::SessionWindow { key_field, .. } => {
+            OpKind::WindowAggregate { key_field, .. } | OpKind::SessionWindow { key_field, .. } => {
                 let input = inputs
                     .first()
                     .ok_or_else(|| EngineError::InvalidPlan("window agg has no input".into()))?;
@@ -377,6 +376,23 @@ pub trait OperatorInstance: Send {
 
     /// End of all inputs: flush buffered state.
     fn on_flush(&mut self, _out: &mut Vec<Tuple>) {}
+
+    /// Serialize mutable state for a checkpoint. Stateless operators
+    /// return an empty snapshot; UDOs are not snapshotted (their state is
+    /// opaque — a documented limitation of checkpoint recovery).
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        Ok(Vec::new())
+    }
+
+    /// Restore state captured by [`OperatorInstance::snapshot`].
+    fn restore(&mut self, _bytes: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    /// Tuples this instance dropped as late (behind the watermark).
+    fn late_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Identity operator (source/sink/union runtime bodies).
@@ -501,6 +517,18 @@ impl OperatorInstance for WindowAggInstance {
         self.windower.flush(&mut results);
         self.emit(results, out);
     }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        self.windower.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        self.windower.restore(bytes)
+    }
+
+    fn late_events(&self) -> u64 {
+        self.windower.late_events()
+    }
 }
 
 struct SessionAggInstance {
@@ -556,6 +584,18 @@ impl OperatorInstance for SessionAggInstance {
         self.windower.flush(&mut results);
         self.emit(results, out);
     }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        self.windower.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        self.windower.restore(bytes)
+    }
+
+    fn late_events(&self) -> u64 {
+        self.windower.late_events()
+    }
 }
 
 struct JoinInstance {
@@ -570,6 +610,14 @@ impl OperatorInstance for JoinInstance {
 
     fn on_watermark(&mut self, watermark: i64, _out: &mut Vec<Tuple>) {
         self.state.on_watermark(watermark);
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        self.state.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        self.state.restore(bytes)
     }
 }
 

@@ -60,7 +60,12 @@ pub struct LogicalPlan {
 
 impl LogicalPlan {
     /// Add a node; returns its id.
-    pub fn add_node(&mut self, name: impl Into<String>, kind: OpKind, parallelism: usize) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        parallelism: usize,
+    ) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(LogicalNode {
             id,
@@ -200,15 +205,14 @@ impl LogicalPlan {
         for e in &self.edges {
             let (from, to) = (&self.nodes[e.from], &self.nodes[e.to]);
             match &e.partitioning {
-                Partitioning::Forward
-                    if from.parallelism != to.parallelism => {
-                        return Err(EngineError::ForwardParallelismMismatch {
-                            from: from.name.clone(),
-                            to: to.name.clone(),
-                            from_parallelism: from.parallelism,
-                            to_parallelism: to.parallelism,
-                        });
-                    }
+                Partitioning::Forward if from.parallelism != to.parallelism => {
+                    return Err(EngineError::ForwardParallelismMismatch {
+                        from: from.name.clone(),
+                        to: to.name.clone(),
+                        from_parallelism: from.parallelism,
+                        to_parallelism: to.parallelism,
+                    });
+                }
                 Partitioning::Hash(fields) => {
                     let width = schemas[e.from].width();
                     for &f in fields {

@@ -85,6 +85,30 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// Check that the configuration can drive a run at all. Called by the
+    /// runtimes before spawning any worker so misconfiguration surfaces as
+    /// a typed error instead of a hang or panic.
+    pub fn validate(&self) -> Result<()> {
+        if self.channel_capacity == 0 {
+            return Err(EngineError::InvalidConfig(
+                "channel_capacity must be at least 1 (capacity-0 bounded channels deadlock)".into(),
+            ));
+        }
+        if self.watermark_interval == 0 {
+            return Err(EngineError::InvalidConfig(
+                "watermark_interval must be at least 1".into(),
+            ));
+        }
+        if self.watermark_lateness_ms < 0 {
+            return Err(EngineError::InvalidConfig(
+                "watermark_lateness_ms must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Per-logical-operator execution counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OperatorStats {
@@ -143,9 +167,9 @@ impl RunResult {
 }
 
 #[derive(Debug, Clone)]
-struct Envelope {
-    channel: usize,
-    msg: Message,
+pub(crate) struct Envelope {
+    pub(crate) channel: usize,
+    pub(crate) msg: Message,
 }
 
 /// The multi-threaded executor.
@@ -166,6 +190,7 @@ impl ThreadedRuntime {
         plan: &PhysicalPlan,
         sources: &[Arc<dyn SourceFactory>],
     ) -> Result<RunResult> {
+        self.config.validate()?;
         let source_nodes = plan.logical.sources();
         if sources.len() != source_nodes.len() {
             return Err(EngineError::Execution(format!(
@@ -198,15 +223,20 @@ impl ThreadedRuntime {
         for inst in &plan.instances {
             let node = &plan.logical.nodes[inst.node];
             let routes = plan.out_routes[inst.id].clone();
-            let downstream: Vec<Vec<Sender<Envelope>>> = routes
-                .iter()
-                .map(|r| {
-                    r.targets
-                        .iter()
-                        .map(|t| senders[t.instance].as_ref().expect("sender alive").clone())
-                        .collect()
-                })
-                .collect();
+            let mut downstream: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(routes.len());
+            for r in &routes {
+                let mut txs = Vec::with_capacity(r.targets.len());
+                for t in r.targets.iter() {
+                    let tx = senders[t.instance].as_ref().ok_or_else(|| {
+                        EngineError::Execution(format!(
+                            "internal routing error: no sender for instance {}",
+                            t.instance
+                        ))
+                    })?;
+                    txs.push(tx.clone());
+                }
+                downstream.push(txs);
+            }
             let route_meta = routes;
 
             match &node.kind {
@@ -215,7 +245,12 @@ impl ThreadedRuntime {
                         let src_pos = source_nodes
                             .iter()
                             .position(|&s| s == inst.node)
-                            .expect("source node");
+                            .ok_or_else(|| {
+                                EngineError::Execution(format!(
+                                    "instance {} references node {} which is not a source",
+                                    inst.id, inst.node
+                                ))
+                            })?;
                         Arc::clone(&sources[src_pos])
                     };
                     let parallelism = node.parallelism;
@@ -225,7 +260,7 @@ impl ThreadedRuntime {
                     let count_tx = count_tx.clone();
                     let stats_tx_src = stats_tx.clone();
                     let lnode = inst.node;
-                    handles.push(std::thread::spawn(move || -> Result<()> {
+                    let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
                         let mut max_et = i64::MIN;
                         let mut emitted: u64 = 0;
@@ -243,16 +278,17 @@ impl ThreadedRuntime {
                         let _ = count_tx.send(emitted);
                         let _ = stats_tx_src.send((lnode, emitted, emitted));
                         Ok(())
-                    }));
+                    });
+                    handles.push((inst.node, inst.index, worker));
                 }
                 OpKind::Sink => {
-                    let rx = receivers[inst.id].take().expect("receiver");
+                    let rx = take_receiver(&mut receivers, inst.id)?;
                     let channels = plan.input_channel_count[inst.id];
                     let sink_tx = sink_tx.clone();
                     let stats_tx_sink = stats_tx.clone();
                     let lnode = inst.node;
                     let capture_limit = self.config.capture_limit;
-                    handles.push(std::thread::spawn(move || -> Result<()> {
+                    let worker = std::thread::spawn(move || -> Result<()> {
                         let mut captured = Vec::new();
                         let mut latencies = Vec::new();
                         let mut total: u64 = 0;
@@ -268,24 +304,28 @@ impl ThreadedRuntime {
                                         captured.push(t);
                                     }
                                 }
-                                Message::Watermark(_) => {}
+                                // The plain runtime never injects barriers;
+                                // the fault-tolerant runtime has its own
+                                // sink loop that aligns them.
+                                Message::Watermark(_) | Message::Barrier(_) => {}
                                 Message::Eos => closed += 1,
                             }
                         }
                         let _ = sink_tx.send((captured, latencies, total));
                         let _ = stats_tx_sink.send((lnode, total, 0));
                         Ok(())
-                    }));
+                    });
+                    handles.push((inst.node, inst.index, worker));
                 }
                 kind => {
                     let mut op = kind.instantiate();
-                    let rx = receivers[inst.id].take().expect("receiver");
+                    let rx = take_receiver(&mut receivers, inst.id)?;
                     let channels = plan.input_channel_count[inst.id];
                     let ports = plan.channel_ports[inst.id].clone();
                     let name = node.name.clone();
                     let stats_tx_op = stats_tx.clone();
                     let lnode = inst.node;
-                    handles.push(std::thread::spawn(move || -> Result<()> {
+                    let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
                         let mut tracker = WatermarkTracker::new(channels);
                         let mut out = Vec::new();
@@ -318,6 +358,9 @@ impl ThreadedRuntime {
                                         broadcast(&route_meta, &downstream, Message::Watermark(w))?;
                                     }
                                 }
+                                // Barriers only circulate under the
+                                // fault-tolerant runtime.
+                                Message::Barrier(_) => {}
                                 Message::Eos => {
                                     closed += 1;
                                     if let Some(w) = tracker.close_channel(env.channel) {
@@ -347,7 +390,8 @@ impl ThreadedRuntime {
                         broadcast(&route_meta, &downstream, Message::Eos)?;
                         let _ = stats_tx_op.send((lnode, n_in, n_out));
                         Ok(())
-                    }));
+                    });
+                    handles.push((inst.node, inst.index, worker));
                 }
             }
         }
@@ -376,10 +420,9 @@ impl ThreadedRuntime {
                 .collect(),
         };
         for (captured, lats, total) in sink_rx.iter() {
-            let room = self.config.capture_limit - result.sink_tuples.len().min(self.config.capture_limit);
-            result
-                .sink_tuples
-                .extend(captured.into_iter().take(room));
+            let room =
+                self.config.capture_limit - result.sink_tuples.len().min(self.config.capture_limit);
+            result.sink_tuples.extend(captured.into_iter().take(room));
             result.latencies_ns.extend(lats);
             result.tuples_out += total;
         }
@@ -392,18 +435,19 @@ impl ThreadedRuntime {
             s.tuples_out += n_out;
         }
 
-        let mut first_err: Option<EngineError> = None;
-        for h in handles {
+        let mut errors: Vec<EngineError> = Vec::new();
+        for (node, instance, h) in handles {
             match h.join() {
                 Ok(Ok(())) => {}
-                Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Err(_) => {
-                    first_err =
-                        first_err.or(Some(EngineError::Execution("worker panicked".into())))
-                }
+                Ok(Err(e)) => errors.push(e),
+                Err(payload) => errors.push(EngineError::WorkerPanicked {
+                    node,
+                    instance,
+                    cause: panic_cause(&*payload),
+                }),
             }
         }
-        if let Some(e) = first_err {
+        if let Some(e) = pick_root_error(errors) {
             return Err(e);
         }
         result.elapsed = start.elapsed();
@@ -411,7 +455,48 @@ impl ThreadedRuntime {
     }
 }
 
-fn send_tuple(
+/// One worker dying tears down its neighbours through channel disconnects,
+/// so several workers usually fail at once. The panic or injected fault
+/// that started the cascade is the root cause; generic channel-disconnect
+/// `Execution` errors are downstream symptoms and rank last.
+pub(crate) fn pick_root_error(errors: Vec<EngineError>) -> Option<EngineError> {
+    fn rank(e: &EngineError) -> u8 {
+        match e {
+            EngineError::WorkerPanicked { .. } | EngineError::FaultInjected { .. } => 0,
+            EngineError::Execution(_) => 2,
+            _ => 1,
+        }
+    }
+    errors.into_iter().fold(None, |best, e| match best {
+        None => Some(e),
+        Some(b) if rank(&e) < rank(&b) => Some(e),
+        Some(b) => Some(b),
+    })
+}
+
+/// Extract a human-readable message from a panic payload (the payloads
+/// `panic!` produces are `&str` or `String`; anything else is opaque).
+pub(crate) fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Take an instance's receiver out of the shared table exactly once.
+pub(crate) fn take_receiver(
+    receivers: &mut [Option<Receiver<Envelope>>],
+    id: usize,
+) -> Result<Receiver<Envelope>> {
+    receivers.get_mut(id).and_then(Option::take).ok_or_else(|| {
+        EngineError::Execution(format!(
+            "internal routing error: receiver for instance {id} missing or already taken"
+        ))
+    })
+}
+
+pub(crate) fn send_tuple(
     routes: &[crate::physical::OutRoute],
     downstream: &[Vec<Sender<Envelope>>],
     router: &mut RouterState,
@@ -443,7 +528,7 @@ fn send_tuple(
     Ok(())
 }
 
-fn broadcast(
+pub(crate) fn broadcast(
     routes: &[crate::physical::OutRoute],
     downstream: &[Vec<Sender<Envelope>>],
     msg: Message,
@@ -527,13 +612,7 @@ mod tests {
             .collect();
         let plan = PlanBuilder::new()
             .source("src", Schema::of(&[FieldType::Int, FieldType::Int]), 1)
-            .window_agg_keyed(
-                "agg",
-                WindowSpec::tumbling_count(5),
-                AggFunc::Count,
-                1,
-                0,
-            )
+            .window_agg_keyed("agg", WindowSpec::tumbling_count(5), AggFunc::Count, 1, 0)
             .set_parallelism(1, 4)
             .sink("sink")
             .build()
@@ -733,6 +812,75 @@ mod tests {
         let p50 = res.latency_percentile_ns(50.0).unwrap();
         let p99 = res.latency_percentile_ns(99.0).unwrap();
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn zero_channel_capacity_is_rejected_before_spawning() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let rt = ThreadedRuntime::new(RunConfig {
+            channel_capacity: 0,
+            ..RunConfig::default()
+        });
+        match rt.run(&phys, &[VecSource::new(int_tuples(0..10))]) {
+            Err(EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("channel_capacity"))
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_watermark_interval_is_rejected() {
+        assert!(matches!(
+            RunConfig {
+                watermark_interval: 0,
+                ..RunConfig::default()
+            }
+            .validate(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(RunConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn worker_panic_reports_node_instance_and_cause() {
+        use crate::udo::{CostProfile, FnUdo};
+        let bomb = FnUdo::new(
+            "bomb",
+            CostProfile::stateless(100.0, 1.0),
+            |s: &Schema| s.clone(),
+            |t: Tuple, out: &mut Vec<Tuple>| {
+                if t.values[0] == Value::Int(5) {
+                    panic!("boom at tuple 5");
+                }
+                out.push(t);
+            },
+        );
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 1)
+            .udo("bomb", bomb)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let rt = ThreadedRuntime::new(RunConfig::default());
+        match rt.run(&phys, &[VecSource::new(int_tuples(0..10))]) {
+            Err(EngineError::WorkerPanicked {
+                node,
+                instance,
+                cause,
+            }) => {
+                assert_eq!(node, 1, "the UDO is logical node 1");
+                assert_eq!(instance, 0);
+                assert!(cause.contains("boom at tuple 5"), "cause: {cause}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 
     #[test]

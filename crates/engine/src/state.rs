@@ -5,12 +5,14 @@
 //! buffer retains each side's tuples for the window extent and probes the
 //! opposite side on arrival.
 
+use crate::error::Result;
 use crate::value::{KeyValue, Tuple, Value};
-use crate::window::{WindowPolicy, WindowSpec};
+use crate::window::{decode_snapshot, WindowPolicy, WindowSpec};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// One side of a symmetric hash join.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 struct JoinSide {
     /// key -> buffered tuples (oldest first).
     buckets: HashMap<KeyValue, VecDeque<Tuple>>,
@@ -138,6 +140,33 @@ impl JoinState {
             self.right.evict_older_than(horizon);
         }
     }
+
+    /// Serialize both join buffers for a checkpoint (the spec and key
+    /// fields travel with the plan, not the snapshot).
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let snap = JoinSnapshot {
+            left: self.left.clone(),
+            right: self.right.clone(),
+        };
+        serde_json::to_string(&snap)
+            .map(String::into_bytes)
+            .map_err(|e| crate::error::EngineError::Checkpoint(format!("join snapshot: {e}")))
+    }
+
+    /// Replace both join buffers with a previously captured snapshot.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let snap: JoinSnapshot = decode_snapshot(bytes, "join")?;
+        self.left = snap.left;
+        self.right = snap.right;
+        Ok(())
+    }
+}
+
+/// Dynamic portion of [`JoinState`] captured by checkpoints.
+#[derive(Serialize, Deserialize)]
+struct JoinSnapshot {
+    left: JoinSide,
+    right: JoinSide,
 }
 
 #[cfg(test)]
@@ -229,6 +258,21 @@ mod tests {
         right.event_time = 2;
         j.on_tuple(1, right, &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_join_buffers() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(1000), 0, 0);
+        let mut out = Vec::new();
+        j.on_tuple(0, t(7, 1), &mut out);
+        j.on_tuple(0, t(7, 2), &mut out);
+        let bytes = j.snapshot().unwrap();
+
+        let mut r = JoinState::new(WindowSpec::tumbling_time(1000), 0, 0);
+        r.restore(&bytes).unwrap();
+        assert_eq!(r.buffered(), 2);
+        r.on_tuple(1, t(7, 3), &mut out);
+        assert_eq!(out.len(), 2, "restored left side joins with new right");
     }
 
     #[test]

@@ -265,7 +265,7 @@ impl Schema {
 }
 
 /// A data tuple flowing through the dataflow graph.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tuple {
     /// Field values.
     pub values: Vec<Value>,
@@ -331,6 +331,19 @@ impl Eq for KeyValue {}
 impl Hash for KeyValue {
     fn hash<H: Hasher>(&self, state: &mut H) {
         state.write_u64(self.0.stable_hash());
+    }
+}
+
+// Newtype-transparent serde (checkpoint snapshots of keyed state).
+impl Serialize for KeyValue {
+    fn to_json_value(&self) -> serde::Value {
+        self.0.to_json_value()
+    }
+}
+
+impl Deserialize for KeyValue {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Value::from_json_value(value).map(KeyValue)
     }
 }
 

@@ -7,6 +7,7 @@
 //! slide equals its length, which the assigner exploits.
 
 use crate::agg::{Accumulator, AggFunc};
+use crate::error::{EngineError, Result};
 use crate::value::{KeyValue, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -136,7 +137,7 @@ pub struct WindowResult {
 }
 
 /// Per-key pane state for time windows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct TimePane {
     acc: Accumulator,
     max_emit_ns: u64,
@@ -145,7 +146,7 @@ struct TimePane {
 
 /// Per-key time-window state: panes plus the fire cursor (end of the next
 /// window to fire), preventing duplicate firings across watermarks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct TimeKeyState {
     panes: BTreeMap<i64, TimePane>,
     next_end: Option<i64>,
@@ -162,7 +163,7 @@ const fn gcd(a: u64, b: u64) -> u64 {
 }
 
 /// Per-key buffer for count windows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct CountBuf {
     values: VecDeque<(f64, u64, i64)>, // (value, emit_ns, event_time)
     seen: u64,
@@ -277,7 +278,8 @@ impl KeyedWindower {
                 seen: 0,
                 since_fire: 0,
             });
-        buf.values.push_back((value, tuple.emit_ns, tuple.event_time));
+        buf.values
+            .push_back((value, tuple.emit_ns, tuple.event_time));
         if buf.values.len() > len {
             buf.values.pop_front();
         }
@@ -317,6 +319,16 @@ impl KeyedWindower {
         let length = self.spec.length as i64;
         let keyed = self.keyed;
         let func = self.func;
+        // Smallest window end strictly above the watermark (i128 dodges
+        // overflow at the i64 extremes). The per-key cursor must never
+        // advance past it: an accepted out-of-order tuple always belongs
+        // to windows ending above the watermark, and a cursor beyond them
+        // would expire its pane without ever firing it.
+        let first_end_above = {
+            let wm = self.watermark;
+            let k = (wm as i128 - length as i128).div_euclid(slide as i128) + 1;
+            (k * slide as i128 + length as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+        };
         for (key, state) in self.time_state.iter_mut() {
             let Some((&first_pane, _)) = state.panes.iter().next() else {
                 continue;
@@ -351,16 +363,12 @@ impl KeyedWindower {
                 next_end = next_end.saturating_add(slide);
                 // Panes entirely before the next window's start are dead.
                 let next_start = next_end - length;
-                let expired: Vec<i64> = state
-                    .panes
-                    .range(..next_start)
-                    .map(|(k, _)| *k)
-                    .collect();
+                let expired: Vec<i64> = state.panes.range(..next_start).map(|(k, _)| *k).collect();
                 for k in expired {
                     state.panes.remove(&k);
                 }
             }
-            state.next_end = Some(next_end);
+            state.next_end = Some(next_end.min(first_end_above));
         }
         self.time_state.retain(|_, s| !s.panes.is_empty());
     }
@@ -382,10 +390,51 @@ impl KeyedWindower {
     pub fn pane_ms(&self) -> i64 {
         self.pane_ms
     }
+
+    /// Serialize the dynamic state (panes, buffers, watermark, late count)
+    /// for a checkpoint. The spec/func/keyed configuration travels with the
+    /// plan, not the snapshot.
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let snap = WindowerSnapshot {
+            time_state: self.time_state.clone(),
+            count_state: self.count_state.clone(),
+            watermark: self.watermark,
+            late_events: self.late_events,
+        };
+        serde_json::to_string(&snap)
+            .map(String::into_bytes)
+            .map_err(|e| EngineError::Checkpoint(format!("windower snapshot: {e}")))
+    }
+
+    /// Replace the dynamic state with a previously captured snapshot.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let snap: WindowerSnapshot = decode_snapshot(bytes, "windower")?;
+        self.time_state = snap.time_state;
+        self.count_state = snap.count_state;
+        self.watermark = snap.watermark;
+        self.late_events = snap.late_events;
+        Ok(())
+    }
+}
+
+/// Dynamic portion of [`KeyedWindower`] captured by checkpoints.
+#[derive(Serialize, Deserialize)]
+struct WindowerSnapshot {
+    time_state: HashMap<KeyValue, TimeKeyState>,
+    count_state: HashMap<KeyValue, CountBuf>,
+    watermark: i64,
+    late_events: u64,
+}
+
+/// Shared snapshot decoding: UTF-8 then JSON, with a labelled error.
+pub(crate) fn decode_snapshot<T: serde::Deserialize>(bytes: &[u8], what: &str) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| EngineError::Checkpoint(format!("{what} snapshot not utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| EngineError::Checkpoint(format!("{what} restore: {e}")))
 }
 
 /// Session-window state for one key.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct SessionState {
     acc: Accumulator,
     start_et: i64,
@@ -474,11 +523,7 @@ impl SessionWindower {
             std::collections::hash_map::Entry::Occupied(mut occ) => {
                 if tuple.event_time - occ.get().last_et > self.gap_ms {
                     // Gap exceeded: close the old session, start fresh.
-                    Self::fire(
-                        keyed.then(|| key_v.clone()),
-                        occ.get(),
-                        out,
-                    );
+                    Self::fire(keyed.then(|| key_v.clone()), occ.get(), out);
                     *occ.get_mut() = SessionState {
                         acc: Accumulator::new(self.func),
                         start_et: tuple.event_time,
@@ -530,6 +575,36 @@ impl SessionWindower {
             .get(&KeyValue(key.clone()))
             .map(|s| s.last_et - s.start_et)
     }
+
+    /// Serialize the open sessions, watermark and late count for a
+    /// checkpoint.
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let snap = SessionSnapshot {
+            sessions: self.sessions.clone(),
+            watermark: self.watermark,
+            late_events: self.late_events,
+        };
+        serde_json::to_string(&snap)
+            .map(String::into_bytes)
+            .map_err(|e| EngineError::Checkpoint(format!("session snapshot: {e}")))
+    }
+
+    /// Replace the dynamic state with a previously captured snapshot.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let snap: SessionSnapshot = decode_snapshot(bytes, "session windower")?;
+        self.sessions = snap.sessions;
+        self.watermark = snap.watermark;
+        self.late_events = snap.late_events;
+        Ok(())
+    }
+}
+
+/// Dynamic portion of [`SessionWindower`] captured by checkpoints.
+#[derive(Serialize, Deserialize)]
+struct SessionSnapshot {
+    sessions: HashMap<KeyValue, SessionState>,
+    watermark: i64,
+    late_events: u64,
 }
 
 #[cfg(test)]
@@ -596,6 +671,23 @@ mod session_tests {
     }
 
     #[test]
+    fn snapshot_restore_resumes_open_sessions() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, true);
+        let mut out = Vec::new();
+        let k = Value::str("a");
+        w.push(Some(&k), 1.0, &t(0), &mut out);
+        w.push(Some(&k), 1.0, &t(50), &mut out);
+        let bytes = w.snapshot().unwrap();
+        let mut r = SessionWindower::new(100, AggFunc::Count, true);
+        r.restore(&bytes).unwrap();
+        assert_eq!(r.open_sessions(), 1);
+        r.push(Some(&k), 1.0, &t(120), &mut out);
+        r.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 3, "session continued across restore");
+    }
+
+    #[test]
     fn session_span_tracks_extent() {
         let mut w = SessionWindower::new(100, AggFunc::Count, true);
         let mut out = Vec::new();
@@ -619,10 +711,7 @@ mod tests {
     #[test]
     fn spec_kind_derivation() {
         assert_eq!(WindowSpec::tumbling_count(10).kind(), WindowKind::Tumbling);
-        assert_eq!(
-            WindowSpec::sliding_count(10, 5).kind(),
-            WindowKind::Sliding
-        );
+        assert_eq!(WindowSpec::sliding_count(10, 5).kind(), WindowKind::Sliding);
         assert_eq!(WindowSpec::tumbling_time(500).kind(), WindowKind::Tumbling);
     }
 
@@ -767,6 +856,27 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_pane_behind_the_cursor_still_fires() {
+        // Regression: a tuple ahead of the stream initializes the firing
+        // cursor; an out-of-order tuple that is NOT late (still at/above
+        // the watermark) then opens an earlier pane. That pane's window
+        // must fire rather than expire silently.
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Count, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(150), &mut out);
+        // Watermark far behind: nothing fires, nothing is late yet.
+        w.on_watermark(10, &mut out);
+        assert!(out.is_empty());
+        // Out of order but at the watermark: accepted into window [0, 100).
+        w.push(None, 1.0, &tuple_at(10), &mut out);
+        assert_eq!(w.late_events(), 0);
+        w.flush(&mut out);
+        let total: u64 = out.iter().map(|r| r.count).sum();
+        assert_eq!(total, 2, "the out-of-order tuple is aggregated, not lost");
+        assert_eq!(out.len(), 2, "both windows fired");
+    }
+
+    #[test]
     fn count_policy_ignores_watermarks() {
         let mut w = KeyedWindower::new(WindowSpec::tumbling_count(5), AggFunc::Sum, false);
         let mut out = Vec::new();
@@ -779,5 +889,62 @@ mod tests {
     fn panes_per_window() {
         assert_eq!(WindowSpec::sliding_time(100, 30).panes_per_window(), 4);
         assert_eq!(WindowSpec::tumbling_time(100).panes_per_window(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_time_windows_identically() {
+        let spec = WindowSpec::sliding_time(100, 50);
+        let mut reference = KeyedWindower::new(spec, AggFunc::Sum, true);
+        let mut out_ref = Vec::new();
+        let key = Value::str("k");
+        for et in [10, 60, 110, 170] {
+            reference.push(Some(&key), et as f64, &tuple_at(et), &mut out_ref);
+        }
+        reference.on_watermark(100, &mut out_ref);
+
+        // Rebuild a second windower from the midpoint snapshot, then feed
+        // both the same tail; outputs must match exactly.
+        let mut original = KeyedWindower::new(spec, AggFunc::Sum, true);
+        let mut scratch = Vec::new();
+        for et in [10, 60, 110, 170] {
+            original.push(Some(&key), et as f64, &tuple_at(et), &mut scratch);
+        }
+        original.on_watermark(100, &mut scratch);
+        let bytes = original.snapshot().unwrap();
+        let mut restored = KeyedWindower::new(spec, AggFunc::Sum, true);
+        restored.restore(&bytes).unwrap();
+
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for w in [reference, restored]
+            .iter_mut()
+            .zip([&mut out_a, &mut out_b])
+        {
+            let (win, out) = w;
+            win.push(Some(&key), 230.0, &tuple_at(230), out);
+            win.flush(out);
+        }
+        assert_eq!(out_a, out_b);
+        assert!(!out_a.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_count_buffers_and_late_count() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_count(3), AggFunc::Sum, false);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(1), &mut out);
+        w.push(None, 2.0, &tuple_at(2), &mut out);
+        let bytes = w.snapshot().unwrap();
+        let mut r = KeyedWindower::new(WindowSpec::tumbling_count(3), AggFunc::Sum, false);
+        r.restore(&bytes).unwrap();
+        r.push(None, 3.0, &tuple_at(3), &mut out);
+        assert_eq!(out.len(), 1, "restored buffer completes the window");
+        assert_eq!(out[0].value, Some(6.0));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_count(3), AggFunc::Sum, false);
+        assert!(w.restore(b"not json").is_err());
+        assert!(w.restore(&[0xff, 0xfe]).is_err());
     }
 }

@@ -94,7 +94,9 @@ fn broadcast_replicates_to_every_instance() {
     plan.connect(s, agg, Partitioning::Broadcast);
     plan.connect(agg, k, Partitioning::Rebalance);
     let phys = PhysicalPlan::expand(&plan).unwrap();
-    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..90))]).unwrap();
+    let res = rt()
+        .run(&phys, &[VecSource::new(int_tuples(0..90))])
+        .unwrap();
     assert_eq!(res.tuples_out, 9, "3 instances x 3 windows");
     for t in &res.sink_tuples {
         assert_eq!(t.values[1], Value::Double(30.0));
@@ -137,7 +139,9 @@ fn diamond_topology_counts_both_branches() {
     plan.connect(odds, u, Partitioning::Rebalance);
     plan.connect(u, k, Partitioning::Rebalance);
     let phys = PhysicalPlan::expand(&plan).unwrap();
-    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    let res = rt()
+        .run(&phys, &[VecSource::new(int_tuples(0..100))])
+        .unwrap();
     assert_eq!(res.tuples_out, 100, "branches are complementary");
 }
 
@@ -165,7 +169,9 @@ fn multi_sink_plans_deliver_to_both() {
     plan.connect(s, k1, Partitioning::Rebalance);
     plan.connect(f, k2, Partitioning::Rebalance);
     let phys = PhysicalPlan::expand(&plan).unwrap();
-    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    let res = rt()
+        .run(&phys, &[VecSource::new(int_tuples(0..100))])
+        .unwrap();
     // sink-raw gets all 100, sink-filtered the 30 below the threshold.
     assert_eq!(res.tuples_out, 130);
 }
@@ -174,8 +180,20 @@ fn multi_sink_plans_deliver_to_both() {
 fn three_way_join_chains_binary_joins() {
     let mut b = PlanBuilder::new();
     let schema = Schema::of(&[FieldType::Int]);
-    let s1 = b.add_node("s1", OpKind::Source { schema: schema.clone() }, 1);
-    let s2 = b.add_node("s2", OpKind::Source { schema: schema.clone() }, 1);
+    let s1 = b.add_node(
+        "s1",
+        OpKind::Source {
+            schema: schema.clone(),
+        },
+        1,
+    );
+    let s2 = b.add_node(
+        "s2",
+        OpKind::Source {
+            schema: schema.clone(),
+        },
+        1,
+    );
     let s3 = b.add_node("s3", OpKind::Source { schema }, 1);
     let b = b.join("j1", s1, s2, WindowSpec::tumbling_time(1_000_000), 0, 0);
     let j1 = b.cursor().unwrap();
@@ -217,7 +235,9 @@ fn high_parallelism_smoke_64_instances() {
         .unwrap();
     let phys = PhysicalPlan::expand(&plan).unwrap();
     assert_eq!(phys.instance_count(), 4 + 64 + 1);
-    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..2_000))]).unwrap();
+    let res = rt()
+        .run(&phys, &[VecSource::new(int_tuples(0..2_000))])
+        .unwrap();
     assert_eq!(res.tuples_out, 2_000);
 }
 
@@ -281,7 +301,9 @@ fn udo_in_parallel_dataflow_keeps_key_locality() {
         .sink("k")
         .build()
         .unwrap();
-    let tuples: Vec<Tuple> = (0..400).map(|i| Tuple::new(vec![Value::Int(i % 10)])).collect();
+    let tuples: Vec<Tuple> = (0..400)
+        .map(|i| Tuple::new(vec![Value::Int(i % 10)]))
+        .collect();
     let phys = PhysicalPlan::expand(&plan).unwrap();
     let res = rt().run(&phys, &[VecSource::new(tuples)]).unwrap();
     assert_eq!(res.tuples_out, 400);
@@ -308,7 +330,9 @@ fn operator_stats_track_selectivity() {
         .build()
         .unwrap();
     let phys = PhysicalPlan::expand(&plan).unwrap();
-    let res = rt().run(&phys, &[VecSource::new(int_tuples(0..100))]).unwrap();
+    let res = rt()
+        .run(&phys, &[VecSource::new(int_tuples(0..100))])
+        .unwrap();
     let filter = res
         .operator_stats
         .iter()

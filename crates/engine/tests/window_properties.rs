@@ -41,9 +41,7 @@ fn reference_time_windows(
             AggFunc::Count => contents.len() as f64,
             AggFunc::Min => contents.iter().copied().fold(f64::INFINITY, f64::min),
             AggFunc::Max => contents.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            AggFunc::Avg | AggFunc::Mean => {
-                contents.iter().sum::<f64>() / contents.len() as f64
-            }
+            AggFunc::Avg | AggFunc::Mean => contents.iter().sum::<f64>() / contents.len() as f64,
         };
         out.insert(end, (agg, contents.len() as u64));
     }

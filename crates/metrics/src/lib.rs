@@ -7,10 +7,12 @@
 
 pub mod latency;
 pub mod percentile;
+pub mod recovery;
 pub mod summary;
 pub mod throughput;
 
 pub use latency::LatencyRecorder;
 pub use percentile::P2Quantile;
+pub use recovery::{LatencyTimeline, RecoveryRecorder};
 pub use summary::{MeasurementProtocol, RunSummary};
 pub use throughput::ThroughputMeter;

@@ -171,7 +171,9 @@ mod tests {
         let mut all = Vec::new();
         let mut state: u64 = 12345;
         for _ in 0..50_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
             let x = -(1.0 - u).ln();
             est.observe(x);

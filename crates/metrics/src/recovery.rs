@@ -1,0 +1,204 @@
+//! Recovery metrics: per-restart recovery times, tuple-accounting counters
+//! (lost / duplicate / late), and a bucketed latency timeline that makes
+//! the post-failure latency spike visible.
+
+use crate::percentile::exact_percentile;
+
+/// Collects recovery observations across one or more runs.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryRecorder {
+    recovery_times_ms: Vec<f64>,
+    lost_tuples: u64,
+    duplicate_tuples: u64,
+    late_tuples: u64,
+}
+
+impl RecoveryRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one recovery (failure detection to resumed processing), ms.
+    pub fn record_recovery_ms(&mut self, ms: f64) {
+        self.recovery_times_ms.push(ms);
+    }
+
+    /// Add tuples that were lost outright (no checkpoint covered them).
+    pub fn add_lost(&mut self, n: u64) {
+        self.lost_tuples += n;
+    }
+
+    /// Add tuples delivered more than once after replay.
+    pub fn add_duplicates(&mut self, n: u64) {
+        self.duplicate_tuples += n;
+    }
+
+    /// Add tuples dropped behind the watermark.
+    pub fn add_late(&mut self, n: u64) {
+        self.late_tuples += n;
+    }
+
+    /// Number of recoveries recorded.
+    pub fn recoveries(&self) -> usize {
+        self.recovery_times_ms.len()
+    }
+
+    /// Mean recovery time, ms.
+    pub fn mean_recovery_ms(&self) -> Option<f64> {
+        (!self.recovery_times_ms.is_empty()).then(|| {
+            self.recovery_times_ms.iter().sum::<f64>() / self.recovery_times_ms.len() as f64
+        })
+    }
+
+    /// Maximum recovery time, ms.
+    pub fn max_recovery_ms(&self) -> Option<f64> {
+        self.recovery_times_ms
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+    }
+
+    /// Tuples lost outright.
+    pub fn lost(&self) -> u64 {
+        self.lost_tuples
+    }
+
+    /// Tuples delivered more than once.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicate_tuples
+    }
+
+    /// Tuples dropped as late.
+    pub fn late(&self) -> u64 {
+        self.late_tuples
+    }
+}
+
+/// Latency over time, bucketed by delivery timestamp: failures show up as a
+/// spike in the buckets covering the outage and its drain.
+#[derive(Debug, Clone)]
+pub struct LatencyTimeline {
+    bucket_ms: f64,
+    /// Latency samples per bucket index.
+    buckets: Vec<Vec<f64>>,
+}
+
+impl LatencyTimeline {
+    /// Timeline with the given bucket width in milliseconds.
+    pub fn new(bucket_ms: f64) -> Self {
+        LatencyTimeline {
+            bucket_ms: bucket_ms.max(1e-6),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record a delivery at absolute time `at_ms` with latency `latency_ms`.
+    pub fn record(&mut self, at_ms: f64, latency_ms: f64) {
+        if !at_ms.is_finite() || at_ms < 0.0 {
+            return;
+        }
+        let idx = (at_ms / self.bucket_ms) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Vec::new());
+        }
+        self.buckets[idx].push(latency_ms);
+    }
+
+    /// Number of buckets spanned so far.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Per-bucket `(bucket_start_ms, percentile)` series; empty buckets are
+    /// skipped.
+    pub fn percentile_series(&self, p: f64) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| exact_percentile(b, p).map(|v| (i as f64 * self.bucket_ms, v)))
+            .collect()
+    }
+
+    /// Detect the failure spike: the bucket whose median most exceeds the
+    /// overall median. Returns `(bucket_start_ms, bucket_median, overall
+    /// median)` when some bucket's median is at least `factor` times the
+    /// overall one.
+    pub fn spike(&self, factor: f64) -> Option<(f64, f64, f64)> {
+        let series = self.percentile_series(50.0);
+        let all: Vec<f64> = self.buckets.iter().flatten().copied().collect();
+        let overall = exact_percentile(&all, 50.0)?;
+        series
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .filter(|&(_, m)| m >= factor * overall)
+            .map(|(t, m)| (t, m, overall))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_aggregates_counters_and_times() {
+        let mut r = RecoveryRecorder::new();
+        assert_eq!(r.mean_recovery_ms(), None);
+        r.record_recovery_ms(100.0);
+        r.record_recovery_ms(300.0);
+        r.add_lost(5);
+        r.add_duplicates(7);
+        r.add_late(3);
+        assert_eq!(r.recoveries(), 2);
+        assert_eq!(r.mean_recovery_ms(), Some(200.0));
+        assert_eq!(r.max_recovery_ms(), Some(300.0));
+        assert_eq!((r.lost(), r.duplicates(), r.late()), (5, 7, 3));
+    }
+
+    #[test]
+    fn timeline_buckets_by_time() {
+        let mut t = LatencyTimeline::new(100.0);
+        t.record(10.0, 1.0);
+        t.record(150.0, 2.0);
+        t.record(160.0, 4.0);
+        let series = t.percentile_series(50.0);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (0.0, 1.0));
+        // Nearest-rank percentile: median of [2, 4] is the upper sample.
+        assert_eq!(series[1], (100.0, 4.0));
+    }
+
+    #[test]
+    fn timeline_detects_failure_spike() {
+        let mut t = LatencyTimeline::new(100.0);
+        // Steady 5 ms latency, then an outage bucket at 10x.
+        for i in 0..50 {
+            t.record(i as f64 * 10.0, 5.0);
+        }
+        for i in 0..10 {
+            t.record(500.0 + i as f64 * 10.0, 50.0);
+        }
+        for i in 0..50 {
+            t.record(600.0 + i as f64 * 10.0, 5.0);
+        }
+        let (at, spike, overall) = t.spike(3.0).unwrap();
+        assert_eq!(at, 500.0);
+        assert_eq!(spike, 50.0);
+        assert!(overall < 10.0);
+        assert!(t.spike(20.0).is_none(), "no 20x spike present");
+    }
+
+    #[test]
+    fn timeline_ignores_invalid_timestamps() {
+        let mut t = LatencyTimeline::new(100.0);
+        t.record(f64::NAN, 1.0);
+        t.record(-5.0, 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -28,10 +28,7 @@ pub struct SampleContext {
 pub const NODE_FEATURE_DIM: usize = OpTag::ALL.len() + 7;
 
 /// Encode one plan node.
-fn node_features(
-    node: &pdsp_engine::plan::NodeDescriptor,
-    ctx: &SampleContext,
-) -> Vec<f64> {
+fn node_features(node: &pdsp_engine::plan::NodeDescriptor, ctx: &SampleContext) -> Vec<f64> {
     let mut f = vec![0.0; NODE_FEATURE_DIM];
     f[node.op.tag.index()] = 1.0;
     let base = OpTag::ALL.len();
@@ -101,11 +98,7 @@ pub fn flat_features(plan: &PlanDescriptor, ctx: &SampleContext) -> Vec<f64> {
 /// context, and the measured latency label.
 pub fn featurize(plan: &PlanDescriptor, ctx: &SampleContext, latency_ms: f64) -> Sample {
     let graph = GraphSample {
-        node_features: plan
-            .nodes
-            .iter()
-            .map(|n| node_features(n, ctx))
-            .collect(),
+        node_features: plan.nodes.iter().map(|n| node_features(n, ctx)).collect(),
         edges: plan.edges.iter().map(|e| (e.from, e.to)).collect(),
     };
     Sample {

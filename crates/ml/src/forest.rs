@@ -233,7 +233,8 @@ mod tests {
             .map(|i| {
                 let x0 = ((i * 37) % 101 % 20) as f64;
                 let x1 = ((i * 53) % 103 % 11) as f64;
-                let log_lat: f64 = if x0 < 10.0 { 1.0 } else { 3.0 } + if x1 < 5.0 { 0.0 } else { 0.5 };
+                let log_lat: f64 =
+                    if x0 < 10.0 { 1.0 } else { 3.0 } + if x1 < 5.0 { 0.0 } else { 0.5 };
                 Sample {
                     flat: vec![x0, x1],
                     graph: GraphSample {

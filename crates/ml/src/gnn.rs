@@ -28,7 +28,9 @@ struct Param {
 impl Param {
     fn new(len: usize, scale: f64, rng: &mut ChaCha8Rng) -> Self {
         Param {
-            v: (0..len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect(),
+            v: (0..len)
+                .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                .collect(),
             m: vec![0.0; len],
             s: vec![0.0; len],
         }
@@ -280,13 +282,7 @@ impl Gnn {
         head_c_grad[0] += dy;
         // dL/dh for the last layer's outputs.
         let mut dh: Vec<Vec<f64>> = (0..n)
-            .map(|_| {
-                self.head_w
-                    .v
-                    .iter()
-                    .map(|&w| dy * w / n as f64)
-                    .collect()
-            })
+            .map(|_| self.head_w.v.iter().map(|&w| dy * w / n as f64).collect())
             .collect();
         for (li, layer) in self.layers.iter().enumerate().rev() {
             let trace = &traces[li];
@@ -585,7 +581,13 @@ mod tests {
     fn empty_graph_predicts_fallback() {
         let mut m = Gnn::new(8, 2);
         let data = graph_dataset(20);
-        m.fit(&data, &TrainOptions { max_epochs: 2, ..TrainOptions::default() });
+        m.fit(
+            &data,
+            &TrainOptions {
+                max_epochs: 2,
+                ..TrainOptions::default()
+            },
+        );
         let empty = Sample {
             flat: vec![],
             graph: GraphSample {
@@ -615,7 +617,13 @@ mod tests {
     fn out_of_bounds_edges_are_ignored() {
         let mut m = Gnn::new(4, 1);
         let data = graph_dataset(10);
-        m.fit(&data, &TrainOptions { max_epochs: 2, ..TrainOptions::default() });
+        m.fit(
+            &data,
+            &TrainOptions {
+                max_epochs: 2,
+                ..TrainOptions::default()
+            },
+        );
         let mut s = data.samples[0].clone();
         s.graph.edges.push((0, 999));
         let p = m.predict(&s);

@@ -72,9 +72,7 @@ impl CostModel for LinearRegression {
             gram.add_at(i, i, self.lambda * train.len().max(1) as f64);
         }
         let xty = x.tmatvec(&y);
-        self.weights = gram
-            .cholesky_solve(&xty)
-            .unwrap_or_else(|| vec![0.0; d]);
+        self.weights = gram.cholesky_solve(&xty).unwrap_or_else(|| vec![0.0; d]);
         TrainReport {
             train_time: start.elapsed(),
             epochs: 1,
@@ -157,9 +155,8 @@ mod tests {
         let mut far = data.samples[0].clone();
         far.flat = vec![100.0, -100.0];
         // Heavy ridge keeps the extreme prediction closer to the mean label.
-        let mean_label = (data.samples.iter().map(|s| s.latency_ms.ln()).sum::<f64>()
-            / data.len() as f64)
-            .exp();
+        let mean_label =
+            (data.samples.iter().map(|s| s.latency_ms.ln()).sum::<f64>() / data.len() as f64).exp();
         let ds = (strong.predict(&far).ln() - mean_label.ln()).abs();
         let dw = (weak.predict(&far).ln() - mean_label.ln()).abs();
         assert!(ds < dw);

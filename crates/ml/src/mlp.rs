@@ -211,7 +211,11 @@ impl CostModel for Mlp {
             .collect();
         self.adam_t = 0;
 
-        let xs: Vec<Vec<f64>> = train.samples.iter().map(|s| self.normalize(&s.flat)).collect();
+        let xs: Vec<Vec<f64>> = train
+            .samples
+            .iter()
+            .map(|s| self.normalize(&s.flat))
+            .collect();
         let ys = train.log_labels();
         let n = xs.len();
         let batch_size = 32.min(n.max(1));

@@ -60,7 +60,10 @@ impl Collection {
 
     /// All documents matching the filter.
     pub fn find(&self, filter: &Filter) -> Vec<&Document> {
-        self.docs.iter().filter(|d| filter.matches(&d.body)).collect()
+        self.docs
+            .iter()
+            .filter(|d| filter.matches(&d.body))
+            .collect()
     }
 
     /// First match.
@@ -110,12 +113,9 @@ impl Collection {
             }
             let v: Value = serde_json::from_str(&line)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            let id = v
-                .get("_id")
-                .and_then(Value::as_u64)
-                .ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, "missing _id")
-                })?;
+            let id = v.get("_id").and_then(Value::as_u64).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing _id")
+            })?;
             let body = v.get("body").cloned().unwrap_or(Value::Null);
             next_id = next_id.max(id + 1);
             docs.push(Document { id, body });

@@ -103,9 +103,7 @@ mod tests {
         drop(s);
         let s2 = Store::open(&dir).unwrap();
         assert_eq!(s2.with("workloads", |c| c.len()), 2);
-        let found = s2.with("workloads", |c| {
-            c.find(&Filter::eq("app", "SG")).len()
-        });
+        let found = s2.with("workloads", |c| c.find(&Filter::eq("app", "SG")).len());
         assert_eq!(found, 1);
         std::fs::remove_dir_all(&dir).ok();
     }

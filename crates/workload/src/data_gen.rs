@@ -232,9 +232,7 @@ mod tests {
     #[test]
     fn instances_split_volume() {
         let stream = SyntheticStream::new(StreamConfig::example());
-        let total: usize = (0..4)
-            .map(|i| stream.instance_iter(i, 4).count())
-            .sum();
+        let total: usize = (0..4).map(|i| stream.instance_iter(i, 4).count()).sum();
         assert_eq!(total, 10_000);
     }
 

@@ -106,8 +106,7 @@ impl ParallelismEnumerator {
                             // Explore around the optimum: x0.75 .. x1.5,
                             // snapped to the allowed ladder.
                             let jitter = self.rng.gen_range(0.75..1.5);
-                            let target =
-                                ((optimal[i] as f64 * jitter).round() as usize).max(1);
+                            let target = ((optimal[i] as f64 * jitter).round() as usize).max(1);
                             v[i] = snap(&allowed, target);
                         }
                         v
@@ -194,17 +193,13 @@ impl ParallelismEnumerator {
             let input: f64 = if sources.contains(&id) {
                 event_rate
             } else {
-                plan.in_edges(id)
-                    .iter()
-                    .map(|e| out_rate[e.from])
-                    .sum()
+                plan.in_edges(id).iter().map(|e| out_rate[e.from]).sum()
             };
             let profile = node.kind.cost_profile();
             out_rate[id] = input * profile.selectivity.min(64.0);
             let service_sec = profile.cpu_ns_per_tuple / self.clock_ghz * 1e-9;
             let demand = input * service_sec; // busy cores needed
-            degrees[id] = ((demand * 1.25).ceil() as usize)
-                .clamp(1, self.max_cores.max(1));
+            degrees[id] = ((demand * 1.25).ceil() as usize).clamp(1, self.max_cores.max(1));
         }
         degrees
     }
@@ -308,8 +303,7 @@ mod tests {
         let assignments = e.enumerate(&plan, &EnumerationStrategy::Exhaustive, 1e5, 100);
         // 2 tunable operators x 2 degrees = 4 combinations.
         assert_eq!(assignments.len(), 4);
-        let unique: std::collections::HashSet<Vec<usize>> =
-            assignments.iter().cloned().collect();
+        let unique: std::collections::HashSet<Vec<usize>> = assignments.iter().cloned().collect();
         assert_eq!(unique.len(), 4);
     }
 

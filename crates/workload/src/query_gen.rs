@@ -248,8 +248,7 @@ impl QueryGenerator {
             }
             None => self.random_window(),
         };
-        let agg =
-            self.space.agg_functions[self.rng.gen_range(0..self.space.agg_functions.len())];
+        let agg = self.space.agg_functions[self.rng.gen_range(0..self.space.agg_functions.len())];
 
         let mut plan = LogicalPlan::default();
         let mut streams = Vec::new();
@@ -399,7 +398,10 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let a = generator(42).generate(QueryStructure::TwoWayJoin);
         let b = generator(42).generate(QueryStructure::TwoWayJoin);
-        assert_eq!(a.plan.descriptor().nodes.len(), b.plan.descriptor().nodes.len());
+        assert_eq!(
+            a.plan.descriptor().nodes.len(),
+            b.plan.descriptor().nodes.len()
+        );
         assert_eq!(a.window, b.window);
         assert_eq!(a.filter_selectivities, b.filter_selectivities);
     }

@@ -42,12 +42,7 @@ impl SelectivityEstimator {
     /// Find a literal for `field <op> literal` whose selectivity is close to
     /// `target` (in (0,1)), using the sample's value quantiles. Returns
     /// `None` when the field has too few distinct values to hit the band.
-    pub fn literal_for_target(
-        &self,
-        field: usize,
-        op: CmpOp,
-        target: f64,
-    ) -> Option<Value> {
+    pub fn literal_for_target(&self, field: usize, op: CmpOp, target: f64) -> Option<Value> {
         let mut values: Vec<&Value> = self
             .sample
             .iter()
@@ -56,10 +51,7 @@ impl SelectivityEstimator {
         if values.is_empty() {
             return None;
         }
-        values.sort_by(|a, b| {
-            a.partial_cmp_value(b)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        values.sort_by(|a, b| a.partial_cmp_value(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = values.len();
         let lit = match op {
             // sel(v < lit) = target  => lit at quantile `target`.
@@ -160,9 +152,8 @@ mod tests {
     #[test]
     fn degenerate_fields_are_rejected() {
         // All values identical: no literal can give 0 < sel < 1 for Lt.
-        let est = SelectivityEstimator::new(
-            (0..50).map(|_| Tuple::new(vec![Value::Int(7)])).collect(),
-        );
+        let est =
+            SelectivityEstimator::new((0..50).map(|_| Tuple::new(vec![Value::Int(7)])).collect());
         assert_eq!(est.literal_for_target(0, CmpOp::Lt, 0.5), None);
         assert_eq!(est.literal_for_target(0, CmpOp::Eq, 0.5), None);
     }
@@ -170,9 +161,7 @@ mod tests {
     #[test]
     fn valid_filter_stays_in_band() {
         let est = int_sample(500);
-        let (p, sel) = est
-            .valid_filter(0, &CmpOp::ALL, (0.05, 0.95), 0.5)
-            .unwrap();
+        let (p, sel) = est.valid_filter(0, &CmpOp::ALL, (0.05, 0.95), 0.5).unwrap();
         assert!(sel > 0.05 && sel < 0.95);
         assert!((est.estimate(&p) - sel).abs() < 1e-12);
     }

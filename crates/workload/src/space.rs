@@ -93,8 +93,18 @@ impl Default for ParameterSpace {
     fn default() -> Self {
         ParameterSpace {
             event_rates: vec![
-                10.0, 100.0, 1_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0, 200_000.0,
-                500_000.0, 1_000_000.0, 2_000_000.0, 4_000_000.0,
+                10.0,
+                100.0,
+                1_000.0,
+                5_000.0,
+                10_000.0,
+                50_000.0,
+                100_000.0,
+                200_000.0,
+                500_000.0,
+                1_000_000.0,
+                2_000_000.0,
+                4_000_000.0,
             ],
             tuple_widths: (1..=15).collect(),
             field_types: vec![FieldType::Str, FieldType::Double, FieldType::Int],

@@ -136,9 +136,7 @@ fn parse_csv_line(line: &str, schema: &Schema, line_no: usize) -> Result<Tuple> 
             };
             Ok(match field.ty {
                 FieldType::Int => Value::Int(raw.parse().map_err(|_| parse_err("int"))?),
-                FieldType::Double => {
-                    Value::Double(raw.parse().map_err(|_| parse_err("double"))?)
-                }
+                FieldType::Double => Value::Double(raw.parse().map_err(|_| parse_err("double"))?),
                 FieldType::Str => Value::str(*raw),
                 FieldType::Bool => Value::Bool(raw.parse().map_err(|_| parse_err("bool"))?),
                 FieldType::Timestamp => {
@@ -287,7 +285,11 @@ mod tests {
         let trace = Trace::from_tuples(schema(), tuples).unwrap();
         let plan = PlanBuilder::new()
             .source("trace", schema(), 1)
-            .filter("big", Predicate::cmp(2, CmpOp::Ge, Value::Double(50.0)), 0.5)
+            .filter(
+                "big",
+                Predicate::cmp(2, CmpOp::Ge, Value::Double(50.0)),
+                0.5,
+            )
             .sink("sink")
             .build()
             .unwrap();

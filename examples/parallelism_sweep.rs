@@ -72,7 +72,12 @@ fn main() {
                 })
                 .map(|n| n.parallelism)
                 .collect();
-            println!("{:16} {:>28} {:>14.1}", name, format!("{tunable:?}"), latency);
+            println!(
+                "{:16} {:>28} {:>14.1}",
+                name,
+                format!("{tunable:?}"),
+                latency
+            );
         }
     }
     println!(

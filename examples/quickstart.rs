@@ -37,18 +37,22 @@ fn main() {
         .build()
         .expect("valid plan");
 
-    println!("Plan: {} operators, {} edges", plan.nodes.len(), plan.edges.len());
+    println!(
+        "Plan: {} operators, {} edges",
+        plan.nodes.len(),
+        plan.edges.len()
+    );
     for node in &plan.nodes {
-        println!("  [{}] {:<16} parallelism {}", node.id, node.name, node.parallelism);
+        println!(
+            "  [{}] {:<16} parallelism {}",
+            node.id, node.name, node.parallelism
+        );
     }
 
     // 100k synthetic readings from 32 sensors.
     let tuples: Vec<Tuple> = (0..100_000i64)
         .map(|i| {
-            let mut t = Tuple::new(vec![
-                Value::Int(i % 32),
-                Value::Double((i % 100) as f64),
-            ]);
+            let mut t = Tuple::new(vec![Value::Int(i % 32), Value::Double((i % 100) as f64)]);
             t.event_time = i / 10;
             t
         })
@@ -78,6 +82,9 @@ fn main() {
     }
     println!("  sample outputs :");
     for t in result.sink_tuples.iter().take(5) {
-        println!("    sensor={} window_end={} avg={}", t.values[0], t.values[1], t.values[2]);
+        println!(
+            "    sensor={} window_end={} avg={}",
+            t.values[0], t.values[1], t.values[2]
+        );
     }
 }

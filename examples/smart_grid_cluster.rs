@@ -17,7 +17,11 @@ fn main() {
         total_tuples: 1_000,
         seed: 7,
     });
-    println!("Application: {} — {}", app.info().name, app.info().description);
+    println!(
+        "Application: {} — {}",
+        app.info().name,
+        app.info().description
+    );
 
     let sim_config = SimConfig {
         event_rate: 100_000.0,

@@ -35,7 +35,10 @@ fn parse_cluster(name: &str) -> Option<Cluster> {
 }
 
 fn parse_structure(label: &str) -> Option<QueryStructure> {
-    QueryStructure::ALL.iter().copied().find(|s| s.label() == label)
+    QueryStructure::ALL
+        .iter()
+        .copied()
+        .find(|s| s.label() == label)
 }
 
 fn usage() -> ! {
@@ -131,7 +134,10 @@ fn main() {
                     println!("parallelism  : {:?}", r.parallelism);
                     println!("p50 latency  : {:.2} ms", r.summary.p50_latency_ms);
                     println!("p99 latency  : {:.2} ms", r.summary.p99_latency_ms);
-                    println!("tuples in/out: {} / {}", r.summary.tuples_in, r.summary.tuples_out);
+                    println!(
+                        "tuples in/out: {} / {}",
+                        r.summary.tuples_in, r.summary.tuples_out
+                    );
                     println!("throughput   : {:.0} t/s", r.summary.throughput_in);
                 }
                 Err(e) => {

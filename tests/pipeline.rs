@@ -7,8 +7,8 @@ use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
 use pdsp_bench::core::controller::{Controller, RunRecord};
 use pdsp_bench::core::ml_manager::{MlManager, TrainingDataSpec};
 use pdsp_bench::engine::physical::PhysicalPlan;
-use pdsp_bench::engine::runtime::{RunConfig, ThreadedRuntime};
 use pdsp_bench::engine::runtime::SourceFactory;
+use pdsp_bench::engine::runtime::{RunConfig, ThreadedRuntime};
 use pdsp_bench::ml::trainer::{CostModel, TrainOptions};
 use pdsp_bench::ml::LinearRegression;
 use pdsp_bench::store::{Filter, Store};
@@ -43,12 +43,9 @@ fn full_benchmark_workflow() {
     let mut enumerator = ParallelismEnumerator::new(vec![1, 4, 16], 80, 5);
     for structure in [QueryStructure::Linear, QueryStructure::TwoWayJoin] {
         let query = generator.generate(structure);
-        for degrees in enumerator.enumerate(
-            &query.plan,
-            &EnumerationStrategy::Increasing,
-            30_000.0,
-            3,
-        ) {
+        for degrees in
+            enumerator.enumerate(&query.plan, &EnumerationStrategy::Increasing, 30_000.0, 3)
+        {
             let plan = query.plan.clone().with_parallelism(&degrees);
             controller.run_simulated(structure.label(), &plan).unwrap();
         }
@@ -57,9 +54,8 @@ fn full_benchmark_workflow() {
     // 2. The store now holds 6 run records, queryable by workload.
     let total = store.with("runs", |c| c.len());
     assert_eq!(total, 6);
-    let joins: Vec<RunRecord> = store.with("runs", |c| {
-        c.find_as(&Filter::eq("workload", "2-way-join"))
-    });
+    let joins: Vec<RunRecord> =
+        store.with("runs", |c| c.find_as(&Filter::eq("workload", "2-way-join")));
     assert_eq!(joins.len(), 3);
     for r in &joins {
         assert!(r.summary.p50_latency_ms > 0.0);
@@ -89,8 +85,11 @@ fn runs_survive_store_reload() {
     std::fs::remove_dir_all(&dir).ok();
     {
         let store = Arc::new(Store::open(&dir).unwrap());
-        let controller =
-            Controller::new(Cluster::homogeneous_m510(4), quick_sim(), Arc::clone(&store));
+        let controller = Controller::new(
+            Cluster::homogeneous_m510(4),
+            quick_sim(),
+            Arc::clone(&store),
+        );
         let mut generator = QueryGenerator::new(ParameterSpace::default(), 9);
         generator.event_rate_override = Some(30_000.0);
         let q = generator.generate(QueryStructure::Linear);

@@ -119,6 +119,47 @@ proptest! {
         prop_assert_eq!(result.tuples_out, expected);
     }
 
+    /// Out-of-order tuples are dropped exactly when they arrive behind the
+    /// watermark: feeding a jittered stream through a time windower on the
+    /// same watermark schedule the threaded source uses (watermark =
+    /// prefix-max event time - lateness, advanced every `wm_every` tuples)
+    /// drops precisely the tuples an independent oracle predicts, and
+    /// every tuple is either aggregated in some window or counted late.
+    #[test]
+    fn late_drop_count_is_exact_under_jitter(
+        n in 100u64..500,
+        jitter in 0i64..40,
+        lateness in 0i64..50,
+        wm_every in 1u64..32,
+        seed in 0u64..1_000,
+    ) {
+        let event_time =
+            |i: u64| i as i64 + ((i as i64 * 7919 + seed as i64 * 104_729) % (2 * jitter + 1)) - jitter;
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(50), AggFunc::Count, false);
+        let mut out = Vec::new();
+        let mut wm = i64::MIN;
+        let mut max_et = i64::MIN;
+        let mut expected_late = 0u64;
+        for i in 0..n {
+            let et = event_time(i);
+            if et < wm {
+                expected_late += 1;
+            }
+            let mut t = Tuple::new(vec![Value::Int(0)]);
+            t.event_time = et;
+            w.push(None, 1.0, &t, &mut out);
+            max_et = max_et.max(et);
+            if (i + 1) % wm_every == 0 {
+                wm = wm.max(max_et - lateness);
+                w.on_watermark(wm, &mut out);
+            }
+        }
+        prop_assert_eq!(w.late_events(), expected_late);
+        w.flush(&mut out);
+        let counted: u64 = out.iter().map(|r| r.count).sum();
+        prop_assert_eq!(counted + expected_late, n, "no tuple lost or double-counted");
+    }
+
     /// Placement assigns every instance to a real node under all
     /// strategies, and per-node counts sum to the instance count.
     #[test]
@@ -144,5 +185,50 @@ proptest! {
         }
         let counts = placement.per_node_counts(cluster.len());
         prop_assert_eq!(counts.iter().sum::<usize>(), phys.instance_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End to end on the threaded runtime, the lateness bound brackets the
+    /// drop count: with a bound of at least the maximum disorder (2x the
+    /// jitter amplitude) no tuple is dropped and the windows count all of
+    /// them; with a zero bound the windows count no more than that.
+    #[test]
+    fn lateness_bounds_bracket_dropped_tuples(seed in 0u64..200, jitter in 1i64..12) {
+        let n = 400i64;
+        let make_tuples = || -> Vec<Tuple> {
+            (0..n)
+                .map(|i| {
+                    let mut t = Tuple::new(vec![Value::Int(i)]);
+                    t.event_time = i + (i * 7919 + seed as i64 * 104_729) % (2 * jitter + 1) - jitter;
+                    t
+                })
+                .collect()
+        };
+        let run = |lateness: i64| {
+            let plan = PlanBuilder::new()
+                .source("src", Schema::of(&[FieldType::Int]), 1)
+                .window_agg_global("agg", WindowSpec::tumbling_time(100), AggFunc::Count, 0)
+                .sink("sink")
+                .build()
+                .unwrap();
+            let phys = PhysicalPlan::expand(&plan).unwrap();
+            let rt = ThreadedRuntime::new(RunConfig {
+                watermark_lateness_ms: lateness,
+                watermark_interval: 8,
+                ..RunConfig::default()
+            });
+            let res = rt.run(&phys, &[VecSource::new(make_tuples())]).unwrap();
+            res.sink_tuples
+                .iter()
+                .map(|t| t.values[1].as_f64().unwrap() as u64)
+                .sum::<u64>()
+        };
+        let with_bound = run(2 * jitter);
+        let without_bound = run(0);
+        prop_assert_eq!(with_bound, n as u64, "a bound covering the disorder loses nothing");
+        prop_assert!(without_bound <= with_bound);
     }
 }

@@ -1,0 +1,277 @@
+//! Minimal in-tree shim of `proptest`.
+//!
+//! Provides the `proptest!` macro surface this workspace uses: range and
+//! `prop::collection::vec` strategies, `ProptestConfig::with_cases`, and
+//! `prop_assert!`/`prop_assert_eq!`. Inputs are drawn from a ChaCha8
+//! generator seeded per test case; there is no shrinking — a failing case
+//! reports its inputs via the assertion message instead.
+
+/// Test-run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Value generators.
+pub mod strategy {
+    use rand::Rng;
+
+    /// Generates values of an output type from a random source.
+    pub trait Strategy {
+        type Value;
+        fn generate<R: Rng>(&self, rng: &mut R) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate<R: Rng>(&self, rng: &mut R) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate<R: Rng>(&self, rng: &mut R) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    /// Constant-value strategy (used by `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate<R: Rng>(&self, _rng: &mut R) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Strategy combinators, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::Rng;
+
+        /// Element-count specification: a fixed size or a range of sizes.
+        pub trait IntoSizeRange {
+            fn pick_size<R: Rng>(&self, rng: &mut R) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick_size<R: Rng>(&self, _rng: &mut R) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn pick_size<R: Rng>(&self, rng: &mut R) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn pick_size<R: Rng>(&self, rng: &mut R) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy producing vectors of `element` with `size` elements.
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        /// Build a vector strategy (`prop::collection::vec`).
+        pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate<R: Rng>(&self, rng: &mut R) -> Vec<S::Value> {
+                let n = self.size.pick_size(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng;
+
+    /// Deterministic per-test, per-case RNG: seeded from the test name
+    /// and case index so failures are reproducible run to run.
+    pub fn case_rng(test_name: &str, case: u32) -> ChaCha8Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+    }
+}
+
+/// Define property tests: each `fn` runs `cases` times with inputs drawn
+/// from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::__rt::case_rng(stringify!($name), __case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest {} failed on case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Assert within a property body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_honor_bounds(x in 0i64..100, y in 1usize..=8, f in -1.0f64..1.0) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!((1..=8).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(mut v in prop::collection::vec(0i64..10, 3..7), w in prop::collection::vec(0i64..10, 5)) {
+            v.sort_unstable();
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert_eq!(w.len(), 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(dead_code)]
+                fn always_fails(x in 0i64..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

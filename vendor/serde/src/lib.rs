@@ -1,0 +1,569 @@
+//! Minimal in-tree shim of `serde`.
+//!
+//! Upstream serde abstracts over data formats; this workspace only ever
+//! serializes to and from JSON, so the shim collapses the abstraction:
+//! [`Serialize`] renders a type into a [`Value`] tree and [`Deserialize`]
+//! rebuilds it, with `serde_json` supplying the text layer on top. The
+//! derive macros (`serde_derive`, re-exported here) generate impls with
+//! upstream's default representation: structs as objects, enums
+//! externally tagged, maps with non-string keys as arrays of pairs.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Map, Number, Value};
+
+/// Deserialization error: a human-readable path + cause message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable as a JSON value tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization module, mirroring upstream's `serde::de` paths.
+pub mod de {
+    /// Owned deserialization — the only flavor the shim supports, so it
+    /// is a blanket alias for [`crate::Deserialize`].
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization module, mirroring upstream's `serde::ser` paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::new(format!(
+                        "expected integer, found {}",
+                        value.kind()
+                    )))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::new(format!(
+                        "expected unsigned integer, found {}",
+                        value.kind()
+                    )))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // Upstream serde_json cannot represent non-finite floats;
+            // mirror its `json!` behavior of emitting null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        (*self as f64).to_json_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Upstream serde can borrow `&str` from the input with the right
+    /// lifetimes; this value-tree shim cannot, so `&'static str` fields
+    /// (static metadata like `AppInfo`) are restored by leaking the
+    /// owned string. Fine for small, rarely-deserialized metadata.
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        String::from_json_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::new(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::new(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer / wrapper impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        String::from_json_value(value).map(|s| Arc::from(s.as_str()))
+    }
+}
+
+impl Deserialize for Arc<String> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        String::from_json_value(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_json_value(value)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| Error::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Vec::from_json_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Vec::from_json_value(value).map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($idx:tt $t:ident),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::new(format!(
+                        "expected {}-tuple array, found {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => 0 A);
+impl_tuple!(2 => 0 A, 1 B);
+impl_tuple!(3 => 0 A, 1 B, 2 C);
+impl_tuple!(4 => 0 A, 1 B, 2 C, 3 D);
+
+// ---------------------------------------------------------------------------
+// Map impls
+// ---------------------------------------------------------------------------
+
+fn serialize_map<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)> + Clone,
+{
+    let all_string_keys = entries
+        .clone()
+        .all(|(k, _)| matches!(k.to_json_value(), Value::String(_)));
+    if all_string_keys {
+        let mut m = Map::new();
+        for (k, v) in entries {
+            let Value::String(key) = k.to_json_value() else {
+                unreachable!()
+            };
+            m.insert(key, v.to_json_value());
+        }
+        Value::Object(m)
+    } else {
+        // Non-string keys cannot live in a JSON object: use the
+        // array-of-pairs representation (roundtrips losslessly).
+        Value::Array(
+            entries
+                .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+fn deserialize_map_entries<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Value::Object(map) => map
+            .iter()
+            .map(|(k, v)| {
+                let key = K::from_json_value(&Value::String(k.clone()))?;
+                Ok((key, V::from_json_value(v)?))
+            })
+            .collect(),
+        Value::Array(items) => items.iter().map(<(K, V)>::from_json_value).collect(),
+        other => Err(Error::new(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        deserialize_map_entries(value).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        deserialize_map_entries(value).map(|v| v.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// std types with dedicated representations
+// ---------------------------------------------------------------------------
+
+impl Serialize for Duration {
+    fn to_json_value(&self) -> Value {
+        // Upstream serde's representation: {"secs": u64, "nanos": u32}.
+        let mut m = Map::new();
+        m.insert("secs".to_string(), self.as_secs().to_json_value());
+        m.insert("nanos".to_string(), self.subsec_nanos().to_json_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let obj = __private::expect_object(value, "Duration")?;
+        let secs: u64 = __private::field(obj, "Duration", "secs")?;
+        let nanos: u32 = __private::field(obj, "Duration", "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (used by serde_derive-generated code)
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a Map, Error> {
+        match v {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::new(format!(
+                "{ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_array<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::new(format!(
+                "{ty}: expected array of {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::new(format!(
+                "{ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn field<T: Deserialize>(obj: &Map, ty: &str, name: &str) -> Result<T, Error> {
+        match obj.get(name) {
+            Some(v) => T::from_json_value(v).map_err(|e| Error::new(format!("{ty}.{name}: {e}"))),
+            None => Err(Error::new(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    pub fn field_default<T: Deserialize + Default>(
+        obj: &Map,
+        ty: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match obj.get(name) {
+            Some(Value::Null) | None => Ok(T::default()),
+            Some(v) => T::from_json_value(v).map_err(|e| Error::new(format!("{ty}.{name}: {e}"))),
+        }
+    }
+
+    /// Externally-tagged enum payload: `{"Variant": value}`.
+    pub fn tag(variant: &str, value: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(variant.to_string(), value);
+        Value::Object(m)
+    }
+
+    pub fn single_entry<'a>(obj: &'a Map, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+        let mut iter = obj.iter();
+        match (iter.next(), iter.next()) {
+            (Some((k, v)), None) => Ok((k.as_str(), v)),
+            _ => Err(Error::new(format!(
+                "{ty}: expected single-key variant object, found {} keys",
+                obj.len()
+            ))),
+        }
+    }
+
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error::new(format!("{ty}: unknown variant `{tag}`"))
+    }
+
+    pub fn type_error(ty: &str, got: &Value) -> Error {
+        Error::new(format!("{ty}: unexpected value kind {}", got.kind()))
+    }
+}

@@ -1,0 +1,487 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim — no `syn`/`quote`, just direct token-stream
+//! parsing. Supports the shapes this workspace actually uses:
+//!
+//! - structs with named fields (with `#[serde(default)]` on fields),
+//! - tuple and unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream serde's default representation).
+//!
+//! Generics and other `#[serde(...)]` attributes are rejected loudly so
+//! an unsupported use fails at compile time instead of misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` (the shim's JSON-value serializer).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (the shim's JSON-value deserializer).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility until `struct` / `enum`.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed attribute group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                // `pub`, possibly followed by `(crate)` etc.
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            other => panic!("serde_derive: unexpected token before item: {other}"),
+        }
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match tokens.get(i) {
+        None => Shape::UnitStruct,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::NamedStruct(parse_fields(&inner))
+            } else {
+                Shape::Enum(parse_variants(&inner))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                panic!("serde_derive: malformed enum `{name}`");
+            }
+            Shape::TupleStruct(count_tuple_fields(
+                &g.stream().into_iter().collect::<Vec<_>>(),
+            ))
+        }
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"where" => {
+            panic!("serde_derive shim: `where` clauses are not supported on `{name}`")
+        }
+        Some(other) => panic!("serde_derive: unexpected token after `{name}`: {other}"),
+    };
+    Item { name, shape }
+}
+
+/// Parse an attribute starting at `tokens[i]` (`#` already seen at `i`);
+/// returns the new index and whether it was `#[serde(default)]`.
+fn parse_attr(tokens: &[TokenTree], i: usize) -> (usize, bool) {
+    let group = match tokens.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("serde_derive: malformed attribute: {other:?}"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut is_default = false;
+    if let Some(TokenTree::Ident(id)) = inner.first() {
+        if id.to_string() == "serde" {
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    g.stream().to_string()
+                }
+                other => panic!("serde_derive: malformed #[serde] attribute: {other:?}"),
+            };
+            if args.trim() == "default" {
+                is_default = true;
+            } else {
+                panic!("serde_derive shim: unsupported attribute #[serde({args})]");
+            }
+        }
+    }
+    (i + 2, is_default)
+}
+
+fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes (doc comments, #[serde(default)]).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            let (next, is_default) = parse_attr(tokens, i);
+            default |= is_default;
+            i = next;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        i = skip_type(tokens, i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Skip a type starting at `tokens[i]`, stopping after the field's
+/// trailing comma (or at end of stream). Tracks `<`/`>` nesting and
+/// ignores the `>` of `->` so function-pointer types don't unbalance it.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    return i + 1;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    let mut trailing_comma = false;
+    for t in tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                count += 1;
+                trailing_comma = true;
+            } else if c == '<' {
+                depth += 1;
+            } else if c == '>' && !prev_dash {
+                depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            let (next, _) = parse_attr(tokens, i);
+            i = next;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the next variant (handles explicit discriminants).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_struct_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_json_value({p}{n}));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__m)\n");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_struct_to_value(fields, "&self."),
+        Shape::TupleStruct(0) | Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::__private::tag(\"{vn}\", \
+                         ::serde::Serialize::to_json_value(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::__private::tag(\"{vn}\", \
+                             ::serde::Value::Array(vec![{elems}])),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_struct_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ \
+                             let __inner = {{ {inner} }}; \
+                             ::serde::__private::tag(\"{vn}\", __inner) }},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_struct_from_value(ty_label: &str, fields: &[Field], obj_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let helper = if f.default { "field_default" } else { "field" };
+        out.push_str(&format!(
+            "{n}: ::serde::__private::{helper}({obj_var}, \"{ty_label}\", \"{n}\")?,\n",
+            n = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = named_struct_from_value(name, fields, "__o");
+            format!(
+                "let __o = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = ::serde::__private::expect_array(__v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = ::serde::__private::expect_array(\
+                             __val, \"{name}::{vn}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let label = format!("{name}::{vn}");
+                        let inits = named_struct_from_value(&label, fields, "__o2");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __o2 = ::serde::__private::expect_object(__val, \"{label}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) => {{\n\
+                 let (__tag, __val) = ::serde::__private::single_entry(__o, \"{name}\")?;\n\
+                 match __tag {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n}}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::type_error(\"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

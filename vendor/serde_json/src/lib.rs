@@ -1,0 +1,387 @@
+//! Minimal in-tree shim of `serde_json`: JSON text parsing/printing and
+//! the `json!` macro over the vendored serde's [`Value`] tree.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialize to pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Serialize to a JSON value tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Deserialize from a JSON value tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    T::from_json_value(&value)
+}
+
+/// Construct a [`Value`] from JSON-like syntax.
+///
+/// Covers the forms used in this workspace: `null`, literals, arbitrary
+/// expressions (anything implementing `Serialize`), arrays, and nested
+/// objects with literal keys.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json_object_entries!(__map; $($body)*);
+        $crate::Value::Object(__map)
+    }};
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ($other:expr) => {
+        $crate::__to_value_infallible(&$other)
+    };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $($crate::json_object_entries!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $($crate::json_object_entries!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : [ $($inner:tt),* $(,)? ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner),* ]));
+        $($crate::json_object_entries!($map; $($rest)*);)?
+    };
+    ($map:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::__to_value_infallible(&$value));
+        $($crate::json_object_entries!($map; $($rest)*);)?
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+pub fn __to_value_infallible<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+mod parse {
+    use super::{Error, Map, Number, Value};
+
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!(
+                "trailing characters at byte {pos} in JSON text"
+            )));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error::new("unexpected end of JSON text")),
+            Some(b'n') => expect_lit(b, pos, "null", Value::Null),
+            Some(b't') => expect_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => expect_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::String),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'{') => parse_object(b, pos),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                *c as char, *pos
+            ))),
+        }
+    }
+
+    fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", *pos)))
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", *pos))),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        *pos += 1; // '{'
+        let mut map = Map::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(Error::new(format!("expected object key at byte {}", *pos)));
+            }
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(Error::new(format!("expected `:` at byte {}", *pos)));
+            }
+            *pos += 1;
+            let value = parse_value(b, pos)?;
+            map.insert(key, value);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", *pos))),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(Error::new("unterminated string in JSON text")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let hi = parse_hex4(b, *pos + 1)?;
+                            *pos += 4;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u')
+                                {
+                                    let lo = parse_hex4(b, *pos + 3)?;
+                                    *pos += 6;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::new("unpaired surrogate in JSON string"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::new("invalid escape in JSON string")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let start = *pos;
+                    let mut end = start + 1;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[start..end])
+                            .map_err(|_| Error::new("invalid UTF-8 in JSON string"))?,
+                    );
+                    *pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(b: &[u8], at: usize) -> Result<u32, Error> {
+        let chunk = b
+            .get(at..at + 4)
+            .ok_or_else(|| Error::new("truncated unicode escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("invalid unicode escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos])
+            .map_err(|_| Error::new("invalid number in JSON text"))?;
+        let n = if is_float {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+            )
+        } else if text.starts_with('-') {
+            // Parse the signed text directly: negating a parsed magnitude
+            // would overflow on i64::MIN. `-0` parses as 0.
+            let n: i64 = text
+                .parse::<i64>()
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            if n == 0 {
+                Number::PosInt(0)
+            } else {
+                Number::NegInt(n)
+            }
+        } else {
+            Number::PosInt(
+                text.parse::<u64>()
+                    .map_err(|_| Error::new(format!("invalid number `{text}`")))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let doc = json!({
+            "app": "WC",
+            "latency": 42.5,
+            "flags": [1, 2, 3],
+            "nested": {"y": "z"},
+            "ok": true,
+            "nothing": null
+        });
+        let text = to_string(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back["nested"]["y"], "z");
+        assert_eq!(back["latency"].as_f64(), Some(42.5));
+        assert_eq!(back["flags"][0].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn integer_float_distinction_survives_roundtrip() {
+        let text = to_string(&json!({"i": 5, "f": 5.0})).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["i"].as_u64(), Some(5));
+        assert!(back["f"].as_u64().is_none());
+        assert_eq!(back["f"].as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = json!({"s": "a\"b\\c\nd\te\u{1F600}"});
+        let text = to_string(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v, "A\u{1F600}");
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let v: Value = from_str("[-7, 1e3, -2.5E-2, -0]").unwrap();
+        assert_eq!(v[0].as_i64(), Some(-7));
+        assert_eq!(v[1].as_f64(), Some(1000.0));
+        assert_eq!(v[2].as_f64(), Some(-0.025));
+        assert_eq!(v[3].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn pretty_printing_is_reparseable() {
+        let doc = json!({"a": [1, {"b": 2}], "c": "d"});
+        let text = to_string_pretty(&doc).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn expression_values_in_macro() {
+        let i = 3;
+        let doc = json!({"i": i, "even": i % 2 == 0, "sum": 1 + 1});
+        assert_eq!(doc["i"].as_i64(), Some(3));
+        assert_eq!(doc["even"], false);
+        assert_eq!(doc["sum"].as_i64(), Some(2));
+    }
+}
