@@ -1,0 +1,154 @@
+//! Backpressure and deadlock hazards (PB031-PB033): channel topologies
+//! that amplify load or stall under skew.
+//!
+//! The threaded runtime uses bounded channels; an edge's channel count is
+//! `from.parallelism * to.parallelism`, and broadcast edges put every
+//! tuple on all of them. The hazards flagged here are the topological
+//! patterns that made real deployments stall: rate-mismatched diamonds,
+//! broadcast fan-outs, and quadratic channel meshes.
+
+use crate::context::AnalysisContext;
+use crate::diag::{Code, Diagnostic, Span};
+use crate::Pass;
+use pdsp_engine::plan::Partitioning;
+use std::collections::BTreeSet;
+
+/// Broadcast into this many instances (or more) is flagged.
+const BROADCAST_FANOUT_LIMIT: usize = 8;
+/// Edges expanding into more channels than this are flagged.
+const CHANNEL_LIMIT: usize = 4096;
+
+/// Backpressure-hazard pass.
+pub struct BackpressurePass;
+
+impl Pass for BackpressurePass {
+    fn name(&self) -> &'static str {
+        "backpressure"
+    }
+
+    fn run(&self, ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+        for &id in &ctx.topo {
+            let node = &ctx.plan.nodes[id];
+            let in_edges = ctx.plan.in_edges(id);
+
+            // PB031: a merge whose branches deliver at structurally
+            // different rates. A broadcast branch replicates every tuple
+            // to all instances while the other branch partitions, so one
+            // input's channels fill N times faster; with bounded channels
+            // the merge stalls on the slow side under load. Only flag
+            // real diamonds (branches sharing an ancestor) — independent
+            // sources are allowed to differ.
+            if in_edges.len() >= 2 {
+                let has_broadcast = in_edges
+                    .iter()
+                    .any(|e| matches!(e.partitioning, Partitioning::Broadcast));
+                let has_other = in_edges
+                    .iter()
+                    .any(|e| !matches!(e.partitioning, Partitioning::Broadcast));
+                if has_broadcast && has_other && is_diamond(ctx, &in_edges) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::BroadcastRebalanceDiamond,
+                            Span::Node {
+                                id,
+                                name: node.name.clone(),
+                            },
+                            format!(
+                                "'{}' merges a broadcast branch with a partitioned branch of the \
+                                 same upstream stream; the broadcast side delivers every tuple \
+                                 {}x, so the merge backpressures the partitioned side under load",
+                                node.name, node.parallelism
+                            ),
+                        )
+                        .with_suggestion("use the same partitioning on both branches"),
+                    );
+                }
+            }
+
+            for e in ctx.plan.out_edges(id) {
+                let to = &ctx.plan.nodes[e.to];
+                // PB032: broadcast multiplies the edge's tuple rate by the
+                // downstream parallelism.
+                if matches!(e.partitioning, Partitioning::Broadcast)
+                    && to.parallelism >= BROADCAST_FANOUT_LIMIT
+                {
+                    out.push(
+                        Diagnostic::new(
+                            Code::BroadcastFanOut,
+                            Span::Edge {
+                                from: e.from,
+                                to: e.to,
+                                port: e.port,
+                            },
+                            format!(
+                                "broadcast from '{}' into '{}' at parallelism {} duplicates \
+                                 every tuple {}x on the wire",
+                                node.name, to.name, to.parallelism, to.parallelism
+                            ),
+                        )
+                        .with_suggestion(
+                            "broadcast only small, slowly-changing streams, or partition instead",
+                        ),
+                    );
+                }
+                // PB033: channel meshes grow as the product of the two
+                // parallelisms; past a point, buffer memory and polling
+                // overhead dominate.
+                let channels = node.parallelism.saturating_mul(to.parallelism);
+                if channels > CHANNEL_LIMIT {
+                    out.push(
+                        Diagnostic::new(
+                            Code::ChannelExplosion,
+                            Span::Edge {
+                                from: e.from,
+                                to: e.to,
+                                port: e.port,
+                            },
+                            format!(
+                                "edge '{}' -> '{}' expands into {channels} channels ({} x {})",
+                                node.name, to.name, node.parallelism, to.parallelism
+                            ),
+                        )
+                        .with_suggestion(
+                            "reduce one side's parallelism or insert a rebalance \
+                                          stage with intermediate parallelism",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True when at least two of the in-edges' sources share a common
+/// ancestor (including one source being the other's ancestor).
+fn is_diamond(ctx: &AnalysisContext, in_edges: &[&pdsp_engine::plan::Edge]) -> bool {
+    for (i, a) in in_edges.iter().enumerate() {
+        for b in &in_edges[i + 1..] {
+            if a.from == b.from
+                || ctx.reach[a.from].contains(&b.from)
+                || ctx.reach[b.from].contains(&a.from)
+            {
+                return true;
+            }
+            let ancestors_a = ancestors_of(ctx, a.from);
+            let ancestors_b = ancestors_of(ctx, b.from);
+            if !ancestors_a.is_disjoint(&ancestors_b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// All nodes with a path to `target`, plus `target` itself.
+fn ancestors_of(ctx: &AnalysisContext, target: usize) -> BTreeSet<usize> {
+    let mut set: BTreeSet<usize> = ctx
+        .topo
+        .iter()
+        .copied()
+        .filter(|&u| ctx.reach[u].contains(&target))
+        .collect();
+    set.insert(target);
+    set
+}

@@ -1,0 +1,472 @@
+//! The diagnostics framework: codes, severities, spans, and reports.
+//!
+//! Every lint finding is a [`Diagnostic`] carrying a stable `PB0xx` code,
+//! a severity, a span anchoring it to a plan node or edge, a message, and
+//! an optional suggestion. A [`Report`] collects the diagnostics for one
+//! plan and renders them for humans (aligned text) or machines (JSON).
+
+use pdsp_engine::plan::NodeId;
+use serde::{Map, Serialize, Value};
+use std::fmt;
+
+/// Severity of a diagnostic.
+///
+/// `Error` means parallel execution computes a different answer than
+/// sequential execution (or the plan cannot run safely at all) — the
+/// controller's deploy gate refuses these. `Warning` marks risks that
+/// degrade a long-running deployment (unbounded state, replay duplicating
+/// effects, backpressure hazards). `Hint` is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, safe to deploy.
+    Hint,
+    /// Risky: deployable, but expect trouble at scale or over time.
+    Warning,
+    /// Incorrect: parallel results diverge from sequential ones.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Hint => write!(f, "hint"),
+        }
+    }
+}
+
+impl Serialize for Severity {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+/// Stable diagnostic codes (the PB0xx table in DESIGN.md).
+///
+/// PB00x: key-flow; PB01x: exactly-once safety; PB02x: state bounds;
+/// PB03x: backpressure/deadlock hazards; PB04x: plan-cost smells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// PB001: keyed window/session aggregate input not partitioned on key.
+    KeyedAggPartition,
+    /// PB002: join input side not partitioned on its join key.
+    JoinSidePartition,
+    /// PB003: keyed-state UDO input not partitioned on its declared key.
+    KeyedUdoPartition,
+    /// PB004: global (whole-stream) operator sees only a partition.
+    GlobalOpSplit,
+    /// PB005: global operator replicated via broadcast (duplicated output).
+    GlobalOpReplicated,
+    /// PB007: stateful UDO with undeclared keying on partitioned input.
+    UndeclaredStatefulPartition,
+    /// PB011: non-deterministic UDO inside a recoverable region.
+    NonDeterministicUdo,
+    /// PB012: side-effecting UDO; replay duplicates external effects.
+    SideEffectingUdo,
+    /// PB013: UDO state is not covered by checkpoint snapshots.
+    UnsnapshottedUdoState,
+    /// PB014: multi-input operator downstream of un-snapshottable state.
+    MultiInputAfterOpaqueState,
+    /// PB021: UDO declares unbounded state growth.
+    UnboundedUdoState,
+    /// PB022: keyed state grows with key cardinality (no eviction).
+    KeyedStateGrowth,
+    /// PB023: sliding window maintains an excessive number of panes.
+    PaneExplosion,
+    /// PB031: diamond mixing broadcast and non-broadcast branches.
+    BroadcastRebalanceDiamond,
+    /// PB032: broadcast into a high-parallelism operator.
+    BroadcastFanOut,
+    /// PB033: edge expands into an excessive number of channels.
+    ChannelExplosion,
+    /// PB041: rebalance edge breaking an otherwise fusable forward chain.
+    ForwardChainBreak,
+    /// PB042: high-parallelism region funneling into a parallelism-1 op.
+    FunnelBottleneck,
+    /// PB043: parallelism jump too steep between adjacent operators.
+    ParallelismCliff,
+}
+
+impl Code {
+    /// The stable "PB0xx" string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::KeyedAggPartition => "PB001",
+            Code::JoinSidePartition => "PB002",
+            Code::KeyedUdoPartition => "PB003",
+            Code::GlobalOpSplit => "PB004",
+            Code::GlobalOpReplicated => "PB005",
+            Code::UndeclaredStatefulPartition => "PB007",
+            Code::NonDeterministicUdo => "PB011",
+            Code::SideEffectingUdo => "PB012",
+            Code::UnsnapshottedUdoState => "PB013",
+            Code::MultiInputAfterOpaqueState => "PB014",
+            Code::UnboundedUdoState => "PB021",
+            Code::KeyedStateGrowth => "PB022",
+            Code::PaneExplosion => "PB023",
+            Code::BroadcastRebalanceDiamond => "PB031",
+            Code::BroadcastFanOut => "PB032",
+            Code::ChannelExplosion => "PB033",
+            Code::ForwardChainBreak => "PB041",
+            Code::FunnelBottleneck => "PB042",
+            Code::ParallelismCliff => "PB043",
+        }
+    }
+
+    /// Default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::KeyedAggPartition
+            | Code::JoinSidePartition
+            | Code::KeyedUdoPartition
+            | Code::GlobalOpSplit
+            | Code::NonDeterministicUdo => Severity::Error,
+            Code::GlobalOpReplicated
+            | Code::UndeclaredStatefulPartition
+            | Code::SideEffectingUdo
+            | Code::MultiInputAfterOpaqueState
+            | Code::UnboundedUdoState
+            | Code::PaneExplosion
+            | Code::BroadcastRebalanceDiamond
+            | Code::BroadcastFanOut
+            | Code::FunnelBottleneck => Severity::Warning,
+            Code::UnsnapshottedUdoState
+            | Code::KeyedStateGrowth
+            | Code::ChannelExplosion
+            | Code::ForwardChainBreak
+            | Code::ParallelismCliff => Severity::Hint,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Code {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.as_str().into())
+    }
+}
+
+/// What a diagnostic anchors to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The whole plan.
+    Plan,
+    /// One operator node.
+    Node {
+        /// Node id.
+        id: NodeId,
+        /// Node name.
+        name: String,
+    },
+    /// One edge (identified by endpoints and downstream port).
+    Edge {
+        /// Upstream node id.
+        from: NodeId,
+        /// Downstream node id.
+        to: NodeId,
+        /// Downstream input port.
+        port: usize,
+    },
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Plan => write!(f, "plan"),
+            Span::Node { id, name } => write!(f, "node {id} '{name}'"),
+            Span::Edge { from, to, port } => write!(f, "edge {from}->{to}:{port}"),
+        }
+    }
+}
+
+impl Serialize for Span {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        match self {
+            Span::Plan => {
+                m.insert("kind".into(), Value::String("plan".into()));
+            }
+            Span::Node { id, name } => {
+                m.insert("kind".into(), Value::String("node".into()));
+                m.insert("id".into(), id.to_json_value());
+                m.insert("name".into(), Value::String(name.clone()));
+            }
+            Span::Edge { from, to, port } => {
+                m.insert("kind".into(), Value::String("edge".into()));
+                m.insert("from".into(), from.to_json_value());
+                m.insert("to".into(), to.to_json_value());
+                m.insert("port".into(), port.to_json_value());
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually the code's default, occasionally downgraded).
+    pub severity: Severity,
+    /// Where in the plan.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the fix is mechanical.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Override the default severity (e.g. a non-determinism finding
+    /// downgraded to a warning when nothing stateful consumes the output).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("code".into(), self.code.to_json_value());
+        m.insert("severity".into(), self.severity.to_json_value());
+        m.insert("span".into(), self.span.to_json_value());
+        m.insert("message".into(), Value::String(self.message.clone()));
+        m.insert(
+            "suggestion".into(),
+            match &self.suggestion {
+                Some(s) => Value::String(s.clone()),
+                None => Value::Null,
+            },
+        );
+        Value::Object(m)
+    }
+}
+
+/// The analyzer's output for one plan.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Label of the analyzed plan (application acronym, query structure).
+    pub plan: String,
+    /// Diagnostics, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Serialize for Report {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("plan".into(), Value::String(self.plan.clone()));
+        m.insert(
+            "diagnostics".into(),
+            Value::Array(self.diagnostics.iter().map(|d| d.to_json_value()).collect()),
+        );
+        Value::Object(m)
+    }
+}
+
+impl Report {
+    /// Build a report, sorting diagnostics by descending severity, then
+    /// code, then span position.
+    pub fn new(plan: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.as_str().cmp(b.code.as_str()))
+                .then_with(|| format!("{}", a.span).cmp(&format!("{}", b.span)))
+        });
+        Report {
+            plan: plan.into(),
+            diagnostics,
+        }
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of hints.
+    pub fn hints(&self) -> usize {
+        self.count(Severity::Hint)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// No errors and no warnings (hints allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0 && self.warnings() == 0
+    }
+
+    /// All codes present, in report order.
+    pub fn codes(&self) -> Vec<Code> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// True when the report contains the given code.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Short status label: "clean" or "2 errors, 1 warning, 3 hints"
+    /// (zero-count classes omitted).
+    pub fn status_label(&self) -> String {
+        let (e, w, h) = (self.errors(), self.warnings(), self.hints());
+        if e == 0 && w == 0 && h == 0 {
+            return "clean".into();
+        }
+        let plural = |n: usize, word: &str| {
+            if n == 1 {
+                format!("1 {word}")
+            } else {
+                format!("{n} {word}s")
+            }
+        };
+        let mut parts = Vec::new();
+        if e > 0 {
+            parts.push(plural(e, "error"));
+        }
+        if w > 0 {
+            parts.push(plural(w, "warning"));
+        }
+        if h > 0 {
+            parts.push(plural(h, "hint"));
+        }
+        parts.join(", ")
+    }
+
+    /// Human-readable rendering (one block per diagnostic).
+    pub fn render(&self) -> String {
+        let mut out = format!("{}: {}\n", self.plan, self.status_label());
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "  {} {:7} [{}] {}\n",
+                d.code, d.severity, d.span, d.message
+            ));
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!("        suggestion: {s}\n"));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Hint);
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let r = Report::new(
+            "t",
+            vec![
+                Diagnostic::new(Code::ForwardChainBreak, Span::Plan, "hint"),
+                Diagnostic::new(
+                    Code::KeyedAggPartition,
+                    Span::Node {
+                        id: 1,
+                        name: "agg".into(),
+                    },
+                    "error",
+                ),
+                Diagnostic::new(Code::UnboundedUdoState, Span::Plan, "warn"),
+            ],
+        );
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.hints(), 1);
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+        assert!(!r.is_clean());
+        assert_eq!(r.status_label(), "1 error, 1 warning, 1 hint");
+    }
+
+    #[test]
+    fn clean_report_label() {
+        let r = Report::new("t", vec![]);
+        assert!(r.is_clean());
+        assert_eq!(r.status_label(), "clean");
+    }
+
+    #[test]
+    fn json_rendering_uses_stable_codes() {
+        let r = Report::new(
+            "wc",
+            vec![Diagnostic::new(
+                Code::KeyedAggPartition,
+                Span::Edge {
+                    from: 0,
+                    to: 1,
+                    port: 0,
+                },
+                "bad partition",
+            )
+            .with_suggestion("hash on the key")],
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"PB001\""), "{json}");
+        assert!(json.contains("\"error\""), "{json}");
+        assert!(json.contains("hash on the key"), "{json}");
+    }
+
+    #[test]
+    fn render_includes_code_and_span() {
+        let r = Report::new(
+            "sg",
+            vec![Diagnostic::new(
+                Code::UnsnapshottedUdoState,
+                Span::Node {
+                    id: 2,
+                    name: "median".into(),
+                },
+                "state is opaque to checkpoints",
+            )],
+        );
+        let text = r.render();
+        assert!(text.contains("PB013"));
+        assert!(text.contains("node 2 'median'"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Exactly-once safety (PB011-PB014): can the plan recover from a failure
+//! without changing its observable output?
+//!
+//! The engine's checkpoint/recovery subsystem snapshots built-in operator
+//! state and replays from the last barrier. That replay is only invisible
+//! when replayed operators are deterministic, effect-free, and their state
+//! is covered by the snapshot. UDOs opt into those guarantees through
+//! [`UdoProperties`]; this pass flags the ones that don't.
+//!
+//! [`UdoProperties`]: pdsp_engine::udo::UdoProperties
+
+use crate::context::AnalysisContext;
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::Pass;
+use pdsp_engine::operator::OpKind;
+
+/// Recovery-safety pass.
+pub struct ExactlyOncePass;
+
+impl Pass for ExactlyOncePass {
+    fn name(&self) -> &'static str {
+        "exactly-once"
+    }
+
+    fn run(&self, ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+        for &id in &ctx.topo {
+            let node = &ctx.plan.nodes[id];
+            let Some(props) = ctx.udo_properties(id) else {
+                // Built-ins and multi-input alignment are handled below.
+                check_multi_input(ctx, id, out);
+                continue;
+            };
+            let span = Span::Node {
+                id,
+                name: node.name.clone(),
+            };
+            if !props.deterministic {
+                // Replay recomputes this operator's output; if downstream
+                // state consumes it, the recovered run diverges. When only
+                // sinks consume it, the damage is limited to duplicated
+                // emissions, so the finding downgrades to a warning.
+                let feeds_state = ctx.reach[id].iter().any(|&d| ctx.is_stateful(d));
+                let d = Diagnostic::new(
+                    Code::NonDeterministicUdo,
+                    span.clone(),
+                    format!(
+                        "UDO '{}' is non-deterministic; replay after recovery recomputes \
+                         different output{}",
+                        node.name,
+                        if feeds_state {
+                            ", corrupting downstream state"
+                        } else {
+                            ""
+                        }
+                    ),
+                )
+                .with_suggestion(
+                    "make the operator a pure function of its input, or declare why replay \
+                     divergence is acceptable",
+                );
+                out.push(if feeds_state {
+                    d
+                } else {
+                    d.with_severity(Severity::Warning)
+                });
+            }
+            if props.side_effecting {
+                out.push(
+                    Diagnostic::new(
+                        Code::SideEffectingUdo,
+                        span.clone(),
+                        format!(
+                            "UDO '{}' writes to the outside world; replay after recovery \
+                             duplicates those effects",
+                            node.name
+                        ),
+                    )
+                    .with_suggestion("buffer effects and commit them on checkpoint completion"),
+                );
+            }
+            if props.stateful {
+                // Engine limitation: checkpoint barriers snapshot built-in
+                // operator state only; UDO state is rebuilt by replay, which
+                // is correct but makes recovery time proportional to state
+                // age. Worth knowing, not worth blocking.
+                out.push(Diagnostic::new(
+                    Code::UnsnapshottedUdoState,
+                    span,
+                    format!(
+                        "UDO '{}' keeps state that checkpoints do not snapshot; recovery \
+                         rebuilds it by replaying from the last barrier",
+                        node.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PB014: a join/union merging streams where at least one input path runs
+/// through opaque (un-snapshotted) UDO state. After recovery the replayed
+/// side can be offset against the other, misaligning the merge.
+fn check_multi_input(ctx: &AnalysisContext, id: usize, out: &mut Vec<Diagnostic>) {
+    let node = &ctx.plan.nodes[id];
+    if !matches!(node.kind, OpKind::Join { .. } | OpKind::Union) {
+        return;
+    }
+    if ctx.plan.in_edges(id).len() < 2 {
+        return;
+    }
+    let tainted: Vec<&str> = ctx
+        .topo
+        .iter()
+        .filter(|&&u| ctx.reach[u].contains(&id))
+        .filter(|&&u| {
+            ctx.udo_properties(u)
+                .is_some_and(|p| p.stateful && !p.deterministic)
+        })
+        .map(|&u| ctx.plan.nodes[u].name.as_str())
+        .collect();
+    if tainted.is_empty() {
+        return;
+    }
+    out.push(
+        Diagnostic::new(
+            Code::MultiInputAfterOpaqueState,
+            Span::Node {
+                id,
+                name: node.name.clone(),
+            },
+            format!(
+                "multi-input operator '{}' merges streams downstream of non-deterministic \
+                 stateful UDO(s) {}; replay can misalign its inputs after recovery",
+                node.name,
+                tainted
+                    .iter()
+                    .map(|n| format!("'{n}'"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+        .with_suggestion(
+            "move the merge upstream of the opaque state, or make the UDO(s) \
+                          deterministic",
+        ),
+    );
+}

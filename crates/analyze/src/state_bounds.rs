@@ -1,0 +1,86 @@
+//! Unbounded-state detection (PB021-PB023): will the plan's memory
+//! footprint stay flat over an unbounded stream?
+//!
+//! Windows evict by construction; UDO state is whatever the factory says
+//! it is. The pass combines declared [`UdoProperties`] with the rate
+//! fractions computed by [`AnalysisContext`] so messages say how fast the
+//! state actually grows, not just that it might.
+//!
+//! [`UdoProperties`]: pdsp_engine::udo::UdoProperties
+
+use crate::context::AnalysisContext;
+use crate::diag::{Code, Diagnostic, Span};
+use crate::Pass;
+use pdsp_engine::operator::OpKind;
+
+/// Threshold above which a sliding window's pane count is flagged.
+const PANE_LIMIT: u64 = 64;
+
+/// State-growth pass.
+pub struct StateBoundsPass;
+
+impl Pass for StateBoundsPass {
+    fn name(&self) -> &'static str {
+        "state-bounds"
+    }
+
+    fn run(&self, ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+        for &id in &ctx.topo {
+            let node = &ctx.plan.nodes[id];
+            let span = Span::Node {
+                id,
+                name: node.name.clone(),
+            };
+            match &node.kind {
+                OpKind::Udo { factory } => {
+                    let props = factory.properties();
+                    if props.stateful && !props.bounded_state {
+                        out.push(
+                            Diagnostic::new(
+                                Code::UnboundedUdoState,
+                                span,
+                                format!(
+                                    "UDO '{}' declares unbounded state; at ~{:.2} tuples per \
+                                     source tuple reaching it, memory grows for the lifetime of \
+                                     the deployment",
+                                    node.name, ctx.in_rate[id]
+                                ),
+                            )
+                            .with_suggestion(
+                                "evict by count, time, or TTL and declare bounded_state",
+                            ),
+                        );
+                    } else if props.stateful && props.keyed_state_field.is_some() {
+                        out.push(Diagnostic::new(
+                            Code::KeyedStateGrowth,
+                            span,
+                            format!(
+                                "UDO '{}' keeps per-key state; memory is proportional to key \
+                                 cardinality even with per-key bounds",
+                                node.name
+                            ),
+                        ));
+                    }
+                }
+                OpKind::WindowAggregate { window, .. } => {
+                    let panes = window.panes_per_window();
+                    if panes > PANE_LIMIT {
+                        out.push(
+                            Diagnostic::new(
+                                Code::PaneExplosion,
+                                span,
+                                format!(
+                                    "window on '{}' maintains {panes} live panes (length {} / \
+                                     slide {}); every pane holds a partial aggregate per key",
+                                    node.name, window.length, window.slide
+                                ),
+                            )
+                            .with_suggestion("increase the slide or shorten the window"),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@ use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
 use pdsp_engine::operator::OpKind;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::{Partitioning, PlanBuilder};
@@ -76,6 +76,15 @@ impl UdoFactory for CtrAggregator {
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Double])
+    }
+    fn properties(&self) -> UdoProperties {
+        // A time-evicted click history per ad id (input field 0); the plan
+        // hash-partitions the joined stream on it.
+        UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            ..UdoProperties::default()
+        }
     }
 }
 

@@ -5,18 +5,34 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Cap on remembered (user, url) pairs per instance. Visits older than
+/// the cap's insertion horizon count as new again — the standard
+/// approximate-dedup trade-off for an unbounded clickstream.
+const MAX_REMEMBERED_VISITS: usize = 100_000;
 
 /// Tags each click as new (0) or repeat (1) visit per (user, url).
 pub struct RepeatVisitDetector;
 
 struct VisitState {
     seen: HashSet<(i64, i64)>,
+    /// Insertion order of `seen`, for eviction at the cap.
+    order: VecDeque<(i64, i64)>,
+}
+
+impl VisitState {
+    fn new() -> Self {
+        VisitState {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
 }
 
 impl Udo for VisitState {
@@ -28,6 +44,14 @@ impl Udo for VisitState {
             return;
         };
         let repeat = !self.seen.insert((user, url));
+        if !repeat {
+            self.order.push_back((user, url));
+            if self.order.len() > MAX_REMEMBERED_VISITS {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.seen.remove(&oldest);
+                }
+            }
+        }
         out.push(Tuple {
             values: vec![Value::Int(url), Value::Int(user), Value::Int(repeat as i64)],
             event_time: tuple.event_time,
@@ -41,16 +65,23 @@ impl UdoFactory for RepeatVisitDetector {
         "repeat-visit-detector"
     }
     fn create(&self) -> Box<dyn Udo> {
-        Box::new(VisitState {
-            seen: HashSet::new(),
-        })
+        Box::new(VisitState::new())
     }
     fn cost_profile(&self) -> CostProfile {
-        // Grows a (user, url) set — memory-heavy state per instance.
+        // Keeps a capped (user, url) set — memory-heavy state per instance.
         CostProfile::stateful(90_000.0, 1.0, 1.6)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Int])
+    }
+    fn properties(&self) -> UdoProperties {
+        // Visit state is per-user (input field 0); the plan hash-partitions
+        // on the user so each user's history lives on one instance.
+        UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            ..UdoProperties::default()
+        }
     }
 }
 
@@ -111,9 +142,7 @@ mod tests {
 
     #[test]
     fn first_visit_is_new_second_is_repeat() {
-        let mut s = VisitState {
-            seen: HashSet::new(),
-        };
+        let mut s = VisitState::new();
         let mut out = Vec::new();
         let click = Tuple::new(vec![Value::Int(1), Value::Int(42)]);
         s.on_tuple(0, click.clone(), &mut out);
@@ -124,13 +153,36 @@ mod tests {
 
     #[test]
     fn different_urls_are_separate_visits() {
-        let mut s = VisitState {
-            seen: HashSet::new(),
-        };
+        let mut s = VisitState::new();
         let mut out = Vec::new();
         s.on_tuple(0, Tuple::new(vec![Value::Int(1), Value::Int(1)]), &mut out);
         s.on_tuple(0, Tuple::new(vec![Value::Int(1), Value::Int(2)]), &mut out);
         assert_eq!(out[1].values[2], Value::Int(0), "new url = new visit");
+    }
+
+    #[test]
+    fn visit_memory_is_bounded() {
+        let mut s = VisitState::new();
+        let mut out = Vec::new();
+        for i in 0..(MAX_REMEMBERED_VISITS as i64 + 1_000) {
+            out.clear();
+            s.on_tuple(0, Tuple::new(vec![Value::Int(i), Value::Int(0)]), &mut out);
+        }
+        assert!(s.seen.len() <= MAX_REMEMBERED_VISITS);
+        assert_eq!(s.seen.len(), s.order.len());
+        // A fresh pair evicted long ago counts as new again; a recent pair
+        // is still remembered.
+        out.clear();
+        s.on_tuple(0, Tuple::new(vec![Value::Int(0), Value::Int(0)]), &mut out);
+        assert_eq!(out[0].values[2], Value::Int(0), "oldest pair was evicted");
+        out.clear();
+        let recent = MAX_REMEMBERED_VISITS as i64 + 999;
+        s.on_tuple(
+            0,
+            Tuple::new(vec![Value::Int(recent), Value::Int(0)]),
+            &mut out,
+        );
+        assert_eq!(out[0].values[2], Value::Int(1), "recent pair is a repeat");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::PlanBuilder;
 use std::collections::HashMap;
@@ -76,6 +76,15 @@ impl UdoFactory for FraudScorer {
             FieldType::Double,
             FieldType::Double,
         ])
+    }
+    fn properties(&self) -> UdoProperties {
+        // A fixed-size Markov transition matrix per account id (input
+        // field 0); the plan hash-partitions on it.
+        UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            ..UdoProperties::default()
+        }
     }
 }
 

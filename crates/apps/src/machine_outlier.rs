@@ -7,7 +7,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::PlanBuilder;
 use std::collections::HashMap;
@@ -85,6 +85,16 @@ impl UdoFactory for OutlierScorer {
 
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+    }
+
+    fn properties(&self) -> UdoProperties {
+        // One capped history per machine id (input field 0); the plan
+        // hash-partitions on it.
+        UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            ..UdoProperties::default()
+        }
     }
 }
 

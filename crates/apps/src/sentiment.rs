@@ -8,7 +8,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream, WORDS};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
@@ -95,6 +95,16 @@ impl UdoFactory for SentimentScorer {
 
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Double])
+    }
+
+    fn properties(&self) -> UdoProperties {
+        // The lexicon is immutable reference data, not mutable cross-tuple
+        // state; the non-zero state factor only models its memory
+        // footprint. Safe under any partitioning.
+        UdoProperties {
+            stateful: false,
+            ..UdoProperties::default()
+        }
     }
 }
 

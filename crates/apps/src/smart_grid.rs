@@ -8,7 +8,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
@@ -77,6 +77,19 @@ impl UdoFactory for GridMedianDetector {
 
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+    }
+
+    fn properties(&self) -> UdoProperties {
+        // The ring is a sample of recent load; under hash-partitioning each
+        // instance medians its own partition's sample. Load distributions
+        // are grid-wide phenomena, so a per-partition median is an accepted
+        // approximation of the global one (and what lets SG scale to the
+        // high degrees the paper sweeps).
+        UdoProperties {
+            stateful: true,
+            partition_tolerant: true,
+            ..UdoProperties::default()
+        }
     }
 }
 

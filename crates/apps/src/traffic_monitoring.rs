@@ -6,7 +6,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
@@ -74,6 +74,15 @@ impl UdoFactory for MapMatcher {
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Int, FieldType::Double])
+    }
+    fn properties(&self) -> UdoProperties {
+        // Map matching is a pure function of the GPS fix; the non-zero
+        // state factor only models the road-network lookup cost. Safe
+        // under any partitioning.
+        UdoProperties {
+            stateful: false,
+            ..UdoProperties::default()
+        }
     }
 }
 

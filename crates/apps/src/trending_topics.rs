@@ -5,7 +5,7 @@
 use crate::common::{AppConfig, Application, BuiltApp, ClosureStream, HASHTAGS, WORDS};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
+use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
@@ -14,6 +14,11 @@ use std::sync::Arc;
 
 /// Size of the maintained top-k set.
 const K: usize = 3;
+
+/// Cap on distinct tags the ranker tracks. Real tag vocabularies are
+/// unbounded; anything evicted here has a count too small to re-enter the
+/// top-k before the sliding window refreshes it anyway.
+const MAX_TRACKED_TAGS: usize = 1_024;
 
 /// Extracts hashtags from tweet text (one output per tag).
 pub struct HashtagExtractor;
@@ -68,6 +73,18 @@ impl RankerState {
         v.truncate(K);
         v
     }
+
+    /// Drop the lowest-count tag to keep the map at [`MAX_TRACKED_TAGS`].
+    fn evict_coldest(&mut self) {
+        if let Some(coldest) = self
+            .counts
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0)))
+            .map(|(k, _)| k.clone())
+        {
+            self.counts.remove(&coldest);
+        }
+    }
 }
 
 impl Udo for RankerState {
@@ -80,6 +97,9 @@ impl Udo for RankerState {
             return;
         };
         self.counts.insert(tag.to_string(), count);
+        if self.counts.len() > MAX_TRACKED_TAGS {
+            self.evict_coldest();
+        }
         let topk = self.topk();
         let names: Vec<String> = topk.iter().map(|(t, _)| t.clone()).collect();
         if names != self.last_topk {
@@ -114,6 +134,15 @@ impl UdoFactory for TopKRanker {
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
         Schema::of(&[FieldType::Str, FieldType::Int, FieldType::Double])
+    }
+    fn properties(&self) -> UdoProperties {
+        // A global ranking needs every tag's count in one place; splitting
+        // the ranker across instances would rank per-partition tag subsets.
+        UdoProperties {
+            stateful: true,
+            requires_global_view: true,
+            ..UdoProperties::default()
+        }
     }
 }
 
@@ -241,6 +270,32 @@ mod tests {
             );
         }
         assert!(out.len() <= K);
+    }
+
+    #[test]
+    fn ranker_state_is_bounded() {
+        let mut r = RankerState {
+            counts: HashMap::new(),
+            last_topk: Vec::new(),
+        };
+        let mut out = Vec::new();
+        for i in 0..(MAX_TRACKED_TAGS + 500) {
+            out.clear();
+            r.on_tuple(
+                0,
+                Tuple::new(vec![
+                    Value::str(format!("#t{i}")),
+                    Value::Timestamp(0),
+                    Value::Double(i as f64),
+                ]),
+                &mut out,
+            );
+        }
+        assert!(r.counts.len() <= MAX_TRACKED_TAGS);
+        // The hottest tags survive eviction.
+        assert!(r
+            .counts
+            .contains_key(&format!("#t{}", MAX_TRACKED_TAGS + 499)));
     }
 
     #[test]

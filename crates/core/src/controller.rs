@@ -1,6 +1,7 @@
 //! The controller: deploys PQPs on an execution backend, collects the
 //! paper's measurement protocol, and records runs in the document store.
 
+use pdsp_analyze::{Analyzer, Severity};
 use pdsp_apps::{AppConfig, Application};
 use pdsp_cluster::{Cluster, SimConfig, Simulator};
 use pdsp_engine::error::{EngineError, Result};
@@ -173,6 +174,26 @@ where
         .collect()
 }
 
+/// Pre-deploy static-analysis policy: every plan is analyzed before it
+/// reaches a backend, and error-carrying plans are refused. Disable only
+/// for experiments that deliberately deploy broken plans.
+#[derive(Debug, Clone)]
+pub struct DeployGate {
+    /// Run the analyzer before every deploy.
+    pub enabled: bool,
+    /// Also refuse warning-carrying plans (CI-style strictness).
+    pub deny_warnings: bool,
+}
+
+impl Default for DeployGate {
+    fn default() -> Self {
+        DeployGate {
+            enabled: true,
+            deny_warnings: false,
+        }
+    }
+}
+
 /// One datapoint of a parallelism sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepPoint {
@@ -189,15 +210,29 @@ pub struct SweepPoint {
 pub struct Controller {
     simulator: Simulator,
     store: Arc<Store>,
+    gate: DeployGate,
 }
 
 impl Controller {
-    /// Controller over a simulated cluster, recording into `store`.
+    /// Controller over a simulated cluster, recording into `store`, with
+    /// the default deploy gate (analyze every plan, refuse errors).
     pub fn new(cluster: Cluster, sim: SimConfig, store: Arc<Store>) -> Self {
         Controller {
             simulator: Simulator::new(cluster, sim),
             store,
+            gate: DeployGate::default(),
         }
+    }
+
+    /// Replace the deploy gate policy.
+    pub fn with_gate(mut self, gate: DeployGate) -> Self {
+        self.gate = gate;
+        self
+    }
+
+    /// The active deploy gate policy.
+    pub fn gate(&self) -> &DeployGate {
+        &self.gate
     }
 
     /// The underlying simulator.
@@ -210,9 +245,42 @@ impl Controller {
         &self.store
     }
 
+    /// Analyze `plan` under the gate policy; `Err(AnalysisRejected)` when
+    /// the plan carries blocking diagnostics.
+    fn check_gate(&self, workload: &str, plan: &LogicalPlan) -> Result<()> {
+        if !self.gate.enabled {
+            return Ok(());
+        }
+        let report = Analyzer::new().analyze(workload, plan)?;
+        let blocks = |severity: Severity| {
+            severity == Severity::Error
+                || (self.gate.deny_warnings && severity == Severity::Warning)
+        };
+        let blocking = report
+            .diagnostics
+            .iter()
+            .filter(|d| blocks(d.severity))
+            .count();
+        if blocking > 0 {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| blocks(d.severity))
+                .map(|d| format!("{} {}", d.code, d.message))
+                .unwrap_or_default();
+            return Err(EngineError::AnalysisRejected {
+                workload: workload.to_string(),
+                errors: blocking,
+                first,
+            });
+        }
+        Ok(())
+    }
+
     /// Deploy a plan on the simulated cluster; returns the mean-of-3-run
     /// median latency and records the run.
     pub fn run_simulated(&self, workload: &str, plan: &LogicalPlan) -> Result<RunRecord> {
+        self.check_gate(workload, plan)?;
         let result = self.simulator.run(plan)?;
         let latency = self.simulator.measure(plan)?;
         let mut summary = result.summary();
@@ -252,6 +320,7 @@ impl Controller {
         sources: &[Arc<dyn SourceFactory>],
         event_rate: f64,
     ) -> Result<RunRecord> {
+        self.check_gate(workload, plan)?;
         let phys = PhysicalPlan::expand(plan)?;
         let rt = ThreadedRuntime::new(RunConfig::default());
         let result = rt.run(&phys, sources)?;
@@ -293,6 +362,15 @@ impl Controller {
                 let cluster = self.simulator.cluster().clone();
                 let cfg = self.simulator.config().clone();
                 let swept = plan.clone().with_uniform_parallelism(degree);
+                // A degree that fails analysis degrades in place, like any
+                // other persistently failing datapoint.
+                if self.check_gate(workload, &swept).is_err() {
+                    return SweepPoint {
+                        parallelism: degree,
+                        status: DatapointStatus::Degraded,
+                        record: None,
+                    };
+                }
                 let run_plan = swept.clone();
                 let outcome = run_with_retry(policy, move |_attempt| {
                     let sim = Simulator::new(cluster.clone(), cfg.clone());
@@ -494,6 +572,124 @@ mod tests {
             col.find(&Filter::eq("workload", "linear")).len()
         });
         assert_eq!(stored, 2);
+    }
+
+    /// Keyed aggregate at parallelism 4 fed by a rebalance edge: an
+    /// Error-severity PB001 under analysis, only constructible with
+    /// `build_unchecked`.
+    fn broken_plan() -> LogicalPlan {
+        use pdsp_engine::agg::AggFunc;
+        use pdsp_engine::operator::OpKind;
+        use pdsp_engine::plan::Partitioning;
+        use pdsp_engine::window::WindowSpec;
+        let mut b = PlanBuilder::new();
+        let s = b.add_node(
+            "src",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+            },
+            1,
+        );
+        let a = b.add_node(
+            "agg",
+            OpKind::WindowAggregate {
+                window: WindowSpec::tumbling_count(8),
+                func: AggFunc::Sum,
+                agg_field: 1,
+                key_field: Some(0),
+            },
+            4,
+        );
+        let k = b.add_node("sink", OpKind::Sink, 1);
+        b.add_edge(s, a, 0, Partitioning::Rebalance);
+        b.add_edge(a, k, 0, Partitioning::Rebalance);
+        b.build_unchecked()
+    }
+
+    /// Broadcast into a parallelism-8 filter: Warning-severity PB032 but
+    /// no errors.
+    fn warning_plan() -> LogicalPlan {
+        use pdsp_engine::plan::Partitioning;
+        let mut b = PlanBuilder::new();
+        let s = b.add_node(
+            "src",
+            pdsp_engine::operator::OpKind::Source {
+                schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+            },
+            1,
+        );
+        let f = b.add_node(
+            "f",
+            pdsp_engine::operator::OpKind::Filter {
+                predicate: Predicate::True,
+                selectivity: 0.7,
+            },
+            8,
+        );
+        let k = b.add_node("sink", pdsp_engine::operator::OpKind::Sink, 1);
+        b.add_edge(s, f, 0, Partitioning::Broadcast);
+        b.add_edge(f, k, 0, Partitioning::Rebalance);
+        b.build_unchecked()
+    }
+
+    #[test]
+    fn gate_refuses_error_plans() {
+        let c = controller();
+        let err = c.run_simulated("broken", &broken_plan()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("PB001"), "error names the diagnostic: {msg}");
+        let stored = c.store().with("runs", |col| {
+            col.find(&Filter::eq("workload", "broken")).len()
+        });
+        assert_eq!(stored, 0, "rejected plans leave no run record");
+    }
+
+    #[test]
+    fn disabled_gate_skips_analysis() {
+        let c = controller().with_gate(DeployGate {
+            enabled: false,
+            deny_warnings: false,
+        });
+        // The plan may still fail downstream validation, but it must not
+        // be refused by the analyzer.
+        if let Err(e) = c.run_simulated("broken", &broken_plan()) {
+            assert!(
+                !matches!(e, EngineError::AnalysisRejected { .. }),
+                "disabled gate must not analyze: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_gate_tolerates_warnings() {
+        let c = controller();
+        c.run_simulated("warned", &warning_plan())
+            .expect("warnings do not block deployment by default");
+    }
+
+    #[test]
+    fn deny_warnings_gate_refuses_warning_plans() {
+        let c = controller().with_gate(DeployGate {
+            enabled: true,
+            deny_warnings: true,
+        });
+        let err = c.run_simulated("warned", &warning_plan()).unwrap_err();
+        assert!(
+            matches!(err, EngineError::AnalysisRejected { .. }),
+            "strict gate refuses warning plans: {err}"
+        );
+    }
+
+    #[test]
+    fn sweep_degrades_analysis_rejected_points() {
+        let c = controller();
+        // At uniform parallelism 1 the broken plan is trivially safe
+        // (everything colocated); at 4 the keyed aggregate is split.
+        let points = c.sweep_simulated("broken", &broken_plan(), &[1, 4], &RetryPolicy::default());
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].status, DatapointStatus::Ok);
+        assert_eq!(points[1].status, DatapointStatus::Degraded);
+        assert!(points[1].record.is_none());
     }
 
     #[test]

@@ -15,21 +15,29 @@ pub fn two_column_table(title: &str, rows: &[(String, String)]) -> String {
     out
 }
 
-/// Table 2: the application suite.
+/// Table 2: the application suite, with each app's static-analysis status
+/// ("clean" or its diagnostic counts) from the shipped plan.
 pub fn table2() -> String {
+    let analyzer = pdsp_analyze::Analyzer::new();
+    let config = pdsp_apps::AppConfig::default();
     let mut out = String::from("== Table 2: Application suite ==\n");
     out.push_str(&format!(
-        "{:6} {:24} {:26} {:4} {}\n",
-        "Acr.", "Application", "Area", "UDO", "Description"
+        "{:6} {:24} {:26} {:4} {:18} {}\n",
+        "Acr.", "Application", "Area", "UDO", "Analysis", "Description"
     ));
     for app in all_applications() {
         let info = app.info();
+        let status = analyzer
+            .analyze(info.acronym, &app.build(&config).plan)
+            .map(|r| r.status_label())
+            .unwrap_or_else(|e| format!("failed: {e}"));
         out.push_str(&format!(
-            "{:6} {:24} {:26} {:4} {}\n",
+            "{:6} {:24} {:26} {:4} {:18} {}\n",
             info.acronym,
             info.name,
             info.area,
             if info.uses_udo { "yes" } else { "no" },
+            status,
             info.description
         ));
     }
@@ -196,6 +204,20 @@ mod tests {
             "WC", "MO", "LR", "SA", "SG", "SD", "TT", "LP", "CA", "FD", "TM", "BI", "TPCH", "AD",
         ] {
             assert!(t.contains(acr), "missing {acr}\n{t}");
+        }
+    }
+
+    #[test]
+    fn table2_reports_analysis_status_per_app() {
+        let t = table2();
+        assert!(t.contains("Analysis"), "status column present\n{t}");
+        // Every shipped app analyzes without errors or warnings: each row's
+        // status is either fully clean or hints only.
+        for line in t.lines().skip(2).take(14) {
+            assert!(
+                line.contains("clean") || line.contains("hint"),
+                "unexpected analysis status: {line}"
+            );
         }
     }
 

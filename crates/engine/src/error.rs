@@ -85,6 +85,66 @@ pub enum EngineError {
         /// Instance index within the node.
         instance: usize,
     },
+    /// A source operator has incoming edges.
+    SourceHasInputs {
+        /// Operator name.
+        operator: String,
+        /// Number of input edges found.
+        inputs: usize,
+    },
+    /// A union operator was wired with fewer than two inputs.
+    UnionArity {
+        /// Operator name.
+        operator: String,
+        /// Number of input edges found.
+        inputs: usize,
+    },
+    /// A single-input operator was wired with the wrong number of inputs.
+    OperatorArity {
+        /// Operator name.
+        operator: String,
+        /// Number of input edges found.
+        inputs: usize,
+    },
+    /// A non-sink operator has no consumers (its output is dropped).
+    DanglingOperator {
+        /// Operator name.
+        operator: String,
+    },
+    /// A keyed operator (keyed window aggregate, session window, or
+    /// keyed-state UDO) at parallelism > 1 receives input that is not
+    /// hash-partitioned on its key, so parallel results would diverge from
+    /// sequential execution.
+    KeyedPartitionMismatch {
+        /// Operator name.
+        operator: String,
+        /// The key field the operator groups on.
+        key_field: usize,
+        /// Debug rendering of the offending edge partitioning.
+        partitioning: String,
+    },
+    /// A join input side at parallelism > 1 is not hash-partitioned on
+    /// that side's join key.
+    JoinPartitionMismatch {
+        /// Operator name.
+        operator: String,
+        /// "left" or "right".
+        side: String,
+        /// The join key field on that side.
+        key_field: usize,
+        /// Debug rendering of the offending edge partitioning.
+        partitioning: String,
+    },
+    /// The static plan analyzer refused a deployment (controller deploy
+    /// gate): the plan carries error-severity diagnostics.
+    AnalysisRejected {
+        /// Workload label of the refused deployment.
+        workload: String,
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// First denied diagnostic, rendered.
+        first: String,
+    },
     /// A runtime or fault-tolerance configuration value is unusable.
     InvalidConfig(String),
     /// State snapshot or restore failed (serialization error, missing
@@ -148,6 +208,48 @@ impl fmt::Display for EngineError {
             EngineError::FaultInjected { node, instance } => {
                 write!(f, "injected fault killed node {node} instance {instance}")
             }
+            EngineError::SourceHasInputs { operator, inputs } => {
+                write!(f, "source '{operator}' has {inputs} inputs, expected 0")
+            }
+            EngineError::UnionArity { operator, inputs } => {
+                write!(f, "union '{operator}' has {inputs} inputs, needs at least 2")
+            }
+            EngineError::OperatorArity { operator, inputs } => {
+                write!(f, "operator '{operator}' has {inputs} inputs, expected 1")
+            }
+            EngineError::DanglingOperator { operator } => {
+                write!(f, "non-sink operator '{operator}' has no consumers")
+            }
+            EngineError::KeyedPartitionMismatch {
+                operator,
+                key_field,
+                partitioning,
+            } => write!(
+                f,
+                "keyed operator '{operator}' (key field {key_field}) at parallelism > 1 \
+                 receives {partitioning}-partitioned input; hash-partition on the key to \
+                 keep parallel results equal to sequential ones"
+            ),
+            EngineError::JoinPartitionMismatch {
+                operator,
+                side,
+                key_field,
+                partitioning,
+            } => write!(
+                f,
+                "join '{operator}' {side} input (key field {key_field}) at parallelism > 1 \
+                 receives {partitioning}-partitioned input; matching keys would land on \
+                 different instances"
+            ),
+            EngineError::AnalysisRejected {
+                workload,
+                errors,
+                first,
+            } => write!(
+                f,
+                "static analysis rejected deployment of '{workload}': {errors} error(s); \
+                 first: {first}"
+            ),
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }

@@ -186,6 +186,25 @@ impl OpKind {
         }
     }
 
+    /// Upper bound on the parallelism at which this operator still
+    /// computes the sequential answer, or `None` when any degree is fine.
+    /// Global (un-keyed) aggregations and UDOs that declare
+    /// `requires_global_view` must see the whole stream, so only one
+    /// instance makes sense; `with_uniform_parallelism` and the
+    /// enumeration strategies clamp to this bound.
+    pub fn max_useful_parallelism(&self) -> Option<usize> {
+        match self {
+            OpKind::WindowAggregate {
+                key_field: None, ..
+            }
+            | OpKind::SessionWindow {
+                key_field: None, ..
+            } => Some(1),
+            OpKind::Udo { factory } if factory.properties().requires_global_view => Some(1),
+            _ => None,
+        }
+    }
+
     /// Output schema given input schemas (one per port).
     pub fn output_schema(&self, inputs: &[Schema]) -> Result<Schema> {
         match self {

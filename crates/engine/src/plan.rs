@@ -228,6 +228,71 @@ impl LogicalPlan {
                 _ => {}
             }
         }
+        self.validate_keyed_partitioning()?;
+        Ok(())
+    }
+
+    /// Hard key-flow checks: a keyed operator running at parallelism > 1
+    /// must receive input hash-partitioned on exactly its key, or parallel
+    /// execution silently computes a different answer than sequential
+    /// execution. Forward edges are accepted here (the upstream chain may
+    /// already be correctly partitioned); the flow-sensitive follow-up
+    /// lives in the `pdsp-analyze` key-flow pass.
+    fn validate_keyed_partitioning(&self) -> Result<()> {
+        for node in &self.nodes {
+            if node.parallelism <= 1 {
+                continue;
+            }
+            let required: Vec<(usize, usize)> = match &node.kind {
+                OpKind::WindowAggregate {
+                    key_field: Some(k), ..
+                }
+                | OpKind::SessionWindow {
+                    key_field: Some(k), ..
+                } => vec![(0, *k)],
+                OpKind::Join {
+                    left_key,
+                    right_key,
+                    ..
+                } => vec![(0, *left_key), (1, *right_key)],
+                OpKind::Udo { factory } => match factory.properties().keyed_state_field {
+                    Some(k) => vec![(0, k)],
+                    None => vec![],
+                },
+                _ => vec![],
+            };
+            for (port, key) in required {
+                for e in self.in_edges(node.id).iter().filter(|e| e.port == port) {
+                    let ok = match &e.partitioning {
+                        // Hash on the key (or an empty field set, which
+                        // degenerates to a single target instance) keeps
+                        // each key on one instance.
+                        Partitioning::Hash(fields) => {
+                            fields.is_empty() || fields.iter().all(|&f| f == key)
+                        }
+                        Partitioning::Forward => true,
+                        Partitioning::Rebalance | Partitioning::Broadcast => false,
+                    };
+                    if !ok {
+                        let partitioning = format!("{:?}", e.partitioning);
+                        return Err(if matches!(node.kind, OpKind::Join { .. }) {
+                            EngineError::JoinPartitionMismatch {
+                                operator: node.name.clone(),
+                                side: if port == 0 { "left" } else { "right" }.into(),
+                                key_field: key,
+                                partitioning,
+                            }
+                        } else {
+                            EngineError::KeyedPartitionMismatch {
+                                operator: node.name.clone(),
+                                key_field: key,
+                                partitioning,
+                            }
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -239,10 +304,10 @@ impl LogicalPlan {
             match &node.kind {
                 OpKind::Source { .. } => {
                     if ins != 0 {
-                        return Err(EngineError::InvalidPlan(format!(
-                            "source '{}' has {ins} inputs",
-                            node.name
-                        )));
+                        return Err(EngineError::SourceHasInputs {
+                            operator: node.name.clone(),
+                            inputs: ins,
+                        });
                     }
                 }
                 OpKind::Join { .. } => {
@@ -255,26 +320,25 @@ impl LogicalPlan {
                 }
                 OpKind::Union => {
                     if ins < 2 {
-                        return Err(EngineError::InvalidPlan(format!(
-                            "union '{}' has {ins} inputs",
-                            node.name
-                        )));
+                        return Err(EngineError::UnionArity {
+                            operator: node.name.clone(),
+                            inputs: ins,
+                        });
                     }
                 }
                 _ => {
                     if ins != 1 {
-                        return Err(EngineError::InvalidPlan(format!(
-                            "operator '{}' has {ins} inputs, expected 1",
-                            node.name
-                        )));
+                        return Err(EngineError::OperatorArity {
+                            operator: node.name.clone(),
+                            inputs: ins,
+                        });
                     }
                 }
             }
             if !matches!(node.kind, OpKind::Sink) && self.out_edges(node.id).is_empty() {
-                return Err(EngineError::InvalidPlan(format!(
-                    "non-sink operator '{}' has no consumers",
-                    node.name
-                )));
+                return Err(EngineError::DanglingOperator {
+                    operator: node.name.clone(),
+                });
             }
         }
         Ok(())
@@ -306,11 +370,15 @@ impl LogicalPlan {
     }
 
     /// Set every non-source, non-sink operator to the same degree (the
-    /// paper's parallelism *category* applied uniformly).
+    /// paper's parallelism *category* applied uniformly). Operators with a
+    /// [`OpKind::max_useful_parallelism`] bound (global aggregations,
+    /// global-view UDOs) are clamped to it: scaling them past the bound
+    /// changes the computed answer, not just the performance.
     pub fn with_uniform_parallelism(mut self, degree: usize) -> Self {
         for node in &mut self.nodes {
             if !matches!(node.kind, OpKind::Source { .. } | OpKind::Sink) {
-                node.parallelism = degree.max(1);
+                let cap = node.kind.max_useful_parallelism().unwrap_or(usize::MAX);
+                node.parallelism = degree.clamp(1, cap);
             }
         }
         self
@@ -499,6 +567,141 @@ mod tests {
         assert_eq!(p.nodes[0].parallelism, 1);
         assert_eq!(p.nodes[1].parallelism, 8);
         assert_eq!(p.nodes[2].parallelism, 1);
+    }
+
+    fn keyed_agg_plan(partitioning: Partitioning, parallelism: usize) -> LogicalPlan {
+        let mut p = LogicalPlan::default();
+        let src = p.add_node(
+            "src",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+            },
+            1,
+        );
+        let agg = p.add_node(
+            "agg",
+            OpKind::WindowAggregate {
+                window: crate::window::WindowSpec::tumbling_count(10),
+                func: crate::agg::AggFunc::Sum,
+                agg_field: 1,
+                key_field: Some(0),
+            },
+            parallelism,
+        );
+        let sink = p.add_node("sink", OpKind::Sink, 1);
+        p.connect(src, agg, partitioning);
+        p.connect(agg, sink, Partitioning::Rebalance);
+        p
+    }
+
+    #[test]
+    fn keyed_agg_rebalanced_at_parallelism_rejected() {
+        let err = keyed_agg_plan(Partitioning::Rebalance, 4)
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::KeyedPartitionMismatch { key_field: 0, .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn keyed_agg_hashed_on_wrong_field_rejected() {
+        let err = keyed_agg_plan(Partitioning::Hash(vec![1]), 4)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::KeyedPartitionMismatch { .. }));
+    }
+
+    #[test]
+    fn keyed_agg_partitioning_is_free_at_parallelism_one() {
+        keyed_agg_plan(Partitioning::Rebalance, 1)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn keyed_agg_hashed_on_key_accepted() {
+        keyed_agg_plan(Partitioning::Hash(vec![0]), 4)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn join_side_not_hashed_on_key_rejected() {
+        let mut p = LogicalPlan::default();
+        let s1 = p.add_node(
+            "s1",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let s2 = p.add_node(
+            "s2",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int]),
+            },
+            1,
+        );
+        let j = p.add_node(
+            "join",
+            OpKind::Join {
+                window: crate::window::WindowSpec::tumbling_time(100),
+                left_key: 0,
+                right_key: 0,
+            },
+            4,
+        );
+        let sink = p.add_node("sink", OpKind::Sink, 1);
+        p.connect_port(s1, j, 0, Partitioning::Hash(vec![0]));
+        p.connect_port(s2, j, 1, Partitioning::Rebalance);
+        p.connect(j, sink, Partitioning::Rebalance);
+        let err = p.validate().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                EngineError::JoinPartitionMismatch { side, .. } if side == "right"
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn arity_errors_are_typed() {
+        // Orphan map: single-input operator with zero inputs and no
+        // consumers; the input check fires first.
+        let mut p = linear_plan();
+        p.add_node(
+            "orphan-map",
+            OpKind::Map {
+                exprs: vec![crate::expr::ScalarExpr::Field(0)],
+            },
+            1,
+        );
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            EngineError::OperatorArity { inputs: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn uniform_parallelism_clamps_global_aggregates() {
+        let mut p = linear_plan();
+        p.nodes[1].kind = OpKind::WindowAggregate {
+            window: crate::window::WindowSpec::tumbling_count(10),
+            func: crate::agg::AggFunc::Sum,
+            agg_field: 0,
+            key_field: None,
+        };
+        let swept = p.with_uniform_parallelism(16);
+        assert_eq!(
+            swept.nodes[1].parallelism, 1,
+            "global aggregate pinned to 1 instance"
+        );
     }
 
     #[test]

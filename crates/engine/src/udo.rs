@@ -52,6 +52,58 @@ impl CostProfile {
     }
 }
 
+/// Statically declared semantic properties of a UDO.
+///
+/// The engine cannot look inside a UDO closure, so correctness-relevant
+/// facts (is the state keyed? does the operator need to see the whole
+/// stream?) must be declared by the factory. `LogicalPlan::validate` and
+/// the `pdsp-analyze` lint passes consume these declarations; the defaults
+/// are the optimistic stateless-pure-function reading, so factories with
+/// interesting semantics should override [`UdoFactory::properties`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdoProperties {
+    /// Output depends only on input order and content (no clocks, RNGs, or
+    /// external reads). Non-deterministic UDOs break checkpoint replay.
+    pub deterministic: bool,
+    /// The operator writes to the outside world (files, sockets, ...);
+    /// replay after recovery duplicates those effects.
+    pub side_effecting: bool,
+    /// The operator keeps mutable cross-tuple state. Defaults to the cost
+    /// profile's view (`state_factor > 0`).
+    pub stateful: bool,
+    /// State is partitioned by this input field: tuples sharing the field
+    /// value must be routed to the same instance for parallel execution to
+    /// match sequential execution.
+    pub keyed_state_field: Option<usize>,
+    /// The operator must observe the complete stream (global top-k,
+    /// global distinct-count): only parallelism 1 (or broadcast
+    /// replication) computes the sequential answer.
+    pub requires_global_view: bool,
+    /// Per-instance state is an approximation whose output quality is
+    /// acceptable under any input partitioning (e.g. a per-partition
+    /// median baseline standing in for the global one). Suppresses the
+    /// partitioning lints that `stateful` would otherwise trigger.
+    pub partition_tolerant: bool,
+    /// State size is bounded (ring buffer, windowed eviction, TTL).
+    /// `false` means state grows with the input and will eventually
+    /// exhaust memory in a long-running deployment.
+    pub bounded_state: bool,
+}
+
+impl Default for UdoProperties {
+    fn default() -> Self {
+        UdoProperties {
+            deterministic: true,
+            side_effecting: false,
+            stateful: false,
+            keyed_state_field: None,
+            requires_global_view: false,
+            partition_tolerant: false,
+            bounded_state: true,
+        }
+    }
+}
+
 /// One running instance of a user-defined operator.
 ///
 /// Implementations hold per-instance state; the engine creates one via
@@ -81,6 +133,17 @@ pub trait UdoFactory: Send + Sync {
 
     /// Output schema given the input schema.
     fn output_schema(&self, input: &Schema) -> Schema;
+
+    /// Declared semantic properties. The default derives `stateful` from
+    /// the cost profile and assumes a deterministic, effect-free,
+    /// bounded-state operator with no keying requirement; override for
+    /// anything more interesting.
+    fn properties(&self) -> UdoProperties {
+        UdoProperties {
+            stateful: self.cost_profile().state_factor > 0.0,
+            ..UdoProperties::default()
+        }
+    }
 }
 
 /// Shared handle to a UDO factory, cloneable into every plan copy.
@@ -213,6 +276,27 @@ mod tests {
         b.on_tuple(0, Tuple::new(vec![]), &mut out);
         assert_eq!(out[1].values[0], Value::Int(2));
         assert_eq!(out[2].values[0], Value::Int(1), "b has fresh state");
+    }
+
+    #[test]
+    fn default_properties_derive_statefulness_from_cost() {
+        let pure = FnUdo::new(
+            "pure",
+            CostProfile::stateless(10.0, 1.0),
+            |s: &Schema| s.clone(),
+            |t: Tuple, out: &mut Vec<Tuple>| out.push(t),
+        );
+        assert!(!pure.properties().stateful);
+        assert!(pure.properties().deterministic);
+        assert!(pure.properties().bounded_state);
+        let heavy = FnUdo::new(
+            "heavy",
+            CostProfile::stateful(10.0, 1.0, 2.0),
+            |s: &Schema| s.clone(),
+            |t: Tuple, out: &mut Vec<Tuple>| out.push(t),
+        );
+        assert!(heavy.properties().stateful);
+        assert_eq!(heavy.properties().keyed_state_field, None);
     }
 
     #[test]

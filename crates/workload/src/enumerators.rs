@@ -62,12 +62,15 @@ impl ParallelismEnumerator {
             .collect()
     }
 
-    /// Indices of operator nodes whose degree is enumerated (everything but
-    /// sources and sinks).
+    /// Indices of operator nodes whose degree is enumerated: everything but
+    /// sources, sinks, and operators whose semantics pin them to a single
+    /// instance (global aggregations, global-view UDOs) — enumerating those
+    /// only produces assignments the analyzer then rejects.
     fn tunable(plan: &LogicalPlan) -> Vec<usize> {
         plan.nodes
             .iter()
             .filter(|n| !matches!(n.kind, OpKind::Source { .. } | OpKind::Sink))
+            .filter(|n| n.kind.max_useful_parallelism() != Some(1))
             .map(|n| n.id)
             .collect()
     }
@@ -178,6 +181,35 @@ impl ParallelismEnumerator {
                 vec![v]
             }
         }
+    }
+
+    /// Like [`enumerate`](Self::enumerate), but every assignment is
+    /// additionally vetted: the candidate plan must pass `validate()` and
+    /// carry zero Error-severity diagnostics from the static analyzer.
+    /// Assignments that fail are dropped, so the result may hold fewer than
+    /// `count` entries.
+    pub fn enumerate_valid(
+        &mut self,
+        plan: &LogicalPlan,
+        strategy: &EnumerationStrategy,
+        event_rate: f64,
+        count: usize,
+    ) -> Vec<Vec<usize>> {
+        let analyzer = pdsp_analyze::Analyzer::new();
+        self.enumerate(plan, strategy, event_rate, count)
+            .into_iter()
+            .filter(|assignment| {
+                let mut candidate = plan.clone();
+                for (id, &degree) in assignment.iter().enumerate() {
+                    candidate.nodes[id].parallelism = degree;
+                }
+                candidate.validate().is_ok()
+                    && analyzer
+                        .analyze("candidate", &candidate)
+                        .map(|r| r.errors() == 0)
+                        .unwrap_or(false)
+            })
+            .collect()
     }
 
     /// DS2-style demand-based degrees: propagate rates through the plan,
@@ -339,6 +371,68 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert_eq!(a[0][1], 16);
         assert_eq!(a[0][2], 8);
+    }
+
+    #[test]
+    fn global_operators_are_not_enumerated() {
+        // A global (unkeyed) aggregation caps at one useful instance; the
+        // enumerator must leave its degree alone instead of producing
+        // assignments the analyzer would reject.
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int, FieldType::Double]), 1)
+            .filter("f", Predicate::True, 0.5)
+            .window_agg_global(
+                "global-agg",
+                WindowSpec::tumbling_count(100),
+                pdsp_engine::agg::AggFunc::Sum,
+                1,
+            )
+            .sink("sink")
+            .build()
+            .unwrap();
+        let mut e = enumerator();
+        let assignments = e.enumerate(&plan, &EnumerationStrategy::Random, 1e5, 20);
+        for a in &assignments {
+            assert_eq!(a[2], 1, "global aggregation stays at its plan degree");
+            assert!(e.allowed().contains(&a[1]), "filter is still tuned");
+        }
+    }
+
+    #[test]
+    fn enumerate_valid_drops_analyzer_rejected_assignments() {
+        use pdsp_engine::plan::Partitioning;
+        // Keyed aggregation fed by a rebalance edge: safe only at degree 1,
+        // an Error at any higher degree.
+        let mut b = PlanBuilder::new();
+        let s = b.add_node(
+            "src",
+            OpKind::Source {
+                schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+            },
+            1,
+        );
+        let a = b.add_node(
+            "agg",
+            OpKind::WindowAggregate {
+                window: WindowSpec::tumbling_count(8),
+                func: pdsp_engine::agg::AggFunc::Sum,
+                agg_field: 1,
+                key_field: Some(0),
+            },
+            1,
+        );
+        let k = b.add_node("sink", OpKind::Sink, 1);
+        b.add_edge(s, a, 0, Partitioning::Rebalance);
+        b.add_edge(a, k, 0, Partitioning::Rebalance);
+        let plan = b.build_unchecked();
+
+        let mut e = enumerator();
+        let raw = e.enumerate(&plan, &EnumerationStrategy::Increasing, 1e5, 4);
+        assert!(raw.len() > 1, "raw enumeration produces several degrees");
+        let mut e = enumerator();
+        let valid = e.enumerate_valid(&plan, &EnumerationStrategy::Increasing, 1e5, 4);
+        assert_eq!(valid.len(), 1, "only the degree-1 assignment survives");
+        assert!(valid[0].iter().all(|&d| d == 1));
     }
 
     #[test]

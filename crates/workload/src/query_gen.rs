@@ -324,6 +324,12 @@ impl QueryGenerator {
         plan.connect(agg_node, sink, Partitioning::Rebalance);
 
         debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        #[cfg(debug_assertions)]
+        {
+            let report =
+                pdsp_analyze::analyze(structure.label(), &plan).expect("generated plan analyzes");
+            debug_assert_eq!(report.errors(), 0, "{}", report.render());
+        }
         GeneratedQuery {
             plan,
             streams,

@@ -1,0 +1,87 @@
+//! `analyze` — run the static plan analyzer from the command line.
+//!
+//! ```text
+//! analyze --all-apps                 # analyze every registry application
+//! analyze --app SG                   # analyze one application
+//! analyze --all-apps --deny-warnings # CI mode: warnings fail the run
+//! analyze --app WC --json            # machine-readable report
+//! ```
+//!
+//! Exit status: 0 when every analyzed plan is free of errors (and, with
+//! `--deny-warnings`, free of warnings); 1 otherwise; 2 on usage errors.
+
+use pdsp_bench::analyze::{Analyzer, Report};
+use pdsp_bench::apps::{all_applications, app_by_acronym, AppConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  analyze --all-apps [--deny-warnings] [--json]\n  \
+         analyze --app <ACRONYM> [--deny-warnings] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let json = args.iter().any(|a| a == "--json");
+
+    let apps = if args.iter().any(|a| a == "--all-apps") {
+        all_applications()
+    } else if let Some(i) = args.iter().position(|a| a == "--app") {
+        let Some(acr) = args.get(i + 1) else { usage() };
+        let Some(app) = app_by_acronym(acr) else {
+            eprintln!(
+                "unknown application '{acr}'; known: {}",
+                all_applications()
+                    .iter()
+                    .map(|a| a.info().acronym)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        };
+        vec![app]
+    } else {
+        usage()
+    };
+
+    let analyzer = Analyzer::new();
+    let config = AppConfig {
+        total_tuples: 1_000,
+        ..AppConfig::default()
+    };
+    let mut reports: Vec<Report> = Vec::new();
+    for app in &apps {
+        let info = app.info();
+        let built = app.build(&config);
+        match analyzer.analyze(info.acronym, &built.plan) {
+            Ok(report) => reports.push(report),
+            Err(e) => {
+                eprintln!("{}: analysis failed: {e}", info.acronym);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if json {
+        let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", rendered.join(",\n"));
+    } else {
+        for report in &reports {
+            print!("{}", report.render());
+        }
+        let errors: usize = reports.iter().map(|r| r.errors()).sum();
+        let warnings: usize = reports.iter().map(|r| r.warnings()).sum();
+        let hints: usize = reports.iter().map(|r| r.hints()).sum();
+        println!(
+            "{} plan(s) analyzed: {errors} error(s), {warnings} warning(s), {hints} hint(s)",
+            reports.len()
+        );
+    }
+
+    let failed = reports
+        .iter()
+        .any(|r| r.errors() > 0 || (deny_warnings && r.warnings() > 0));
+    std::process::exit(if failed { 1 } else { 0 });
+}

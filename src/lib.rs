@@ -13,6 +13,9 @@
 //!   six parallelism enumeration strategies;
 //! * [`apps`] — the 14-application real-world suite plus 9 synthetic query
 //!   structures;
+//! * [`analyze`] — multi-pass static plan analyzer (key-flow, exactly-once
+//!   safety, state bounds, backpressure hazards, cost smells) with stable
+//!   `PB0xx` diagnostics;
 //! * [`ml`] — learned cost models (LR, MLP, RF, GNN) with q-error metrics;
 //! * [`metrics`] — latency/throughput collection and the paper's
 //!   measurement protocol;
@@ -43,6 +46,7 @@
 //! assert_eq!(result.tuples_out, 49);
 //! ```
 
+pub use pdsp_analyze as analyze;
 pub use pdsp_apps as apps;
 pub use pdsp_bench_core as core;
 pub use pdsp_cluster as cluster;

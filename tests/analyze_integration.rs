@@ -1,0 +1,105 @@
+//! Cross-crate integration tests for the static plan analyzer: the shipped
+//! application suite must analyze clean, and the controller's deploy gate
+//! must refuse broken plans end-to-end.
+
+use pdsp_bench::analyze::{analyze, Analyzer};
+use pdsp_bench::apps::{all_applications, AppConfig};
+use pdsp_bench::cluster::{Cluster, SimConfig};
+use pdsp_bench::core::controller::Controller;
+use pdsp_bench::engine::agg::AggFunc;
+use pdsp_bench::engine::error::EngineError;
+use pdsp_bench::engine::operator::OpKind;
+use pdsp_bench::engine::plan::Partitioning;
+use pdsp_bench::engine::value::{FieldType, Schema};
+use pdsp_bench::engine::window::WindowSpec;
+use pdsp_bench::engine::PlanBuilder;
+use pdsp_bench::store::Store;
+use std::sync::Arc;
+
+fn app_config() -> AppConfig {
+    AppConfig {
+        total_tuples: 1_000,
+        ..AppConfig::default()
+    }
+}
+
+/// Every registry app's shipped plan carries zero errors and zero warnings
+/// (hints are advisory and allowed).
+#[test]
+fn all_registry_apps_analyze_clean() {
+    let cfg = app_config();
+    for app in all_applications() {
+        let info = app.info();
+        let report = analyze(info.acronym, &app.build(&cfg).plan).unwrap();
+        assert_eq!(report.errors(), 0, "{}", report.render());
+        assert_eq!(report.warnings(), 0, "{}", report.render());
+    }
+}
+
+/// The apps stay error-free when scaled out: at uniform parallelism 8 the
+/// declared partitionings and UDO properties must still line up (this is
+/// exactly the plan shape the controller gates before a sweep point runs).
+#[test]
+fn registry_apps_stay_error_free_at_parallelism_8() {
+    let cfg = app_config();
+    let analyzer = Analyzer::new();
+    for app in all_applications() {
+        let info = app.info();
+        let plan = app.build(&cfg).plan.with_uniform_parallelism(8);
+        let report = analyzer.analyze(info.acronym, &plan).unwrap();
+        assert_eq!(
+            report.errors(),
+            0,
+            "{} at p=8:\n{}",
+            info.acronym,
+            report.render()
+        );
+    }
+}
+
+/// End-to-end: the controller's deploy gate refuses a plan the analyzer
+/// flags with an Error, and the refusal is a typed `AnalysisRejected`.
+#[test]
+fn controller_gate_refuses_broken_plan_end_to_end() {
+    let mut b = PlanBuilder::new();
+    let s = b.add_node(
+        "src",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+        },
+        1,
+    );
+    let a = b.add_node(
+        "agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(8),
+            func: AggFunc::Sum,
+            agg_field: 1,
+            key_field: Some(0),
+        },
+        4,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(s, a, 0, Partitioning::Rebalance);
+    b.add_edge(a, k, 0, Partitioning::Rebalance);
+    let broken = b.build_unchecked();
+
+    let controller = Controller::new(
+        Cluster::homogeneous_m510(4),
+        SimConfig::default(),
+        Arc::new(Store::in_memory()),
+    );
+    let err = controller.run_simulated("broken", &broken).unwrap_err();
+    match err {
+        EngineError::AnalysisRejected {
+            workload,
+            errors,
+            first,
+        } => {
+            assert_eq!(workload, "broken");
+            assert!(errors >= 1);
+            assert!(first.contains("PB001"), "first diagnostic named: {first}");
+        }
+        other => panic!("expected AnalysisRejected, got {other}"),
+    }
+}

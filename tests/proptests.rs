@@ -51,6 +51,32 @@ proptest! {
         }
     }
 
+    /// Every generated synthetic query — as generated and under every
+    /// enumerated degree assignment — passes the static analyzer with zero
+    /// Error-severity diagnostics, for any structure, seed, and strategy.
+    #[test]
+    fn generated_and_enumerated_plans_analyze_clean(
+        seed in 0u64..200, idx in 0usize..9, pick in 0usize..5) {
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), seed);
+        let query = generator.generate(QueryStructure::ALL[idx]);
+        let report = pdsp_bench::analyze::analyze("generated", &query.plan).unwrap();
+        prop_assert_eq!(report.errors(), 0, "{}", report.render());
+        let strategy = match pick {
+            0 => EnumerationStrategy::Random,
+            1 => EnumerationStrategy::RuleBased,
+            2 => EnumerationStrategy::MinAvgMax,
+            3 => EnumerationStrategy::Increasing,
+            _ => EnumerationStrategy::ParameterBased(vec![3, 5, 7]),
+        };
+        let mut e = ParallelismEnumerator::new(
+            ParameterSpace::default().parallelism_degrees, 64, seed);
+        for degrees in e.enumerate(&query.plan, &strategy, 1e5, 3) {
+            let plan = query.plan.clone().with_parallelism(&degrees);
+            let report = pdsp_bench::analyze::analyze("enumerated", &plan).unwrap();
+            prop_assert_eq!(report.errors(), 0, "{}", report.render());
+        }
+    }
+
     /// Count windows fire exactly floor((n - length)/slide) + 1 times once
     /// n >= length (single key).
     #[test]
