@@ -1,0 +1,124 @@
+//! Telemetry smoke benchmark: runs three representative applications on
+//! the threaded runtime with telemetry on and writes `BENCH_telemetry.json`
+//! (throughput plus p50/p99 latency per app, taken from the instrumented
+//! timelines). CI uploads the file as a build artifact so per-commit
+//! numbers are comparable over time.
+//!
+//! ```text
+//! cargo run --release -p pdsp-bench-benches --bin bench
+//! cargo run -p pdsp-bench-benches --bin bench -- --out target/BENCH_telemetry.json
+//! ```
+
+use pdsp_apps::{app_by_acronym, AppConfig};
+use pdsp_bench_core::controller::Controller;
+use pdsp_cluster::{Cluster, SimConfig};
+use pdsp_store::Store;
+use pdsp_telemetry::TelemetryConfig;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Word count, smart grid, and spike detection: a shuffle-heavy aggregation,
+/// a keyed windowed app, and a stateless analytics pipeline.
+const APPS: [&str; 3] = ["WC", "SG", "SD"];
+const TUPLES: usize = 20_000;
+const PARALLELISM: usize = 2;
+
+#[derive(Serialize)]
+struct BenchApp {
+    acronym: String,
+    tuples_in: u64,
+    tuples_out: u64,
+    throughput_tps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    experiment_id: String,
+    timeline_samples: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    suite: String,
+    backend: String,
+    parallelism: usize,
+    tuples_per_app: usize,
+    apps: Vec<BenchApp>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_telemetry.json".into());
+
+    let controller = Controller::new(
+        Cluster::homogeneous_m510(4),
+        SimConfig::default(),
+        Arc::new(Store::in_memory()),
+    )
+    .with_telemetry(TelemetryConfig {
+        interval_ms: 50,
+        ..TelemetryConfig::default()
+    });
+
+    let mut apps = Vec::new();
+    for acronym in APPS {
+        let app = app_by_acronym(acronym).expect("benchmark app exists");
+        let cfg = AppConfig {
+            total_tuples: TUPLES,
+            ..AppConfig::default()
+        };
+        print!("{acronym:4} ... ");
+        let record = match controller.run_threaded(app.as_ref(), &cfg, PARALLELISM) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let id = record.experiment_id.clone().unwrap_or_default();
+        let samples = controller
+            .telemetry_for(&id)
+            .map(|t| t.samples.len())
+            .unwrap_or(0);
+        println!(
+            "{:.0} t/s  p50 {:.2} ms  p99 {:.2} ms  ({} timeline samples)",
+            record.summary.throughput_in,
+            record.summary.p50_latency_ms,
+            record.summary.p99_latency_ms,
+            samples
+        );
+        apps.push(BenchApp {
+            acronym: acronym.to_string(),
+            tuples_in: record.summary.tuples_in,
+            tuples_out: record.summary.tuples_out,
+            throughput_tps: record.summary.throughput_in,
+            p50_ms: record.summary.p50_latency_ms,
+            p99_ms: record.summary.p99_latency_ms,
+            experiment_id: id,
+            timeline_samples: samples,
+        });
+    }
+
+    let report = BenchReport {
+        suite: "telemetry-smoke".into(),
+        backend: "threaded".into(),
+        parallelism: PARALLELISM,
+        tuples_per_app: TUPLES,
+        apps,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,6 +33,10 @@ use pdsp_engine::physical::PhysicalPlan;
 use pdsp_engine::plan::{LogicalPlan, Partitioning};
 use pdsp_engine::window::WindowPolicy;
 use pdsp_metrics::{LatencyRecorder, MeasurementProtocol, RunSummary};
+use pdsp_telemetry::{
+    FlightEvent, FlightEventKind, HistogramSnapshot, InstanceSnapshot, TelemetryConfig,
+    TelemetryTimeline, TimelineSample,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -133,6 +137,11 @@ pub struct SimResult {
     pub cross_node_fraction: f64,
     /// Node failures applied during the run, with their modeled recovery.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Per-instance telemetry timeline; `Some` only for
+    /// [`Simulator::run_instrumented`] runs. Uses the exact snapshot schema
+    /// the threaded runtime emits, so simulated and threaded runs are
+    /// directly comparable.
+    pub timeline: Option<TelemetryTimeline>,
 }
 
 impl SimResult {
@@ -199,6 +208,190 @@ struct NodeModel {
     out_width: usize,
 }
 
+/// Telemetry accumulator for one instrumented simulation: the simulator's
+/// single-threaded analogue of the engine's `MetricsRegistry` + sampler,
+/// producing the same [`TimelineSample`] schema keyed on simulated time.
+struct SimTelemetry {
+    app: String,
+    interval_ms: u64,
+    next_sample_ns: f64,
+    /// Largest simulated timestamp observed (events drain past
+    /// `duration_ms` when queues are backed up).
+    horizon_ns: f64,
+    operator: Vec<String>,
+    instance_idx: Vec<usize>,
+    node_label: Vec<String>,
+    tuples_in: Vec<f64>,
+    tuples_out: Vec<f64>,
+    busy_ns: Vec<f64>,
+    queue: Vec<u64>,
+    queue_max: Vec<u64>,
+    restarts: Vec<u64>,
+    latency: Vec<HistogramSnapshot>,
+    samples: Vec<TimelineSample>,
+    events: Vec<FlightEvent>,
+}
+
+impl SimTelemetry {
+    fn new(
+        app: &str,
+        phys: &PhysicalPlan,
+        placement: &Placement,
+        cluster: &Cluster,
+        interval_ms: u64,
+    ) -> Self {
+        let n = phys.instance_count();
+        let mut tel = SimTelemetry {
+            app: app.to_string(),
+            interval_ms,
+            next_sample_ns: interval_ms as f64 * 1e6,
+            horizon_ns: 0.0,
+            operator: Vec::with_capacity(n),
+            instance_idx: Vec::with_capacity(n),
+            node_label: Vec::with_capacity(n),
+            tuples_in: vec![0.0; n],
+            tuples_out: vec![0.0; n],
+            busy_ns: vec![0.0; n],
+            queue: vec![0; n],
+            queue_max: vec![0; n],
+            restarts: vec![0; n],
+            latency: vec![HistogramSnapshot::new(); n],
+            samples: Vec::new(),
+            events: Vec::new(),
+        };
+        for (i, inst) in phys.instances.iter().enumerate() {
+            let node = placement.node_of[i];
+            tel.operator
+                .push(phys.logical.nodes[inst.node].name.clone());
+            tel.instance_idx.push(inst.index);
+            tel.node_label
+                .push(format!("node{node}:{}", cluster.nodes[node].node_type.name));
+        }
+        tel.events.push(FlightEvent {
+            t_ms: 0,
+            kind: FlightEventKind::RunStarted,
+            node: 0,
+            instance: 0,
+            detail: format!("{n} simulated instances"),
+        });
+        tel
+    }
+
+    /// Instantaneous queue depth: backlog wait time divided by the service
+    /// time of the batch at the head — "how many batches' worth of work is
+    /// queued ahead of a new arrival".
+    fn observe_queue(&mut self, inst: usize, depth: u64) {
+        self.queue[inst] = depth;
+        self.queue_max[inst] = self.queue_max[inst].max(depth);
+    }
+
+    fn touch(&mut self, ns: f64) {
+        self.horizon_ns = self.horizon_ns.max(ns);
+    }
+
+    fn service(&mut self, inst: usize, tuples: f64, service_ns: f64) {
+        self.tuples_in[inst] += tuples;
+        self.busy_ns[inst] += service_ns;
+    }
+
+    fn emit(&mut self, inst: usize, tuples: f64) {
+        self.tuples_out[inst] += tuples;
+    }
+
+    fn sink(&mut self, inst: usize, lat_ns: f64, tuples: f64) {
+        self.tuples_out[inst] += tuples;
+        self.latency[inst].record(lat_ns.max(0.0) as u64);
+    }
+
+    fn failure(&mut self, rec: &RecoveryEvent, placement: &Placement) {
+        let at_ms = rec.at_ms.max(0.0) as u64;
+        self.events.push(FlightEvent {
+            t_ms: at_ms,
+            kind: FlightEventKind::FaultInjected,
+            node: 0,
+            instance: 0,
+            detail: format!("cluster node {} failed", rec.node),
+        });
+        self.events.push(FlightEvent {
+            t_ms: at_ms,
+            kind: FlightEventKind::RecoveryStarted,
+            node: 0,
+            instance: 0,
+            detail: format!(
+                "restoring {:.0} state bytes, recovery {:.1} ms",
+                rec.state_bytes, rec.recovery_ms
+            ),
+        });
+        for (i, &node) in placement.node_of.iter().enumerate() {
+            if node == rec.node {
+                self.restarts[i] += 1;
+            }
+        }
+    }
+
+    /// Emit boundary samples for every interval crossed before `now_ns`.
+    fn advance(&mut self, now_ns: f64) {
+        self.horizon_ns = self.horizon_ns.max(now_ns);
+        while self.next_sample_ns <= now_ns {
+            let sample = self.snapshot_at(self.next_sample_ns);
+            self.samples.push(sample);
+            self.next_sample_ns += self.interval_ms as f64 * 1e6;
+        }
+    }
+
+    fn snapshot_at(&self, t_ns: f64) -> TimelineSample {
+        let instances = (0..self.operator.len())
+            .map(|i| {
+                let busy = self.busy_ns[i].min(t_ns);
+                InstanceSnapshot {
+                    app: self.app.clone(),
+                    operator: self.operator[i].clone(),
+                    instance: self.instance_idx[i],
+                    node: self.node_label[i].clone(),
+                    tuples_in: self.tuples_in[i].round() as u64,
+                    tuples_out: self.tuples_out[i].round() as u64,
+                    late_tuples: 0,
+                    window_fires: 0,
+                    queue_depth: self.queue[i],
+                    queue_depth_max: self.queue_max[i],
+                    busy_ns: busy as u64,
+                    idle_ns: (t_ns - busy).max(0.0) as u64,
+                    checkpoints: 0,
+                    checkpoint_ns: 0,
+                    restarts: self.restarts[i],
+                    latency: self.latency[i].clone(),
+                }
+            })
+            .collect();
+        TimelineSample {
+            t_ms: (t_ns / 1e6).round() as u64,
+            instances,
+        }
+    }
+
+    fn finish(mut self, experiment_id: &str, duration_ms: u64) -> TelemetryTimeline {
+        let end_ns = self.horizon_ns.max(duration_ms as f64 * 1e6);
+        let tuples_out: u64 = self.latency.iter().map(|h| h.count).sum();
+        let final_sample = self.snapshot_at(end_ns);
+        self.events.push(FlightEvent {
+            t_ms: final_sample.t_ms,
+            kind: FlightEventKind::RunFinished,
+            node: 0,
+            instance: 0,
+            detail: format!("{tuples_out} sink batches delivered"),
+        });
+        self.samples.push(final_sample);
+        TelemetryTimeline {
+            experiment_id: experiment_id.to_string(),
+            app: self.app,
+            backend: "simulated".to_string(),
+            interval_ms: self.interval_ms,
+            samples: self.samples,
+            events: self.events,
+        }
+    }
+}
+
 /// The execution simulator for one cluster.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -229,8 +422,41 @@ impl Simulator {
         self.run_placed(&phys, &placement)
     }
 
+    /// Simulate one execution of `plan` with telemetry: the result carries a
+    /// [`TelemetryTimeline`] sampled every `config.interval_ms` of
+    /// *simulated* time, in the same schema the threaded runtime emits.
+    pub fn run_instrumented(
+        &self,
+        plan: &LogicalPlan,
+        app: &str,
+        experiment_id: &str,
+        config: &TelemetryConfig,
+    ) -> Result<SimResult> {
+        let phys = PhysicalPlan::expand(plan)?;
+        let placement = Placement::compute(&phys, &self.cluster, self.config.placement);
+        let mut tel = SimTelemetry::new(
+            app,
+            &phys,
+            &placement,
+            &self.cluster,
+            config.interval_ms.max(1),
+        );
+        let mut result = self.run_placed_inner(&phys, &placement, Some(&mut tel))?;
+        result.timeline = Some(tel.finish(experiment_id, self.config.duration_ms));
+        Ok(result)
+    }
+
     /// Simulate with an explicit placement.
     pub fn run_placed(&self, phys: &PhysicalPlan, placement: &Placement) -> Result<SimResult> {
+        self.run_placed_inner(phys, placement, None)
+    }
+
+    fn run_placed_inner(
+        &self,
+        phys: &PhysicalPlan,
+        placement: &Placement,
+        mut tel: Option<&mut SimTelemetry>,
+    ) -> Result<SimResult> {
         let plan = &phys.logical;
         let cfg = &self.config;
         cfg.validate()?;
@@ -399,6 +625,9 @@ impl Simulator {
                     "simulation exceeded event budget".into(),
                 ));
             }
+            if let Some(t) = tel.as_deref_mut() {
+                t.advance(ev.time_ns);
+            }
             // Apply node failures that are due. The failed node's cores and
             // instances freeze for the modeled recovery interval; queued
             // batches then drain, producing the post-failure latency spike.
@@ -434,6 +663,9 @@ impl Simulator {
                     recovery_ms,
                     state_bytes: state_bytes * fm.state_scale,
                 });
+                if let Some(t) = tel.as_deref_mut() {
+                    t.failure(recoveries.last().expect("just pushed"), placement);
+                }
             }
             let inst = &phys.instances[ev.instance];
             let lnode = inst.node;
@@ -489,6 +721,17 @@ impl Simulator {
             cores[core_idx] = done;
             inst_free[ev.instance] = done;
             inst_tuples[ev.instance] += ev.batch.tuples;
+            if let Some(t) = tel.as_deref_mut() {
+                let backlog = (start - ev.time_ns).max(0.0);
+                let depth = if service_ns > 0.0 {
+                    (backlog / service_ns).round() as u64
+                } else {
+                    0
+                };
+                t.observe_queue(ev.instance, depth);
+                t.service(ev.instance, ev.batch.tuples, service_ns);
+                t.touch(done);
+            }
 
             // ---- Operator semantics ----
             let mut out_batch = ev.batch;
@@ -503,6 +746,9 @@ impl Simulator {
                 let lat_ns = (done - out_batch.emit_ns).max(0.0);
                 latency.record_ms(lat_ns / 1e6);
                 tuples_out += out_batch.tuples;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.sink(ev.instance, lat_ns, out_batch.tuples);
+                }
                 continue;
             }
 
@@ -547,6 +793,9 @@ impl Simulator {
                 };
                 for ti in pick_targets {
                     let target = route.targets[ti];
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.emit(ev.instance, out_batch.tuples);
+                    }
                     let dst_node = placement.node_of[target.instance];
                     let mut arrive = done;
                     if dst_node != node_id {
@@ -577,6 +826,7 @@ impl Simulator {
             sim_seconds: cfg.duration_ms as f64 / 1e3,
             cross_node_fraction: placement.cross_node_fraction(phys),
             recoveries,
+            timeline: None,
         })
     }
 
@@ -832,6 +1082,78 @@ mod tests {
         assert!(!a.recoveries.is_empty(), "MTTF 1.5s over 2s draws failures");
         assert_eq!(a.recoveries.len(), b.recoveries.len());
         assert_eq!(a.latency.median(), b.latency.median());
+    }
+
+    #[test]
+    fn instrumented_run_produces_timeline_without_perturbing_results() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let r = sim
+            .run_instrumented(
+                &linear_plan(4),
+                "WC",
+                "exp-sim-1",
+                &TelemetryConfig::default(),
+            )
+            .unwrap();
+        let tl = r
+            .timeline
+            .as_ref()
+            .expect("instrumented run has a timeline");
+        assert_eq!(tl.backend, "simulated");
+        assert_eq!(tl.experiment_id, "exp-sim-1");
+        assert_eq!(tl.app, "WC");
+        assert!(!tl.samples.is_empty());
+        let last = tl.final_sample().unwrap();
+        assert!(last.instances.iter().any(|i| i.tuples_out > 0));
+        assert!(last.instances.iter().all(|i| i.node.starts_with("node")));
+        assert!(tl.final_latency().count > 0, "sink latencies recorded");
+        assert!(
+            tl.events
+                .iter()
+                .any(|e| e.kind == pdsp_telemetry::FlightEventKind::RunFinished),
+            "run end is logged"
+        );
+        // Telemetry must not perturb the simulation itself: same seed, same
+        // numbers as the uninstrumented run.
+        let plain = sim.run(&linear_plan(4)).unwrap();
+        assert!(plain.timeline.is_none());
+        assert_eq!(plain.latency.median(), r.latency.median());
+        assert_eq!(plain.tuples_out, r.tuples_out);
+    }
+
+    #[test]
+    fn instrumented_failure_run_logs_fault_events_and_restarts() {
+        let mut cfg = quick_config();
+        cfg.failure = Some(crate::failure::FailureModel {
+            failures: vec![crate::failure::ScriptedFailure {
+                at_ms: 1_000.0,
+                node: 0,
+            }],
+            ..crate::failure::FailureModel::default()
+        });
+        let sim = Simulator::new(Cluster::homogeneous_m510(4), cfg);
+        let r = sim
+            .run_instrumented(
+                &linear_plan(8),
+                "WC",
+                "exp-sim-2",
+                &TelemetryConfig::default(),
+            )
+            .unwrap();
+        let tl = r.timeline.unwrap();
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| e.kind == pdsp_telemetry::FlightEventKind::FaultInjected));
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| e.kind == pdsp_telemetry::FlightEventKind::RecoveryStarted));
+        let last = tl.final_sample().unwrap();
+        assert!(
+            last.instances.iter().any(|i| i.restarts > 0),
+            "instances on the failed node register a restart"
+        );
     }
 
     #[test]

@@ -8,8 +8,10 @@ use pdsp_engine::error::{EngineError, Result};
 use pdsp_engine::physical::PhysicalPlan;
 use pdsp_engine::plan::LogicalPlan;
 use pdsp_engine::runtime::{RunConfig, SourceFactory, ThreadedRuntime};
+use pdsp_engine::telemetry_for_plan;
 use pdsp_metrics::{LatencyRecorder, RunSummary};
-use pdsp_store::Store;
+use pdsp_store::{Filter, Store};
+use pdsp_telemetry::{new_experiment_id, Sampler, TelemetryConfig, TelemetryTimeline};
 use serde::{Deserialize, Serialize};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -30,6 +32,10 @@ pub struct RunRecord {
     pub backend: String,
     /// Collected metrics.
     pub summary: RunSummary,
+    /// Telemetry experiment id, set when the run was instrumented; the
+    /// matching [`TelemetryTimeline`] lives in the `telemetry` collection.
+    #[serde(default)]
+    pub experiment_id: Option<String>,
 }
 
 /// Retry policy for one benchmark datapoint: attempt budget, per-attempt
@@ -211,22 +217,34 @@ pub struct Controller {
     simulator: Simulator,
     store: Arc<Store>,
     gate: DeployGate,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Controller {
     /// Controller over a simulated cluster, recording into `store`, with
-    /// the default deploy gate (analyze every plan, refuse errors).
+    /// the default deploy gate (analyze every plan, refuse errors) and
+    /// telemetry off.
     pub fn new(cluster: Cluster, sim: SimConfig, store: Arc<Store>) -> Self {
         Controller {
             simulator: Simulator::new(cluster, sim),
             store,
             gate: DeployGate::default(),
+            telemetry: None,
         }
     }
 
     /// Replace the deploy gate policy.
     pub fn with_gate(mut self, gate: DeployGate) -> Self {
         self.gate = gate;
+        self
+    }
+
+    /// Instrument every subsequent run with live telemetry: per-instance
+    /// metrics are sampled at `config.interval_ms` and the resulting
+    /// [`TelemetryTimeline`] is stored in the `telemetry` collection keyed
+    /// by a fresh experiment id (also set on the [`RunRecord`]).
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
         self
     }
 
@@ -281,7 +299,19 @@ impl Controller {
     /// median latency and records the run.
     pub fn run_simulated(&self, workload: &str, plan: &LogicalPlan) -> Result<RunRecord> {
         self.check_gate(workload, plan)?;
-        let result = self.simulator.run(plan)?;
+        let (result, experiment_id) = match &self.telemetry {
+            Some(cfg) => {
+                let id = new_experiment_id();
+                let result = self.simulator.run_instrumented(plan, workload, &id, cfg)?;
+                (result, Some(id))
+            }
+            None => (self.simulator.run(plan)?, None),
+        };
+        if let Some(timeline) = &result.timeline {
+            self.store
+                .with_mut("telemetry", |c| c.insert_ser(timeline))
+                .ok();
+        }
         let latency = self.simulator.measure(plan)?;
         let mut summary = result.summary();
         summary.p50_latency_ms = latency;
@@ -292,6 +322,7 @@ impl Controller {
             event_rate: self.simulator.config().event_rate,
             backend: "simulator".into(),
             summary,
+            experiment_id,
         };
         self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
         Ok(record)
@@ -323,7 +354,22 @@ impl Controller {
         self.check_gate(workload, plan)?;
         let phys = PhysicalPlan::expand(plan)?;
         let rt = ThreadedRuntime::new(RunConfig::default());
-        let result = rt.run(&phys, sources)?;
+        let (result, experiment_id) = match &self.telemetry {
+            Some(cfg) => {
+                let tel = telemetry_for_plan(workload, &phys, cfg.clone());
+                let sampler = Sampler::start(Arc::clone(&tel.registry), cfg.interval_ms);
+                // On error the sampler is dropped here and joins its thread;
+                // the engine has already dumped the flight recorder.
+                let result = rt.run_with_telemetry(&phys, sources, &tel)?;
+                let id = new_experiment_id();
+                let timeline = sampler.finish(&id, "threaded", tel.recorder.events());
+                self.store
+                    .with_mut("telemetry", |c| c.insert_ser(&timeline))
+                    .ok();
+                (result, Some(id))
+            }
+            None => (rt.run(&phys, sources)?, None),
+        };
         let mut rec = LatencyRecorder::default();
         for &ns in &result.latencies_ns {
             rec.record_ns(ns);
@@ -341,6 +387,7 @@ impl Controller {
             event_rate,
             backend: "threaded".into(),
             summary,
+            experiment_id,
         };
         self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
         Ok(record)
@@ -388,6 +435,7 @@ impl Controller {
                         event_rate: self.simulator.config().event_rate,
                         backend: "simulator".into(),
                         summary,
+                        experiment_id: None,
                     };
                     self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
                     record
@@ -399,6 +447,25 @@ impl Controller {
                 }
             })
             .collect()
+    }
+
+    /// Fetch the stored telemetry timeline for an experiment id, if any.
+    pub fn telemetry_for(&self, experiment_id: &str) -> Option<TelemetryTimeline> {
+        self.store.with("telemetry", |c| {
+            c.find_as::<TelemetryTimeline>(&Filter::eq("experiment_id", experiment_id))
+                .into_iter()
+                .next()
+        })
+    }
+
+    /// All experiment ids with stored telemetry, in insertion order.
+    pub fn telemetry_experiments(&self) -> Vec<String> {
+        self.store.with("telemetry", |c| {
+            c.iter()
+                .filter_map(|doc| doc.body.get("experiment_id"))
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
     }
 }
 
@@ -705,5 +772,46 @@ mod tests {
         assert_eq!(record.workload, "WC");
         assert!(record.summary.tuples_in > 0);
         assert!(record.parallelism.contains(&2));
+        assert!(record.experiment_id.is_none(), "telemetry off by default");
+    }
+
+    #[test]
+    fn instrumented_threaded_run_stores_a_queryable_timeline() {
+        let c = controller().with_telemetry(TelemetryConfig {
+            interval_ms: 20,
+            ..TelemetryConfig::default()
+        });
+        let app = pdsp_apps::word_count::WordCount;
+        let cfg = AppConfig {
+            total_tuples: 2_000,
+            ..AppConfig::default()
+        };
+        let record = c.run_threaded(&app, &cfg, 2).unwrap();
+        let id = record.experiment_id.expect("instrumented run gets an id");
+        let timeline = c.telemetry_for(&id).expect("timeline stored under id");
+        assert_eq!(timeline.backend, "threaded");
+        assert_eq!(timeline.app, "WC");
+        assert!(!timeline.samples.is_empty(), "timeline is never empty");
+        let last = timeline.final_sample().unwrap();
+        assert!(last.instances.iter().any(|i| i.tuples_out > 0));
+        assert!(c.telemetry_experiments().contains(&id));
+    }
+
+    #[test]
+    fn instrumented_simulated_run_stores_a_queryable_timeline() {
+        let c = controller().with_telemetry(TelemetryConfig::default());
+        let record = c.run_simulated("linear", &plan()).unwrap();
+        let id = record.experiment_id.expect("instrumented run gets an id");
+        let timeline = c.telemetry_for(&id).expect("timeline stored under id");
+        assert_eq!(timeline.backend, "simulated");
+        assert!(!timeline.samples.is_empty());
+        assert!(timeline.final_latency().count > 0);
+    }
+
+    #[test]
+    fn telemetry_lookup_misses_return_none() {
+        let c = controller();
+        assert!(c.telemetry_for("exp-nonexistent").is_none());
+        assert!(c.telemetry_experiments().is_empty());
     }
 }

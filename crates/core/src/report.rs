@@ -193,6 +193,77 @@ pub fn ablation_table(results: &[AblationResult]) -> String {
     out
 }
 
+/// Render one telemetry timeline: per-instance final counters, end-to-end
+/// latency, and the tail of the flight-recorder event log.
+pub fn telemetry_report(timeline: &pdsp_telemetry::TelemetryTimeline) -> String {
+    let mut out = format!(
+        "== Telemetry {} ({}, {} backend, {} ms sampler) ==\n",
+        timeline.experiment_id, timeline.app, timeline.backend, timeline.interval_ms
+    );
+    let span_ms = timeline.samples.last().map(|s| s.t_ms).unwrap_or(0);
+    out.push_str(&format!(
+        "samples: {}   span: {span_ms} ms   events: {}\n",
+        timeline.samples.len(),
+        timeline.events.len()
+    ));
+    if let Some(last) = timeline.final_sample() {
+        out.push_str(&format!(
+            "{:20} {:>10} {:>10} {:>6} {:>6} {:>6} {:>5} {:>9} {:>9}\n",
+            "instance", "in", "out", "busy%", "q.max", "ckpts", "rst", "p50 (ms)", "p99 (ms)"
+        ));
+        for inst in &last.instances {
+            let (p50, p99) = if inst.latency.count > 0 {
+                (
+                    format!("{:.3}", inst.latency.quantile(0.5) as f64 / 1e6),
+                    format!("{:.3}", inst.latency.quantile(0.99) as f64 / 1e6),
+                )
+            } else {
+                ("-".into(), "-".into())
+            };
+            out.push_str(&format!(
+                "{:20} {:>10} {:>10} {:>6.1} {:>6} {:>6} {:>5} {:>9} {:>9}\n",
+                format!("{}/{}@{}", inst.operator, inst.instance, inst.node),
+                inst.tuples_in,
+                inst.tuples_out,
+                100.0 * inst.busy_fraction(),
+                inst.queue_depth_max,
+                inst.checkpoints,
+                inst.restarts,
+                p50,
+                p99,
+            ));
+        }
+    }
+    let e2e = timeline.final_latency();
+    if e2e.count > 0 {
+        out.push_str(&format!(
+            "end-to-end latency: n={}  p50 {:.3} ms  p99 {:.3} ms\n",
+            e2e.count,
+            e2e.quantile(0.5) as f64 / 1e6,
+            e2e.quantile(0.99) as f64 / 1e6
+        ));
+    }
+    if !timeline.events.is_empty() {
+        const TAIL: usize = 12;
+        let skipped = timeline.events.len().saturating_sub(TAIL);
+        out.push_str(&format!("flight events (last {TAIL}):\n"));
+        if skipped > 0 {
+            out.push_str(&format!("  ... {skipped} earlier event(s)\n"));
+        }
+        for e in timeline.events.iter().skip(skipped) {
+            out.push_str(&format!(
+                "  [{:>9.3}s] {:18} node={} inst={} {}\n",
+                e.t_ms as f64 / 1e3,
+                e.kind.label(),
+                e.node,
+                e.instance,
+                e.detail
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +318,53 @@ mod tests {
         assert!(t.contains("linear"));
         assert!(t.contains("10.0"));
         assert!(t.contains("5.5"));
+    }
+
+    #[test]
+    fn telemetry_report_renders_instances_and_events() {
+        use pdsp_telemetry::{
+            FlightEvent, FlightEventKind, HistogramSnapshot, InstanceSnapshot, TelemetryTimeline,
+            TimelineSample,
+        };
+        let mut latency = HistogramSnapshot::new();
+        latency.record(2_000_000);
+        let sink = InstanceSnapshot {
+            app: "WC".into(),
+            operator: "sink".into(),
+            instance: 0,
+            node: "local".into(),
+            tuples_in: 500,
+            tuples_out: 500,
+            busy_ns: 900,
+            idle_ns: 100,
+            queue_depth_max: 7,
+            checkpoints: 3,
+            latency,
+            ..InstanceSnapshot::default()
+        };
+        let t = TelemetryTimeline {
+            experiment_id: "exp-test".into(),
+            app: "WC".into(),
+            backend: "threaded".into(),
+            interval_ms: 100,
+            samples: vec![TimelineSample {
+                t_ms: 250,
+                instances: vec![sink],
+            }],
+            events: vec![FlightEvent {
+                t_ms: 10,
+                kind: FlightEventKind::CheckpointCompleted,
+                node: 0,
+                instance: 0,
+                detail: "sink checkpoint 1".into(),
+            }],
+        };
+        let r = telemetry_report(&t);
+        assert!(r.contains("exp-test"), "{r}");
+        assert!(r.contains("sink/0@local"), "{r}");
+        assert!(r.contains("90.0"), "busy fraction rendered: {r}");
+        assert!(r.contains("checkpoint_completed"), "{r}");
+        assert!(r.contains("end-to-end latency"), "{r}");
     }
 
     #[test]

@@ -23,8 +23,10 @@ use crate::runtime::{
     broadcast, panic_cause, pick_root_error, send_tuple, take_receiver, Envelope, OperatorStats,
     RunConfig, RunResult, SourceFactory,
 };
+use crate::telemetry::Probe;
 use crate::value::Tuple;
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use pdsp_telemetry::{FlightEventKind, RunTelemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -385,6 +387,22 @@ impl FtRuntime {
         sources: &[Arc<dyn SourceFactory>],
         injector: Option<FaultInjector>,
     ) -> Result<FtRunResult> {
+        self.run_with_telemetry(plan, sources, injector, None)
+    }
+
+    /// Like [`FtRuntime::run`], but with live telemetry: per-instance
+    /// metrics (including checkpoint durations and restart counts) flow
+    /// into `tel`'s registry, barriers / checkpoints / faults / recoveries
+    /// are logged to the flight recorder, and a run that exhausts its
+    /// restart budget dumps the recorder to stderr (when
+    /// `tel.config.dump_on_error` is set).
+    pub fn run_with_telemetry(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        injector: Option<FaultInjector>,
+        tel: Option<&RunTelemetry>,
+    ) -> Result<FtRunResult> {
         self.config.validate()?;
         let source_nodes = plan.logical.sources();
         if sources.len() != source_nodes.len() {
@@ -395,6 +413,16 @@ impl FtRuntime {
             )));
         }
         let n = plan.instance_count();
+        if let Some(t) = tel {
+            t.recorder.record(
+                FlightEventKind::RunStarted,
+                0,
+                0,
+                format!("{n} instances, checkpoint every {} tuples", {
+                    self.config.checkpoint_interval_tuples
+                }),
+            );
+        }
         let start = Instant::now();
         let emitted: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         // Checkpoint parts accumulated across attempts: id -> instance -> bytes.
@@ -415,8 +443,16 @@ impl FtRuntime {
 
         loop {
             stats.attempts += 1;
-            let attempt =
-                self.run_attempt(plan, sources, injector.clone(), &restore, &emitted, start)?;
+            let attempt = self.run_attempt(
+                plan,
+                sources,
+                injector.clone(),
+                &restore,
+                &emitted,
+                start,
+                tel,
+                stats.attempts > 1,
+            )?;
             for (id, inst, bytes) in attempt.new_parts {
                 parts.entry(id).or_default().insert(inst, bytes);
             }
@@ -427,6 +463,17 @@ impl FtRuntime {
                     stats.late_tuples = attempt.op_stats.iter().map(|&(_, _, _, l)| l).sum();
                     let result =
                         self.assemble(plan, attempt.sink_states, attempt.op_stats, &emitted, start);
+                    if let Some(t) = tel {
+                        t.recorder.record(
+                            FlightEventKind::RunFinished,
+                            0,
+                            0,
+                            format!(
+                                "{} tuples delivered after {} attempt(s)",
+                                result.tuples_out, stats.attempts
+                            ),
+                        );
+                    }
                     return Ok(FtRunResult {
                         result,
                         recovery: stats,
@@ -439,6 +486,14 @@ impl FtRuntime {
                         sink_partials.insert(inst, st);
                     }
                     if restarts_used >= self.config.restart.max_restarts {
+                        if let Some(t) = tel {
+                            if t.config.dump_on_error {
+                                t.recorder.dump_to_stderr(&format!(
+                                    "restart budget exhausted ({} restarts): {root}",
+                                    restarts_used
+                                ));
+                            }
+                        }
                         return Err(root);
                     }
                     // Restore point: newest checkpoint with a part from
@@ -449,6 +504,17 @@ impl FtRuntime {
                         .map(|(&id, _)| id)
                         .max();
                     stats.restored_checkpoint = restored;
+                    if let Some(t) = tel {
+                        t.recorder.record(
+                            FlightEventKind::RecoveryStarted,
+                            0,
+                            0,
+                            match restored {
+                                Some(id) => format!("restoring checkpoint {id}: {root}"),
+                                None => format!("cold restart (no complete checkpoint): {root}"),
+                            },
+                        );
+                    }
                     restore.clear();
                     let mut ckpt_sink_total = 0u64;
                     if let Some(id) = restored {
@@ -496,9 +562,16 @@ impl FtRuntime {
                         }
                     }
                     std::thread::sleep(self.config.restart.delay(restarts_used));
-                    stats
-                        .recovery_times_ms
-                        .push(detected.elapsed().as_secs_f64() * 1e3);
+                    let recovery_ms = detected.elapsed().as_secs_f64() * 1e3;
+                    stats.recovery_times_ms.push(recovery_ms);
+                    if let Some(t) = tel {
+                        t.recorder.record(
+                            FlightEventKind::RestartCompleted,
+                            0,
+                            0,
+                            format!("restart {} after {recovery_ms:.2} ms", restarts_used + 1),
+                        );
+                    }
                 }
             }
         }
@@ -558,6 +631,7 @@ impl FtRuntime {
 
     /// Spawn one full topology, join it, and report what happened. `Err`
     /// from this function is a non-retryable setup failure.
+    #[allow(clippy::too_many_arguments)]
     fn run_attempt(
         &self,
         plan: &PhysicalPlan,
@@ -566,6 +640,8 @@ impl FtRuntime {
         restore: &HashMap<usize, Vec<u8>>,
         emitted_counters: &Arc<Vec<AtomicU64>>,
         start: Instant,
+        tel: Option<&RunTelemetry>,
+        restarted: bool,
     ) -> Result<Attempt> {
         let source_nodes = plan.logical.sources();
         let n = plan.instance_count();
@@ -609,6 +685,10 @@ impl FtRuntime {
             let lnode = inst.node;
             let index = inst.index;
             let restore_bytes = restore.get(&inst.id).cloned();
+            let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
+            if restarted {
+                probe.restart();
+            }
 
             match &node.kind {
                 OpKind::Source { .. } => {
@@ -650,14 +730,23 @@ impl FtRuntime {
                             emitted += 1;
                             counter[inst_id].store(emitted, Ordering::SeqCst);
                             send_tuple(&route_meta, &downstream, &mut router, tuple)?;
+                            probe.tuples_out(1);
                             if emitted.is_multiple_of(ckpt_interval) {
                                 let id = emitted / ckpt_interval;
+                                let ck0 = probe.now_if();
                                 let _ = coord_tx.send((
                                     id,
                                     inst_id,
                                     encode(&emitted, "source offset")?,
                                 ));
                                 broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                if let Some(t0) = ck0 {
+                                    probe.checkpoint(t0.elapsed().as_nanos() as u64);
+                                    probe.event(
+                                        FlightEventKind::BarrierInjected,
+                                        format!("barrier {id} at offset {emitted}"),
+                                    );
+                                }
                             }
                             if emitted.is_multiple_of(wm_interval) {
                                 let wm = max_et.saturating_sub(lateness);
@@ -690,6 +779,7 @@ impl FtRuntime {
                         let mut closed = 0usize;
                         let mut seen_this_attempt = 0u64;
                         while closed < channels {
+                            let wait = probe.now_if();
                             let env = match next_envelope(&rx, &blocked, &mut pending) {
                                 Some(Ok(env)) => env,
                                 Some(Err(())) => {
@@ -702,6 +792,10 @@ impl FtRuntime {
                                 }
                                 None => continue,
                             };
+                            let work = probe.mark_idle(wait);
+                            if probe.enabled() {
+                                probe.queue_depth(rx.len());
+                            }
                             match env.msg {
                                 Message::Data(t) => {
                                     if let Some(inj) = &injector {
@@ -712,7 +806,10 @@ impl FtRuntime {
                                     }
                                     seen_this_attempt += 1;
                                     let now = start.elapsed().as_nanos() as u64;
-                                    st.latencies.push(now.saturating_sub(t.emit_ns));
+                                    let latency = now.saturating_sub(t.emit_ns);
+                                    st.latencies.push(latency);
+                                    probe.tuples_in(1);
+                                    probe.latency_ns(latency);
                                     st.total += 1;
                                     if st.captured.len() < capture_limit {
                                         st.captured.push(t);
@@ -721,7 +818,15 @@ impl FtRuntime {
                                 Message::Watermark(_) => {}
                                 Message::Barrier(id) => {
                                     if aligner.barrier(id, env.channel) {
+                                        let ck0 = probe.now_if();
                                         let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
+                                        if let Some(t0) = ck0 {
+                                            probe.checkpoint(t0.elapsed().as_nanos() as u64);
+                                            probe.event(
+                                                FlightEventKind::CheckpointCompleted,
+                                                format!("sink checkpoint {id}"),
+                                            );
+                                        }
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     } else if exactly_once {
                                         blocked[env.channel] = true;
@@ -731,11 +836,20 @@ impl FtRuntime {
                                     closed += 1;
                                     blocked[env.channel] = false;
                                     for id in aligner.close(env.channel) {
+                                        let ck0 = probe.now_if();
                                         let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
+                                        if let Some(t0) = ck0 {
+                                            probe.checkpoint(t0.elapsed().as_nanos() as u64);
+                                            probe.event(
+                                                FlightEventKind::CheckpointCompleted,
+                                                format!("sink checkpoint {id} (at EOS)"),
+                                            );
+                                        }
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     }
                                 }
                             }
+                            probe.mark_busy(work);
                         }
                         let _ = stats_tx.send((lnode, st.total, 0, 0));
                         let _ = sink_tx.send((inst_id, st));
@@ -764,11 +878,21 @@ impl FtRuntime {
                         let mut out = Vec::new();
                         let mut closed = 0usize;
                         let (mut n_in, mut n_out) = (0u64, 0u64);
-                        let checkpoint = |op: &dyn OperatorInstance, id: u64| -> Result<()> {
-                            let _ = coord_tx.send((id, inst_id, op.snapshot()?));
-                            Ok(())
-                        };
+                        let checkpoint =
+                            |op: &dyn OperatorInstance, id: u64, probe: &Probe| -> Result<()> {
+                                let ck0 = probe.now_if();
+                                let _ = coord_tx.send((id, inst_id, op.snapshot()?));
+                                if let Some(t0) = ck0 {
+                                    probe.checkpoint(t0.elapsed().as_nanos() as u64);
+                                    probe.event(
+                                        FlightEventKind::CheckpointCompleted,
+                                        format!("operator checkpoint {id}"),
+                                    );
+                                }
+                                Ok(())
+                            };
                         while closed < channels {
+                            let wait = probe.now_if();
                             let env = match next_envelope(&rx, &blocked, &mut pending) {
                                 Some(Ok(env)) => env,
                                 Some(Err(())) => {
@@ -778,15 +902,21 @@ impl FtRuntime {
                                 }
                                 None => continue,
                             };
+                            let work = probe.mark_idle(wait);
+                            if probe.enabled() {
+                                probe.queue_depth(rx.len());
+                            }
                             match env.msg {
                                 Message::Data(t) => {
                                     if let Some(inj) = &injector {
                                         inj.check(lnode, index, n_in)?;
                                     }
                                     n_in += 1;
+                                    probe.tuples_in(1);
                                     out.clear();
                                     op.on_tuple(ports[env.channel], t, &mut out)?;
                                     n_out += out.len() as u64;
+                                    probe.tuples_out(out.len() as u64);
                                     for t in out.drain(..) {
                                         send_tuple(&route_meta, &downstream, &mut router, t)?;
                                     }
@@ -796,6 +926,13 @@ impl FtRuntime {
                                         out.clear();
                                         op.on_watermark(w, &mut out);
                                         n_out += out.len() as u64;
+                                        probe.tuples_out(out.len() as u64);
+                                        if !out.is_empty() {
+                                            probe.event(
+                                                FlightEventKind::PaneFired,
+                                                format!("watermark {w}: {} results", out.len()),
+                                            );
+                                        }
                                         for t in out.drain(..) {
                                             send_tuple(&route_meta, &downstream, &mut router, t)?;
                                         }
@@ -804,7 +941,7 @@ impl FtRuntime {
                                 }
                                 Message::Barrier(id) => {
                                     if aligner.barrier(id, env.channel) {
-                                        checkpoint(&*op, id)?;
+                                        checkpoint(&*op, id, &probe)?;
                                         broadcast(&route_meta, &downstream, Message::Barrier(id))?;
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     } else if exactly_once {
@@ -815,7 +952,7 @@ impl FtRuntime {
                                     closed += 1;
                                     blocked[env.channel] = false;
                                     for id in aligner.close(env.channel) {
-                                        checkpoint(&*op, id)?;
+                                        checkpoint(&*op, id, &probe)?;
                                         broadcast(&route_meta, &downstream, Message::Barrier(id))?;
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     }
@@ -824,6 +961,7 @@ impl FtRuntime {
                                             out.clear();
                                             op.on_watermark(w, &mut out);
                                             n_out += out.len() as u64;
+                                            probe.tuples_out(out.len() as u64);
                                             for t in out.drain(..) {
                                                 send_tuple(
                                                     &route_meta,
@@ -836,10 +974,18 @@ impl FtRuntime {
                                     }
                                 }
                             }
+                            if probe.enabled() {
+                                probe.window_state(op.panes_fired(), op.late_events());
+                            }
+                            probe.mark_busy(work);
                         }
                         out.clear();
                         op.on_flush(&mut out);
                         n_out += out.len() as u64;
+                        probe.tuples_out(out.len() as u64);
+                        if probe.enabled() {
+                            probe.window_state(op.panes_fired(), op.late_events());
+                        }
                         for t in out.drain(..) {
                             send_tuple(&route_meta, &downstream, &mut router, t)?;
                         }
@@ -860,12 +1006,32 @@ impl FtRuntime {
         for (node, instance, h) in handles {
             match h.join() {
                 Ok(Ok(())) => {}
-                Ok(Err(e)) => errors.push(e),
-                Err(payload) => errors.push(EngineError::WorkerPanicked {
-                    node,
-                    instance,
-                    cause: panic_cause(&*payload),
-                }),
+                Ok(Err(e)) => {
+                    if let Some(t) = tel {
+                        let kind = match &e {
+                            EngineError::FaultInjected { .. } => FlightEventKind::FaultInjected,
+                            _ => FlightEventKind::WorkerFailed,
+                        };
+                        t.recorder.record(kind, node, instance, e.to_string());
+                    }
+                    errors.push(e);
+                }
+                Err(payload) => {
+                    let cause = panic_cause(&*payload);
+                    if let Some(t) = tel {
+                        t.recorder.record(
+                            FlightEventKind::WorkerPanicked,
+                            node,
+                            instance,
+                            cause.clone(),
+                        );
+                    }
+                    errors.push(EngineError::WorkerPanicked {
+                        node,
+                        instance,
+                        cause,
+                    });
+                }
             }
         }
         let outcome = match pick_root_error(errors) {

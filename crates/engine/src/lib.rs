@@ -35,6 +35,7 @@ pub mod physical;
 pub mod plan;
 pub mod runtime;
 pub mod state;
+pub mod telemetry;
 pub mod udo;
 pub mod value;
 pub mod window;
@@ -50,5 +51,6 @@ pub use operator::OpKind;
 pub use physical::PhysicalPlan;
 pub use plan::{Edge, LogicalNode, LogicalPlan, NodeId, Partitioning};
 pub use runtime::{RunConfig, RunResult, ThreadedRuntime};
+pub use telemetry::telemetry_for_plan;
 pub use value::{Field, FieldType, Schema, Tuple, Value};
 pub use window::{WindowKind, WindowPolicy, WindowSpec};

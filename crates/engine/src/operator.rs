@@ -412,6 +412,12 @@ pub trait OperatorInstance: Send {
     fn late_events(&self) -> u64 {
         0
     }
+
+    /// Window results fired so far (telemetry; 0 for non-windowed
+    /// operators).
+    fn panes_fired(&self) -> u64 {
+        0
+    }
 }
 
 /// Identity operator (source/sink/union runtime bodies).
@@ -548,6 +554,10 @@ impl OperatorInstance for WindowAggInstance {
     fn late_events(&self) -> u64 {
         self.windower.late_events()
     }
+
+    fn panes_fired(&self) -> u64 {
+        self.windower.panes_fired()
+    }
 }
 
 struct SessionAggInstance {
@@ -614,6 +624,10 @@ impl OperatorInstance for SessionAggInstance {
 
     fn late_events(&self) -> u64 {
         self.windower.late_events()
+    }
+
+    fn panes_fired(&self) -> u64 {
+        self.windower.panes_fired()
     }
 }
 

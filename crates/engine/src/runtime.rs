@@ -10,8 +10,10 @@ use crate::error::{EngineError, Result};
 use crate::message::{Message, WatermarkTracker};
 use crate::operator::OpKind;
 use crate::physical::{PhysicalPlan, RouteTargets, RouterState};
+use crate::telemetry::Probe;
 use crate::value::Tuple;
 use crossbeam_channel::{bounded, Receiver, Sender};
+use pdsp_telemetry::{FlightEventKind, RunTelemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -190,6 +192,28 @@ impl ThreadedRuntime {
         plan: &PhysicalPlan,
         sources: &[Arc<dyn SourceFactory>],
     ) -> Result<RunResult> {
+        self.run_inner(plan, sources, None)
+    }
+
+    /// Execute `plan` with live telemetry: each worker records into `tel`'s
+    /// per-instance registry shard and flight recorder, and on failure the
+    /// flight recorder is dumped to stderr (when `tel.config.dump_on_error`
+    /// is set).
+    pub fn run_with_telemetry(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        tel: &RunTelemetry,
+    ) -> Result<RunResult> {
+        self.run_inner(plan, sources, Some(tel))
+    }
+
+    fn run_inner(
+        &self,
+        plan: &PhysicalPlan,
+        sources: &[Arc<dyn SourceFactory>],
+        tel: Option<&RunTelemetry>,
+    ) -> Result<RunResult> {
         self.config.validate()?;
         let source_nodes = plan.logical.sources();
         if sources.len() != source_nodes.len() {
@@ -217,10 +241,16 @@ impl ThreadedRuntime {
         // Per-instance operator counters: (logical node, in, out).
         let (stats_tx, stats_rx) = bounded::<(usize, u64, u64)>(n.max(4));
 
+        if let Some(t) = tel {
+            t.recorder
+                .record(FlightEventKind::RunStarted, 0, 0, format!("{n} instances"));
+        }
+
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
 
         for inst in &plan.instances {
+            let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
             let node = &plan.logical.nodes[inst.node];
             let routes = plan.out_routes[inst.id].clone();
             let mut downstream: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(routes.len());
@@ -268,6 +298,7 @@ impl ThreadedRuntime {
                             tuple.emit_ns = start.elapsed().as_nanos() as u64;
                             max_et = max_et.max(tuple.event_time);
                             emitted += 1;
+                            probe.tuples_out(1);
                             send_tuple(&route_meta, &downstream, &mut router, tuple)?;
                             if emitted.is_multiple_of(wm_interval as u64) {
                                 let wm = max_et.saturating_sub(lateness);
@@ -294,11 +325,19 @@ impl ThreadedRuntime {
                         let mut total: u64 = 0;
                         let mut closed = 0usize;
                         while closed < channels {
+                            let wait = probe.now_if();
                             let Ok(env) = rx.recv() else { break };
+                            let work = probe.mark_idle(wait);
+                            if probe.enabled() {
+                                probe.queue_depth(rx.len());
+                            }
                             match env.msg {
                                 Message::Data(t) => {
                                     let now = start.elapsed().as_nanos() as u64;
-                                    latencies.push(now.saturating_sub(t.emit_ns));
+                                    let latency = now.saturating_sub(t.emit_ns);
+                                    latencies.push(latency);
+                                    probe.tuples_in(1);
+                                    probe.latency_ns(latency);
                                     total += 1;
                                     if captured.len() < capture_limit {
                                         captured.push(t);
@@ -310,6 +349,7 @@ impl ThreadedRuntime {
                                 Message::Watermark(_) | Message::Barrier(_) => {}
                                 Message::Eos => closed += 1,
                             }
+                            probe.mark_busy(work);
                         }
                         let _ = sink_tx.send((captured, latencies, total));
                         let _ = stats_tx_sink.send((lnode, total, 0));
@@ -332,17 +372,24 @@ impl ThreadedRuntime {
                         let mut closed = 0usize;
                         let (mut n_in, mut n_out) = (0u64, 0u64);
                         while closed < channels {
+                            let wait = probe.now_if();
                             let Ok(env) = rx.recv() else {
                                 return Err(EngineError::Execution(format!(
                                     "operator '{name}' lost its input channels"
                                 )));
                             };
+                            let work = probe.mark_idle(wait);
+                            if probe.enabled() {
+                                probe.queue_depth(rx.len());
+                            }
                             match env.msg {
                                 Message::Data(t) => {
                                     n_in += 1;
+                                    probe.tuples_in(1);
                                     out.clear();
                                     op.on_tuple(ports[env.channel], t, &mut out)?;
                                     n_out += out.len() as u64;
+                                    probe.tuples_out(out.len() as u64);
                                     for t in out.drain(..) {
                                         send_tuple(&route_meta, &downstream, &mut router, t)?;
                                     }
@@ -352,6 +399,13 @@ impl ThreadedRuntime {
                                         out.clear();
                                         op.on_watermark(w, &mut out);
                                         n_out += out.len() as u64;
+                                        probe.tuples_out(out.len() as u64);
+                                        if !out.is_empty() {
+                                            probe.event(
+                                                FlightEventKind::PaneFired,
+                                                format!("watermark {w}: {} results", out.len()),
+                                            );
+                                        }
                                         for t in out.drain(..) {
                                             send_tuple(&route_meta, &downstream, &mut router, t)?;
                                         }
@@ -368,6 +422,7 @@ impl ThreadedRuntime {
                                             out.clear();
                                             op.on_watermark(w, &mut out);
                                             n_out += out.len() as u64;
+                                            probe.tuples_out(out.len() as u64);
                                             for t in out.drain(..) {
                                                 send_tuple(
                                                     &route_meta,
@@ -380,12 +435,20 @@ impl ThreadedRuntime {
                                     }
                                 }
                             }
+                            if probe.enabled() {
+                                probe.window_state(op.panes_fired(), op.late_events());
+                            }
+                            probe.mark_busy(work);
                         }
                         out.clear();
                         op.on_flush(&mut out);
                         n_out += out.len() as u64;
+                        probe.tuples_out(out.len() as u64);
                         for t in out.drain(..) {
                             send_tuple(&route_meta, &downstream, &mut router, t)?;
+                        }
+                        if probe.enabled() {
+                            probe.window_state(op.panes_fired(), op.late_events());
                         }
                         broadcast(&route_meta, &downstream, Message::Eos)?;
                         let _ = stats_tx_op.send((lnode, n_in, n_out));
@@ -439,16 +502,49 @@ impl ThreadedRuntime {
         for (node, instance, h) in handles {
             match h.join() {
                 Ok(Ok(())) => {}
-                Ok(Err(e)) => errors.push(e),
-                Err(payload) => errors.push(EngineError::WorkerPanicked {
-                    node,
-                    instance,
-                    cause: panic_cause(&*payload),
-                }),
+                Ok(Err(e)) => {
+                    if let Some(t) = tel {
+                        let kind = match &e {
+                            EngineError::FaultInjected { .. } => FlightEventKind::FaultInjected,
+                            _ => FlightEventKind::WorkerFailed,
+                        };
+                        t.recorder.record(kind, node, instance, e.to_string());
+                    }
+                    errors.push(e);
+                }
+                Err(payload) => {
+                    let cause = panic_cause(&*payload);
+                    if let Some(t) = tel {
+                        t.recorder.record(
+                            FlightEventKind::WorkerPanicked,
+                            node,
+                            instance,
+                            cause.clone(),
+                        );
+                    }
+                    errors.push(EngineError::WorkerPanicked {
+                        node,
+                        instance,
+                        cause,
+                    });
+                }
             }
         }
         if let Some(e) = pick_root_error(errors) {
+            if let Some(t) = tel {
+                if t.config.dump_on_error {
+                    t.recorder.dump_to_stderr(&e.to_string());
+                }
+            }
             return Err(e);
+        }
+        if let Some(t) = tel {
+            t.recorder.record(
+                FlightEventKind::RunFinished,
+                0,
+                0,
+                format!("{} tuples delivered", result.tuples_out),
+            );
         }
         result.elapsed = start.elapsed();
         Ok(result)

@@ -1,0 +1,189 @@
+//! Telemetry glue between the runtimes and `pdsp-telemetry`.
+//!
+//! [`telemetry_for_plan`] builds a [`RunTelemetry`] whose registry has one
+//! shard per physical instance (in instance-id order), and the
+//! crate-private `Probe` is the per-worker handle the runtimes thread into
+//! their loops: every method is an inlined no-op when telemetry is off, so
+//! the uninstrumented hot path stays untouched.
+
+use crate::physical::PhysicalPlan;
+use pdsp_telemetry::{
+    FlightEventKind, FlightRecorder, InstanceMetrics, MetricsRegistry, RunTelemetry,
+    TelemetryConfig,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Build per-run telemetry state sized to `plan`: one metrics shard per
+/// physical instance, labelled with the logical operator name and hosted on
+/// the `local` node (the threaded runtime runs in-process).
+pub fn telemetry_for_plan(app: &str, plan: &PhysicalPlan, config: TelemetryConfig) -> RunTelemetry {
+    let mut registry = MetricsRegistry::new(app);
+    for inst in &plan.instances {
+        registry.register(
+            plan.logical.nodes[inst.node].name.clone(),
+            inst.index,
+            "local",
+        );
+    }
+    RunTelemetry::new(registry, config)
+}
+
+/// Cheap per-worker telemetry handle. Cloned into each worker thread;
+/// disabled probes carry `None` and compile down to branches on a local.
+#[derive(Clone, Default)]
+pub(crate) struct Probe {
+    metrics: Option<Arc<InstanceMetrics>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    node: usize,
+    instance: usize,
+}
+
+impl Probe {
+    /// Probe for physical instance `id`, or a disabled probe when `tel` is
+    /// `None`.
+    pub(crate) fn for_instance(
+        tel: Option<&RunTelemetry>,
+        id: usize,
+        node: usize,
+        instance: usize,
+    ) -> Self {
+        match tel {
+            Some(t) => Probe {
+                metrics: Some(t.registry.instance(id)),
+                recorder: Some(Arc::clone(&t.recorder)),
+                node,
+                instance,
+            },
+            None => Probe::default(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    #[inline]
+    pub(crate) fn tuples_in(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.add_tuples_in(n);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tuples_out(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.add_tuples_out(n);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn queue_depth(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.observe_queue_depth(depth as u64);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn latency_ns(&self, ns: u64) {
+        if let Some(m) = &self.metrics {
+            m.record_latency_ns(ns);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn window_state(&self, fires: u64, late: u64) {
+        if let Some(m) = &self.metrics {
+            m.set_window_fires(fires);
+            m.set_late_tuples(late);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn checkpoint(&self, ns: u64) {
+        if let Some(m) = &self.metrics {
+            m.record_checkpoint(ns);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn restart(&self) {
+        if let Some(m) = &self.metrics {
+            m.add_restart();
+        }
+    }
+
+    /// `Instant::now()` only when enabled — the disabled hot path must not
+    /// pay for clock reads.
+    #[inline]
+    pub(crate) fn now_if(&self) -> Option<Instant> {
+        self.metrics.as_ref().map(|_| Instant::now())
+    }
+
+    /// Account the time since `since` as idle (waiting for input) and
+    /// return the processing start time.
+    #[inline]
+    pub(crate) fn mark_idle(&self, since: Option<Instant>) -> Option<Instant> {
+        match (&self.metrics, since) {
+            (Some(m), Some(t0)) => {
+                let now = Instant::now();
+                m.add_idle_ns(now.duration_since(t0).as_nanos() as u64);
+                Some(now)
+            }
+            _ => None,
+        }
+    }
+
+    /// Account the time since `since` as busy (processing a message).
+    #[inline]
+    pub(crate) fn mark_busy(&self, since: Option<Instant>) {
+        if let (Some(m), Some(t0)) = (&self.metrics, since) {
+            m.add_busy_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Record a flight-recorder event attributed to this worker.
+    pub(crate) fn event(&self, kind: FlightEventKind, detail: impl Into<String>) {
+        if let Some(r) = &self.recorder {
+            r.record(kind, self.node, self.instance, detail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::value::{FieldType, Schema};
+
+    #[test]
+    fn registry_matches_physical_instances() {
+        let plan = PlanBuilder::new()
+            .source("src", Schema::of(&[FieldType::Int]), 2)
+            .sink("sink")
+            .build()
+            .unwrap();
+        let phys = PhysicalPlan::expand(&plan).unwrap();
+        let tel = telemetry_for_plan("WC", &phys, TelemetryConfig::default());
+        assert_eq!(tel.registry.len(), phys.instance_count());
+        let snaps = tel.registry.snapshot();
+        assert_eq!(snaps[0].operator, "src");
+        assert_eq!(snaps[0].node, "local");
+        assert!(snaps.iter().any(|s| s.operator == "sink"));
+    }
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::default();
+        assert!(!p.enabled());
+        p.tuples_in(1);
+        p.tuples_out(1);
+        p.queue_depth(9);
+        p.latency_ns(5);
+        assert!(p.now_if().is_none());
+        assert!(p.mark_idle(None).is_none());
+        p.mark_busy(None);
+        p.event(FlightEventKind::PaneFired, "nothing");
+    }
+}

@@ -194,6 +194,9 @@ pub struct KeyedWindower {
     watermark: i64,
     /// Late (dropped) tuple count.
     late_events: u64,
+    /// Window results fired so far (telemetry counter; not checkpointed —
+    /// a restored instance counts fires since restore).
+    fired: u64,
 }
 
 impl KeyedWindower {
@@ -209,6 +212,7 @@ impl KeyedWindower {
             keyed,
             watermark: i64::MIN,
             late_events: 0,
+            fired: 0,
         }
     }
 
@@ -216,6 +220,11 @@ impl KeyedWindower {
     /// policy only; count windows have no notion of lateness).
     pub fn late_events(&self) -> u64 {
         self.late_events
+    }
+
+    /// Window results fired so far.
+    pub fn panes_fired(&self) -> u64 {
+        self.fired
     }
 
     /// The window spec.
@@ -297,6 +306,7 @@ impl KeyedWindower {
                 max_emit = max_emit.max(e);
                 max_et = max_et.max(t);
             }
+            self.fired += 1;
             out.push(WindowResult {
                 key: if self.keyed { Some(key) } else { None },
                 window_end: buf.seen as i64,
@@ -315,6 +325,7 @@ impl KeyedWindower {
             return;
         }
         self.watermark = self.watermark.max(watermark);
+        let fired_before = out.len();
         let slide = self.spec.slide as i64;
         let length = self.spec.length as i64;
         let keyed = self.keyed;
@@ -371,6 +382,7 @@ impl KeyedWindower {
             state.next_end = Some(next_end.min(first_end_above));
         }
         self.time_state.retain(|_, s| !s.panes.is_empty());
+        self.fired += (out.len() - fired_before) as u64;
     }
 
     /// Flush at end-of-stream: fire all remaining time windows.
@@ -457,6 +469,8 @@ pub struct SessionWindower {
     /// Events that arrived behind the watermark and were dropped.
     late_events: u64,
     watermark: i64,
+    /// Sessions fired so far (telemetry counter; not checkpointed).
+    fired: u64,
 }
 
 impl SessionWindower {
@@ -470,6 +484,7 @@ impl SessionWindower {
             global_key: Value::Int(0),
             late_events: 0,
             watermark: i64::MIN,
+            fired: 0,
         }
     }
 
@@ -481,6 +496,11 @@ impl SessionWindower {
     /// Number of dropped late events.
     pub fn late_events(&self) -> u64 {
         self.late_events
+    }
+
+    /// Sessions fired so far.
+    pub fn panes_fired(&self) -> u64 {
+        self.fired
     }
 
     /// Live (unfired) sessions.
@@ -523,6 +543,7 @@ impl SessionWindower {
             std::collections::hash_map::Entry::Occupied(mut occ) => {
                 if tuple.event_time - occ.get().last_et > self.gap_ms {
                     // Gap exceeded: close the old session, start fresh.
+                    self.fired += 1;
                     Self::fire(keyed.then(|| key_v.clone()), occ.get(), out);
                     *occ.get_mut() = SessionState {
                         acc: Accumulator::new(self.func),
@@ -558,6 +579,7 @@ impl SessionWindower {
             .collect();
         for k in expired {
             if let Some(s) = self.sessions.remove(&k) {
+                self.fired += 1;
                 Self::fire(keyed.then(|| k.0.clone()), &s, out);
             }
         }

@@ -1,22 +1,38 @@
-//! Latency recording: exact small-sample storage with automatic spill to
-//! streaming estimators for unbounded runs.
+//! Latency recording with bounded memory: a small exact bootstrap buffer
+//! for short runs plus a streaming log-scale histogram for unbounded ones.
+//!
+//! Earlier versions kept up to `exact_cap` raw samples (hundreds of
+//! kilobytes per recorder, growing with the requested cap). The hot path is
+//! now O(1) memory: once the bootstrap buffer fills, samples only land in a
+//! fixed-size [`HistogramSnapshot`] whose quantiles are exact to the
+//! documented [`pdsp_telemetry::QUANTILE_RELATIVE_ERROR`] (6.25%). Exact
+//! full-sample percentiles remain available behind the test-only
+//! `exact-percentiles` cargo feature.
 
-use crate::percentile::{exact_percentile, P2Quantile};
+use crate::percentile::exact_percentile;
+use pdsp_telemetry::HistogramSnapshot;
+
+/// Hard cap on the exact bootstrap buffer, regardless of the requested
+/// `exact_cap`: this is what bounds recorder memory.
+pub const BOOTSTRAP_CAP: usize = 4096;
 
 /// Records per-tuple end-to-end latencies (milliseconds) and answers
-/// percentile queries. Below `exact_cap` samples everything is kept and
-/// percentiles are exact; beyond it, P² estimators take over.
+/// percentile queries. Below the bootstrap capacity everything is kept and
+/// percentiles are exact; beyond it, the streaming histogram takes over.
 #[derive(Debug, Clone)]
 pub struct LatencyRecorder {
-    exact_cap: usize,
-    samples: Vec<f64>,
-    p50: P2Quantile,
-    p90: P2Quantile,
-    p99: P2Quantile,
+    bootstrap_cap: usize,
+    bootstrap: Vec<f64>,
+    /// Streaming distribution in nanoseconds (log-scale buckets).
+    hist_ns: HistogramSnapshot,
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Full sample set, kept only when exact percentiles are compiled in
+    /// (test-only feature; unbounded memory by design).
+    #[cfg(feature = "exact-percentiles")]
+    all: Vec<f64>,
 }
 
 impl Default for LatencyRecorder {
@@ -26,18 +42,19 @@ impl Default for LatencyRecorder {
 }
 
 impl LatencyRecorder {
-    /// Recorder keeping up to `exact_cap` exact samples.
+    /// Recorder keeping up to `min(exact_cap, BOOTSTRAP_CAP)` exact samples
+    /// before spilling to the streaming histogram.
     pub fn new(exact_cap: usize) -> Self {
         LatencyRecorder {
-            exact_cap,
-            samples: Vec::new(),
-            p50: P2Quantile::new(0.5),
-            p90: P2Quantile::new(0.9),
-            p99: P2Quantile::new(0.99),
+            bootstrap_cap: exact_cap.min(BOOTSTRAP_CAP),
+            bootstrap: Vec::new(),
+            hist_ns: HistogramSnapshot::new(),
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            #[cfg(feature = "exact-percentiles")]
+            all: Vec::new(),
         }
     }
 
@@ -47,12 +64,12 @@ impl LatencyRecorder {
         self.sum += ms;
         self.min = self.min.min(ms);
         self.max = self.max.max(ms);
-        if self.samples.len() < self.exact_cap {
-            self.samples.push(ms);
+        if self.bootstrap.len() < self.bootstrap_cap {
+            self.bootstrap.push(ms);
         }
-        self.p50.observe(ms);
-        self.p90.observe(ms);
-        self.p99.observe(ms);
+        self.hist_ns.record((ms * 1e6).max(0.0) as u64);
+        #[cfg(feature = "exact-percentiles")]
+        self.all.push(ms);
     }
 
     /// Record a latency in nanoseconds.
@@ -80,18 +97,32 @@ impl LatencyRecorder {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Percentile (p in `[0, 100]`): exact while all samples are retained,
-    /// P² estimate afterwards (supported points: 50, 90, 99; other p values
-    /// fall back to the exact prefix).
+    /// The streaming latency distribution (nanoseconds). This is the same
+    /// snapshot schema telemetry exporters use, so recorder state can be
+    /// merged with per-instance sink histograms.
+    pub fn histogram_ns(&self) -> &HistogramSnapshot {
+        &self.hist_ns
+    }
+
+    /// Percentile (p in `[0, 100]`): exact while all samples fit the
+    /// bootstrap buffer, histogram estimate (≤6.25% relative error)
+    /// afterwards. With the `exact-percentiles` feature every query is
+    /// exact.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        if self.count as usize <= self.samples.len() {
-            return exact_percentile(&self.samples, p);
+        #[cfg(feature = "exact-percentiles")]
+        {
+            return exact_percentile(&self.all, p);
         }
-        match p {
-            x if (x - 50.0).abs() < 1e-9 => self.p50.estimate(),
-            x if (x - 90.0).abs() < 1e-9 => self.p90.estimate(),
-            x if (x - 99.0).abs() < 1e-9 => self.p99.estimate(),
-            _ => exact_percentile(&self.samples, p),
+        #[cfg(not(feature = "exact-percentiles"))]
+        {
+            if self.count == 0 {
+                return None;
+            }
+            if self.count as usize <= self.bootstrap.len() {
+                return exact_percentile(&self.bootstrap, p);
+            }
+            let q = (p / 100.0).clamp(0.0, 1.0);
+            Some(self.hist_ns.quantile(q) as f64 / 1e6)
         }
     }
 
@@ -118,14 +149,28 @@ mod tests {
     }
 
     #[test]
-    fn spill_phase_uses_p2() {
+    fn spill_phase_uses_streaming_histogram() {
         let mut r = LatencyRecorder::new(10);
         for i in 1..=10_000 {
             r.record_ms(i as f64);
         }
         let m = r.median().unwrap();
-        assert!((m - 5000.0).abs() / 5000.0 < 0.05, "median {m}");
+        assert!((m - 5000.0).abs() / 5000.0 < 0.0625, "median {m}");
         assert_eq!(r.count(), 10_000);
+        assert_eq!(r.histogram_ns().count, 10_000);
+    }
+
+    #[test]
+    fn memory_is_bounded_regardless_of_requested_cap() {
+        let mut r = LatencyRecorder::new(usize::MAX);
+        for i in 0..(BOOTSTRAP_CAP + 500) {
+            r.record_ms(i as f64);
+        }
+        assert_eq!(r.bootstrap.len(), BOOTSTRAP_CAP);
+        // Arbitrary percentiles still answerable from the histogram.
+        let p75 = r.percentile(75.0).unwrap();
+        let expect = 0.75 * (BOOTSTRAP_CAP + 500) as f64;
+        assert!((p75 - expect).abs() / expect < 0.07, "p75 {p75}");
     }
 
     #[test]
@@ -141,5 +186,17 @@ mod tests {
         assert_eq!(r.median(), None);
         assert_eq!(r.mean(), None);
         assert_eq!(r.count(), 0);
+    }
+
+    #[cfg(feature = "exact-percentiles")]
+    #[test]
+    fn exact_feature_is_exact_past_the_bootstrap() {
+        let mut r = LatencyRecorder::new(10);
+        for i in 1..=10_000 {
+            r.record_ms(i as f64);
+        }
+        // Exact rank round(0.5 * 9999) = 5000 → the 5001st sample.
+        assert_eq!(r.median(), Some(5001.0));
+        assert_eq!(r.percentile(99.0), Some(9900.0));
     }
 }

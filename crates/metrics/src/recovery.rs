@@ -2,7 +2,7 @@
 //! (lost / duplicate / late), and a bucketed latency timeline that makes
 //! the post-failure latency spike visible.
 
-use crate::percentile::exact_percentile;
+use pdsp_telemetry::{FlightEvent, FlightEventKind, HistogramSnapshot};
 
 /// Collects recovery observations across one or more runs.
 #[derive(Debug, Clone, Default)]
@@ -17,6 +17,26 @@ impl RecoveryRecorder {
     /// Empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild recovery timings from a run's flight-recorder events: each
+    /// `RecoveryStarted` → `RestartCompleted` pair contributes one recovery
+    /// interval (failure detection to respawn).
+    pub fn from_flight_events(events: &[FlightEvent]) -> Self {
+        let mut r = Self::new();
+        let mut started_at: Option<u64> = None;
+        for e in events {
+            match e.kind {
+                FlightEventKind::RecoveryStarted => started_at = Some(e.t_ms),
+                FlightEventKind::RestartCompleted => {
+                    if let Some(t0) = started_at.take() {
+                        r.record_recovery_ms(e.t_ms.saturating_sub(t0) as f64);
+                    }
+                }
+                _ => {}
+            }
+        }
+        r
     }
 
     /// Record one recovery (failure detection to resumed processing), ms.
@@ -77,11 +97,15 @@ impl RecoveryRecorder {
 
 /// Latency over time, bucketed by delivery timestamp: failures show up as a
 /// spike in the buckets covering the outage and its drain.
+///
+/// Each time bucket holds a fixed-size streaming [`HistogramSnapshot`]
+/// instead of raw samples, so memory is bounded by the number of buckets,
+/// not the number of deliveries.
 #[derive(Debug, Clone)]
 pub struct LatencyTimeline {
     bucket_ms: f64,
-    /// Latency samples per bucket index.
-    buckets: Vec<Vec<f64>>,
+    /// Latency distribution (nanoseconds) per bucket index.
+    buckets: Vec<HistogramSnapshot>,
 }
 
 impl LatencyTimeline {
@@ -100,9 +124,9 @@ impl LatencyTimeline {
         }
         let idx = (at_ms / self.bucket_ms) as usize;
         if idx >= self.buckets.len() {
-            self.buckets.resize(idx + 1, Vec::new());
+            self.buckets.resize(idx + 1, HistogramSnapshot::new());
         }
-        self.buckets[idx].push(latency_ms);
+        self.buckets[idx].record((latency_ms * 1e6).max(0.0) as u64);
     }
 
     /// Number of buckets spanned so far.
@@ -115,13 +139,15 @@ impl LatencyTimeline {
         self.buckets.is_empty()
     }
 
-    /// Per-bucket `(bucket_start_ms, percentile)` series; empty buckets are
-    /// skipped.
+    /// Per-bucket `(bucket_start_ms, percentile_ms)` series; empty buckets
+    /// are skipped.
     pub fn percentile_series(&self, p: f64) -> Vec<(f64, f64)> {
+        let q = (p / 100.0).clamp(0.0, 1.0);
         self.buckets
             .iter()
             .enumerate()
-            .filter_map(|(i, b)| exact_percentile(b, p).map(|v| (i as f64 * self.bucket_ms, v)))
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| (i as f64 * self.bucket_ms, b.quantile(q) as f64 / 1e6))
             .collect()
     }
 
@@ -131,8 +157,14 @@ impl LatencyTimeline {
     /// overall one.
     pub fn spike(&self, factor: f64) -> Option<(f64, f64, f64)> {
         let series = self.percentile_series(50.0);
-        let all: Vec<f64> = self.buckets.iter().flatten().copied().collect();
-        let overall = exact_percentile(&all, 50.0)?;
+        let mut merged = HistogramSnapshot::new();
+        for b in &self.buckets {
+            merged.merge(b);
+        }
+        if merged.count == 0 {
+            return None;
+        }
+        let overall = merged.quantile(0.5) as f64 / 1e6;
         series
             .into_iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -161,6 +193,30 @@ mod tests {
     }
 
     #[test]
+    fn recorder_rebuilds_from_flight_events() {
+        let ev = |t_ms, kind| FlightEvent {
+            t_ms,
+            kind,
+            node: 0,
+            instance: 0,
+            detail: String::new(),
+        };
+        let events = vec![
+            ev(0, FlightEventKind::RunStarted),
+            ev(100, FlightEventKind::FaultInjected),
+            ev(100, FlightEventKind::RecoveryStarted),
+            ev(150, FlightEventKind::RestartCompleted),
+            ev(400, FlightEventKind::RecoveryStarted),
+            ev(470, FlightEventKind::RestartCompleted),
+            ev(900, FlightEventKind::RunFinished),
+        ];
+        let r = RecoveryRecorder::from_flight_events(&events);
+        assert_eq!(r.recoveries(), 2);
+        assert_eq!(r.mean_recovery_ms(), Some(60.0));
+        assert_eq!(r.max_recovery_ms(), Some(70.0));
+    }
+
+    #[test]
     fn timeline_buckets_by_time() {
         let mut t = LatencyTimeline::new(100.0);
         t.record(10.0, 1.0);
@@ -169,8 +225,9 @@ mod tests {
         let series = t.percentile_series(50.0);
         assert_eq!(series.len(), 2);
         assert_eq!(series[0], (0.0, 1.0));
-        // Nearest-rank percentile: median of [2, 4] is the upper sample.
-        assert_eq!(series[1], (100.0, 4.0));
+        // Histogram nearest-rank median of [2, 4] is the lower sample,
+        // returned exactly (rank 1 hits the tracked minimum).
+        assert_eq!(series[1], (100.0, 2.0));
     }
 
     #[test]
@@ -188,9 +245,22 @@ mod tests {
         }
         let (at, spike, overall) = t.spike(3.0).unwrap();
         assert_eq!(at, 500.0);
+        // Single-valued buckets stay exact (quantiles clamp to [min, max]).
         assert_eq!(spike, 50.0);
         assert!(overall < 10.0);
         assert!(t.spike(20.0).is_none(), "no 20x spike present");
+    }
+
+    #[test]
+    fn timeline_memory_is_bounded_per_bucket() {
+        let mut t = LatencyTimeline::new(100.0);
+        for i in 0..100_000 {
+            t.record((i % 100) as f64, i as f64 % 37.0);
+        }
+        assert_eq!(t.len(), 1, "all samples land in one fixed-size bucket");
+        let series = t.percentile_series(99.0);
+        assert_eq!(series.len(), 1);
+        assert!(series[0].1 <= 37.0 * 1.07);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Fixed-bucket log-scale histogram for latency/duration distributions.
+//!
+//! The layout is HDR-style log-linear: values below [`SUB_BUCKETS`] get one
+//! bucket each (exact), and every further power-of-two octave is split into
+//! [`SUB_BUCKETS`] equal sub-buckets. With 16 sub-buckets per octave the
+//! bucket width is at most 1/16 of the bucket's lower bound, so any quantile
+//! read from the histogram is within **6.25% relative error** (plus one unit
+//! of absolute error for tiny values) of the exact sample quantile.
+//!
+//! [`LogHistogram`] is the hot-path recorder: a dense array of relaxed
+//! atomic counters that workers bump without coordination and a sampler
+//! thread reads without stopping them. [`HistogramSnapshot`] is the frozen,
+//! serializable view: sparse (only non-empty buckets), mergeable, and
+//! queryable for quantiles. Merging snapshots is associative and lossless —
+//! merging per-instance histograms gives exactly the histogram of the
+//! combined stream.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of [`SUB_BUCKETS`].
+const LOG_SUB: u32 = 4;
+/// Sub-buckets per power-of-two octave (and the size of the exact region).
+pub const SUB_BUCKETS: u64 = 1 << LOG_SUB;
+/// Total bucket count covering the full `u64` range.
+pub const NUM_BUCKETS: usize =
+    (64 - LOG_SUB as usize) * SUB_BUCKETS as usize + SUB_BUCKETS as usize;
+
+/// Maximum relative quantile error of the bucketing scheme (1/SUB_BUCKETS).
+pub const QUANTILE_RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let group = (exp - LOG_SUB + 1) as usize;
+        group * SUB_BUCKETS as usize + ((v >> (exp - LOG_SUB)) - SUB_BUCKETS) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `idx`.
+pub fn bucket_low(idx: usize) -> u64 {
+    let sub = SUB_BUCKETS as usize;
+    if idx < sub {
+        idx as u64
+    } else {
+        let group = idx / sub;
+        let m = (idx % sub) as u64;
+        (SUB_BUCKETS + m) << (group - 1)
+    }
+}
+
+/// Highest value mapping to bucket `idx`.
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(idx + 1) - 1
+    }
+}
+
+/// Representative value reported for bucket `idx` (its midpoint).
+fn bucket_mid(idx: usize) -> u64 {
+    let lo = bucket_low(idx);
+    lo + (bucket_high(idx) - lo) / 2
+}
+
+/// Concurrent fixed-bucket histogram. Recording is a relaxed atomic add;
+/// there are no locks, so any thread may snapshot while workers record.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current contents into a sparse, serializable snapshot.
+    ///
+    /// Safe to call while other threads keep recording; the snapshot is a
+    /// consistent-enough point-in-time view for monitoring (individual
+    /// counters are read independently).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<Bucket> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some(Bucket { idx: idx as u32, n })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bucket index (see [`bucket_low`]/[`bucket_high`] for the value range).
+    pub idx: u32,
+    /// Observation count in the bucket.
+    pub n: u64,
+}
+
+/// Frozen histogram: sparse sorted buckets plus count/sum/min/max.
+///
+/// Unlike [`LogHistogram`] this is plain data — cheap to clone, serialize,
+/// and merge. All fields are exact except quantiles, which are bucketed
+/// (see [`QUANTILE_RELATIVE_ERROR`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty buckets, sorted by index.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Record one observation (single-threaded snapshot variant, used by the
+    /// simulator and by re-based metrics collectors).
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v) as u32;
+        match self.buckets.binary_search_by_key(&idx, |b| b.idx) {
+            Ok(i) => self.buckets[i].n += 1,
+            Err(i) => self.buckets.insert(i, Bucket { idx, n: 1 }),
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Merge another snapshot into this one. Merging is associative and
+    /// commutative: any grouping of per-instance histograms yields the same
+    /// combined histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(a), Some(b)) if a.idx == b.idx => {
+                    merged.push(Bucket {
+                        idx: a.idx,
+                        n: a.n + b.n,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a.idx < b.idx => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the representative value of the
+    /// bucket containing the rank-`ceil(q * count)` observation. Within
+    /// [`QUANTILE_RELATIVE_ERROR`] relative error (plus 1 absolute) of the
+    /// exact sample quantile; `min`/`max` are returned exactly for `q` at
+    /// the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.n;
+            if seen >= rank {
+                return bucket_mid(b.idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Exact mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_brackets_value() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 65_535, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v, "low({idx}) > {v}");
+            assert!(v <= bucket_high(idx), "{v} > high({idx})");
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous() {
+        for idx in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_high(idx) + 1, bucket_low(idx + 1), "gap at {idx}");
+        }
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let exact = ((q * SUB_BUCKETS as f64).ceil() as u64).clamp(1, SUB_BUCKETS) - 1;
+            assert_eq!(s.quantile(q), exact, "q={q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_snapshot_while_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for v in 0..50_000u64 {
+                    h.record(v);
+                }
+            })
+        };
+        let mut last = 0;
+        while last < 50_000 {
+            let s = h.snapshot();
+            assert!(s.count >= last, "count went backwards");
+            last = s.count;
+        }
+        writer.join().unwrap();
+        assert_eq!(h.snapshot().count, 50_000);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_combined_recording() {
+        let (a, b) = (LogHistogram::new(), LogHistogram::new());
+        let combined = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 37)
+            } else {
+                b.record(v * 37)
+            }
+            combined.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = LogHistogram::new();
+        for v in [3u64, 900, 900, 12_345_678] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,193 @@
+//! Bounded ring-buffer flight recorder for structured runtime events.
+//!
+//! The recorder keeps the last `capacity` events (older ones are dropped and
+//! counted), so it is safe to leave on for arbitrarily long runs. When a run
+//! dies with an `EngineError` or a worker panic, the runtime dumps the ring
+//! so the events leading up to the failure are preserved.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlightEventKind {
+    RunStarted,
+    RunFinished,
+    BarrierInjected,
+    CheckpointCompleted,
+    PaneFired,
+    FaultInjected,
+    WorkerPanicked,
+    WorkerFailed,
+    RecoveryStarted,
+    RestartCompleted,
+}
+
+impl FlightEventKind {
+    /// Stable lowercase-snake label used in dumps and exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightEventKind::RunStarted => "run_started",
+            FlightEventKind::RunFinished => "run_finished",
+            FlightEventKind::BarrierInjected => "barrier_injected",
+            FlightEventKind::CheckpointCompleted => "checkpoint_completed",
+            FlightEventKind::PaneFired => "pane_fired",
+            FlightEventKind::FaultInjected => "fault_injected",
+            FlightEventKind::WorkerPanicked => "worker_panicked",
+            FlightEventKind::WorkerFailed => "worker_failed",
+            FlightEventKind::RecoveryStarted => "recovery_started",
+            FlightEventKind::RestartCompleted => "restart_completed",
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Milliseconds since the recorder was created.
+    pub t_ms: u64,
+    pub kind: FlightEventKind,
+    /// Logical plan node the event belongs to (0 when not applicable).
+    pub node: usize,
+    /// Parallel instance index (0 when not applicable).
+    pub instance: usize,
+    /// Free-form context (cause, barrier id, pane key, ...).
+    pub detail: String,
+}
+
+/// Bounded, thread-safe event ring.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            start: Instant::now(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn record(
+        &self,
+        kind: FlightEventKind,
+        node: usize,
+        instance: usize,
+        detail: impl Into<String>,
+    ) {
+        let ev = FlightEvent {
+            t_ms: self.start.elapsed().as_millis() as u64,
+            kind,
+            node,
+            instance,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Render the ring as a human-readable trace.
+    pub fn dump(&self, reason: &str) -> String {
+        let events = self.events();
+        let mut out = format!(
+            "== flight recorder dump ({reason}; {} events, {} dropped) ==\n",
+            events.len(),
+            self.dropped()
+        );
+        for ev in &events {
+            out.push_str(&format!(
+                "[{:>8.3}s] {:22} node={} instance={} {}\n",
+                ev.t_ms as f64 / 1000.0,
+                ev.kind.label(),
+                ev.node,
+                ev.instance,
+                ev.detail
+            ));
+        }
+        out
+    }
+
+    /// Dump the ring to stderr (used on `EngineError`/panic paths).
+    pub fn dump_to_stderr(&self, reason: &str) {
+        eprintln!("{}", self.dump(reason));
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(FlightEventKind::PaneFired, 0, i, format!("pane {i}"));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(evs[0].detail, "pane 2");
+        assert_eq!(evs[2].detail, "pane 4");
+    }
+
+    #[test]
+    fn dump_contains_events_and_reason() {
+        let r = FlightRecorder::new(8);
+        r.record(FlightEventKind::FaultInjected, 2, 1, "injected crash");
+        let d = r.dump("worker panicked");
+        assert!(d.contains("worker panicked"));
+        assert!(d.contains("fault_injected"));
+        assert!(d.contains("node=2 instance=1"));
+    }
+
+    #[test]
+    fn event_serde_roundtrip() {
+        let r = FlightRecorder::new(8);
+        r.record(FlightEventKind::BarrierInjected, 0, 0, "barrier 7");
+        let evs = r.events();
+        let json = serde_json::to_string(&evs).unwrap();
+        let back: Vec<FlightEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(evs, back);
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-operator-instance metrics registry.
+//!
+//! The registry is sharded by construction: each instance owns an
+//! [`InstanceMetrics`] shard of relaxed atomic counters behind its own
+//! `Arc`, so workers on different instances never contend on a shared cache
+//! line for the common counters, and a sampler thread can read every shard
+//! live without stopping anyone.
+
+use crate::histogram::LogHistogram;
+use crate::snapshot::InstanceSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic counter shard for one operator instance.
+///
+/// All mutators use relaxed ordering — telemetry needs monotonic counters,
+/// not cross-counter consistency — which keeps the hot-path cost to a single
+/// uncontended atomic add.
+#[derive(Debug)]
+pub struct InstanceMetrics {
+    /// Logical operator name.
+    pub operator: String,
+    /// Parallel instance index within the operator.
+    pub instance: usize,
+    /// Hosting node label.
+    pub node: String,
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+    late_tuples: AtomicU64,
+    window_fires: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_max: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_ns: AtomicU64,
+    restarts: AtomicU64,
+    latency: LogHistogram,
+}
+
+impl InstanceMetrics {
+    pub fn new(operator: impl Into<String>, instance: usize, node: impl Into<String>) -> Self {
+        InstanceMetrics {
+            operator: operator.into(),
+            instance,
+            node: node.into(),
+            tuples_in: AtomicU64::new(0),
+            tuples_out: AtomicU64::new(0),
+            late_tuples: AtomicU64::new(0),
+            window_fires: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_max: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            idle_ns: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_ns: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            latency: LogHistogram::new(),
+        }
+    }
+
+    #[inline]
+    pub fn add_tuples_in(&self, n: u64) {
+        self.tuples_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_tuples_out(&self, n: u64) {
+        self.tuples_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the late-tuple count (windowers track it cumulatively).
+    #[inline]
+    pub fn set_late_tuples(&self, n: u64) {
+        self.late_tuples.store(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the fired-pane count (windowers track it cumulatively).
+    #[inline]
+    pub fn set_window_fires(&self, n: u64) {
+        self.window_fires.store(n, Ordering::Relaxed);
+    }
+
+    /// Record the current input queue length (backpressure proxy).
+    #[inline]
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_busy_ns(&self, ns: u64) {
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_idle_ns(&self, ns: u64) {
+        self.idle_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one completed checkpoint and its duration.
+    #[inline]
+    pub fn record_checkpoint(&self, ns: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an end-to-end latency observation in nanoseconds.
+    #[inline]
+    pub fn record_latency_ns(&self, ns: u64) {
+        self.latency.record(ns);
+    }
+
+    pub fn tuples_in(&self) -> u64 {
+        self.tuples_in.load(Ordering::Relaxed)
+    }
+
+    pub fn tuples_out(&self) -> u64 {
+        self.tuples_out.load(Ordering::Relaxed)
+    }
+
+    /// Freeze this shard into the shared snapshot schema.
+    pub fn snapshot(&self, app: &str) -> InstanceSnapshot {
+        InstanceSnapshot {
+            app: app.to_string(),
+            operator: self.operator.clone(),
+            instance: self.instance,
+            node: self.node.clone(),
+            tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            tuples_out: self.tuples_out.load(Ordering::Relaxed),
+            late_tuples: self.late_tuples.load(Ordering::Relaxed),
+            window_fires: self.window_fires.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_ns: self.checkpoint_ns.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// All instance shards of one run. Built up-front (before workers spawn),
+/// then shared immutably; readers snapshot without synchronization.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    app: String,
+    instances: Vec<Arc<InstanceMetrics>>,
+}
+
+impl MetricsRegistry {
+    pub fn new(app: impl Into<String>) -> Self {
+        MetricsRegistry {
+            app: app.into(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Application label applied to every snapshot.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// Add a shard for one operator instance and return it.
+    pub fn register(
+        &mut self,
+        operator: impl Into<String>,
+        instance: usize,
+        node: impl Into<String>,
+    ) -> Arc<InstanceMetrics> {
+        let m = Arc::new(InstanceMetrics::new(operator, instance, node));
+        self.instances.push(Arc::clone(&m));
+        m
+    }
+
+    /// Shard by registration order (the engine registers in physical
+    /// instance-id order, so this is indexable by instance id).
+    pub fn instance(&self, idx: usize) -> Arc<InstanceMetrics> {
+        Arc::clone(&self.instances[idx])
+    }
+
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Freeze every shard. Lock-free; safe while workers are recording.
+    pub fn snapshot(&self) -> Vec<InstanceSnapshot> {
+        self.instances
+            .iter()
+            .map(|m| m.snapshot(&self.app))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let mut reg = MetricsRegistry::new("WC");
+        let m = reg.register("count", 1, "local");
+        m.add_tuples_in(10);
+        m.add_tuples_out(7);
+        m.observe_queue_depth(5);
+        m.observe_queue_depth(2);
+        m.add_busy_ns(300);
+        m.add_idle_ns(700);
+        m.record_checkpoint(1_000);
+        m.record_latency_ns(5_000_000);
+        let snaps = reg.snapshot();
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(
+            (
+                s.app.as_str(),
+                s.operator.as_str(),
+                s.instance,
+                s.node.as_str()
+            ),
+            ("WC", "count", 1, "local")
+        );
+        assert_eq!((s.tuples_in, s.tuples_out), (10, 7));
+        assert_eq!((s.queue_depth, s.queue_depth_max), (2, 5));
+        assert!((s.busy_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!((s.checkpoints, s.checkpoint_ns), (1, 1_000));
+        assert_eq!(s.latency.count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_totals() {
+        let mut reg = MetricsRegistry::new("X");
+        let m = reg.register("op", 0, "local");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.add_tuples_in(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.tuples_in(), 40_000);
+    }
+}

@@ -1,0 +1,187 @@
+//! Background sampler thread: snapshots the registry at a fixed interval
+//! into a time series, plus the per-run [`RunTelemetry`] bundle the
+//! runtimes thread through their workers.
+
+use crate::recorder::FlightRecorder;
+use crate::registry::MetricsRegistry;
+use crate::snapshot::{TelemetryTimeline, TimelineSample};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Telemetry knobs for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sampler period in milliseconds.
+    pub interval_ms: u64,
+    /// Flight-recorder ring capacity.
+    pub flight_capacity: usize,
+    /// Dump the flight recorder to stderr when the run fails.
+    pub dump_on_error: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval_ms: 100,
+            flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
+            dump_on_error: true,
+        }
+    }
+}
+
+/// Shared telemetry state for one run: the registry workers write into and
+/// the flight recorder they log events to.
+#[derive(Debug)]
+pub struct RunTelemetry {
+    pub registry: Arc<MetricsRegistry>,
+    pub recorder: Arc<FlightRecorder>,
+    pub config: TelemetryConfig,
+}
+
+impl RunTelemetry {
+    pub fn new(registry: MetricsRegistry, config: TelemetryConfig) -> Self {
+        RunTelemetry {
+            registry: Arc::new(registry),
+            recorder: Arc::new(FlightRecorder::new(config.flight_capacity)),
+            config,
+        }
+    }
+}
+
+/// Handle to a running sampler thread.
+///
+/// The thread snapshots the registry every `interval_ms` until
+/// [`Sampler::finish`] is called, which joins it and appends one final
+/// end-of-run sample — so even a run shorter than the interval yields a
+/// non-empty timeline.
+#[derive(Debug)]
+pub struct Sampler {
+    registry: Arc<MetricsRegistry>,
+    samples: Arc<Mutex<Vec<TimelineSample>>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    start: Instant,
+    interval_ms: u64,
+}
+
+impl Sampler {
+    /// Spawn the sampler thread.
+    pub fn start(registry: Arc<MetricsRegistry>, interval_ms: u64) -> Self {
+        let interval_ms = interval_ms.max(1);
+        let samples: Arc<Mutex<Vec<TimelineSample>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let samples = Arc::clone(&samples);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pdsp-telemetry-sampler".into())
+                .spawn(move || {
+                    let mut next = start + Duration::from_millis(interval_ms);
+                    loop {
+                        // Sleep in short slices so finish() returns promptly.
+                        while Instant::now() < next {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let left = next.saturating_duration_since(Instant::now());
+                            std::thread::sleep(left.min(Duration::from_millis(10)));
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let sample = TimelineSample {
+                            t_ms: start.elapsed().as_millis() as u64,
+                            instances: registry.snapshot(),
+                        };
+                        samples.lock().push(sample);
+                        next += Duration::from_millis(interval_ms);
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
+        Sampler {
+            registry,
+            samples,
+            stop,
+            handle: Some(handle),
+            start,
+            interval_ms,
+        }
+    }
+
+    /// Stop the thread, take a final sample, and assemble the timeline.
+    pub fn finish(
+        mut self,
+        experiment_id: impl Into<String>,
+        backend: impl Into<String>,
+        events: Vec<crate::recorder::FlightEvent>,
+    ) -> TelemetryTimeline {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let mut samples = std::mem::take(&mut *self.samples.lock());
+        samples.push(TimelineSample {
+            t_ms: self.start.elapsed().as_millis() as u64,
+            instances: self.registry.snapshot(),
+        });
+        TelemetryTimeline {
+            experiment_id: experiment_id.into(),
+            app: self.registry.app().to_string(),
+            backend: backend.into(),
+            interval_ms: self.interval_ms,
+            samples,
+            events,
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_still_yields_final_sample() {
+        let mut reg = MetricsRegistry::new("WC");
+        let m = reg.register("src", 0, "local");
+        let sampler = Sampler::start(Arc::new(reg), 10_000);
+        m.add_tuples_out(42);
+        let t = sampler.finish("exp-short", "threaded", vec![]);
+        assert_eq!(t.samples.len(), 1, "final sample always appended");
+        assert_eq!(t.samples[0].instances[0].tuples_out, 42);
+        assert_eq!(t.backend, "threaded");
+    }
+
+    #[test]
+    fn sampler_collects_periodic_snapshots() {
+        let mut reg = MetricsRegistry::new("WC");
+        let m = reg.register("src", 0, "local");
+        let sampler = Sampler::start(Arc::new(reg), 5);
+        for i in 0..20 {
+            m.add_tuples_out(i);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let t = sampler.finish("exp-periodic", "threaded", vec![]);
+        assert!(t.samples.len() >= 3, "got {} samples", t.samples.len());
+        let outs: Vec<u64> = t
+            .samples
+            .iter()
+            .map(|s| s.instances[0].tuples_out)
+            .collect();
+        assert!(outs.windows(2).all(|w| w[0] <= w[1]), "monotonic: {outs:?}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Golden tests pinning the exporter formats. If one of these fails, you
+//! are changing the exporter schema — bump consumers deliberately, don't
+//! just update the expectation.
+
+use pdsp_telemetry::export::{json_lines, prometheus_text};
+use pdsp_telemetry::histogram::HistogramSnapshot;
+use pdsp_telemetry::snapshot::{InstanceSnapshot, TelemetryTimeline, TimelineSample};
+
+/// Deterministic two-instance fixture: a source and a sink with latency.
+fn fixture() -> Vec<InstanceSnapshot> {
+    let mut latency = HistogramSnapshot::new();
+    for v in [1_000_000u64, 2_000_000, 4_000_000, 8_000_000] {
+        latency.record(v);
+    }
+    vec![
+        InstanceSnapshot {
+            app: "WC".into(),
+            operator: "source".into(),
+            instance: 0,
+            node: "local".into(),
+            tuples_in: 0,
+            tuples_out: 1000,
+            late_tuples: 0,
+            window_fires: 0,
+            queue_depth: 0,
+            queue_depth_max: 0,
+            busy_ns: 750,
+            idle_ns: 250,
+            checkpoints: 2,
+            checkpoint_ns: 3_000_000,
+            restarts: 0,
+            latency: HistogramSnapshot::new(),
+        },
+        InstanceSnapshot {
+            app: "WC".into(),
+            operator: "sink".into(),
+            instance: 1,
+            node: "node0:m510".into(),
+            tuples_in: 990,
+            tuples_out: 0,
+            late_tuples: 3,
+            window_fires: 7,
+            queue_depth: 4,
+            queue_depth_max: 12,
+            busy_ns: 0,
+            idle_ns: 0,
+            checkpoints: 0,
+            checkpoint_ns: 0,
+            restarts: 1,
+            latency,
+        },
+    ]
+}
+
+#[test]
+fn prometheus_exposition_is_stable() {
+    let text = prometheus_text(&fixture());
+    let expected = "\
+# HELP pdsp_tuples_in_total Tuples received by the operator instance.
+# TYPE pdsp_tuples_in_total counter
+pdsp_tuples_in_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_tuples_in_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 990
+# HELP pdsp_tuples_out_total Tuples emitted by the operator instance.
+# TYPE pdsp_tuples_out_total counter
+pdsp_tuples_out_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 1000
+pdsp_tuples_out_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 0
+# HELP pdsp_late_tuples_total Tuples dropped as too late for their window.
+# TYPE pdsp_late_tuples_total counter
+pdsp_late_tuples_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_late_tuples_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 3
+# HELP pdsp_window_fires_total Window panes fired.
+# TYPE pdsp_window_fires_total counter
+pdsp_window_fires_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_window_fires_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 7
+# HELP pdsp_queue_depth Input queue length at sample time (backpressure proxy).
+# TYPE pdsp_queue_depth gauge
+pdsp_queue_depth{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_queue_depth{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 4
+# HELP pdsp_queue_depth_max Maximum observed input queue length.
+# TYPE pdsp_queue_depth_max gauge
+pdsp_queue_depth_max{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_queue_depth_max{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 12
+# HELP pdsp_busy_fraction Fraction of observed time spent processing.
+# TYPE pdsp_busy_fraction gauge
+pdsp_busy_fraction{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0.75
+pdsp_busy_fraction{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 0
+# HELP pdsp_checkpoints_total Checkpoints completed.
+# TYPE pdsp_checkpoints_total counter
+pdsp_checkpoints_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 2
+pdsp_checkpoints_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 0
+# HELP pdsp_checkpoint_seconds_total Time spent taking checkpoints.
+# TYPE pdsp_checkpoint_seconds_total counter
+pdsp_checkpoint_seconds_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0.003
+pdsp_checkpoint_seconds_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 0
+# HELP pdsp_restarts_total Times the instance was restarted by recovery.
+# TYPE pdsp_restarts_total counter
+pdsp_restarts_total{app=\"WC\",operator=\"source\",instance=\"0\",node=\"local\"} 0
+pdsp_restarts_total{app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\"} 1
+";
+    assert!(
+        text.starts_with(expected),
+        "prometheus exposition drifted:\n{text}"
+    );
+    // Latency quantiles are present only for the sink, with all four labels.
+    for metric in ["pdsp_latency_p50_ms", "pdsp_latency_p99_ms"] {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("{metric}{{")))
+            .unwrap_or_else(|| panic!("{metric} missing:\n{text}"));
+        assert!(
+            line.contains("app=\"WC\",operator=\"sink\",instance=\"1\",node=\"node0:m510\""),
+            "wrong labels: {line}"
+        );
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with(&format!("{metric}{{")))
+                .count(),
+            1,
+            "source must not report latency"
+        );
+    }
+}
+
+#[test]
+fn prometheus_label_set_is_exact() {
+    let text = prometheus_text(&fixture());
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let open = line.find('{').unwrap();
+        let close = line.find('}').unwrap();
+        let keys: Vec<&str> = line[open + 1..close]
+            .split(',')
+            .map(|kv| kv.split('=').next().unwrap())
+            .collect();
+        assert_eq!(
+            keys,
+            ["app", "operator", "instance", "node"],
+            "label set drifted in: {line}"
+        );
+    }
+}
+
+#[test]
+fn json_lines_schema_is_stable() {
+    let timeline = TelemetryTimeline {
+        experiment_id: "exp-golden".into(),
+        app: "WC".into(),
+        backend: "threaded".into(),
+        interval_ms: 100,
+        samples: vec![TimelineSample {
+            t_ms: 100,
+            instances: fixture(),
+        }],
+        events: vec![],
+    };
+    let out = json_lines(&timeline);
+    assert_eq!(out.lines().count(), 1);
+    let v: serde_json::Value = serde_json::from_str(out.lines().next().unwrap()).unwrap();
+    // Top-level schema.
+    for key in ["experiment_id", "app", "backend", "t_ms", "instances"] {
+        assert!(!v[key].is_null(), "missing top-level field {key}");
+    }
+    assert_eq!(v["experiment_id"].as_str(), Some("exp-golden"));
+    assert_eq!(v["backend"].as_str(), Some("threaded"));
+    assert_eq!(v["t_ms"].as_u64(), Some(100));
+    // Per-instance schema: exact field set, including the label quadruple.
+    let inst = v["instances"][1].as_object().expect("instance object");
+    let mut keys: Vec<&str> = inst.keys().map(|k| k.as_str()).collect();
+    keys.sort_unstable();
+    let mut expected = vec![
+        "app",
+        "operator",
+        "instance",
+        "node",
+        "tuples_in",
+        "tuples_out",
+        "late_tuples",
+        "window_fires",
+        "queue_depth",
+        "queue_depth_max",
+        "busy_ns",
+        "idle_ns",
+        "checkpoints",
+        "checkpoint_ns",
+        "restarts",
+        "latency",
+    ];
+    expected.sort_unstable();
+    assert_eq!(keys, expected, "instance snapshot schema drifted");
+    assert_eq!(v["instances"][1]["node"].as_str(), Some("node0:m510"));
+    assert_eq!(v["instances"][1]["latency"]["count"].as_u64(), Some(4));
+}

@@ -1,0 +1,88 @@
+//! Property tests for the log-scale histogram: merging snapshots is
+//! associative (exact equality), and quantiles stay within the documented
+//! error bound of the exact sample quantiles.
+
+use pdsp_telemetry::histogram::{HistogramSnapshot, QUANTILE_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Exact sample quantile with the same rank convention the histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), field-for-field.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..80),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..80),
+        c in prop::collection::vec(0u64..1_000_000_000, 0..80),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging per-shard snapshots equals recording the combined stream.
+    #[test]
+    fn merge_equals_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..120),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..120),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut combined: Vec<u64> = a.clone();
+        combined.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&combined));
+    }
+
+    /// Every quantile is within the documented relative error (plus one
+    /// unit absolute, covering the integer-valued exact region).
+    #[test]
+    fn quantiles_within_documented_error(
+        mut values in prop::collection::vec(0u64..10_000_000_000, 1..300),
+        q_pct in 0u64..=100,
+    ) {
+        let s = snapshot_of(&values);
+        values.sort_unstable();
+        let q = q_pct as f64 / 100.0;
+        let exact = exact_quantile(&values, q);
+        let approx = s.quantile(q);
+        let bound = exact as f64 * QUANTILE_RELATIVE_ERROR + 1.0;
+        let err = (approx as f64 - exact as f64).abs();
+        prop_assert!(
+            err <= bound,
+            "q={q}: approx {approx} vs exact {exact} (err {err} > bound {bound})"
+        );
+    }
+
+    /// count/sum/min/max are exact regardless of bucketing.
+    #[test]
+    fn aggregates_are_exact(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+    }
+}

@@ -4,8 +4,10 @@
 //! ```text
 //! pdsp list-apps
 //! pdsp run-app SG --parallelism 16 --backend sim --cluster mixed --rate 100000
-//! pdsp run-app WC --backend threads --tuples 20000
+//! pdsp run-app WC --backend threads --tuples 20000 --telemetry --store runs/
 //! pdsp run-query 2-way-join --parallelism 8 --rate 200000
+//! pdsp telemetry --store runs/                      # list experiments
+//! pdsp telemetry --store runs/ --experiment exp-... # render one timeline
 //! pdsp tables
 //! ```
 
@@ -13,7 +15,8 @@ use pdsp_bench::apps::{all_applications, app_by_acronym, AppConfig};
 use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
 use pdsp_bench::core::controller::Controller;
 use pdsp_bench::core::report;
-use pdsp_bench::store::Store;
+use pdsp_bench::store::{Filter, Store};
+use pdsp_bench::telemetry::{json_lines, prometheus_text, TelemetryConfig, TelemetryTimeline};
 use pdsp_bench::workload::{ParameterSpace, QueryGenerator, QueryStructure};
 use std::sync::Arc;
 
@@ -22,6 +25,24 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Open `--store DIR` when given, else an in-memory store.
+fn open_store(args: &[String]) -> Arc<Store> {
+    match flag_value(args, "--store") {
+        Some(dir) => match Store::open(&dir) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot open store '{dir}': {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Arc::new(Store::in_memory()),
+    }
 }
 
 fn parse_cluster(name: &str) -> Option<Cluster> {
@@ -45,8 +66,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pdsp list-apps\n  pdsp tables\n  pdsp run-app <ACRONYM> \
          [--parallelism N] [--backend sim|threads] [--cluster m510|c6525|c6320|mixed] \
-         [--rate EV_PER_S] [--tuples N]\n  pdsp run-query <structure> \
-         [--parallelism N] [--cluster ...] [--rate EV_PER_S]\n\
+         [--rate EV_PER_S] [--tuples N] [--telemetry] [--store DIR]\n  \
+         pdsp run-query <structure> \
+         [--parallelism N] [--cluster ...] [--rate EV_PER_S] [--telemetry] [--store DIR]\n  \
+         pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n\
          structures: {}",
         QueryStructure::ALL
             .iter()
@@ -100,8 +123,11 @@ fn main() {
                 event_rate: rate,
                 ..SimConfig::default()
             };
-            let controller =
-                Controller::new(cluster.clone(), sim_config, Arc::new(Store::in_memory()));
+            let store = open_store(&args);
+            let mut controller = Controller::new(cluster.clone(), sim_config, Arc::clone(&store));
+            if has_flag(&args, "--telemetry") {
+                controller = controller.with_telemetry(TelemetryConfig::default());
+            }
             let info = app.info();
             println!("{} ({}) on {}", info.name, info.acronym, cluster);
             let record = match backend.as_str() {
@@ -139,6 +165,12 @@ fn main() {
                         r.summary.tuples_in, r.summary.tuples_out
                     );
                     println!("throughput   : {:.0} t/s", r.summary.throughput_in);
+                    if let Some(id) = &r.experiment_id {
+                        if let Some(timeline) = controller.telemetry_for(id) {
+                            println!("\n{}", report::telemetry_report(&timeline));
+                        }
+                    }
+                    store.flush().ok();
                 }
                 Err(e) => {
                     eprintln!("run failed: {e}");
@@ -177,11 +209,98 @@ fn main() {
                 structure.label(),
                 query.window
             );
-            match sim.measure(&plan) {
-                Ok(latency) => println!("mean-of-3-medians latency: {latency:.2} ms"),
-                Err(e) => {
-                    eprintln!("simulation failed: {e}");
-                    std::process::exit(1);
+            if has_flag(&args, "--telemetry") {
+                let store = open_store(&args);
+                let controller = Controller::new(
+                    cluster.clone(),
+                    SimConfig {
+                        event_rate: rate,
+                        ..SimConfig::default()
+                    },
+                    Arc::clone(&store),
+                )
+                .with_telemetry(TelemetryConfig::default());
+                match controller.run_simulated(structure.label(), &plan) {
+                    Ok(r) => {
+                        println!(
+                            "mean-of-3-medians latency: {:.2} ms",
+                            r.summary.p50_latency_ms
+                        );
+                        if let Some(id) = &r.experiment_id {
+                            if let Some(timeline) = controller.telemetry_for(id) {
+                                println!("\n{}", report::telemetry_report(&timeline));
+                            }
+                        }
+                        store.flush().ok();
+                    }
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match sim.measure(&plan) {
+                    Ok(latency) => println!("mean-of-3-medians latency: {latency:.2} ms"),
+                    Err(e) => {
+                        eprintln!("simulation failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "telemetry" => {
+            if flag_value(&args, "--store").is_none() {
+                eprintln!("pdsp telemetry needs --store DIR (where instrumented runs were saved)");
+                std::process::exit(2);
+            }
+            let store = open_store(&args);
+            match flag_value(&args, "--experiment") {
+                None => {
+                    let ids: Vec<(String, String, String)> = store.with("telemetry", |c| {
+                        c.iter()
+                            .filter_map(|doc| {
+                                let id = doc.body.get("experiment_id")?.as_str()?;
+                                let app = doc.body.get("app")?.as_str()?;
+                                let backend = doc.body.get("backend")?.as_str()?;
+                                Some((id.to_string(), app.to_string(), backend.to_string()))
+                            })
+                            .collect()
+                    });
+                    if ids.is_empty() {
+                        println!("no telemetry recorded (run with --telemetry first)");
+                    } else {
+                        println!("{:30} {:8} backend", "experiment", "app");
+                        for (id, app, backend) in ids {
+                            println!("{id:30} {app:8} {backend}");
+                        }
+                    }
+                }
+                Some(id) => {
+                    let timeline: Option<TelemetryTimeline> = store.with("telemetry", |c| {
+                        c.find_as(&Filter::eq("experiment_id", id.as_str()))
+                            .into_iter()
+                            .next()
+                    });
+                    let Some(timeline) = timeline else {
+                        eprintln!("no telemetry stored for experiment '{id}'");
+                        std::process::exit(1);
+                    };
+                    let format = flag_value(&args, "--format").unwrap_or_else(|| "report".into());
+                    match format.as_str() {
+                        "report" => println!("{}", report::telemetry_report(&timeline)),
+                        "prom" => {
+                            let last = timeline
+                                .final_sample()
+                                .map(|s| s.instances.clone())
+                                .unwrap_or_default();
+                            print!("{}", prometheus_text(&last));
+                        }
+                        "json" => print!("{}", json_lines(&timeline)),
+                        other => {
+                            eprintln!("unknown format '{other}' (report|prom|json)");
+                            std::process::exit(2);
+                        }
+                    }
                 }
             }
         }

@@ -19,6 +19,8 @@
 //! * [`ml`] — learned cost models (LR, MLP, RF, GNN) with q-error metrics;
 //! * [`metrics`] — latency/throughput collection and the paper's
 //!   measurement protocol;
+//! * [`telemetry`] — live runtime telemetry: per-instance metrics registry,
+//!   time-series sampler, flight recorder, Prometheus/JSON-lines exporters;
 //! * [`store`] — embedded document store for workloads and results;
 //! * [`core`] — the controller, ML manager, and every experiment of the
 //!   paper's evaluation (Figures 3-6, Tables 2-4).
@@ -54,4 +56,5 @@ pub use pdsp_engine as engine;
 pub use pdsp_metrics as metrics;
 pub use pdsp_ml as ml;
 pub use pdsp_store as store;
+pub use pdsp_telemetry as telemetry;
 pub use pdsp_workload as workload;
