@@ -46,6 +46,42 @@ impl Serialize for Severity {
 ///
 /// PB00x: key-flow; PB01x: exactly-once safety; PB02x: state bounds;
 /// PB03x: backpressure/deadlock hazards; PB04x: plan-cost smells.
+///
+/// The string form is the stable interface — exact-match it in tooling;
+/// the enum variant names may be renamed:
+///
+/// ```
+/// use pdsp_analyze::analyze;
+/// use pdsp_engine::expr::{CmpOp, Predicate};
+/// use pdsp_engine::operator::OpKind;
+/// use pdsp_engine::plan::Partitioning;
+/// use pdsp_engine::value::{FieldType, Schema, Value};
+/// use pdsp_engine::PlanBuilder;
+///
+/// // A rebalance edge between equal-parallelism stateless stages breaks
+/// // an otherwise fusable forward chain: PB041.
+/// let plan = PlanBuilder::new()
+///     .source("src", Schema::of(&[FieldType::Int]), 2)
+///     .filter("pos", Predicate::cmp(0, CmpOp::Gt, Value::Int(0)), 0.5)
+///     .set_parallelism(1, 2)
+///     .chain(
+///         "small",
+///         OpKind::Filter {
+///             predicate: Predicate::cmp(0, CmpOp::Lt, Value::Int(100)),
+///             selectivity: 0.5,
+///         },
+///         Some(Partitioning::Rebalance),
+///     )
+///     .set_parallelism(2, 2)
+///     .sink("out")
+///     .build()
+///     .unwrap();
+/// let report = analyze("example", &plan).unwrap();
+/// assert!(report
+///     .diagnostics
+///     .iter()
+///     .any(|d| d.code.as_str() == "PB041"));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// PB001: keyed window/session aggregate input not partitioned on key.

@@ -16,8 +16,18 @@ pub struct CostParams {
     /// One-way network latency between nodes, nanoseconds (same rack,
     /// CloudLab-style: ~60 us including the stack).
     pub network_hop_ns: f64,
-    /// Serialization + framing cost per tuple, ns at 1 GHz.
+    /// Serialization + framing cost per tuple, ns at 1 GHz, when tuples
+    /// travel one per frame (`transport_batch == 1`).
     pub serialize_ns_per_tuple: f64,
+    /// Irreducible per-tuple share of [`CostParams::serialize_ns_per_tuple`]
+    /// — the value-copy cost that cannot be amortized by micro-batching.
+    /// The remainder (`serialize_ns_per_tuple - serialize_marginal_ns`) is
+    /// per-frame framing overhead that divides by the transport batch size;
+    /// see [`CostParams::effective_serialize_ns`]. Old serialized configs
+    /// deserialize this to `0.0` (fully amortizable), which at the default
+    /// `transport_batch` of 1 leaves every historical number unchanged.
+    #[serde(default)]
+    pub serialize_marginal_ns: f64,
     /// Per-batch fixed cost on every open shuffle connection, ns. Splitting
     /// a batch across `p` downstream instances pays this `p` times — the
     /// fan-out congestion mechanism.
@@ -55,11 +65,16 @@ pub struct CostParams {
     pub hetero_coord_penalty: f64,
 }
 
+fn default_serialize_marginal_ns() -> f64 {
+    120.0
+}
+
 impl Default for CostParams {
     fn default() -> Self {
         CostParams {
             network_hop_ns: 60_000.0,
             serialize_ns_per_tuple: 400.0,
+            serialize_marginal_ns: default_serialize_marginal_ns(),
             shuffle_batch_overhead_ns: 25_000.0,
             coord_ns_per_tuple: 400.0,
             channel_poll_ns: 18.0,
@@ -79,6 +94,17 @@ impl CostParams {
     pub fn wire_ns(&self, bytes: f64, gbps: f64) -> f64 {
         // bits / (Gbit/s) = ns
         bytes * 8.0 / gbps.max(1e-3)
+    }
+
+    /// Effective per-tuple serialization cost when tuples cross instance
+    /// boundaries in micro-batches of `batch` tuples per frame: the framing
+    /// share amortizes across the batch, the marginal copy cost does not.
+    /// `batch == 1` reproduces [`CostParams::serialize_ns_per_tuple`]
+    /// exactly, so un-batched simulations are bit-identical to the
+    /// pre-batching model.
+    pub fn effective_serialize_ns(&self, batch: usize) -> f64 {
+        let b = batch.max(1) as f64;
+        self.serialize_marginal_ns + (self.serialize_ns_per_tuple - self.serialize_marginal_ns) / b
     }
 
     /// Coordination surcharge per tuple for an operator with the given
@@ -125,6 +151,25 @@ mod tests {
     fn stateless_operators_pay_no_coordination() {
         let c = CostParams::default();
         assert_eq!(c.coordination_ns(0.0, 128), 0.0);
+    }
+
+    #[test]
+    fn unit_transport_batch_reproduces_per_tuple_serialization() {
+        let c = CostParams::default();
+        assert_eq!(c.effective_serialize_ns(1), c.serialize_ns_per_tuple);
+        assert_eq!(c.effective_serialize_ns(0), c.serialize_ns_per_tuple);
+    }
+
+    #[test]
+    fn serialization_amortizes_toward_the_marginal_floor() {
+        let c = CostParams::default();
+        let b1 = c.effective_serialize_ns(1);
+        let b8 = c.effective_serialize_ns(8);
+        let b1024 = c.effective_serialize_ns(1024);
+        assert!(b8 < b1);
+        assert!(b1024 < b8);
+        assert!(b1024 >= c.serialize_marginal_ns);
+        assert!((b1024 - c.serialize_marginal_ns) < (b1 - c.serialize_marginal_ns) / 1000.0);
     }
 
     #[test]

@@ -71,6 +71,18 @@ pub struct SimConfig {
     /// Node-failure model; `None` simulates a failure-free cluster.
     #[serde(default)]
     pub failure: Option<FailureModel>,
+    /// Modeled transport micro-batch size: how many tuples share one frame
+    /// on inter-instance channels. Mirrors the engine's
+    /// `RunConfig::batch_size`; per-frame framing cost amortizes across the
+    /// batch (see [`CostParams::effective_serialize_ns`]). `1` reproduces
+    /// the historical tuple-at-a-time numbers exactly; `0` (the value old
+    /// serialized configs deserialize to) is treated as `1`.
+    #[serde(default)]
+    pub transport_batch: usize,
+}
+
+fn default_transport_batch() -> usize {
+    1
 }
 
 impl Default for SimConfig {
@@ -85,6 +97,7 @@ impl Default for SimConfig {
             keys: 64,
             key_skew: None,
             failure: None,
+            transport_batch: default_transport_batch(),
         }
     }
 }
@@ -117,6 +130,13 @@ impl SimConfig {
                     "key_skew must be non-negative and finite".into(),
                 ));
             }
+        }
+        if self.costs.serialize_marginal_ns < 0.0
+            || self.costs.serialize_marginal_ns > self.costs.serialize_ns_per_tuple
+        {
+            return Err(EngineError::InvalidConfig(
+                "serialize_marginal_ns must lie in [0, serialize_ns_per_tuple]".into(),
+            ));
         }
         Ok(())
     }
@@ -360,6 +380,7 @@ impl SimTelemetry {
                     checkpoint_ns: 0,
                     restarts: self.restarts[i],
                     latency: self.latency[i].clone(),
+                    ..Default::default()
                 }
             })
             .collect();
@@ -461,6 +482,9 @@ impl Simulator {
         let cfg = &self.config;
         cfg.validate()?;
         let costs = &cfg.costs;
+        // Per-tuple serialization under the modeled transport batch; at
+        // `transport_batch == 1` this is `serialize_ns_per_tuple` exactly.
+        let eff_serialize_ns = costs.effective_serialize_ns(cfg.transport_batch);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         // Failure schedule: deterministic, drawn from a dedicated RNG
@@ -680,12 +704,11 @@ impl Simulator {
                 .iter()
                 .map(|r| r.targets.len())
                 .sum();
-            let per_tuple_ns = (model.cpu_ns_per_tuple
-                + costs.framework_ns_per_tuple
-                + costs.serialize_ns_per_tuple)
-                / hw.clock_ghz
-                + costs.channel_poll_ns * in_channels
-                + costs.coordination_ns(model.state_factor, parallelism) * hetero_mult[lnode];
+            let per_tuple_ns =
+                (model.cpu_ns_per_tuple + costs.framework_ns_per_tuple + eff_serialize_ns)
+                    / hw.clock_ghz
+                    + costs.channel_poll_ns * in_channels
+                    + costs.coordination_ns(model.state_factor, parallelism) * hetero_mult[lnode];
             let sigma = if model.is_udo {
                 costs.udo_jitter_std
             } else {
@@ -887,6 +910,59 @@ mod tests {
             batches_per_second: 100.0,
             ..SimConfig::default()
         }
+    }
+
+    #[test]
+    fn unit_transport_batch_is_bit_identical_to_legacy_model() {
+        // `transport_batch: 1` (the default) must reproduce the pre-batching
+        // cost model exactly, regardless of the marginal split — Figures 3/4
+        // shapes depend on it.
+        let mut skewed = quick_config();
+        skewed.costs.serialize_marginal_ns = 10.0;
+        let base = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let alt = Simulator::new(Cluster::homogeneous_m510(10), skewed);
+        let a = base.run(&linear_plan(4)).unwrap();
+        let b = alt.run(&linear_plan(4)).unwrap();
+        assert_eq!(a.latency.median(), b.latency.median());
+        assert_eq!(a.tuples_out, b.tuples_out);
+    }
+
+    #[test]
+    fn transport_batching_reduces_modeled_service_time() {
+        let batched = SimConfig {
+            transport_batch: 64,
+            ..quick_config()
+        };
+        let r1 = Simulator::new(Cluster::homogeneous_m510(10), quick_config())
+            .run(&linear_plan(4))
+            .unwrap();
+        let r64 = Simulator::new(Cluster::homogeneous_m510(10), batched)
+            .run(&linear_plan(4))
+            .unwrap();
+        assert!(
+            r64.latency.median().unwrap() < r1.latency.median().unwrap(),
+            "amortized framing must lower modeled latency: {:?} vs {:?}",
+            r64.latency.median(),
+            r1.latency.median()
+        );
+        assert_eq!(r64.tuples_out, r1.tuples_out, "batching changes no counts");
+    }
+
+    #[test]
+    fn zero_transport_batch_acts_as_tuple_at_a_time() {
+        // Old serialized configs deserialize the missing field to 0; that
+        // must behave exactly like the explicit legacy value 1.
+        let zero = SimConfig {
+            transport_batch: 0,
+            ..quick_config()
+        };
+        let a = Simulator::new(Cluster::homogeneous_m510(10), zero)
+            .run(&linear_plan(2))
+            .unwrap();
+        let b = Simulator::new(Cluster::homogeneous_m510(10), quick_config())
+            .run(&linear_plan(2))
+            .unwrap();
+        assert_eq!(a.latency.median(), b.latency.median());
     }
 
     #[test]

@@ -218,6 +218,7 @@ pub struct Controller {
     store: Arc<Store>,
     gate: DeployGate,
     telemetry: Option<TelemetryConfig>,
+    run_config: RunConfig,
 }
 
 impl Controller {
@@ -230,7 +231,17 @@ impl Controller {
             store,
             gate: DeployGate::default(),
             telemetry: None,
+            run_config: RunConfig::default(),
         }
+    }
+
+    /// Replace the threaded-runtime configuration used by every subsequent
+    /// `run_threaded*` call — channel capacity, micro-batch size, linger
+    /// flush interval, watermark cadence. The default keeps the engine's
+    /// stock [`RunConfig`].
+    pub fn with_run_config(mut self, config: RunConfig) -> Self {
+        self.run_config = config;
+        self
     }
 
     /// Replace the deploy gate policy.
@@ -352,8 +363,17 @@ impl Controller {
         event_rate: f64,
     ) -> Result<RunRecord> {
         self.check_gate(workload, plan)?;
-        let phys = PhysicalPlan::expand(plan)?;
-        let rt = ThreadedRuntime::new(RunConfig::default());
+        // Fusion rewrites the plan *after* the gate: analyzer findings refer
+        // to the plan as authored, while execution gets the collapsed chains.
+        let fused;
+        let exec_plan = if self.run_config.operator_fusion {
+            fused = pdsp_engine::chaining::fuse(plan)?;
+            &fused
+        } else {
+            plan
+        };
+        let phys = PhysicalPlan::expand(exec_plan)?;
+        let rt = ThreadedRuntime::new(self.run_config.clone());
         let (result, experiment_id) = match &self.telemetry {
             Some(cfg) => {
                 let tel = telemetry_for_plan(workload, &phys, cfg.clone());

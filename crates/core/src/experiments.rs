@@ -650,6 +650,7 @@ pub fn ablation(scale: &ExpScale) -> Result<Vec<AblationResult>> {
             Box::new(|cfg: &mut SimConfig| {
                 cfg.costs.network_hop_ns = 0.0;
                 cfg.costs.serialize_ns_per_tuple = 0.0;
+                cfg.costs.serialize_marginal_ns = 0.0;
             }),
         ),
         (

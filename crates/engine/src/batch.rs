@@ -1,0 +1,319 @@
+//! Micro-batch builders for the outgoing edges of one worker.
+//!
+//! Every worker that sends data downstream owns one `EdgeBatcher`: a
+//! per-(route, target) set of tuple builders. Data tuples are *scattered*
+//! into the builder their partitioner selects; a builder is flushed as one
+//! [`Batch`] frame when it reaches
+//! `RunConfig::batch_size` tuples ([`FlushReason::Size`]), when the worker's
+//! receive loop goes idle for `RunConfig::flush_interval_ms`
+//! ([`FlushReason::Linger`]), immediately before any marker — watermark,
+//! checkpoint barrier — is broadcast on the same edges
+//! ([`FlushReason::Marker`]), and at end of stream ([`FlushReason::Eos`]).
+//!
+//! Flushing before every marker is the correctness keystone: each channel
+//! still sees exactly the tuples that preceded a marker *before* that
+//! marker, so watermark accounting and Chandy–Lamport barrier alignment
+//! behave identically to a tuple-at-a-time data plane, and checkpoints
+//! align at batch boundaries by construction.
+//!
+//! With `batch_size == 1` the batcher bypasses the builders entirely and
+//! sends `Message::Data` frames — bit-for-bit the per-tuple data plane.
+
+use crate::error::{EngineError, Result};
+use crate::message::{Batch, Message};
+use crate::physical::{OutRoute, RouteTargets, RouterState};
+use crate::runtime::Envelope;
+use crate::telemetry::Probe;
+use crate::value::Tuple;
+use crossbeam_channel::Sender;
+
+pub use pdsp_telemetry::FlushReason;
+
+/// Per-destination micro-batch builders for one worker's out-edges.
+pub(crate) struct EdgeBatcher {
+    max: usize,
+    /// `builders[route][target]` accumulates tuples bound for that slot.
+    builders: Vec<Vec<Vec<Tuple>>>,
+}
+
+fn disconnected() -> EngineError {
+    EngineError::Execution("downstream disconnected".into())
+}
+
+impl EdgeBatcher {
+    /// Builders shaped to `routes`, flushing at `max` tuples.
+    pub(crate) fn new(routes: &[OutRoute], max: usize) -> Self {
+        EdgeBatcher {
+            max: max.max(1),
+            builders: routes
+                .iter()
+                .map(|r| r.targets.iter().map(|_| Vec::new()).collect())
+                .collect(),
+        }
+    }
+
+    /// Route `tuple` through every out-edge partitioner into the selected
+    /// builders, flushing any builder that reaches the size bound. With
+    /// `batch_size == 1` this sends a `Message::Data` frame directly.
+    ///
+    /// The tuple is cloned only when it has more than one destination
+    /// (multiple out-edges or broadcast partitioning); the final
+    /// destination always receives the original by move.
+    pub(crate) fn scatter(
+        &mut self,
+        routes: &[OutRoute],
+        downstream: &[Vec<Sender<Envelope>>],
+        router: &mut RouterState,
+        probe: &Probe,
+        tuple: Tuple,
+    ) -> Result<()> {
+        let Some(last) = routes.len().checked_sub(1) else {
+            return Ok(());
+        };
+        for (ri, route) in routes.iter().enumerate().take(last) {
+            match router.select(ri, route, &tuple) {
+                RouteTargets::One(ti) => {
+                    self.push(routes, downstream, probe, ri, ti, tuple.clone())?;
+                }
+                RouteTargets::All => {
+                    for ti in 0..route.targets.len() {
+                        self.push(routes, downstream, probe, ri, ti, tuple.clone())?;
+                    }
+                }
+            }
+        }
+        match router.select(last, &routes[last], &tuple) {
+            RouteTargets::One(ti) => self.push(routes, downstream, probe, last, ti, tuple),
+            RouteTargets::All => {
+                let fanout = routes[last].targets.len();
+                for ti in 0..fanout.saturating_sub(1) {
+                    self.push(routes, downstream, probe, last, ti, tuple.clone())?;
+                }
+                match fanout.checked_sub(1) {
+                    Some(ti) => self.push(routes, downstream, probe, last, ti, tuple),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn push(
+        &mut self,
+        routes: &[OutRoute],
+        downstream: &[Vec<Sender<Envelope>>],
+        probe: &Probe,
+        ri: usize,
+        ti: usize,
+        tuple: Tuple,
+    ) -> Result<()> {
+        if self.max == 1 {
+            downstream[ri][ti]
+                .send(Envelope {
+                    channel: routes[ri].targets[ti].channel,
+                    msg: Message::Data(tuple),
+                })
+                .map_err(|_| disconnected())?;
+            probe.batch_out(1, FlushReason::Size);
+            return Ok(());
+        }
+        let builder = &mut self.builders[ri][ti];
+        if builder.capacity() == 0 {
+            builder.reserve_exact(self.max);
+        }
+        builder.push(tuple);
+        if builder.len() >= self.max {
+            self.flush_one(routes, downstream, probe, ri, ti, FlushReason::Size)?;
+        }
+        Ok(())
+    }
+
+    fn flush_one(
+        &mut self,
+        routes: &[OutRoute],
+        downstream: &[Vec<Sender<Envelope>>],
+        probe: &Probe,
+        ri: usize,
+        ti: usize,
+        reason: FlushReason,
+    ) -> Result<()> {
+        let builder = &mut self.builders[ri][ti];
+        if builder.is_empty() {
+            return Ok(());
+        }
+        let tuples = std::mem::replace(builder, Vec::with_capacity(self.max));
+        probe.batch_out(tuples.len() as u64, reason);
+        downstream[ri][ti]
+            .send(Envelope {
+                channel: routes[ri].targets[ti].channel,
+                msg: Message::Batch(Batch::new(tuples)),
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Flush every non-empty builder (markers, linger timer, EOS).
+    pub(crate) fn flush_all(
+        &mut self,
+        routes: &[OutRoute],
+        downstream: &[Vec<Sender<Envelope>>],
+        probe: &Probe,
+        reason: FlushReason,
+    ) -> Result<()> {
+        if self.max == 1 {
+            return Ok(());
+        }
+        for ri in 0..self.builders.len() {
+            for ti in 0..self.builders[ri].len() {
+                self.flush_one(routes, downstream, probe, ri, ti, reason)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every pending builder, then broadcast `msg` to every target —
+    /// the only way markers enter a channel, so each channel's tuple prefix
+    /// before a marker is exactly the pre-marker emission order.
+    pub(crate) fn flush_then_broadcast(
+        &mut self,
+        routes: &[OutRoute],
+        downstream: &[Vec<Sender<Envelope>>],
+        probe: &Probe,
+        msg: Message,
+        reason: FlushReason,
+    ) -> Result<()> {
+        self.flush_all(routes, downstream, probe, reason)?;
+        crate::runtime::broadcast(routes, downstream, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::ChannelRef;
+    use crate::plan::Partitioning;
+    use crate::value::Value;
+    use crossbeam_channel::unbounded;
+
+    fn route_to(targets: usize, partitioning: Partitioning) -> OutRoute {
+        OutRoute {
+            edge_index: 0,
+            partitioning,
+            targets: (0..targets)
+                .map(|i| ChannelRef {
+                    instance: i,
+                    channel: 0,
+                    port: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn tuple(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    fn drain(rx: &crossbeam_channel::Receiver<Envelope>) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(env) = rx.try_recv() {
+            out.push(env.msg);
+        }
+        out
+    }
+
+    #[test]
+    fn size_bound_flushes_full_batches() {
+        let routes = vec![route_to(1, Partitioning::Forward)];
+        let (tx, rx) = unbounded();
+        let downstream = vec![vec![tx]];
+        let mut b = EdgeBatcher::new(&routes, 4);
+        let mut router = RouterState::new(1);
+        let probe = Probe::default();
+        for i in 0..10 {
+            b.scatter(&routes, &downstream, &mut router, &probe, tuple(i))
+                .unwrap();
+        }
+        // 10 tuples at max 4: two full frames sent, two tuples pending.
+        let sizes: Vec<usize> = drain(&rx)
+            .into_iter()
+            .map(|msg| match msg {
+                Message::Batch(batch) => batch.len(),
+                other => panic!("expected batch, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 4]);
+        b.flush_all(&routes, &downstream, &probe, FlushReason::Eos)
+            .unwrap();
+        match rx.try_recv().unwrap().msg {
+            Message::Batch(batch) => assert_eq!(batch.len(), 2),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_size_one_sends_plain_data_frames() {
+        let routes = vec![route_to(1, Partitioning::Forward)];
+        let (tx, rx) = unbounded();
+        let downstream = vec![vec![tx]];
+        let mut b = EdgeBatcher::new(&routes, 1);
+        let mut router = RouterState::new(1);
+        let probe = Probe::default();
+        b.scatter(&routes, &downstream, &mut router, &probe, tuple(7))
+            .unwrap();
+        assert!(matches!(rx.try_recv().unwrap().msg, Message::Data(_)));
+    }
+
+    #[test]
+    fn marker_flush_precedes_marker_on_every_channel() {
+        let routes = vec![route_to(2, Partitioning::Hash(vec![0]))];
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let downstream = vec![vec![tx0, tx1]];
+        let mut b = EdgeBatcher::new(&routes, 64);
+        let mut router = RouterState::new(1);
+        let probe = Probe::default();
+        for i in 0..10 {
+            b.scatter(&routes, &downstream, &mut router, &probe, tuple(i))
+                .unwrap();
+        }
+        b.flush_then_broadcast(
+            &routes,
+            &downstream,
+            &probe,
+            Message::Watermark(9),
+            FlushReason::Marker,
+        )
+        .unwrap();
+        let mut total = 0usize;
+        for rx in [rx0, rx1] {
+            let frames: Vec<Message> = drain(&rx);
+            // Partial batch first, watermark strictly after it.
+            assert!(matches!(frames.last(), Some(Message::Watermark(9))));
+            for f in &frames[..frames.len() - 1] {
+                match f {
+                    Message::Batch(batch) => total += batch.len(),
+                    other => panic!("expected batch before marker, got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(total, 10, "hash scatter loses nothing");
+    }
+
+    #[test]
+    fn broadcast_partitioning_replicates_into_every_builder() {
+        let routes = vec![route_to(3, Partitioning::Broadcast)];
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..3).map(|_| unbounded()).unzip();
+        let downstream = vec![txs];
+        let mut b = EdgeBatcher::new(&routes, 2);
+        let mut router = RouterState::new(1);
+        let probe = Probe::default();
+        for i in 0..2 {
+            b.scatter(&routes, &downstream, &mut router, &probe, tuple(i))
+                .unwrap();
+        }
+        for rx in rxs {
+            match rx.try_recv().unwrap().msg {
+                Message::Batch(batch) => assert_eq!(batch.len(), 2),
+                other => panic!("expected batch, got {other:?}"),
+            }
+        }
+    }
+}

@@ -12,6 +12,15 @@
 //! hops and clones; the simulator sees one instance with the summed CPU
 //! cost and the product selectivity — exactly the performance model of a
 //! fused task.
+//!
+//! Under the micro-batched data plane the fused instance overrides
+//! [`Udo::on_batch`] and processes each incoming frame *stage-major*: the
+//! whole batch runs through stage 1, then the survivors through stage 2,
+//! and so on — a tight loop over dense vectors with no per-tuple dispatch
+//! between stages and no intermediate channel. Fusion preserves
+//! exactly-once semantics trivially: fused stages are stateless, so a chain
+//! has no checkpoint state of its own, and barriers pass through it like
+//! through any single operator.
 
 use crate::error::Result;
 use crate::operator::{OpKind, OperatorInstance};
@@ -39,12 +48,15 @@ struct FusedInstance {
     stages: Vec<Box<dyn OperatorInstance>>,
 }
 
-impl Udo for FusedInstance {
-    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
-        // Run the tuple through every stage, fanning intermediate results
-        // without re-entering a channel.
-        let mut current = vec![tuple];
-        let mut next = Vec::new();
+impl FusedInstance {
+    /// Run a whole batch stage-major: every tuple through stage 1, then the
+    /// survivors through stage 2, and so on. One pass per stage over a
+    /// dense vector — the tight loop that makes fusion pay under the
+    /// micro-batched data plane (no per-tuple dispatch between stages, no
+    /// intermediate channel).
+    fn run_batch(&mut self, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) {
+        let mut current = tuples;
+        let mut next = Vec::with_capacity(current.len());
         for stage in &mut self.stages {
             next.clear();
             for t in current.drain(..) {
@@ -56,6 +68,16 @@ impl Udo for FusedInstance {
             std::mem::swap(&mut current, &mut next);
         }
         out.append(&mut current);
+    }
+}
+
+impl Udo for FusedInstance {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        self.run_batch(vec![tuple], out);
+    }
+
+    fn on_batch(&mut self, _port: usize, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) {
+        self.run_batch(tuples, out);
     }
 }
 

@@ -15,17 +15,18 @@
 //! UDO state is opaque to the engine and is *not* snapshotted; jobs with
 //! stateful UDOs recover with at-least-once semantics regardless of mode.
 
+use crate::batch::{EdgeBatcher, FlushReason};
 use crate::error::{EngineError, Result};
 use crate::message::{Message, WatermarkTracker};
 use crate::operator::{OpKind, OperatorInstance};
 use crate::physical::{PhysicalPlan, RouterState};
 use crate::runtime::{
-    broadcast, panic_cause, pick_root_error, send_tuple, take_receiver, Envelope, OperatorStats,
-    RunConfig, RunResult, SourceFactory,
+    panic_cause, pick_root_error, take_receiver, Envelope, OperatorStats, RunConfig, RunResult,
+    SourceFactory,
 };
 use crate::telemetry::Probe;
 use crate::value::Tuple;
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use pdsp_telemetry::{FlightEventKind, RunTelemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -648,7 +649,7 @@ impl FtRuntime {
         let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
         let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<Envelope>(self.config.run.channel_capacity);
+            let (tx, rx) = bounded::<Envelope>(self.config.run.frame_capacity());
             senders.push(Some(tx));
             receivers.push(Some(rx));
         }
@@ -660,6 +661,8 @@ impl FtRuntime {
 
         let exactly_once = self.config.mode == DeliveryMode::ExactlyOnce;
         let ckpt_interval = self.config.checkpoint_interval_tuples;
+        let batch_size = self.config.run.batch_size;
+        let flush_after = Duration::from_millis(self.config.run.flush_interval_ms);
         let mut handles = Vec::with_capacity(n);
 
         for inst in &plan.instances {
@@ -715,6 +718,7 @@ impl FtRuntime {
                         .unwrap_or(0);
                     let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
+                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
                         let mut max_et = i64::MIN;
                         let mut emitted = start_offset;
                         counter[inst_id].store(emitted, Ordering::SeqCst);
@@ -729,7 +733,13 @@ impl FtRuntime {
                             max_et = max_et.max(tuple.event_time);
                             emitted += 1;
                             counter[inst_id].store(emitted, Ordering::SeqCst);
-                            send_tuple(&route_meta, &downstream, &mut router, tuple)?;
+                            batcher.scatter(
+                                &route_meta,
+                                &downstream,
+                                &mut router,
+                                &probe,
+                                tuple,
+                            )?;
                             probe.tuples_out(1);
                             if emitted.is_multiple_of(ckpt_interval) {
                                 let id = emitted / ckpt_interval;
@@ -739,7 +749,16 @@ impl FtRuntime {
                                     inst_id,
                                     encode(&emitted, "source offset")?,
                                 ));
-                                broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                // Flushing before the barrier pins the
+                                // barrier to a batch boundary: every tuple
+                                // up to `emitted` precedes it on channel.
+                                batcher.flush_then_broadcast(
+                                    &route_meta,
+                                    &downstream,
+                                    &probe,
+                                    Message::Barrier(id),
+                                    FlushReason::Marker,
+                                )?;
                                 if let Some(t0) = ck0 {
                                     probe.checkpoint(t0.elapsed().as_nanos() as u64);
                                     probe.event(
@@ -750,10 +769,22 @@ impl FtRuntime {
                             }
                             if emitted.is_multiple_of(wm_interval) {
                                 let wm = max_et.saturating_sub(lateness);
-                                broadcast(&route_meta, &downstream, Message::Watermark(wm))?;
+                                batcher.flush_then_broadcast(
+                                    &route_meta,
+                                    &downstream,
+                                    &probe,
+                                    Message::Watermark(wm),
+                                    FlushReason::Marker,
+                                )?;
                             }
                         }
-                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        batcher.flush_then_broadcast(
+                            &route_meta,
+                            &downstream,
+                            &probe,
+                            Message::Eos,
+                            FlushReason::Eos,
+                        )?;
                         let _ = stats_tx.send((lnode, emitted, emitted, 0));
                         Ok(())
                     });
@@ -780,9 +811,10 @@ impl FtRuntime {
                         let mut seen_this_attempt = 0u64;
                         while closed < channels {
                             let wait = probe.now_if();
-                            let env = match next_envelope(&rx, &blocked, &mut pending) {
-                                Some(Ok(env)) => env,
-                                Some(Err(())) => {
+                            let env = match next_envelope(&rx, &blocked, &mut pending, flush_after)
+                            {
+                                Polled::Frame(env) => env,
+                                Polled::Lost => {
                                     // Upstream died: hand the partial state
                                     // to the supervisor before erroring.
                                     let _ = sink_tx.send((inst_id, st));
@@ -790,12 +822,25 @@ impl FtRuntime {
                                         "sink '{name}' lost its input channels"
                                     )));
                                 }
-                                None => continue,
+                                // Sinks send nothing downstream, so idle
+                                // timeouts need no flush.
+                                Polled::Buffered | Polled::Idle => continue,
                             };
                             let work = probe.mark_idle(wait);
                             if probe.enabled() {
                                 probe.queue_depth(rx.len());
                             }
+                            // A frame's tuples all arrive at one instant, so
+                            // delivery time is stamped once per frame.
+                            let deliver = |t: Tuple, now: u64, st: &mut SinkState| {
+                                let latency = now.saturating_sub(t.emit_ns);
+                                st.latencies.push(latency);
+                                probe.latency_ns(latency);
+                                st.total += 1;
+                                if st.captured.len() < capture_limit {
+                                    st.captured.push(t);
+                                }
+                            };
                             match env.msg {
                                 Message::Data(t) => {
                                     if let Some(inj) = &injector {
@@ -806,13 +851,23 @@ impl FtRuntime {
                                     }
                                     seen_this_attempt += 1;
                                     let now = start.elapsed().as_nanos() as u64;
-                                    let latency = now.saturating_sub(t.emit_ns);
-                                    st.latencies.push(latency);
                                     probe.tuples_in(1);
-                                    probe.latency_ns(latency);
-                                    st.total += 1;
-                                    if st.captured.len() < capture_limit {
-                                        st.captured.push(t);
+                                    deliver(t, now, &mut st);
+                                }
+                                Message::Batch(b) => {
+                                    let now = start.elapsed().as_nanos() as u64;
+                                    probe.tuples_in(b.len() as u64);
+                                    for t in b.tuples {
+                                        if let Some(inj) = &injector {
+                                            if let Err(e) =
+                                                inj.check(lnode, index, seen_this_attempt)
+                                            {
+                                                let _ = sink_tx.send((inst_id, st));
+                                                return Err(e);
+                                            }
+                                        }
+                                        seen_this_attempt += 1;
+                                        deliver(t, now, &mut st);
                                     }
                                 }
                                 Message::Watermark(_) => {}
@@ -870,6 +925,7 @@ impl FtRuntime {
                     let coord_tx = coord_tx.clone();
                     let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
+                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
                         let mut tracker = WatermarkTracker::new(channels);
                         let mut aligner = BarrierAligner::new(channels);
                         let mut blocked = vec![false; channels];
@@ -893,14 +949,27 @@ impl FtRuntime {
                             };
                         while closed < channels {
                             let wait = probe.now_if();
-                            let env = match next_envelope(&rx, &blocked, &mut pending) {
-                                Some(Ok(env)) => env,
-                                Some(Err(())) => {
+                            let env = match next_envelope(&rx, &blocked, &mut pending, flush_after)
+                            {
+                                Polled::Frame(env) => env,
+                                Polled::Lost => {
                                     return Err(EngineError::Execution(format!(
                                         "operator '{name}' lost its input channels"
                                     )));
                                 }
-                                None => continue,
+                                Polled::Idle => {
+                                    // Nothing arrived within the linger
+                                    // window: push partial batches downstream
+                                    // so quiet streams keep bounded latency.
+                                    batcher.flush_all(
+                                        &route_meta,
+                                        &downstream,
+                                        &probe,
+                                        FlushReason::Linger,
+                                    )?;
+                                    continue;
+                                }
+                                Polled::Buffered => continue,
                             };
                             let work = probe.mark_idle(wait);
                             if probe.enabled() {
@@ -918,7 +987,47 @@ impl FtRuntime {
                                     n_out += out.len() as u64;
                                     probe.tuples_out(out.len() as u64);
                                     for t in out.drain(..) {
-                                        send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                        batcher.scatter(
+                                            &route_meta,
+                                            &downstream,
+                                            &mut router,
+                                            &probe,
+                                            t,
+                                        )?;
+                                    }
+                                }
+                                Message::Batch(b) => {
+                                    let port = ports[env.channel];
+                                    out.clear();
+                                    if injector.is_some() {
+                                        // Fault triggers count individual
+                                        // tuples, so an armed injector must
+                                        // observe each one — the batch is
+                                        // unrolled to keep fault points at
+                                        // tuple granularity.
+                                        for t in b.tuples {
+                                            if let Some(inj) = &injector {
+                                                inj.check(lnode, index, n_in)?;
+                                            }
+                                            n_in += 1;
+                                            probe.tuples_in(1);
+                                            op.on_tuple(port, t, &mut out)?;
+                                        }
+                                    } else {
+                                        n_in += b.len() as u64;
+                                        probe.tuples_in(b.len() as u64);
+                                        op.on_batch(port, b.tuples, &mut out)?;
+                                    }
+                                    n_out += out.len() as u64;
+                                    probe.tuples_out(out.len() as u64);
+                                    for t in out.drain(..) {
+                                        batcher.scatter(
+                                            &route_meta,
+                                            &downstream,
+                                            &mut router,
+                                            &probe,
+                                            t,
+                                        )?;
                                     }
                                 }
                                 Message::Watermark(wm) => {
@@ -934,15 +1043,38 @@ impl FtRuntime {
                                             );
                                         }
                                         for t in out.drain(..) {
-                                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                            batcher.scatter(
+                                                &route_meta,
+                                                &downstream,
+                                                &mut router,
+                                                &probe,
+                                                t,
+                                            )?;
                                         }
-                                        broadcast(&route_meta, &downstream, Message::Watermark(w))?;
+                                        batcher.flush_then_broadcast(
+                                            &route_meta,
+                                            &downstream,
+                                            &probe,
+                                            Message::Watermark(w),
+                                            FlushReason::Marker,
+                                        )?;
                                     }
                                 }
                                 Message::Barrier(id) => {
                                     if aligner.barrier(id, env.channel) {
                                         checkpoint(&*op, id, &probe)?;
-                                        broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                        // Flush-then-forward keeps the
+                                        // barrier at a batch boundary: all
+                                        // pre-checkpoint tuples reach every
+                                        // downstream channel before the
+                                        // barrier does.
+                                        batcher.flush_then_broadcast(
+                                            &route_meta,
+                                            &downstream,
+                                            &probe,
+                                            Message::Barrier(id),
+                                            FlushReason::Marker,
+                                        )?;
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     } else if exactly_once {
                                         blocked[env.channel] = true;
@@ -953,7 +1085,13 @@ impl FtRuntime {
                                     blocked[env.channel] = false;
                                     for id in aligner.close(env.channel) {
                                         checkpoint(&*op, id, &probe)?;
-                                        broadcast(&route_meta, &downstream, Message::Barrier(id))?;
+                                        batcher.flush_then_broadcast(
+                                            &route_meta,
+                                            &downstream,
+                                            &probe,
+                                            Message::Barrier(id),
+                                            FlushReason::Marker,
+                                        )?;
                                         blocked.iter_mut().for_each(|b| *b = false);
                                     }
                                     if let Some(w) = tracker.close_channel(env.channel) {
@@ -963,10 +1101,11 @@ impl FtRuntime {
                                             n_out += out.len() as u64;
                                             probe.tuples_out(out.len() as u64);
                                             for t in out.drain(..) {
-                                                send_tuple(
+                                                batcher.scatter(
                                                     &route_meta,
                                                     &downstream,
                                                     &mut router,
+                                                    &probe,
                                                     t,
                                                 )?;
                                             }
@@ -987,9 +1126,15 @@ impl FtRuntime {
                             probe.window_state(op.panes_fired(), op.late_events());
                         }
                         for t in out.drain(..) {
-                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                            batcher.scatter(&route_meta, &downstream, &mut router, &probe, t)?;
                         }
-                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        batcher.flush_then_broadcast(
+                            &route_meta,
+                            &downstream,
+                            &probe,
+                            Message::Eos,
+                            FlushReason::Eos,
+                        )?;
                         let _ = stats_tx.send((lnode, n_in, n_out, op.late_events()));
                         Ok(())
                     });
@@ -1047,32 +1192,47 @@ impl FtRuntime {
     }
 }
 
+/// What [`next_envelope`] produced.
+enum Polled {
+    /// A processable envelope (possibly replayed from a pending buffer).
+    Frame(Envelope),
+    /// The received envelope was buffered (blocked channel); call again.
+    Buffered,
+    /// Nothing arrived within the timeout — flush partial batches.
+    Idle,
+    /// All input senders disconnected.
+    Lost,
+}
+
 /// Pull the next processable envelope: buffered envelopes of unblocked
-/// channels first, then the shared receiver. `Some(Err(()))` = the channel
-/// disconnected; `None` = the received envelope was buffered (blocked
-/// channel), call again.
+/// channels first, then the shared receiver (bounded by `timeout` so callers
+/// can drain partial micro-batches on idle input). Frames — batches
+/// included — are buffered whole when their channel is blocked, which is
+/// what keeps exactly-once blocking correct at batch granularity.
 fn next_envelope(
     rx: &Receiver<Envelope>,
     blocked: &[bool],
     pending: &mut [VecDeque<Envelope>],
-) -> Option<std::result::Result<Envelope, ()>> {
+    timeout: Duration,
+) -> Polled {
     for (c, queue) in pending.iter_mut().enumerate() {
         if !blocked[c] {
             if let Some(env) = queue.pop_front() {
-                return Some(Ok(env));
+                return Polled::Frame(env);
             }
         }
     }
-    match rx.recv() {
+    match rx.recv_timeout(timeout) {
         Ok(env) => {
             if blocked[env.channel] {
                 pending[env.channel].push_back(env);
-                None
+                Polled::Buffered
             } else {
-                Some(Ok(env))
+                Polled::Frame(env)
             }
         }
-        Err(_) => Some(Err(())),
+        Err(RecvTimeoutError::Timeout) => Polled::Idle,
+        Err(RecvTimeoutError::Disconnected) => Polled::Lost,
     }
 }
 

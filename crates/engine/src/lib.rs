@@ -22,8 +22,16 @@
 //! flat-map, key-by, windowed aggregation (tumbling/sliding x count/time),
 //! windowed symmetric-hash joins (2-way and chained multi-way), union, sink,
 //! and user-defined operators (UDOs) used by the real-world application suite.
+//!
+//! Since the micro-batched data plane landed, tuples travel between physical
+//! instances as [`message::Batch`] frames built by per-edge batchers (see
+//! [`batch`]); `RunConfig::batch_size == 1` degenerates to the original
+//! tuple-at-a-time wire behaviour.
+
+#![warn(missing_docs)]
 
 pub mod agg;
+pub mod batch;
 pub mod builder;
 pub mod chaining;
 pub mod error;
@@ -40,6 +48,7 @@ pub mod udo;
 pub mod value;
 pub mod window;
 
+pub use batch::FlushReason;
 pub use builder::PlanBuilder;
 pub use error::{EngineError, Result};
 pub use expr::{CmpOp, Predicate, ScalarExpr};

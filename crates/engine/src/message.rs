@@ -1,12 +1,69 @@
 //! In-flight messages between physical operator instances.
+//!
+//! The data plane is *micro-batched*: senders accumulate tuples into
+//! per-destination [`Batch`] frames and flush them on size, time, or marker
+//! boundaries (see `RunConfig::batch_size` / `RunConfig::flush_interval_ms`).
+//! Markers — watermarks, checkpoint barriers, end-of-stream — are always
+//! preceded by a flush of every pending batch on the same edge, so the
+//! channel-order invariants the watermark and checkpoint protocols rely on
+//! are identical to a tuple-at-a-time data plane.
 
 use crate::value::Tuple;
+
+/// A micro-batch of tuples travelling as one frame on a dataflow channel.
+///
+/// Batches amortize the per-message channel cost (enqueue/dequeue, wakeup)
+/// across `tuples.len()` tuples; receivers process the whole frame in a
+/// tight loop. A batch is never empty and never spans a marker: every
+/// tuple in it precedes (in channel order) whatever marker follows.
+///
+/// ```
+/// use pdsp_engine::message::Batch;
+/// use pdsp_engine::Tuple;
+/// use pdsp_engine::Value;
+///
+/// let batch = Batch::new(vec![
+///     Tuple::new(vec![Value::Int(1)]),
+///     Tuple::new(vec![Value::Int(2)]),
+/// ]);
+/// assert_eq!(batch.len(), 2);
+/// let total: i64 = batch
+///     .tuples
+///     .iter()
+///     .map(|t| t.values[0].as_f64().unwrap() as i64)
+///     .sum();
+/// assert_eq!(total, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The batched tuples, in sender emission order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Batch {
+    /// Wrap a vector of tuples as one frame.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        Batch { tuples }
+    }
+
+    /// Number of tuples in the frame.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the frame carries no tuples (never sent by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
 
 /// A message on a dataflow channel.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// A data tuple.
+    /// A single data tuple (the `batch_size == 1` framing).
     Data(Tuple),
+    /// A micro-batch of data tuples (the `batch_size > 1` framing).
+    Batch(Batch),
     /// Event-time watermark (ms): no tuple with event time < wm follows on
     /// this channel.
     Watermark(i64),
@@ -19,9 +76,9 @@ pub enum Message {
 }
 
 impl Message {
-    /// Whether this is a data message.
+    /// Whether this message carries data tuples (single or batched).
     pub fn is_data(&self) -> bool {
-        matches!(self, Message::Data(_))
+        matches!(self, Message::Data(_) | Message::Batch(_))
     }
 }
 

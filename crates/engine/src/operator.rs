@@ -390,6 +390,16 @@ pub trait OperatorInstance: Send {
     /// Process a tuple arriving on `port`, appending outputs to `out`.
     fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()>;
 
+    /// Process a whole micro-batch arriving on `port`, appending outputs to
+    /// `out`. The default loops [`OperatorInstance::on_tuple`]; operators
+    /// with a cheaper batch path (fused chains) override it.
+    fn on_batch(&mut self, port: usize, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) -> Result<()> {
+        for t in tuples {
+            self.on_tuple(port, t, out)?;
+        }
+        Ok(())
+    }
+
     /// Observe the combined input watermark (event-time ms).
     fn on_watermark(&mut self, _watermark: i64, _out: &mut Vec<Tuple>) {}
 
@@ -661,6 +671,11 @@ struct UdoInstance {
 impl OperatorInstance for UdoInstance {
     fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         self.inner.on_tuple(port, tuple, out);
+        Ok(())
+    }
+
+    fn on_batch(&mut self, port: usize, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) -> Result<()> {
+        self.inner.on_batch(port, tuples, out);
         Ok(())
     }
 

@@ -6,13 +6,14 @@
 //! paper's end-to-end latency definition (source production to sink
 //! delivery, §4 Metrics).
 
+use crate::batch::{EdgeBatcher, FlushReason};
 use crate::error::{EngineError, Result};
 use crate::message::{Message, WatermarkTracker};
 use crate::operator::OpKind;
-use crate::physical::{PhysicalPlan, RouteTargets, RouterState};
+use crate::physical::{PhysicalPlan, RouterState};
 use crate::telemetry::Probe;
 use crate::value::Tuple;
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use pdsp_telemetry::{FlightEventKind, RunTelemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -69,11 +70,33 @@ pub struct RunConfig {
     /// event time by this many ms, so disordered tuples within the bound
     /// are not late (Flink's BoundedOutOfOrderness strategy).
     pub watermark_lateness_ms: i64,
-    /// Channel capacity (tuples) between instances — the backpressure bound.
+    /// Channel capacity between instances in *tuples* — the backpressure
+    /// bound. Bounded channels count frames, so the actual frame capacity
+    /// is `channel_capacity / batch_size` (see
+    /// [`RunConfig::frame_capacity`]); this keeps the number of tuples a
+    /// congested channel can buffer — and therefore its queueing latency —
+    /// independent of the batch size.
     pub channel_capacity: usize,
     /// Keep at most this many sink tuples in the result (latencies are
     /// always collected for all).
     pub capture_limit: usize,
+    /// Maximum tuples per outgoing micro-batch frame. `1` sends every tuple
+    /// as its own `Message::Data` frame — the per-tuple data plane, kept
+    /// bit-for-bit as the measurable baseline.
+    pub batch_size: usize,
+    /// Flush pending partial batches after the worker's input has been idle
+    /// this long — the bound on batching-induced latency.
+    pub flush_interval_ms: u64,
+    /// Rewrite the logical plan with [`crate::chaining::fuse`] before
+    /// expansion, collapsing Forward-connected stateless chains into one
+    /// operator that runs a stage-major tight loop per batch — no
+    /// intermediate channel, no per-stage frames. Plan-level rewrite:
+    /// honored by drivers that expand logical plans (the controller), not
+    /// by [`ThreadedRuntime::run`], which executes an already-expanded
+    /// physical plan as given. `false` preserves the unfused topology —
+    /// together with `batch_size == 1` that is the historical per-tuple
+    /// engine, bit for bit.
+    pub operator_fusion: bool,
 }
 
 impl Default for RunConfig {
@@ -83,11 +106,21 @@ impl Default for RunConfig {
             watermark_lateness_ms: 0,
             channel_capacity: 1024,
             capture_limit: 100_000,
+            batch_size: 128,
+            flush_interval_ms: 5,
+            operator_fusion: true,
         }
     }
 }
 
 impl RunConfig {
+    /// Bounded-channel capacity in frames. [`RunConfig::channel_capacity`]
+    /// counts tuples; a batched frame carries up to `batch_size` of them,
+    /// so the frame bound divides accordingly (never below 1).
+    pub fn frame_capacity(&self) -> usize {
+        (self.channel_capacity / self.batch_size.max(1)).max(1)
+    }
+
     /// Check that the configuration can drive a run at all. Called by the
     /// runtimes before spawning any worker so misconfiguration surfaces as
     /// a typed error instead of a hang or panic.
@@ -105,6 +138,18 @@ impl RunConfig {
         if self.watermark_lateness_ms < 0 {
             return Err(EngineError::InvalidConfig(
                 "watermark_lateness_ms must be non-negative".into(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(EngineError::InvalidConfig(
+                "batch_size must be at least 1 (1 = per-tuple framing)".into(),
+            ));
+        }
+        if self.flush_interval_ms == 0 {
+            return Err(EngineError::InvalidConfig(
+                "flush_interval_ms must be at least 1 (partial batches would never drain on idle \
+                 input)"
+                    .into(),
             ));
         }
         Ok(())
@@ -230,7 +275,7 @@ impl ThreadedRuntime {
         let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
         let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<Envelope>(self.config.channel_capacity);
+            let (tx, rx) = bounded::<Envelope>(self.config.frame_capacity());
             senders.push(Some(tx));
             receivers.push(Some(rx));
         }
@@ -287,11 +332,13 @@ impl ThreadedRuntime {
                     let index = inst.index;
                     let wm_interval = self.config.watermark_interval.max(1);
                     let lateness = self.config.watermark_lateness_ms;
+                    let batch_size = self.config.batch_size;
                     let count_tx = count_tx.clone();
                     let stats_tx_src = stats_tx.clone();
                     let lnode = inst.node;
                     let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
+                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
                         let mut max_et = i64::MIN;
                         let mut emitted: u64 = 0;
                         for mut tuple in factory.instance_iter(index, parallelism) {
@@ -299,13 +346,31 @@ impl ThreadedRuntime {
                             max_et = max_et.max(tuple.event_time);
                             emitted += 1;
                             probe.tuples_out(1);
-                            send_tuple(&route_meta, &downstream, &mut router, tuple)?;
+                            batcher.scatter(
+                                &route_meta,
+                                &downstream,
+                                &mut router,
+                                &probe,
+                                tuple,
+                            )?;
                             if emitted.is_multiple_of(wm_interval as u64) {
                                 let wm = max_et.saturating_sub(lateness);
-                                broadcast(&route_meta, &downstream, Message::Watermark(wm))?;
+                                batcher.flush_then_broadcast(
+                                    &route_meta,
+                                    &downstream,
+                                    &probe,
+                                    Message::Watermark(wm),
+                                    FlushReason::Marker,
+                                )?;
                             }
                         }
-                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        batcher.flush_then_broadcast(
+                            &route_meta,
+                            &downstream,
+                            &probe,
+                            Message::Eos,
+                            FlushReason::Eos,
+                        )?;
                         let _ = count_tx.send(emitted);
                         let _ = stats_tx_src.send((lnode, emitted, emitted));
                         Ok(())
@@ -331,16 +396,33 @@ impl ThreadedRuntime {
                             if probe.enabled() {
                                 probe.queue_depth(rx.len());
                             }
+                            // A frame's tuples all arrive at one instant, so
+                            // delivery time is stamped once per frame.
+                            let deliver =
+                                |t: Tuple,
+                                 now: u64,
+                                 captured: &mut Vec<Tuple>,
+                                 latencies: &mut Vec<u64>,
+                                 total: &mut u64| {
+                                    let latency = now.saturating_sub(t.emit_ns);
+                                    latencies.push(latency);
+                                    probe.latency_ns(latency);
+                                    *total += 1;
+                                    if captured.len() < capture_limit {
+                                        captured.push(t);
+                                    }
+                                };
                             match env.msg {
                                 Message::Data(t) => {
                                     let now = start.elapsed().as_nanos() as u64;
-                                    let latency = now.saturating_sub(t.emit_ns);
-                                    latencies.push(latency);
                                     probe.tuples_in(1);
-                                    probe.latency_ns(latency);
-                                    total += 1;
-                                    if captured.len() < capture_limit {
-                                        captured.push(t);
+                                    deliver(t, now, &mut captured, &mut latencies, &mut total)
+                                }
+                                Message::Batch(b) => {
+                                    let now = start.elapsed().as_nanos() as u64;
+                                    probe.tuples_in(b.len() as u64);
+                                    for t in b.tuples {
+                                        deliver(t, now, &mut captured, &mut latencies, &mut total);
                                     }
                                 }
                                 // The plain runtime never injects barriers;
@@ -363,20 +445,37 @@ impl ThreadedRuntime {
                     let channels = plan.input_channel_count[inst.id];
                     let ports = plan.channel_ports[inst.id].clone();
                     let name = node.name.clone();
+                    let batch_size = self.config.batch_size;
+                    let flush_after = Duration::from_millis(self.config.flush_interval_ms);
                     let stats_tx_op = stats_tx.clone();
                     let lnode = inst.node;
                     let worker = std::thread::spawn(move || -> Result<()> {
                         let mut router = RouterState::new(route_meta.len());
+                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
                         let mut tracker = WatermarkTracker::new(channels);
                         let mut out = Vec::new();
                         let mut closed = 0usize;
                         let (mut n_in, mut n_out) = (0u64, 0u64);
                         while closed < channels {
                             let wait = probe.now_if();
-                            let Ok(env) = rx.recv() else {
-                                return Err(EngineError::Execution(format!(
-                                    "operator '{name}' lost its input channels"
-                                )));
+                            let env = match rx.recv_timeout(flush_after) {
+                                Ok(env) => env,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    // Idle input: drain partial batches so
+                                    // held tuples never wait on future input.
+                                    batcher.flush_all(
+                                        &route_meta,
+                                        &downstream,
+                                        &probe,
+                                        FlushReason::Linger,
+                                    )?;
+                                    continue;
+                                }
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    return Err(EngineError::Execution(format!(
+                                        "operator '{name}' lost its input channels"
+                                    )));
+                                }
                             };
                             let work = probe.mark_idle(wait);
                             if probe.enabled() {
@@ -391,7 +490,30 @@ impl ThreadedRuntime {
                                     n_out += out.len() as u64;
                                     probe.tuples_out(out.len() as u64);
                                     for t in out.drain(..) {
-                                        send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                        batcher.scatter(
+                                            &route_meta,
+                                            &downstream,
+                                            &mut router,
+                                            &probe,
+                                            t,
+                                        )?;
+                                    }
+                                }
+                                Message::Batch(b) => {
+                                    n_in += b.len() as u64;
+                                    probe.tuples_in(b.len() as u64);
+                                    out.clear();
+                                    op.on_batch(ports[env.channel], b.tuples, &mut out)?;
+                                    n_out += out.len() as u64;
+                                    probe.tuples_out(out.len() as u64);
+                                    for t in out.drain(..) {
+                                        batcher.scatter(
+                                            &route_meta,
+                                            &downstream,
+                                            &mut router,
+                                            &probe,
+                                            t,
+                                        )?;
                                     }
                                 }
                                 Message::Watermark(wm) => {
@@ -407,9 +529,21 @@ impl ThreadedRuntime {
                                             );
                                         }
                                         for t in out.drain(..) {
-                                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                                            batcher.scatter(
+                                                &route_meta,
+                                                &downstream,
+                                                &mut router,
+                                                &probe,
+                                                t,
+                                            )?;
                                         }
-                                        broadcast(&route_meta, &downstream, Message::Watermark(w))?;
+                                        batcher.flush_then_broadcast(
+                                            &route_meta,
+                                            &downstream,
+                                            &probe,
+                                            Message::Watermark(w),
+                                            FlushReason::Marker,
+                                        )?;
                                     }
                                 }
                                 // Barriers only circulate under the
@@ -424,10 +558,11 @@ impl ThreadedRuntime {
                                             n_out += out.len() as u64;
                                             probe.tuples_out(out.len() as u64);
                                             for t in out.drain(..) {
-                                                send_tuple(
+                                                batcher.scatter(
                                                     &route_meta,
                                                     &downstream,
                                                     &mut router,
+                                                    &probe,
                                                     t,
                                                 )?;
                                             }
@@ -445,12 +580,18 @@ impl ThreadedRuntime {
                         n_out += out.len() as u64;
                         probe.tuples_out(out.len() as u64);
                         for t in out.drain(..) {
-                            send_tuple(&route_meta, &downstream, &mut router, t)?;
+                            batcher.scatter(&route_meta, &downstream, &mut router, &probe, t)?;
                         }
                         if probe.enabled() {
                             probe.window_state(op.panes_fired(), op.late_events());
                         }
-                        broadcast(&route_meta, &downstream, Message::Eos)?;
+                        batcher.flush_then_broadcast(
+                            &route_meta,
+                            &downstream,
+                            &probe,
+                            Message::Eos,
+                            FlushReason::Eos,
+                        )?;
                         let _ = stats_tx_op.send((lnode, n_in, n_out));
                         Ok(())
                     });
@@ -592,38 +733,10 @@ pub(crate) fn take_receiver(
     })
 }
 
-pub(crate) fn send_tuple(
-    routes: &[crate::physical::OutRoute],
-    downstream: &[Vec<Sender<Envelope>>],
-    router: &mut RouterState,
-    tuple: Tuple,
-) -> Result<()> {
-    for (ri, route) in routes.iter().enumerate() {
-        match router.select(ri, route, &tuple) {
-            RouteTargets::One(i) => {
-                let target = route.targets[i];
-                downstream[ri][i]
-                    .send(Envelope {
-                        channel: target.channel,
-                        msg: Message::Data(tuple.clone()),
-                    })
-                    .map_err(|_| EngineError::Execution("downstream disconnected".into()))?;
-            }
-            RouteTargets::All => {
-                for (i, target) in route.targets.iter().enumerate() {
-                    downstream[ri][i]
-                        .send(Envelope {
-                            channel: target.channel,
-                            msg: Message::Data(tuple.clone()),
-                        })
-                        .map_err(|_| EngineError::Execution("downstream disconnected".into()))?;
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
+/// Send a control message (watermark, barrier, EOS) to every downstream
+/// target of every route. Data never travels this way — it goes through the
+/// [`EdgeBatcher`], which flushes pending batches *before* any marker is
+/// broadcast so channel order is preserved.
 pub(crate) fn broadcast(
     routes: &[crate::physical::OutRoute],
     downstream: &[Vec<Sender<Envelope>>],

@@ -8,7 +8,7 @@
 
 use crate::physical::PhysicalPlan;
 use pdsp_telemetry::{
-    FlightEventKind, FlightRecorder, InstanceMetrics, MetricsRegistry, RunTelemetry,
+    FlightEventKind, FlightRecorder, FlushReason, InstanceMetrics, MetricsRegistry, RunTelemetry,
     TelemetryConfig,
 };
 use std::sync::Arc;
@@ -30,9 +30,23 @@ pub fn telemetry_for_plan(app: &str, plan: &PhysicalPlan, config: TelemetryConfi
 }
 
 /// Cheap per-worker telemetry handle. Cloned into each worker thread;
-/// disabled probes carry `None` and compile down to branches on a local.
+/// disabled probes carry `None` and compile down to branches on a local —
+/// the uninstrumented hot path pays only a branch per call.
+///
+/// A default-constructed probe is disabled and every method is a no-op:
+///
+/// ```
+/// use pdsp_engine::telemetry::Probe;
+/// use pdsp_telemetry::FlushReason;
+///
+/// let probe = Probe::default();
+/// assert!(!probe.enabled());
+/// probe.tuples_in(10);
+/// probe.batch_out(64, FlushReason::Size); // recorded nowhere, costs a branch
+/// assert!(probe.now_if().is_none());
+/// ```
 #[derive(Clone, Default)]
-pub(crate) struct Probe {
+pub struct Probe {
     metrics: Option<Arc<InstanceMetrics>>,
     recorder: Option<Arc<FlightRecorder>>,
     node: usize,
@@ -42,7 +56,7 @@ pub(crate) struct Probe {
 impl Probe {
     /// Probe for physical instance `id`, or a disabled probe when `tel` is
     /// `None`.
-    pub(crate) fn for_instance(
+    pub fn for_instance(
         tel: Option<&RunTelemetry>,
         id: usize,
         node: usize,
@@ -59,56 +73,72 @@ impl Probe {
         }
     }
 
+    /// Whether this probe records anywhere.
     #[inline]
-    pub(crate) fn enabled(&self) -> bool {
+    pub fn enabled(&self) -> bool {
         self.metrics.is_some()
     }
 
+    /// Count `n` tuples received by this instance.
     #[inline]
-    pub(crate) fn tuples_in(&self, n: u64) {
+    pub fn tuples_in(&self, n: u64) {
         if let Some(m) = &self.metrics {
             m.add_tuples_in(n);
         }
     }
 
+    /// Count `n` tuples emitted by this instance.
     #[inline]
-    pub(crate) fn tuples_out(&self, n: u64) {
+    pub fn tuples_out(&self, n: u64) {
         if let Some(m) = &self.metrics {
             m.add_tuples_out(n);
         }
     }
 
+    /// Record one flushed outgoing micro-batch (size in tuples + trigger).
     #[inline]
-    pub(crate) fn queue_depth(&self, depth: usize) {
+    pub fn batch_out(&self, tuples: u64, reason: FlushReason) {
+        if let Some(m) = &self.metrics {
+            m.record_batch(tuples, reason);
+        }
+    }
+
+    /// Record the current input queue length (backpressure proxy).
+    #[inline]
+    pub fn queue_depth(&self, depth: usize) {
         if let Some(m) = &self.metrics {
             m.observe_queue_depth(depth as u64);
         }
     }
 
+    /// Record one end-to-end latency observation in nanoseconds.
     #[inline]
-    pub(crate) fn latency_ns(&self, ns: u64) {
+    pub fn latency_ns(&self, ns: u64) {
         if let Some(m) = &self.metrics {
             m.record_latency_ns(ns);
         }
     }
 
+    /// Overwrite the cumulative fired-pane and late-tuple counts.
     #[inline]
-    pub(crate) fn window_state(&self, fires: u64, late: u64) {
+    pub fn window_state(&self, fires: u64, late: u64) {
         if let Some(m) = &self.metrics {
             m.set_window_fires(fires);
             m.set_late_tuples(late);
         }
     }
 
+    /// Record one completed checkpoint and its duration.
     #[inline]
-    pub(crate) fn checkpoint(&self, ns: u64) {
+    pub fn checkpoint(&self, ns: u64) {
         if let Some(m) = &self.metrics {
             m.record_checkpoint(ns);
         }
     }
 
+    /// Count one recovery-driven restart of this instance.
     #[inline]
-    pub(crate) fn restart(&self) {
+    pub fn restart(&self) {
         if let Some(m) = &self.metrics {
             m.add_restart();
         }
@@ -117,14 +147,14 @@ impl Probe {
     /// `Instant::now()` only when enabled — the disabled hot path must not
     /// pay for clock reads.
     #[inline]
-    pub(crate) fn now_if(&self) -> Option<Instant> {
+    pub fn now_if(&self) -> Option<Instant> {
         self.metrics.as_ref().map(|_| Instant::now())
     }
 
     /// Account the time since `since` as idle (waiting for input) and
     /// return the processing start time.
     #[inline]
-    pub(crate) fn mark_idle(&self, since: Option<Instant>) -> Option<Instant> {
+    pub fn mark_idle(&self, since: Option<Instant>) -> Option<Instant> {
         match (&self.metrics, since) {
             (Some(m), Some(t0)) => {
                 let now = Instant::now();
@@ -137,14 +167,14 @@ impl Probe {
 
     /// Account the time since `since` as busy (processing a message).
     #[inline]
-    pub(crate) fn mark_busy(&self, since: Option<Instant>) {
+    pub fn mark_busy(&self, since: Option<Instant>) {
         if let (Some(m), Some(t0)) = (&self.metrics, since) {
             m.add_busy_ns(t0.elapsed().as_nanos() as u64);
         }
     }
 
     /// Record a flight-recorder event attributed to this worker.
-    pub(crate) fn event(&self, kind: FlightEventKind, detail: impl Into<String>) {
+    pub fn event(&self, kind: FlightEventKind, detail: impl Into<String>) {
         if let Some(r) = &self.recorder {
             r.record(kind, self.node, self.instance, detail);
         }

@@ -112,6 +112,15 @@ pub trait Udo: Send {
     /// Process one input tuple from the given input port.
     fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>);
 
+    /// Process a whole micro-batch from the given input port. The default
+    /// loops [`Udo::on_tuple`]; override when a batch can be processed more
+    /// cheaply (e.g. fused operator chains).
+    fn on_batch(&mut self, port: usize, tuples: Vec<Tuple>, out: &mut Vec<Tuple>) {
+        for t in tuples {
+            self.on_tuple(port, t, out);
+        }
+    }
+
     /// Observe a watermark (event-time ms). Default: ignore.
     fn on_watermark(&mut self, _watermark: i64, _out: &mut Vec<Tuple>) {}
 

@@ -92,6 +92,42 @@ const METRICS: &[Metric] = &[
         value: |s| Some(s.restarts as f64),
     },
     Metric {
+        name: "pdsp_batches_out_total",
+        help: "Outgoing micro-batches flushed downstream.",
+        kind: "counter",
+        value: |s| Some(s.batches_out as f64),
+    },
+    Metric {
+        name: "pdsp_flush_size_total",
+        help: "Batches flushed on reaching the size bound.",
+        kind: "counter",
+        value: |s| Some(s.flush_size as f64),
+    },
+    Metric {
+        name: "pdsp_flush_linger_total",
+        help: "Batches flushed by the idle-input linger timer.",
+        kind: "counter",
+        value: |s| Some(s.flush_linger as f64),
+    },
+    Metric {
+        name: "pdsp_flush_marker_total",
+        help: "Batches flushed ahead of a watermark or barrier.",
+        kind: "counter",
+        value: |s| Some(s.flush_marker as f64),
+    },
+    Metric {
+        name: "pdsp_flush_eos_total",
+        help: "Batches flushed by the end-of-stream drain.",
+        kind: "counter",
+        value: |s| Some(s.flush_eos as f64),
+    },
+    Metric {
+        name: "pdsp_batch_size_p50",
+        help: "Median flushed batch size in tuples.",
+        kind: "gauge",
+        value: |s| (!s.batch_size.is_empty()).then(|| s.batch_size.quantile(0.5) as f64),
+    },
+    Metric {
         name: "pdsp_latency_p50_ms",
         help: "Median end-to-end latency (sink instances).",
         kind: "gauge",

@@ -86,6 +86,7 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
+    /// Create an empty histogram.
     pub fn new() -> Self {
         LogHistogram {
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
@@ -157,19 +158,25 @@ pub struct Bucket {
 /// (see [`QUANTILE_RELATIVE_ERROR`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
+    /// Total observations recorded.
     pub count: u64,
+    /// Sum of all observed values.
     pub sum: u64,
+    /// Smallest observed value (0 when empty).
     pub min: u64,
+    /// Largest observed value.
     pub max: u64,
     /// Non-empty buckets, sorted by index.
     pub buckets: Vec<Bucket>,
 }
 
 impl HistogramSnapshot {
+    /// Create an empty snapshot.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }

@@ -21,6 +21,8 @@
 //! This crate is a dependency leaf (no other `pdsp-*` crates), so the
 //! engine, simulator, metrics, and controller can all share one schema.
 
+#![warn(missing_docs)]
+
 pub mod export;
 pub mod histogram;
 pub mod recorder;
@@ -31,7 +33,7 @@ pub mod snapshot;
 pub use export::{json_lines, prometheus_text};
 pub use histogram::{HistogramSnapshot, LogHistogram, QUANTILE_RELATIVE_ERROR};
 pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
-pub use registry::{InstanceMetrics, MetricsRegistry};
+pub use registry::{FlushReason, InstanceMetrics, MetricsRegistry};
 pub use sampler::{RunTelemetry, Sampler, TelemetryConfig};
 pub use snapshot::{InstanceSnapshot, TelemetryTimeline, TimelineSample};
 

@@ -14,15 +14,25 @@ use std::time::Instant;
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FlightEventKind {
+    /// A run began executing.
     RunStarted,
+    /// A run finished (successfully or not).
     RunFinished,
+    /// A source emitted a checkpoint barrier.
     BarrierInjected,
+    /// An instance finished persisting its checkpoint snapshot.
     CheckpointCompleted,
+    /// A window pane fired results downstream.
     PaneFired,
+    /// A configured fault injector fired.
     FaultInjected,
+    /// A worker thread panicked.
     WorkerPanicked,
+    /// A worker thread returned an error.
     WorkerFailed,
+    /// The supervisor began restoring from the last checkpoint.
     RecoveryStarted,
+    /// The supervisor finished restarting the topology.
     RestartCompleted,
 }
 
@@ -49,6 +59,7 @@ impl FlightEventKind {
 pub struct FlightEvent {
     /// Milliseconds since the recorder was created.
     pub t_ms: u64,
+    /// Event category.
     pub kind: FlightEventKind,
     /// Logical plan node the event belongs to (0 when not applicable).
     pub node: usize,
@@ -68,8 +79,10 @@ pub struct FlightRecorder {
 }
 
 impl FlightRecorder {
+    /// Ring capacity used by [`FlightRecorder::default`].
     pub const DEFAULT_CAPACITY: usize = 1024;
 
+    /// Create a recorder retaining at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         FlightRecorder {
@@ -108,10 +121,12 @@ impl FlightRecorder {
         self.ring.lock().iter().cloned().collect()
     }
 
+    /// Number of events currently retained.
     pub fn len(&self) -> usize {
         self.ring.lock().len()
     }
 
+    /// `true` when no events are retained.
     pub fn is_empty(&self) -> bool {
         self.ring.lock().is_empty()
     }

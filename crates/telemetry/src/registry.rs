@@ -11,6 +11,25 @@ use crate::snapshot::InstanceSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Why a sender flushed a pending micro-batch downstream.
+///
+/// The engine's batched data plane accumulates tuples into per-destination
+/// builders and flushes them on one of four triggers; counting the triggers
+/// separately makes it visible whether a run is size-bound (healthy, high
+/// throughput), linger-bound (input too slow to fill batches), or dominated
+/// by marker traffic (watermark/barrier interval smaller than the batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The builder reached the configured maximum batch size.
+    Size,
+    /// The flush timer fired while tuples were pending (idle input).
+    Linger,
+    /// A watermark or checkpoint barrier had to be sent in channel order.
+    Marker,
+    /// End of stream: final drain of every pending builder.
+    Eos,
+}
+
 /// Atomic counter shard for one operator instance.
 ///
 /// All mutators use relaxed ordering — telemetry needs monotonic counters,
@@ -35,10 +54,17 @@ pub struct InstanceMetrics {
     checkpoints: AtomicU64,
     checkpoint_ns: AtomicU64,
     restarts: AtomicU64,
+    batches_out: AtomicU64,
+    flush_size: AtomicU64,
+    flush_linger: AtomicU64,
+    flush_marker: AtomicU64,
+    flush_eos: AtomicU64,
     latency: LogHistogram,
+    batch_size: LogHistogram,
 }
 
 impl InstanceMetrics {
+    /// Create a zeroed shard labeled with its operator, instance, and node.
     pub fn new(operator: impl Into<String>, instance: usize, node: impl Into<String>) -> Self {
         InstanceMetrics {
             operator: operator.into(),
@@ -55,15 +81,23 @@ impl InstanceMetrics {
             checkpoints: AtomicU64::new(0),
             checkpoint_ns: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            batches_out: AtomicU64::new(0),
+            flush_size: AtomicU64::new(0),
+            flush_linger: AtomicU64::new(0),
+            flush_marker: AtomicU64::new(0),
+            flush_eos: AtomicU64::new(0),
             latency: LogHistogram::new(),
+            batch_size: LogHistogram::new(),
         }
     }
 
+    /// Add `n` to the consumed-tuple counter.
     #[inline]
     pub fn add_tuples_in(&self, n: u64) {
         self.tuples_in.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add `n` to the emitted-tuple counter.
     #[inline]
     pub fn add_tuples_out(&self, n: u64) {
         self.tuples_out.fetch_add(n, Ordering::Relaxed);
@@ -88,11 +122,13 @@ impl InstanceMetrics {
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Add time spent processing frames.
     #[inline]
     pub fn add_busy_ns(&self, ns: u64) {
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Add time spent waiting for input.
     #[inline]
     pub fn add_idle_ns(&self, ns: u64) {
         self.idle_ns.fetch_add(ns, Ordering::Relaxed);
@@ -105,6 +141,7 @@ impl InstanceMetrics {
         self.checkpoint_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Count one recovery restart of this instance.
     #[inline]
     pub fn add_restart(&self) {
         self.restarts.fetch_add(1, Ordering::Relaxed);
@@ -116,10 +153,32 @@ impl InstanceMetrics {
         self.latency.record(ns);
     }
 
+    /// Record one flushed outgoing micro-batch: its size (tuples) feeds the
+    /// batch-size histogram and its trigger the per-reason flush counters.
+    #[inline]
+    pub fn record_batch(&self, tuples: u64, reason: FlushReason) {
+        self.batches_out.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(tuples);
+        let counter = match reason {
+            FlushReason::Size => &self.flush_size,
+            FlushReason::Linger => &self.flush_linger,
+            FlushReason::Marker => &self.flush_marker,
+            FlushReason::Eos => &self.flush_eos,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Micro-batches flushed downstream so far.
+    pub fn batches_out(&self) -> u64 {
+        self.batches_out.load(Ordering::Relaxed)
+    }
+
+    /// Tuples consumed so far.
     pub fn tuples_in(&self) -> u64 {
         self.tuples_in.load(Ordering::Relaxed)
     }
 
+    /// Tuples emitted so far.
     pub fn tuples_out(&self) -> u64 {
         self.tuples_out.load(Ordering::Relaxed)
     }
@@ -142,7 +201,13 @@ impl InstanceMetrics {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_ns: self.checkpoint_ns.load(Ordering::Relaxed),
             restarts: self.restarts.load(Ordering::Relaxed),
+            batches_out: self.batches_out.load(Ordering::Relaxed),
+            flush_size: self.flush_size.load(Ordering::Relaxed),
+            flush_linger: self.flush_linger.load(Ordering::Relaxed),
+            flush_marker: self.flush_marker.load(Ordering::Relaxed),
+            flush_eos: self.flush_eos.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            batch_size: self.batch_size.snapshot(),
         }
     }
 }
@@ -156,6 +221,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// Create an empty registry for the named application.
     pub fn new(app: impl Into<String>) -> Self {
         MetricsRegistry {
             app: app.into(),
@@ -186,10 +252,12 @@ impl MetricsRegistry {
         Arc::clone(&self.instances[idx])
     }
 
+    /// Number of registered shards.
     pub fn len(&self) -> usize {
         self.instances.len()
     }
 
+    /// `true` when no shards are registered.
     pub fn is_empty(&self) -> bool {
         self.instances.is_empty()
     }
@@ -236,6 +304,27 @@ mod tests {
         assert!((s.busy_fraction() - 0.3).abs() < 1e-12);
         assert_eq!((s.checkpoints, s.checkpoint_ns), (1, 1_000));
         assert_eq!(s.latency.count, 1);
+    }
+
+    #[test]
+    fn batch_flushes_split_by_reason() {
+        let mut reg = MetricsRegistry::new("WC");
+        let m = reg.register("split", 0, "local");
+        m.record_batch(64, FlushReason::Size);
+        m.record_batch(64, FlushReason::Size);
+        m.record_batch(3, FlushReason::Marker);
+        m.record_batch(1, FlushReason::Linger);
+        m.record_batch(7, FlushReason::Eos);
+        assert_eq!(m.batches_out(), 5);
+        let s = &reg.snapshot()[0];
+        assert_eq!(s.batches_out, 5);
+        assert_eq!(
+            (s.flush_size, s.flush_linger, s.flush_marker, s.flush_eos),
+            (2, 1, 1, 1)
+        );
+        assert_eq!(s.batch_size.count, 5);
+        // The histogram's log-linear buckets are exact for small values.
+        assert_eq!(s.batch_size.quantile(1.0), 64);
     }
 
     #[test]

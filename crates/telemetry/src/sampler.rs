@@ -36,12 +36,16 @@ impl Default for TelemetryConfig {
 /// the flight recorder they log events to.
 #[derive(Debug)]
 pub struct RunTelemetry {
+    /// Per-instance metric shards.
     pub registry: Arc<MetricsRegistry>,
+    /// Structured event ring.
     pub recorder: Arc<FlightRecorder>,
+    /// Sampling/dump configuration for this run.
     pub config: TelemetryConfig,
 }
 
 impl RunTelemetry {
+    /// Wrap a populated registry in shared run-telemetry state.
     pub fn new(registry: MetricsRegistry, config: TelemetryConfig) -> Self {
         RunTelemetry {
             registry: Arc::new(registry),

@@ -48,9 +48,29 @@ pub struct InstanceSnapshot {
     pub checkpoint_ns: u64,
     /// Times this instance was restarted by recovery.
     pub restarts: u64,
+    /// Outgoing micro-batches flushed downstream (0 for sinks and for
+    /// tuple-at-a-time framing). Absent in pre-batching snapshots.
+    #[serde(default)]
+    pub batches_out: u64,
+    /// Batches flushed because the builder reached the size bound.
+    #[serde(default)]
+    pub flush_size: u64,
+    /// Batches flushed by the idle-input linger timer.
+    #[serde(default)]
+    pub flush_linger: u64,
+    /// Batches flushed ahead of a watermark or checkpoint barrier.
+    #[serde(default)]
+    pub flush_marker: u64,
+    /// Batches flushed by the end-of-stream drain.
+    #[serde(default)]
+    pub flush_eos: u64,
     /// End-to-end latency distribution in nanoseconds (sink instances only;
     /// empty elsewhere).
     pub latency: HistogramSnapshot,
+    /// Distribution of flushed batch sizes in tuples (empty for sinks and
+    /// for tuple-at-a-time framing). Absent in pre-batching snapshots.
+    #[serde(default)]
+    pub batch_size: HistogramSnapshot,
 }
 
 impl InstanceSnapshot {
@@ -71,6 +91,7 @@ pub struct TimelineSample {
     /// Milliseconds since run start (wall clock for the threaded runtime,
     /// simulated time for the simulator).
     pub t_ms: u64,
+    /// One snapshot per registered operator instance.
     pub instances: Vec<InstanceSnapshot>,
 }
 

@@ -30,6 +30,7 @@ fn fixture() -> Vec<InstanceSnapshot> {
             checkpoint_ns: 3_000_000,
             restarts: 0,
             latency: HistogramSnapshot::new(),
+            ..Default::default()
         },
         InstanceSnapshot {
             app: "WC".into(),
@@ -48,6 +49,7 @@ fn fixture() -> Vec<InstanceSnapshot> {
             checkpoint_ns: 0,
             restarts: 1,
             latency,
+            ..Default::default()
         },
     ]
 }
@@ -182,6 +184,12 @@ fn json_lines_schema_is_stable() {
         "checkpoints",
         "checkpoint_ns",
         "restarts",
+        "batches_out",
+        "flush_size",
+        "flush_linger",
+        "flush_marker",
+        "flush_eos",
+        "batch_size",
         "latency",
     ];
     expected.sort_unstable();
