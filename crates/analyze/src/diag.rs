@@ -45,7 +45,8 @@ impl Serialize for Severity {
 /// Stable diagnostic codes (the PB0xx table in DESIGN.md).
 ///
 /// PB00x: key-flow; PB01x: exactly-once safety; PB02x: state bounds;
-/// PB03x: backpressure/deadlock hazards; PB04x: plan-cost smells.
+/// PB03x: backpressure/deadlock hazards; PB04x: plan-cost smells;
+/// PB05x: overload/skew hazards.
 ///
 /// The string form is the stable interface — exact-match it in tooling;
 /// the enum variant names may be renamed:
@@ -122,6 +123,13 @@ pub enum Code {
     FunnelBottleneck,
     /// PB043: parallelism jump too steep between adjacent operators.
     ParallelismCliff,
+    /// PB051: keyed stateful operator vulnerable to hot-key skew.
+    SkewVulnerableKeyedOp,
+    /// PB052: hot-key-split edge with no downstream merge stage.
+    UnmergedHotKeySplit,
+    /// PB053: event-time window merging independent streams without
+    /// lateness tolerance.
+    LatenessHazard,
 }
 
 impl Code {
@@ -147,6 +155,9 @@ impl Code {
             Code::ForwardChainBreak => "PB041",
             Code::FunnelBottleneck => "PB042",
             Code::ParallelismCliff => "PB043",
+            Code::SkewVulnerableKeyedOp => "PB051",
+            Code::UnmergedHotKeySplit => "PB052",
+            Code::LatenessHazard => "PB053",
         }
     }
 
@@ -157,7 +168,8 @@ impl Code {
             | Code::JoinSidePartition
             | Code::KeyedUdoPartition
             | Code::GlobalOpSplit
-            | Code::NonDeterministicUdo => Severity::Error,
+            | Code::NonDeterministicUdo
+            | Code::UnmergedHotKeySplit => Severity::Error,
             Code::GlobalOpReplicated
             | Code::UndeclaredStatefulPartition
             | Code::SideEffectingUdo
@@ -171,7 +183,9 @@ impl Code {
             | Code::KeyedStateGrowth
             | Code::ChannelExplosion
             | Code::ForwardChainBreak
-            | Code::ParallelismCliff => Severity::Hint,
+            | Code::ParallelismCliff
+            | Code::SkewVulnerableKeyedOp
+            | Code::LatenessHazard => Severity::Hint,
         }
     }
 }

@@ -4,7 +4,7 @@
 //! The analyzer inspects a [`LogicalPlan`] (or the logical plan inside a
 //! [`PhysicalPlan`]) and reports [`Diagnostic`]s — stable `PB0xx` codes
 //! with severities, spans, messages, and suggestions — without executing
-//! anything. Five passes run over a shared [`AnalysisContext`]:
+//! anything. Six passes run over a shared [`AnalysisContext`]:
 //!
 //! | pass | codes | question |
 //! |------|-------|----------|
@@ -13,6 +13,7 @@
 //! | state-bounds | PB021-PB023 | does memory stay flat over an unbounded stream? |
 //! | backpressure | PB031-PB033 | can the channel topology stall or amplify load? |
 //! | cost-smells | PB041-PB043 | is throughput left on the table? |
+//! | hazards | PB051-PB053 | does the plan survive hot keys, bursts, and late storms? |
 //!
 //! Unlike [`LogicalPlan::validate`], the analyzer accepts semantically
 //! broken plans on purpose — it exists to *explain* what is wrong with
@@ -43,6 +44,7 @@ pub mod context;
 pub mod cost_smells;
 pub mod diag;
 pub mod exactly_once;
+pub mod hazards;
 pub mod keyflow;
 pub mod state_bounds;
 
@@ -82,6 +84,7 @@ impl Analyzer {
                 Box::new(state_bounds::StateBoundsPass),
                 Box::new(backpressure::BackpressurePass),
                 Box::new(cost_smells::CostSmellsPass),
+                Box::new(hazards::HazardPass),
             ],
         }
     }
@@ -144,7 +147,7 @@ mod tests {
     }
 
     #[test]
-    fn default_pipeline_has_five_passes() {
+    fn default_pipeline_has_six_passes() {
         assert_eq!(
             Analyzer::new().pass_names(),
             vec![
@@ -152,7 +155,8 @@ mod tests {
                 "exactly-once",
                 "state-bounds",
                 "backpressure",
-                "cost-smells"
+                "cost-smells",
+                "hazards"
             ]
         );
     }

@@ -594,6 +594,133 @@ fn parallelism_cliff() -> LogicalPlan {
     b.build_unchecked()
 }
 
+/// PB051: a keyed aggregate at parallelism 8 with no skew mitigation.
+fn skew_vulnerable_agg() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let s = b.add_node(
+        "src",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let a = b.add_node(
+        "agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(8),
+            func: AggFunc::Sum,
+            agg_field: 1,
+            key_field: Some(0),
+        },
+        8,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(s, a, 0, Partitioning::Hash(vec![0]));
+    b.add_edge(a, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
+/// PB052: a hot-key-split edge whose downstream never merges partials.
+/// Splitting the pre-aggregator's input is the mitigation for the plan
+/// above — but without a merge stage the partial sums reach the sink as
+/// separate tuples.
+fn unmerged_hot_key_split() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let s = b.add_node(
+        "src",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let a = b.add_node(
+        "pre-agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(8),
+            func: AggFunc::Sum,
+            agg_field: 1,
+            key_field: Some(0),
+        },
+        8,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(s, a, 0, Partitioning::HashSplit(vec![0], 4));
+    b.add_edge(a, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
+/// Control for PB052: the same split followed by a merge UDO. Also a
+/// control for PB051 — the split edge suppresses the skew hint on the
+/// pre-aggregator.
+fn merged_hot_key_split() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let s = b.add_node(
+        "src",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let a = b.add_node(
+        "pre-agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(8),
+            func: AggFunc::Sum,
+            agg_field: 1,
+            key_field: Some(0),
+        },
+        8,
+    );
+    let m = b.add_node(
+        "merge",
+        udo(UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            merges_hot_key_splits: true,
+            ..UdoProperties::default()
+        }),
+        2,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(s, a, 0, Partitioning::HashSplit(vec![0], 4));
+    b.add_edge(a, m, 0, Partitioning::Hash(vec![0]));
+    b.add_edge(m, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
+/// PB053: an event-time join of two independent sources.
+fn two_source_time_join() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let l = b.add_node(
+        "left",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let r = b.add_node(
+        "right",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let j = b.add_node(
+        "join",
+        OpKind::Join {
+            window: WindowSpec::tumbling_time(1_000),
+            left_key: 0,
+            right_key: 0,
+        },
+        2,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(l, j, 0, Partitioning::Hash(vec![0]));
+    b.add_edge(r, j, 1, Partitioning::Hash(vec![0]));
+    b.add_edge(j, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
 // ---------------------------------------------------------------------------
 // Golden assertions
 // ---------------------------------------------------------------------------
@@ -780,6 +907,49 @@ fn pb043_cliff() {
         &parallelism_cliff(),
         &[Code::ParallelismCliff],
     );
+}
+
+#[test]
+fn pb051_skew_vulnerable_keyed_agg_is_a_hint() {
+    let plan = skew_vulnerable_agg();
+    assert_codes("skew-vulnerable-agg", &plan, &[Code::SkewVulnerableKeyedOp]);
+    let report = analyze("skew-vulnerable-agg", &plan).unwrap();
+    assert_eq!(report.errors(), 0, "{}", report.render());
+    assert_eq!(report.warnings(), 0, "{}", report.render());
+}
+
+#[test]
+fn pb052_unmerged_hot_key_split_is_an_error() {
+    assert_codes(
+        "unmerged-hot-key-split",
+        &unmerged_hot_key_split(),
+        &[Code::UnmergedHotKeySplit],
+    );
+}
+
+#[test]
+fn merged_hot_key_split_is_error_free_and_unflagged() {
+    let report = analyze("merged-hot-key-split", &merged_hot_key_split()).unwrap();
+    assert_eq!(report.errors(), 0, "{}", report.render());
+    assert!(
+        !report.has(Code::UnmergedHotKeySplit),
+        "{}",
+        report.render()
+    );
+    // The split edge is the mitigation: no skew hint on the pre-aggregator.
+    assert!(
+        !report.has(Code::SkewVulnerableKeyedOp),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn pb053_two_source_time_join() {
+    let plan = two_source_time_join();
+    assert_codes("two-source-time-join", &plan, &[Code::LatenessHazard]);
+    let report = analyze("two-source-time-join", &plan).unwrap();
+    assert_eq!(report.errors(), 0, "{}", report.render());
 }
 
 #[test]

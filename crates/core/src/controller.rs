@@ -39,15 +39,20 @@ pub struct RunRecord {
 }
 
 /// Retry policy for one benchmark datapoint: attempt budget, per-attempt
-/// wall-clock timeout, and a fixed backoff between attempts.
+/// wall-clock timeout, and a decorrelated-jitter backoff between attempts.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Maximum attempts per datapoint (at least 1).
     pub max_attempts: usize,
     /// Per-attempt wall-clock timeout.
     pub timeout: Duration,
-    /// Sleep between attempts.
+    /// Base (minimum) sleep between attempts.
     pub backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter draws: the same seed reproduces the exact
+    /// backoff schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -56,6 +61,8 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             timeout: Duration::from_secs(60),
             backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0x5eed,
         }
     }
 }
@@ -68,7 +75,45 @@ impl RetryPolicy {
                 "retry policy needs max_attempts >= 1".into(),
             ));
         }
+        if self.backoff_cap < self.backoff {
+            return Err(EngineError::InvalidConfig(
+                "retry policy backoff_cap must be >= backoff".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The decorrelated-jitter backoff schedule for `retries` sleeps:
+    /// each delay is drawn uniformly from `[backoff, 3 * previous]` and
+    /// capped at `backoff_cap`. A fixed backoff synchronizes retries
+    /// across concurrent sweep items — every attempt that failed together
+    /// retries together, hitting the same contended resource in lockstep;
+    /// decorrelating the delays spreads the retry front out. Deterministic
+    /// given `jitter_seed`, so a recorded sweep replays exactly.
+    pub fn backoff_sequence(&self, retries: usize) -> Vec<Duration> {
+        let base = self.backoff.as_nanos() as u64;
+        let cap = (self.backoff_cap.as_nanos() as u64).max(base);
+        let mut state = self.jitter_seed;
+        let mut prev = base;
+        let mut out = Vec::with_capacity(retries);
+        for _ in 0..retries {
+            let upper = prev.saturating_mul(3).clamp(base, cap);
+            let span = upper - base;
+            let draw = if span == 0 {
+                base
+            } else {
+                // SplitMix64 step: full-period, seedable, dependency-free.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                base + z % (span + 1)
+            };
+            prev = draw;
+            out.push(Duration::from_nanos(draw));
+        }
+        out
     }
 }
 
@@ -117,6 +162,9 @@ where
     }
     let attempt = Arc::new(attempt);
     let mut last_err = None;
+    let mut backoffs = policy
+        .backoff_sequence(policy.max_attempts.saturating_sub(1))
+        .into_iter();
     for n in 1..=policy.max_attempts {
         let f = Arc::clone(&attempt);
         let (tx, rx) = mpsc::channel();
@@ -145,7 +193,7 @@ where
             }
         }
         if n < policy.max_attempts {
-            thread::sleep(policy.backoff);
+            thread::sleep(backoffs.next().unwrap_or(policy.backoff));
         }
     }
     RetryOutcome {
@@ -545,6 +593,7 @@ mod tests {
             max_attempts: 5,
             timeout: Duration::from_secs(5),
             backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
         };
         let outcome = run_with_retry(&policy, move |_| {
             if seen.fetch_add(1, Ordering::SeqCst) < 2 {
@@ -567,6 +616,7 @@ mod tests {
             max_attempts: 2,
             timeout: Duration::from_secs(5),
             backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
         };
         let outcome: RetryOutcome<u64> = run_with_retry(&policy, |_| {
             Err(pdsp_engine::error::EngineError::Execution(
@@ -587,6 +637,7 @@ mod tests {
             max_attempts: 1,
             timeout: Duration::from_millis(50),
             backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
         };
         let outcome: RetryOutcome<u64> = run_with_retry(&policy, |_| {
             thread::sleep(Duration::from_secs(30));
@@ -600,12 +651,67 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_stays_in_bounds_and_is_seed_deterministic() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        let seq = policy.backoff_sequence(8);
+        assert_eq!(seq.len(), 8);
+        let mut prev = policy.backoff;
+        for (i, d) in seq.iter().enumerate() {
+            assert!(*d >= policy.backoff, "delay {i} below base: {d:?}");
+            assert!(*d <= policy.backoff_cap, "delay {i} above cap: {d:?}");
+            assert!(
+                *d <= prev.saturating_mul(3).min(policy.backoff_cap),
+                "delay {i} exceeds 3x the previous delay: {d:?} vs {prev:?}"
+            );
+            prev = *d;
+        }
+        // Same seed replays the exact schedule; a different seed decorrelates.
+        assert_eq!(seq, policy.backoff_sequence(8));
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy.clone()
+        };
+        assert_ne!(seq, other.backoff_sequence(8));
+        // Degenerate policy (cap == base) collapses to a fixed backoff.
+        let fixed = RetryPolicy {
+            backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        };
+        assert!(fixed
+            .backoff_sequence(4)
+            .iter()
+            .all(|d| *d == Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn retry_rejects_cap_below_base_backoff() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        let outcome: RetryOutcome<u64> = run_with_retry(&policy, |_| Ok(1));
+        assert_eq!(outcome.status, DatapointStatus::Degraded);
+        assert!(outcome
+            .error
+            .map(|e| e.to_string().contains("backoff_cap"))
+            .unwrap_or(false));
+    }
+
+    #[test]
     fn sweep_recovers_flaky_points_and_continues_past_degraded_ones() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let policy = RetryPolicy {
             max_attempts: 3,
             timeout: Duration::from_secs(5),
             backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
         };
         let flaky_calls = Arc::new(AtomicUsize::new(0));
         let counter = flaky_calls.clone();

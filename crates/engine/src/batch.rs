@@ -52,6 +52,12 @@ impl EdgeBatcher {
         }
     }
 
+    /// Retarget the flush bound (adaptive batching under pressure). Builders
+    /// already above the new bound flush on their next push.
+    pub(crate) fn set_max(&mut self, max: usize) {
+        self.max = max.max(1);
+    }
+
     /// Route `tuple` through every out-edge partitioner into the selected
     /// builders, flushing any builder that reaches the size bound. With
     /// `batch_size == 1` this sends a `Message::Data` frame directly.
@@ -106,7 +112,11 @@ impl EdgeBatcher {
         ti: usize,
         tuple: Tuple,
     ) -> Result<()> {
-        if self.max == 1 {
+        // The direct-send shortcut is only safe when nothing is buffered
+        // for this slot: adaptive batching can shrink the bound back to 1
+        // while the builder still holds tuples from a larger bound, and a
+        // direct send would overtake them (reordering the edge).
+        if self.max == 1 && self.builders[ri][ti].is_empty() {
             downstream[ri][ti]
                 .send(Envelope {
                     channel: routes[ri].targets[ti].channel,
@@ -158,9 +168,10 @@ impl EdgeBatcher {
         probe: &Probe,
         reason: FlushReason,
     ) -> Result<()> {
-        if self.max == 1 {
-            return Ok(());
-        }
+        // No `max == 1` shortcut here: the bound can shrink to 1 at runtime
+        // (adaptive batching) while builders still hold tuples from a larger
+        // bound, and those must drain. With a static max of 1 the builders
+        // are always empty, so the loop is free.
         for ri in 0..self.builders.len() {
             for ti in 0..self.builders[ri].len() {
                 self.flush_one(routes, downstream, probe, ri, ti, reason)?;

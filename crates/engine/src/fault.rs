@@ -601,6 +601,8 @@ impl FtRuntime {
                     name: node.name.clone(),
                     tuples_in: 0,
                     tuples_out: 0,
+                    shed: 0,
+                    late: 0,
                 })
                 .collect(),
         };
@@ -621,10 +623,11 @@ impl FtRuntime {
                 result.tuples_in += emitted[inst_meta.id].load(Ordering::SeqCst);
             }
         }
-        for (node, n_in, n_out, _) in op_stats {
+        for (node, n_in, n_out, n_late) in op_stats {
             let s = &mut result.operator_stats[node];
             s.tuples_in += n_in;
             s.tuples_out += n_out;
+            s.late += n_late;
         }
         result.elapsed = start.elapsed();
         result
@@ -914,6 +917,9 @@ impl FtRuntime {
                 }
                 kind => {
                     let mut op = kind.instantiate();
+                    if self.config.run.overload.allowed_lateness_ms > 0 {
+                        op.set_allowed_lateness(self.config.run.overload.allowed_lateness_ms);
+                    }
                     if let Some(b) = restore_bytes.as_deref() {
                         op.restore(b)?;
                     }

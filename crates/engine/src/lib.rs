@@ -41,7 +41,9 @@ pub mod message;
 pub mod operator;
 pub mod physical;
 pub mod plan;
+pub mod pressure;
 pub mod runtime;
+pub mod skew;
 pub mod state;
 pub mod telemetry;
 pub mod udo;
@@ -59,7 +61,9 @@ pub use fault::{
 pub use operator::OpKind;
 pub use physical::PhysicalPlan;
 pub use plan::{Edge, LogicalNode, LogicalPlan, NodeId, Partitioning};
+pub use pressure::{OverloadConfig, PressureGauge, PressureLevel, ShedPolicy, Shedder};
 pub use runtime::{RunConfig, RunResult, ThreadedRuntime};
+pub use skew::{is_mergeable, window_merge_udo};
 pub use telemetry::telemetry_for_plan;
 pub use value::{Field, FieldType, Schema, Tuple, Value};
 pub use window::{WindowKind, WindowPolicy, WindowSpec};

@@ -428,6 +428,10 @@ pub trait OperatorInstance: Send {
     fn panes_fired(&self) -> u64 {
         0
     }
+
+    /// Configure watermark-aware allowed lateness (event-time ms). No-op
+    /// for operators without a notion of lateness.
+    fn set_allowed_lateness(&mut self, _ms: i64) {}
 }
 
 /// Identity operator (source/sink/union runtime bodies).
@@ -568,6 +572,10 @@ impl OperatorInstance for WindowAggInstance {
     fn panes_fired(&self) -> u64 {
         self.windower.panes_fired()
     }
+
+    fn set_allowed_lateness(&mut self, ms: i64) {
+        self.windower.set_allowed_lateness(ms);
+    }
 }
 
 struct SessionAggInstance {
@@ -639,6 +647,10 @@ impl OperatorInstance for SessionAggInstance {
     fn panes_fired(&self) -> u64 {
         self.windower.panes_fired()
     }
+
+    fn set_allowed_lateness(&mut self, ms: i64) {
+        self.windower.set_allowed_lateness(ms);
+    }
 }
 
 struct JoinInstance {
@@ -661,6 +673,14 @@ impl OperatorInstance for JoinInstance {
 
     fn restore(&mut self, bytes: &[u8]) -> Result<()> {
         self.state.restore(bytes)
+    }
+
+    fn late_events(&self) -> u64 {
+        self.state.late_events()
+    }
+
+    fn set_allowed_lateness(&mut self, ms: i64) {
+        self.state.set_allowed_lateness(ms);
     }
 }
 

@@ -11,6 +11,7 @@ use crate::error::{EngineError, Result};
 use crate::message::{Message, WatermarkTracker};
 use crate::operator::OpKind;
 use crate::physical::{PhysicalPlan, RouterState};
+use crate::pressure::{OverloadConfig, PressureGauge, PressureLevel, Shedder};
 use crate::telemetry::Probe;
 use crate::value::Tuple;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -97,6 +98,10 @@ pub struct RunConfig {
     /// together with `batch_size == 1` that is the historical per-tuple
     /// engine, bit for bit.
     pub operator_fusion: bool,
+    /// Overload-resilience ladder: pressure-driven adaptive batching and
+    /// accounted load shedding, plus watermark-aware allowed lateness.
+    /// Disabled by default — see [`OverloadConfig`].
+    pub overload: OverloadConfig,
 }
 
 impl Default for RunConfig {
@@ -109,6 +114,7 @@ impl Default for RunConfig {
             batch_size: 128,
             flush_interval_ms: 5,
             operator_fusion: true,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -152,6 +158,7 @@ impl RunConfig {
                     .into(),
             ));
         }
+        self.overload.validate()?;
         Ok(())
     }
 }
@@ -167,6 +174,11 @@ pub struct OperatorStats {
     pub tuples_in: u64,
     /// Tuples emitted across all instances.
     pub tuples_out: u64,
+    /// Tuples dropped by the load-shedding rung (included in `tuples_in`).
+    pub shed: u64,
+    /// Tuples counted late by windowed/join operators (dropped past the
+    /// allowed-lateness bound, or unjoinable).
+    pub late: u64,
 }
 
 impl OperatorStats {
@@ -210,6 +222,17 @@ impl RunResult {
         v.sort_unstable();
         let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         Some(v[rank.min(v.len() - 1)])
+    }
+
+    /// Total tuples shed across all operators (0 unless the overload ladder
+    /// reached the shedding rung).
+    pub fn total_shed(&self) -> u64 {
+        self.operator_stats.iter().map(|s| s.shed).sum()
+    }
+
+    /// Total late tuples across all operators.
+    pub fn total_late(&self) -> u64 {
+        self.operator_stats.iter().map(|s| s.late).sum()
     }
 }
 
@@ -283,8 +306,8 @@ impl ThreadedRuntime {
         let (sink_tx, sink_rx) = bounded::<(Vec<Tuple>, Vec<u64>, u64)>(n.max(4));
         // Source input counts.
         let (count_tx, count_rx) = bounded::<u64>(n.max(4));
-        // Per-instance operator counters: (logical node, in, out).
-        let (stats_tx, stats_rx) = bounded::<(usize, u64, u64)>(n.max(4));
+        // Per-instance operator counters: (logical node, in, out, shed, late).
+        let (stats_tx, stats_rx) = bounded::<(usize, u64, u64, u64, u64)>(n.max(4));
 
         if let Some(t) = tel {
             t.recorder
@@ -372,7 +395,7 @@ impl ThreadedRuntime {
                             FlushReason::Eos,
                         )?;
                         let _ = count_tx.send(emitted);
-                        let _ = stats_tx_src.send((lnode, emitted, emitted));
+                        let _ = stats_tx_src.send((lnode, emitted, emitted, 0, 0));
                         Ok(())
                     });
                     handles.push((inst.node, inst.index, worker));
@@ -434,19 +457,28 @@ impl ThreadedRuntime {
                             probe.mark_busy(work);
                         }
                         let _ = sink_tx.send((captured, latencies, total));
-                        let _ = stats_tx_sink.send((lnode, total, 0));
+                        let _ = stats_tx_sink.send((lnode, total, 0, 0, 0));
                         Ok(())
                     });
                     handles.push((inst.node, inst.index, worker));
                 }
                 kind => {
                     let mut op = kind.instantiate();
+                    if self.config.overload.allowed_lateness_ms > 0 {
+                        op.set_allowed_lateness(self.config.overload.allowed_lateness_ms);
+                    }
                     let rx = take_receiver(&mut receivers, inst.id)?;
                     let channels = plan.input_channel_count[inst.id];
                     let ports = plan.channel_ports[inst.id].clone();
                     let name = node.name.clone();
                     let batch_size = self.config.batch_size;
                     let flush_after = Duration::from_millis(self.config.flush_interval_ms);
+                    let overload = self.config.overload.clone();
+                    let gauge = overload
+                        .enabled
+                        .then(|| PressureGauge::new(&overload, self.config.frame_capacity()));
+                    let mut shedder =
+                        Shedder::new(overload.shed_policy.clone(), overload.seed, inst.id as u64);
                     let stats_tx_op = stats_tx.clone();
                     let lnode = inst.node;
                     let worker = std::thread::spawn(move || -> Result<()> {
@@ -455,10 +487,12 @@ impl ThreadedRuntime {
                         let mut tracker = WatermarkTracker::new(channels);
                         let mut out = Vec::new();
                         let mut closed = 0usize;
-                        let (mut n_in, mut n_out) = (0u64, 0u64);
+                        let (mut n_in, mut n_out, mut n_shed) = (0u64, 0u64, 0u64);
+                        let mut linger = flush_after;
+                        let mut shed_fraction = 0.0f64;
                         while closed < channels {
                             let wait = probe.now_if();
-                            let env = match rx.recv_timeout(flush_after) {
+                            let env = match rx.recv_timeout(linger) {
                                 Ok(env) => env,
                                 Err(RecvTimeoutError::Timeout) => {
                                     // Idle input: drain partial batches so
@@ -478,13 +512,45 @@ impl ThreadedRuntime {
                                 }
                             };
                             let work = probe.mark_idle(wait);
+                            let depth = rx.len();
                             if probe.enabled() {
-                                probe.queue_depth(rx.len());
+                                probe.queue_depth(depth);
+                            }
+                            if let Some(g) = &gauge {
+                                // Escalation ladder: rung from the bounded
+                                // input queue's occupancy.
+                                let level = g.level(depth);
+                                probe.pressure(level as u64);
+                                match level {
+                                    PressureLevel::Normal => {
+                                        batcher.set_max(batch_size);
+                                        linger = flush_after;
+                                        shed_fraction = 0.0;
+                                    }
+                                    PressureLevel::Batch => {
+                                        batcher.set_max(batch_size * overload.batch_growth);
+                                        linger = (flush_after / 2).max(Duration::from_millis(1));
+                                        shed_fraction = 0.0;
+                                    }
+                                    PressureLevel::Shed => {
+                                        batcher.set_max(batch_size * overload.batch_growth);
+                                        linger = (flush_after / 2).max(Duration::from_millis(1));
+                                        shed_fraction = g.shed_fraction(depth);
+                                    }
+                                }
                             }
                             match env.msg {
                                 Message::Data(t) => {
                                     n_in += 1;
                                     probe.tuples_in(1);
+                                    if shed_fraction > 0.0
+                                        && shedder.should_shed(shed_fraction, &t, 0, 1)
+                                    {
+                                        n_shed += 1;
+                                        probe.shed(1);
+                                        probe.mark_busy(work);
+                                        continue;
+                                    }
                                     out.clear();
                                     op.on_tuple(ports[env.channel], t, &mut out)?;
                                     n_out += out.len() as u64;
@@ -502,8 +568,26 @@ impl ThreadedRuntime {
                                 Message::Batch(b) => {
                                     n_in += b.len() as u64;
                                     probe.tuples_in(b.len() as u64);
+                                    let tuples = if shed_fraction > 0.0 {
+                                        let frame_len = b.tuples.len();
+                                        let mut kept = Vec::with_capacity(frame_len);
+                                        let mut dropped = 0u64;
+                                        for (i, t) in b.tuples.into_iter().enumerate() {
+                                            if shedder.should_shed(shed_fraction, &t, i, frame_len)
+                                            {
+                                                dropped += 1;
+                                            } else {
+                                                kept.push(t);
+                                            }
+                                        }
+                                        n_shed += dropped;
+                                        probe.shed(dropped);
+                                        kept
+                                    } else {
+                                        b.tuples
+                                    };
                                     out.clear();
-                                    op.on_batch(ports[env.channel], b.tuples, &mut out)?;
+                                    op.on_batch(ports[env.channel], tuples, &mut out)?;
                                     n_out += out.len() as u64;
                                     probe.tuples_out(out.len() as u64);
                                     for t in out.drain(..) {
@@ -592,7 +676,11 @@ impl ThreadedRuntime {
                             Message::Eos,
                             FlushReason::Eos,
                         )?;
-                        let _ = stats_tx_op.send((lnode, n_in, n_out));
+                        // The queue is drained: report the gauge at rest so
+                        // post-run alarm evaluation sees recovery, not the
+                        // last mid-storm level.
+                        probe.pressure(PressureLevel::Normal as u64);
+                        let _ = stats_tx_op.send((lnode, n_in, n_out, n_shed, op.late_events()));
                         Ok(())
                     });
                     handles.push((inst.node, inst.index, worker));
@@ -620,6 +708,8 @@ impl ThreadedRuntime {
                     name: n.name.clone(),
                     tuples_in: 0,
                     tuples_out: 0,
+                    shed: 0,
+                    late: 0,
                 })
                 .collect(),
         };
@@ -633,10 +723,12 @@ impl ThreadedRuntime {
         for c in count_rx.iter() {
             result.tuples_in += c;
         }
-        for (node, n_in, n_out) in stats_rx.iter() {
+        for (node, n_in, n_out, n_shed, n_late) in stats_rx.iter() {
             let s = &mut result.operator_stats[node];
             s.tuples_in += n_in;
             s.tuples_out += n_out;
+            s.shed += n_shed;
+            s.late += n_late;
         }
 
         let mut errors: Vec<EngineError> = Vec::new();

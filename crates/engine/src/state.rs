@@ -61,6 +61,15 @@ pub struct JoinState {
     right_key: usize,
     left: JoinSide,
     right: JoinSide,
+    /// Highest watermark observed (time policy); tuples older than the
+    /// eviction horizon behind it are unjoinable and counted late.
+    watermark: i64,
+    /// Extra event-time slack before a behind-watermark tuple counts late.
+    allowed_lateness: i64,
+    /// Tuples discarded as unjoinable: key field missing, or arrived behind
+    /// the eviction horizon (their partners are already gone). Accounted,
+    /// never silent.
+    late: u64,
 }
 
 impl JoinState {
@@ -72,7 +81,22 @@ impl JoinState {
             right_key,
             left: JoinSide::default(),
             right: JoinSide::default(),
+            watermark: i64::MIN,
+            allowed_lateness: 0,
+            late: 0,
         }
+    }
+
+    /// Accept time-policy tuples up to `ms` behind the eviction horizon
+    /// before discarding them as late. Configuration, not checkpointed.
+    pub fn set_allowed_lateness(&mut self, ms: i64) {
+        self.allowed_lateness = ms.max(0);
+    }
+
+    /// Tuples discarded as unjoinable (missing key field or behind the
+    /// eviction horizon).
+    pub fn late_events(&self) -> u64 {
+        self.late
     }
 
     /// Total buffered tuples on both sides.
@@ -89,8 +113,22 @@ impl JoinState {
             (self.right_key, self.left_key)
         };
         let Some(key) = tuple.values.get(own_key_idx).cloned() else {
-            return; // key field missing: tuple cannot participate
+            self.late += 1; // key field missing: tuple cannot participate
+            return;
         };
+        if self.spec.policy == WindowPolicy::Time && self.watermark > i64::MIN {
+            // Behind the eviction horizon (minus any allowance): every
+            // possible partner has been evicted, so buffering or probing is
+            // pointless — account and discard.
+            let horizon = self
+                .watermark
+                .saturating_sub(self.spec.length as i64)
+                .saturating_sub(self.allowed_lateness);
+            if tuple.event_time < horizon {
+                self.late += 1;
+                return;
+            }
+        }
 
         // Probe the opposite side.
         let probe = if port == 0 { &self.right } else { &self.left };
@@ -135,7 +173,10 @@ impl JoinState {
     /// Watermark: evict time-window state that can no longer join.
     pub fn on_watermark(&mut self, watermark: i64) {
         if self.spec.policy == WindowPolicy::Time {
-            let horizon = watermark.saturating_sub(self.spec.length as i64);
+            self.watermark = self.watermark.max(watermark);
+            let horizon = watermark
+                .saturating_sub(self.spec.length as i64)
+                .saturating_sub(self.allowed_lateness);
             self.left.evict_older_than(horizon);
             self.right.evict_older_than(horizon);
         }
@@ -147,6 +188,8 @@ impl JoinState {
         let snap = JoinSnapshot {
             left: self.left.clone(),
             right: self.right.clone(),
+            watermark: self.watermark,
+            late: self.late,
         };
         serde_json::to_string(&snap)
             .map(String::into_bytes)
@@ -158,6 +201,8 @@ impl JoinState {
         let snap: JoinSnapshot = decode_snapshot(bytes, "join")?;
         self.left = snap.left;
         self.right = snap.right;
+        self.watermark = snap.watermark;
+        self.late = snap.late;
         Ok(())
     }
 }
@@ -167,6 +212,8 @@ impl JoinState {
 struct JoinSnapshot {
     left: JoinSide,
     right: JoinSide,
+    watermark: i64,
+    late: u64,
 }
 
 #[cfg(test)]
@@ -273,6 +320,45 @@ mod tests {
         assert_eq!(r.buffered(), 2);
         r.on_tuple(1, t(7, 3), &mut out);
         assert_eq!(out.len(), 2, "restored left side joins with new right");
+    }
+
+    #[test]
+    fn unjoinable_tuples_are_counted_not_silent() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        let mut out = Vec::new();
+        // Key field missing.
+        let mut narrow = Tuple::new(vec![]);
+        narrow.event_time = 1;
+        j.on_tuple(0, narrow, &mut out);
+        assert_eq!(j.late_events(), 1);
+        // Behind the eviction horizon: partners are gone.
+        j.on_watermark(100);
+        j.on_tuple(1, t(1, 40), &mut out);
+        assert_eq!(j.late_events(), 2);
+        assert_eq!(j.buffered(), 0, "late tuple was not buffered");
+        // Allowed lateness widens the horizon.
+        let mut k = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        k.set_allowed_lateness(20);
+        k.on_watermark(100);
+        k.on_tuple(1, t(1, 40), &mut out);
+        assert_eq!(k.late_events(), 0);
+        assert_eq!(k.buffered(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_late_count() {
+        let mut j = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        let mut out = Vec::new();
+        j.on_watermark(100);
+        j.on_tuple(0, t(1, 10), &mut out);
+        assert_eq!(j.late_events(), 1);
+        let bytes = j.snapshot().unwrap();
+        let mut r = JoinState::new(WindowSpec::tumbling_time(50), 0, 0);
+        r.restore(&bytes).unwrap();
+        assert_eq!(r.late_events(), 1);
+        // The restored watermark still gates new arrivals.
+        r.on_tuple(0, t(1, 10), &mut out);
+        assert_eq!(r.late_events(), 2);
     }
 
     #[test]

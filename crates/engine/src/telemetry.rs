@@ -128,6 +128,22 @@ impl Probe {
         }
     }
 
+    /// Count `n` tuples dropped by the load-shedding rung.
+    #[inline]
+    pub fn shed(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.add_shed(n);
+        }
+    }
+
+    /// Record the current overload-escalation rung (0/1/2).
+    #[inline]
+    pub fn pressure(&self, level: u64) {
+        if let Some(m) = &self.metrics {
+            m.set_pressure(level);
+        }
+    }
+
     /// Record one completed checkpoint and its duration.
     #[inline]
     pub fn checkpoint(&self, ns: u64) {

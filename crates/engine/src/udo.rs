@@ -88,6 +88,10 @@ pub struct UdoProperties {
     /// `false` means state grows with the input and will eventually
     /// exhaust memory in a long-running deployment.
     pub bounded_state: bool,
+    /// The operator merges partial per-key results produced by hot-key
+    /// splitting (`Partitioning::HashSplit` upstream). The analyzer's
+    /// hazard pass uses this to recognize a split edge as mitigated.
+    pub merges_hot_key_splits: bool,
 }
 
 impl Default for UdoProperties {
@@ -100,6 +104,7 @@ impl Default for UdoProperties {
             requires_global_view: false,
             partition_tolerant: false,
             bounded_state: true,
+            merges_hot_key_splits: false,
         }
     }
 }

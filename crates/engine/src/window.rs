@@ -192,6 +192,10 @@ pub struct KeyedWindower {
     keyed: bool,
     /// Highest watermark observed; time-policy tuples behind it are late.
     watermark: i64,
+    /// Tuples up to this many ms behind the watermark are still accepted
+    /// (re-firing their windows as late updates); 0 restores the strict
+    /// drop-at-watermark rule. Configuration, not checkpointed.
+    allowed_lateness: i64,
     /// Late (dropped) tuple count.
     late_events: u64,
     /// Window results fired so far (telemetry counter; not checkpointed —
@@ -211,13 +215,24 @@ impl KeyedWindower {
             global_key: Value::Int(0),
             keyed,
             watermark: i64::MIN,
+            allowed_lateness: 0,
             late_events: 0,
             fired: 0,
         }
     }
 
+    /// Accept time-policy tuples up to `ms` behind the watermark. An
+    /// accepted late tuple re-fires every window covering it at the next
+    /// watermark — a *late update* carrying the late tuple plus any
+    /// not-yet-expired panes, mirroring Flink's allowed-lateness semantics.
+    /// Tuples later than the bound are still dropped and counted late.
+    pub fn set_allowed_lateness(&mut self, ms: i64) {
+        self.allowed_lateness = ms.max(0);
+    }
+
     /// Tuples dropped because they arrived behind the watermark (time
-    /// policy only; count windows have no notion of lateness).
+    /// policy only; count windows have no notion of lateness), beyond any
+    /// allowed lateness.
     pub fn late_events(&self) -> u64 {
         self.late_events
     }
@@ -247,7 +262,7 @@ impl KeyedWindower {
         };
         match self.spec.policy {
             WindowPolicy::Time => {
-                if tuple.event_time < self.watermark {
+                if tuple.event_time < self.watermark.saturating_sub(self.allowed_lateness) {
                     self.late_events += 1;
                     return;
                 }
@@ -260,20 +275,28 @@ impl KeyedWindower {
     fn push_time(&mut self, key: Value, value: f64, tuple: &Tuple) {
         let pane_start = tuple.event_time.div_euclid(self.pane_ms) * self.pane_ms;
         let func = self.func;
-        let pane = self
-            .time_state
-            .entry(KeyValue(key))
-            .or_default()
-            .panes
-            .entry(pane_start)
-            .or_insert_with(|| TimePane {
-                acc: Accumulator::new(func),
-                max_emit_ns: 0,
-                max_event_time: i64::MIN,
-            });
+        // A tuple behind the watermark here is late-but-allowed (the drop
+        // check already passed): its windows may have fired, so the cursor
+        // must rewind to re-fire them as late updates.
+        let is_late = tuple.event_time < self.watermark;
+        let state = self.time_state.entry(KeyValue(key)).or_default();
+        let pane = state.panes.entry(pane_start).or_insert_with(|| TimePane {
+            acc: Accumulator::new(func),
+            max_emit_ns: 0,
+            max_event_time: i64::MIN,
+        });
         pane.acc.push(value);
         pane.max_emit_ns = pane.max_emit_ns.max(tuple.emit_ns);
         pane.max_event_time = pane.max_event_time.max(tuple.event_time);
+        if is_late {
+            // Earliest window end covering this pane: smallest k*slide +
+            // length with k*slide > pane_start - length.
+            let length = self.spec.length as i64;
+            let slide = self.spec.slide as i64;
+            let k_min = (pane_start - length).div_euclid(slide) + 1;
+            let earliest_end = k_min * slide + length;
+            state.next_end = Some(state.next_end.map_or(earliest_end, |c| c.min(earliest_end)));
+        }
     }
 
     fn push_count(&mut self, key: Value, value: f64, tuple: &Tuple, out: &mut Vec<WindowResult>) {
@@ -469,6 +492,10 @@ pub struct SessionWindower {
     /// Events that arrived behind the watermark and were dropped.
     late_events: u64,
     watermark: i64,
+    /// Events up to this many ms behind the watermark are still accepted
+    /// (opening or extending a session that fires as a late update); 0
+    /// restores the strict rule. Configuration, not checkpointed.
+    allowed_lateness: i64,
     /// Sessions fired so far (telemetry counter; not checkpointed).
     fired: u64,
 }
@@ -484,8 +511,16 @@ impl SessionWindower {
             global_key: Value::Int(0),
             late_events: 0,
             watermark: i64::MIN,
+            allowed_lateness: 0,
             fired: 0,
         }
+    }
+
+    /// Accept events up to `ms` behind the watermark; a late-accepted event
+    /// opens (or extends) a session that fires as a late update at the next
+    /// watermark. Events later than the bound stay dropped and counted.
+    pub fn set_allowed_lateness(&mut self, ms: i64) {
+        self.allowed_lateness = ms.max(0);
     }
 
     /// The inactivity gap in ms.
@@ -528,7 +563,7 @@ impl SessionWindower {
         tuple: &Tuple,
         out: &mut Vec<WindowResult>,
     ) {
-        if tuple.event_time < self.watermark {
+        if tuple.event_time < self.watermark.saturating_sub(self.allowed_lateness) {
             self.late_events += 1;
             return;
         }
@@ -896,6 +931,66 @@ mod tests {
         let total: u64 = out.iter().map(|r| r.count).sum();
         assert_eq!(total, 2, "the out-of-order tuple is aggregated, not lost");
         assert_eq!(out.len(), 2, "both windows fired");
+    }
+
+    #[test]
+    fn allowed_lateness_accepts_and_refires_as_late_update() {
+        let mut w = KeyedWindower::new(WindowSpec::tumbling_time(100), AggFunc::Count, false);
+        w.set_allowed_lateness(50);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(10), &mut out);
+        w.on_watermark(120, &mut out);
+        assert_eq!(out.len(), 1, "window [0,100) fired on time");
+        // 30ms behind the bound 120-50=70: accepted, re-fires [0,100).
+        w.push(None, 1.0, &tuple_at(90), &mut out);
+        assert_eq!(w.late_events(), 0);
+        w.on_watermark(120, &mut out);
+        assert_eq!(out.len(), 2, "late update re-fired the window");
+        assert_eq!(out[1].window_end, 100);
+        assert_eq!(out[1].count, 1, "update carries the late tuple");
+        // Beyond the bound: still dropped and counted.
+        w.push(None, 1.0, &tuple_at(60), &mut out);
+        assert_eq!(w.late_events(), 1);
+        w.flush(&mut out);
+        let total: u64 = out.iter().map(|r| r.count).sum();
+        assert_eq!(total, 2, "accounting: 3 in = 2 contributed + 1 late");
+    }
+
+    #[test]
+    fn allowed_lateness_zero_matches_strict_behaviour() {
+        let mut strict = KeyedWindower::new(WindowSpec::sliding_time(100, 50), AggFunc::Sum, true);
+        let mut zeroed = KeyedWindower::new(WindowSpec::sliding_time(100, 50), AggFunc::Sum, true);
+        zeroed.set_allowed_lateness(0);
+        let key = Value::str("k");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for w in [(&mut strict, &mut a), (&mut zeroed, &mut b)] {
+            let (win, out) = w;
+            for et in [10, 160, 60, 90, 200] {
+                win.push(Some(&key), et as f64, &tuple_at(et), out);
+                win.on_watermark(et - 40, out);
+            }
+            win.flush(out);
+        }
+        assert_eq!(a, b);
+        assert_eq!(strict.late_events(), zeroed.late_events());
+    }
+
+    #[test]
+    fn session_allowed_lateness_admits_late_session() {
+        let mut w = SessionWindower::new(100, AggFunc::Count, false);
+        w.set_allowed_lateness(200);
+        let mut out = Vec::new();
+        w.push(None, 1.0, &tuple_at(1_000), &mut out);
+        w.on_watermark(900, &mut out);
+        // 100ms behind the watermark but inside the allowance.
+        w.push(None, 1.0, &tuple_at(800), &mut out);
+        assert_eq!(w.late_events(), 0);
+        // Far beyond the allowance: dropped.
+        w.push(None, 1.0, &tuple_at(100), &mut out);
+        assert_eq!(w.late_events(), 1);
+        w.flush(&mut out);
+        let total: u64 = out.iter().map(|r| r.count).sum();
+        assert_eq!(total, 2);
     }
 
     #[test]

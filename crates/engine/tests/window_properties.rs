@@ -113,6 +113,56 @@ proptest! {
         }
     }
 
+    /// Late-tuple accounting: the windower's `late_events` counter must
+    /// equal an independently tracked count of tuples behind the
+    /// allowed-lateness bound at push time — every dropped-late tuple is
+    /// counted, and accepted-late tuples (within the bound) never are.
+    /// With strict semantics (lateness 0) the books must balance exactly:
+    /// each fed tuple either lands in a fired tumbling window or in the
+    /// late counter, never both, never neither.
+    #[test]
+    fn late_drops_are_exactly_counted(
+        times in prop::collection::vec(0i64..3_000, 1..150),
+        wm_every in 1usize..8,
+        lateness_idx in 0usize..3,
+    ) {
+        let lateness = [0i64, 50, 400][lateness_idx];
+        let spec = WindowSpec::tumbling_time(100);
+        let mut w = KeyedWindower::new(spec, AggFunc::Count, false);
+        w.set_allowed_lateness(lateness);
+        let mut results = Vec::new();
+        // Mirror of the windower's drop rule, tracked independently.
+        let mut wm = i64::MIN;
+        let mut expected_dropped = 0u64;
+        for (i, &t) in times.iter().enumerate() {
+            if t < wm.saturating_sub(lateness) {
+                expected_dropped += 1;
+            }
+            let mut tuple = Tuple::new(vec![Value::Double(1.0)]);
+            tuple.event_time = t;
+            w.push(None, 1.0, &tuple, &mut results);
+            if (i + 1) % wm_every == 0 {
+                wm = wm.max(t);
+                w.on_watermark(wm, &mut results);
+            }
+        }
+        prop_assert_eq!(
+            w.late_events(), expected_dropped,
+            "late counter disagrees with independently tracked drops"
+        );
+        if lateness == 0 {
+            // No re-fires under strict semantics, so summing emitted
+            // counts is exact: fed == emitted + dropped.
+            w.flush(&mut results);
+            let emitted: u64 = results.iter().map(|r| r.count).sum();
+            prop_assert_eq!(
+                emitted + w.late_events(), times.len() as u64,
+                "every tuple must be windowed or counted late (emitted {}, late {})",
+                emitted, w.late_events()
+            );
+        }
+    }
+
     /// Keyed windows are exactly the union of per-key global windows.
     #[test]
     fn keyed_windows_decompose_by_key(

@@ -1,0 +1,245 @@
+//! Threshold alarms over instance snapshots.
+//!
+//! An [`AlarmMonitor`] is fed successive snapshot vectors (from the sampler
+//! or at run end) and tracks which overload conditions are currently
+//! *firing*: sustained pressure escalation, shed fraction above threshold,
+//! or late fraction above threshold. Alarms resolve themselves when the
+//! condition clears — for rate-style conditions (shed/late fraction) the
+//! monitor differences consecutive evaluations so a burst early in a run
+//! does not pin the alarm for its whole tail.
+//!
+//! The chaos bench uses the monitor as a pass/fail gate: a scenario that
+//! *ends* with firing alarms never recovered from its hazard.
+
+use crate::snapshot::InstanceSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What condition an alarm watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlarmKind {
+    /// The instance sits at the shedding rung of the escalation ladder.
+    Pressure,
+    /// Shed fraction of input since the previous evaluation exceeds the
+    /// configured threshold.
+    ShedFraction,
+    /// Late fraction of input since the previous evaluation exceeds the
+    /// configured threshold.
+    LateFraction,
+}
+
+impl AlarmKind {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlarmKind::Pressure => "pressure",
+            AlarmKind::ShedFraction => "shed_fraction",
+            AlarmKind::LateFraction => "late_fraction",
+        }
+    }
+}
+
+/// Thresholds for raising alarms.
+///
+/// Defaults are deliberately tolerant: transient rung-1 batching is the
+/// ladder working as designed and never alarms; only the shedding rung and
+/// double-digit shed/late fractions do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlarmConfig {
+    /// Raise [`AlarmKind::Pressure`] when an instance's pressure gauge is at
+    /// or above this rung (2 = shedding).
+    pub pressure_level: u64,
+    /// Raise [`AlarmKind::ShedFraction`] when shed / input over the last
+    /// interval exceeds this fraction.
+    pub shed_fraction: f64,
+    /// Raise [`AlarmKind::LateFraction`] when late / input over the last
+    /// interval exceeds this fraction.
+    pub late_fraction: f64,
+}
+
+impl Default for AlarmConfig {
+    fn default() -> Self {
+        AlarmConfig {
+            pressure_level: 2,
+            shed_fraction: 0.10,
+            late_fraction: 0.25,
+        }
+    }
+}
+
+/// One currently-firing alarm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// Watched condition.
+    pub kind: AlarmKind,
+    /// Logical operator name.
+    pub operator: String,
+    /// Parallel instance index.
+    pub instance: usize,
+    /// Observed value that crossed the threshold (rung for pressure,
+    /// fraction for the rate alarms).
+    pub value: f64,
+    /// Configured threshold it crossed.
+    pub threshold: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Baseline {
+    tuples_in: u64,
+    shed: u64,
+    late: u64,
+}
+
+/// Stateful alarm evaluator (see module docs).
+#[derive(Debug, Default)]
+pub struct AlarmMonitor {
+    config: AlarmConfig,
+    baselines: HashMap<(String, usize), Baseline>,
+    firing: Vec<Alarm>,
+}
+
+impl AlarmMonitor {
+    /// Create a monitor with the given thresholds.
+    pub fn new(config: AlarmConfig) -> Self {
+        AlarmMonitor {
+            config,
+            baselines: HashMap::new(),
+            firing: Vec::new(),
+        }
+    }
+
+    /// Thresholds in effect.
+    pub fn config(&self) -> &AlarmConfig {
+        &self.config
+    }
+
+    /// Evaluate one snapshot vector; returns the alarms firing *now*.
+    ///
+    /// Rate alarms compare against the counters seen at the previous
+    /// evaluation, so calling this once per sampling interval yields
+    /// per-interval fractions. The first evaluation of an instance uses a
+    /// zero baseline (whole-run fractions).
+    pub fn evaluate(&mut self, snapshots: &[InstanceSnapshot]) -> &[Alarm] {
+        let mut firing = Vec::new();
+        for s in snapshots {
+            let key = (s.operator.clone(), s.instance);
+            let base = self.baselines.get(&key).copied().unwrap_or_default();
+            let d_in = s.tuples_in.saturating_sub(base.tuples_in);
+            let d_shed = s.shed_tuples.saturating_sub(base.shed);
+            let d_late = s.late_tuples.saturating_sub(base.late);
+            if s.pressure >= self.config.pressure_level {
+                firing.push(Alarm {
+                    kind: AlarmKind::Pressure,
+                    operator: s.operator.clone(),
+                    instance: s.instance,
+                    value: s.pressure as f64,
+                    threshold: self.config.pressure_level as f64,
+                });
+            }
+            if d_in > 0 {
+                let shed_frac = d_shed as f64 / d_in as f64;
+                if shed_frac > self.config.shed_fraction {
+                    firing.push(Alarm {
+                        kind: AlarmKind::ShedFraction,
+                        operator: s.operator.clone(),
+                        instance: s.instance,
+                        value: shed_frac,
+                        threshold: self.config.shed_fraction,
+                    });
+                }
+                let late_frac = d_late as f64 / d_in as f64;
+                if late_frac > self.config.late_fraction {
+                    firing.push(Alarm {
+                        kind: AlarmKind::LateFraction,
+                        operator: s.operator.clone(),
+                        instance: s.instance,
+                        value: late_frac,
+                        threshold: self.config.late_fraction,
+                    });
+                }
+            }
+            self.baselines.insert(
+                key,
+                Baseline {
+                    tuples_in: s.tuples_in,
+                    shed: s.shed_tuples,
+                    late: s.late_tuples,
+                },
+            );
+        }
+        self.firing = firing;
+        &self.firing
+    }
+
+    /// Alarms firing as of the last [`AlarmMonitor::evaluate`] call.
+    pub fn firing(&self) -> &[Alarm] {
+        &self.firing
+    }
+
+    /// `true` when no alarm fired at the last evaluation.
+    pub fn all_clear(&self) -> bool {
+        self.firing.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(
+        operator: &str,
+        tuples_in: u64,
+        shed: u64,
+        late: u64,
+        pressure: u64,
+    ) -> InstanceSnapshot {
+        InstanceSnapshot {
+            operator: operator.into(),
+            tuples_in,
+            shed_tuples: shed,
+            late_tuples: late,
+            pressure,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quiet_run_never_alarms() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        assert!(m.evaluate(&[snap("op", 1_000, 0, 0, 0)]).is_empty());
+        assert!(m.evaluate(&[snap("op", 2_000, 0, 0, 1)]).is_empty());
+        assert!(m.all_clear());
+    }
+
+    #[test]
+    fn pressure_alarm_raises_and_resolves() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        let firing = m.evaluate(&[snap("op", 100, 0, 0, 2)]);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].kind, AlarmKind::Pressure);
+        assert!(m.evaluate(&[snap("op", 200, 0, 0, 0)]).is_empty());
+        assert!(m.all_clear());
+    }
+
+    #[test]
+    fn rate_alarms_use_per_interval_deltas() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        // Interval 1: 400 shed of 1000 in — fires.
+        let firing = m.evaluate(&[snap("op", 1_000, 400, 0, 0)]);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].kind, AlarmKind::ShedFraction);
+        assert!(firing[0].value > 0.10);
+        // Interval 2: 1000 more in, no new shed — the cumulative counter
+        // alone would still read 40%/2=20%, but the delta is 0%.
+        assert!(m.evaluate(&[snap("op", 2_000, 400, 0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn late_fraction_alarm() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        let firing = m.evaluate(&[snap("win", 100, 0, 60, 0)]);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].kind, AlarmKind::LateFraction);
+        assert_eq!(firing[0].kind.label(), "late_fraction");
+    }
+}

@@ -139,6 +139,18 @@ const METRICS: &[Metric] = &[
         kind: "gauge",
         value: |s| (!s.latency.is_empty()).then(|| s.latency.quantile(0.99) as f64 / 1e6),
     },
+    Metric {
+        name: "pdsp_shed_tuples_total",
+        help: "Tuples dropped by the load-shedding rung of the overload ladder.",
+        kind: "counter",
+        value: |s| Some(s.shed_tuples as f64),
+    },
+    Metric {
+        name: "pdsp_pressure",
+        help: "Overload-escalation rung (0 normal, 1 batching, 2 shedding).",
+        kind: "gauge",
+        value: |s| Some(s.pressure as f64),
+    },
 ];
 
 /// Format a float the Prometheus way: integral values without a trailing

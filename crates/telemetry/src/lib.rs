@@ -16,13 +16,17 @@
 //! * [`recorder`] — a bounded ring-buffer [`FlightRecorder`] of structured
 //!   events, dumped automatically when a run dies;
 //! * [`export`] — Prometheus text exposition and JSON-lines exporters with
-//!   golden-tested label sets (`app`, `operator`, `instance`, `node`).
+//!   golden-tested label sets (`app`, `operator`, `instance`, `node`);
+//! * [`alarms`] — threshold alarms ([`AlarmMonitor`]) over pressure, shed
+//!   fraction, and late fraction, used by the chaos bench as a recovery
+//!   gate.
 //!
 //! This crate is a dependency leaf (no other `pdsp-*` crates), so the
 //! engine, simulator, metrics, and controller can all share one schema.
 
 #![warn(missing_docs)]
 
+pub mod alarms;
 pub mod export;
 pub mod histogram;
 pub mod recorder;
@@ -30,6 +34,7 @@ pub mod registry;
 pub mod sampler;
 pub mod snapshot;
 
+pub use alarms::{Alarm, AlarmConfig, AlarmKind, AlarmMonitor};
 pub use export::{json_lines, prometheus_text};
 pub use histogram::{HistogramSnapshot, LogHistogram, QUANTILE_RELATIVE_ERROR};
 pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};

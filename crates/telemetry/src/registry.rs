@@ -59,6 +59,8 @@ pub struct InstanceMetrics {
     flush_linger: AtomicU64,
     flush_marker: AtomicU64,
     flush_eos: AtomicU64,
+    shed_tuples: AtomicU64,
+    pressure: AtomicU64,
     latency: LogHistogram,
     batch_size: LogHistogram,
 }
@@ -86,6 +88,8 @@ impl InstanceMetrics {
             flush_linger: AtomicU64::new(0),
             flush_marker: AtomicU64::new(0),
             flush_eos: AtomicU64::new(0),
+            shed_tuples: AtomicU64::new(0),
+            pressure: AtomicU64::new(0),
             latency: LogHistogram::new(),
             batch_size: LogHistogram::new(),
         }
@@ -147,6 +151,20 @@ impl InstanceMetrics {
         self.restarts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Add `n` to the shed-tuple counter (tuples dropped by the load-shedding
+    /// rung of the overload ladder; always counted, never silent).
+    #[inline]
+    pub fn add_shed(&self, n: u64) {
+        self.shed_tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the current overload-escalation rung (0 = normal,
+    /// 1 = adaptive batching, 2 = shedding). Gauge semantics: overwrite.
+    #[inline]
+    pub fn set_pressure(&self, level: u64) {
+        self.pressure.store(level, Ordering::Relaxed);
+    }
+
     /// Record an end-to-end latency observation in nanoseconds.
     #[inline]
     pub fn record_latency_ns(&self, ns: u64) {
@@ -183,6 +201,11 @@ impl InstanceMetrics {
         self.tuples_out.load(Ordering::Relaxed)
     }
 
+    /// Tuples shed so far.
+    pub fn shed_tuples(&self) -> u64 {
+        self.shed_tuples.load(Ordering::Relaxed)
+    }
+
     /// Freeze this shard into the shared snapshot schema.
     pub fn snapshot(&self, app: &str) -> InstanceSnapshot {
         InstanceSnapshot {
@@ -206,6 +229,8 @@ impl InstanceMetrics {
             flush_linger: self.flush_linger.load(Ordering::Relaxed),
             flush_marker: self.flush_marker.load(Ordering::Relaxed),
             flush_eos: self.flush_eos.load(Ordering::Relaxed),
+            shed_tuples: self.shed_tuples.load(Ordering::Relaxed),
+            pressure: self.pressure.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             batch_size: self.batch_size.snapshot(),
         }

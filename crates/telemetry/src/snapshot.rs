@@ -64,6 +64,16 @@ pub struct InstanceSnapshot {
     /// Batches flushed by the end-of-stream drain.
     #[serde(default)]
     pub flush_eos: u64,
+    /// Tuples dropped by the load-shedding rung of the overload ladder.
+    /// Always fully accounted: `tuples_in` includes shed tuples, so
+    /// `tuples_in = processed + shed`. Absent in pre-overload snapshots.
+    #[serde(default)]
+    pub shed_tuples: u64,
+    /// Current overload-escalation rung (0 = normal backpressure,
+    /// 1 = adaptive batching, 2 = load shedding). Gauge, not cumulative.
+    /// Absent in pre-overload snapshots.
+    #[serde(default)]
+    pub pressure: u64,
     /// End-to-end latency distribution in nanoseconds (sink instances only;
     /// empty elsewhere).
     pub latency: HistogramSnapshot,

@@ -189,6 +189,8 @@ fn json_lines_schema_is_stable() {
         "flush_linger",
         "flush_marker",
         "flush_eos",
+        "shed_tuples",
+        "pressure",
         "batch_size",
         "latency",
     ];

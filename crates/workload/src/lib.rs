@@ -11,6 +11,7 @@
 pub mod data_gen;
 pub mod distributions;
 pub mod enumerators;
+pub mod hazards;
 pub mod query_gen;
 pub mod selectivity;
 pub mod space;
@@ -19,6 +20,7 @@ pub mod trace;
 pub use data_gen::{StreamConfig, SyntheticStream};
 pub use distributions::{Distribution, PoissonGaps, Zipf};
 pub use enumerators::{EnumerationStrategy, ParallelismEnumerator};
+pub use hazards::{HazardConfig, HazardKind, HazardStream};
 pub use query_gen::{QueryGenerator, QueryStructure};
 pub use selectivity::SelectivityEstimator;
 pub use space::{ParallelismCategory, ParameterSpace};

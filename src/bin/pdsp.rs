@@ -66,7 +66,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pdsp list-apps\n  pdsp tables\n  pdsp run-app <ACRONYM> \
          [--parallelism N] [--backend sim|threads] [--cluster m510|c6525|c6320|mixed] \
-         [--rate EV_PER_S] [--tuples N] [--telemetry] [--store DIR]\n  \
+         [--rate EV_PER_S] [--tuples N] [--seed N] [--telemetry] [--store DIR]\n  \
          pdsp run-query <structure> \
          [--parallelism N] [--cluster ...] [--rate EV_PER_S] [--telemetry] [--store DIR]\n  \
          pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n\
@@ -114,6 +114,9 @@ fn main() {
             let tuples: usize = flag_value(&args, "--tuples")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(10_000);
+            let seed: u64 = flag_value(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
             let cluster = flag_value(&args, "--cluster")
                 .and_then(|c| parse_cluster(&c))
                 .unwrap_or_else(|| Cluster::homogeneous_m510(10));
@@ -121,6 +124,7 @@ fn main() {
 
             let sim_config = SimConfig {
                 event_rate: rate,
+                seed,
                 ..SimConfig::default()
             };
             let store = open_store(&args);
@@ -136,7 +140,7 @@ fn main() {
                     &AppConfig {
                         event_rate: rate,
                         total_tuples: tuples,
-                        seed: 1,
+                        seed,
                     },
                     parallelism,
                 ),
@@ -144,7 +148,7 @@ fn main() {
                     let built = app.build(&AppConfig {
                         event_rate: rate,
                         total_tuples: tuples,
-                        seed: 1,
+                        seed,
                     });
                     let plan = built.plan.with_uniform_parallelism(parallelism);
                     controller.run_simulated(info.acronym, &plan)
