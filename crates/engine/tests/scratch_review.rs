@@ -1,0 +1,37 @@
+use pdsp_engine::agg::AggFunc;
+use pdsp_engine::window::{KeyedWindower, WindowSpec};
+use pdsp_engine::{Tuple, Value};
+
+fn tuple_at(et: i64) -> Tuple {
+    let mut t = Tuple::new(vec![Value::Int(0), Value::Double(1.0)]);
+    t.event_time = et;
+    t
+}
+
+#[test]
+fn sliding_late_update_refires_unaffected_window() {
+    // Sliding 100/50, allowed lateness 200.
+    let mut w = KeyedWindower::new(WindowSpec::sliding_time(100, 50), AggFunc::Sum, false);
+    w.set_allowed_lateness(200);
+    let mut out = Vec::new();
+    // On-time data in panes 150 and 200.
+    w.push(None, 10.0, &tuple_at(160), &mut out);
+    w.push(None, 20.0, &tuple_at(210), &mut out);
+    w.on_watermark(250, &mut out);
+    let fired: Vec<(i64, f64)> = out.iter().map(|r| (r.window_end, r.value)).collect();
+    println!("initial fires: {fired:?}");
+    out.clear();
+    // Late tuple at 90 (within lateness 250-200=50 <= 90).
+    w.push(None, 1.0, &tuple_at(90), &mut out);
+    w.on_watermark(260, &mut out);
+    let refires: Vec<(i64, f64, u64)> = out.iter().map(|r| (r.window_end, r.value, r.count)).collect();
+    println!("re-fires: {refires:?}");
+    // Windows covering event-time 90: ends 100 and 150 only.
+    for r in &out {
+        assert!(
+            r.window_end == 100 || r.window_end == 150,
+            "window end {} re-fired but does not cover the late tuple: {refires:?}",
+            r.window_end
+        );
+    }
+}
