@@ -47,4 +47,4 @@ pub mod variations;
 pub mod word_count;
 
 pub use common::{AppConfig, Application, BuiltApp, ClosureStream};
-pub use registry::{all_applications, app_by_acronym, AppInfo};
+pub use registry::{all_applications, app_by_acronym, app_by_name, AppInfo};

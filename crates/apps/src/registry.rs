@@ -48,6 +48,23 @@ pub fn app_by_acronym(acronym: &str) -> Option<Arc<dyn Application>> {
         .find(|a| a.info().acronym.eq_ignore_ascii_case(acronym))
 }
 
+/// Look an application up by acronym *or* full name. Names are compared
+/// with everything but ASCII alphanumerics stripped, so `word_count`,
+/// `Word Count`, and `WC` all resolve to the same application.
+pub fn app_by_name(name: &str) -> Option<Arc<dyn Application>> {
+    fn fold(s: &str) -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    let wanted = fold(name);
+    all_applications().into_iter().find(|a| {
+        let info = a.info();
+        fold(info.acronym) == wanted || fold(info.name) == wanted
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +117,15 @@ mod tests {
         assert!(app_by_acronym("wc").is_some());
         assert!(app_by_acronym("AD").is_some());
         assert!(app_by_acronym("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_by_name_accepts_acronyms_and_full_names() {
+        for query in ["WC", "word_count", "Word Count", "wordcount"] {
+            let app = app_by_name(query).unwrap_or_else(|| panic!("{query} not found"));
+            assert_eq!(app.info().acronym, "WC", "{query}");
+        }
+        assert!(app_by_name("no such app").is_none());
     }
 
     #[test]

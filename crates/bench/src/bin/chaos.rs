@@ -8,6 +8,14 @@
 //! not balance, or if a scenario misses its resilience expectation
 //! (hot key / burst must shed, the late storm must produce late tuples).
 //!
+//! The suite also drives the distributed multi-process runtime through
+//! its two hard failure modes — a real SIGKILL of a worker process and a
+//! severed data connection mid-run — and records whether the coordinator
+//! detected, restored, and finished exactly-once, plus the time each
+//! recovery took. A distributed scenario that fails to recover fails the
+//! whole run. The chaos binary doubles as its own worker process
+//! (`--worker-mode`), so the distributed scenarios are self-contained.
+//!
 //! ```text
 //! cargo run --release -p pdsp-bench-benches --bin chaos
 //! cargo run --release -p pdsp-bench-benches --bin chaos -- \
@@ -15,6 +23,8 @@
 //! ```
 
 use pdsp_engine::agg::AggFunc;
+use pdsp_engine::distributed::{DistributedConfig, DistributedRuntime, KillSpec};
+use pdsp_engine::fault::{Backoff, DeliveryMode, RestartPolicy};
 use pdsp_engine::operator::OpKind;
 use pdsp_engine::plan::{LogicalPlan, Partitioning};
 use pdsp_engine::pressure::OverloadConfig;
@@ -23,8 +33,8 @@ use pdsp_engine::telemetry_for_plan;
 use pdsp_engine::udo::{CostProfile, FnUdo};
 use pdsp_engine::value::{Schema, Tuple};
 use pdsp_engine::window::WindowSpec;
-use pdsp_engine::{PhysicalPlan, PlanBuilder};
-use pdsp_telemetry::{AlarmMonitor, TelemetryConfig};
+use pdsp_engine::{PhysicalPlan, PlanBuilder, WorkerMain};
+use pdsp_telemetry::{AlarmKind, AlarmMonitor, TelemetryConfig};
 use pdsp_workload::hazards::{HazardConfig, HazardKind, HazardStream};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -82,6 +92,38 @@ struct ScenarioReport {
     curve: Vec<CurvePoint>,
 }
 
+/// One distributed-runtime failure scenario: SIGKILL or connection drop
+/// against a 2-worker process deployment.
+#[derive(Serialize)]
+struct DistScenarioReport {
+    scenario: String,
+    spec: String,
+    workers: usize,
+    /// The run finished and delivered its result (after any restarts).
+    recovered: bool,
+    /// Execution attempts (1 = the fault never cost an attempt).
+    attempts: usize,
+    completed_checkpoints: u64,
+    restored_checkpoint: Option<u64>,
+    /// Failure detection to respawn, per restart, in milliseconds — the
+    /// distributed degradation measure.
+    recovery_times_ms: Vec<f64>,
+    /// Worst single recovery (0 if no restart happened).
+    time_to_recover_ms: f64,
+    replayed_tuples: u64,
+    duplicate_tuples: u64,
+    rolled_back_tuples: u64,
+    tuples_in: u64,
+    tuples_out: u64,
+    /// Heartbeat-gap alarms the coordinator raised (the observable warning
+    /// ahead of lease expiry).
+    heartbeat_gap_alarms: usize,
+    elapsed_ms: f64,
+    /// Scenario-specific expectation: the injected fault must actually
+    /// bite (kill costs an attempt) and exactly-once must hold.
+    expectation_met: bool,
+}
+
 #[derive(Serialize)]
 struct ChaosReport {
     suite: String,
@@ -91,6 +133,7 @@ struct ChaosReport {
     tuples_per_scenario: usize,
     allowed_lateness_ms: i64,
     scenarios: Vec<ScenarioReport>,
+    distributed_scenarios: Vec<DistScenarioReport>,
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -257,8 +300,113 @@ fn run_scenario(hazard: HazardConfig, tuples: usize, seed: u64) -> ScenarioRepor
     }
 }
 
+/// Run one distributed failure scenario: a 2-worker deployment of a
+/// seeded corpus plan with either a real SIGKILL or a severed data
+/// connection injected mid-run. The worker processes are this very
+/// binary re-executed in `--worker-mode`.
+fn run_dist_scenario(
+    label: &str,
+    spec: &str,
+    kill: Option<KillSpec>,
+    drop_data_after_ms: Option<u64>,
+) -> DistScenarioReport {
+    let exe = std::env::current_exe()
+        .expect("own executable path")
+        .to_str()
+        .expect("utf-8 executable path")
+        .to_string();
+    let mut config = DistributedConfig {
+        workers: 2,
+        worker_bin: vec![exe, "--worker-mode".into()],
+        heartbeat_ms: 10,
+        lease_timeout_ms: 400,
+        kill,
+        drop_data_after_ms,
+        ..DistributedConfig::default()
+    };
+    config.ft.mode = DeliveryMode::ExactlyOnce;
+    config.ft.checkpoint_interval_tuples = 256;
+    config.ft.restart = RestartPolicy {
+        max_restarts: 4,
+        backoff: Backoff::Fixed(Duration::from_millis(5)),
+    };
+
+    match DistributedRuntime::new(config).run(spec) {
+        Ok(run) => {
+            let rec = &run.ft.recovery;
+            let time_to_recover_ms = rec.recovery_times_ms.iter().cloned().fold(0.0, f64::max);
+            // A kill scenario where the process died after the run already
+            // finished tested nothing; exactly-once must hold regardless.
+            let expectation_met =
+                (kill.is_none() || rec.attempts >= 2) && rec.duplicate_tuples == 0;
+            DistScenarioReport {
+                scenario: label.to_string(),
+                spec: spec.to_string(),
+                workers: 2,
+                recovered: true,
+                attempts: rec.attempts,
+                completed_checkpoints: rec.completed_checkpoints,
+                restored_checkpoint: rec.restored_checkpoint,
+                recovery_times_ms: rec.recovery_times_ms.clone(),
+                time_to_recover_ms,
+                replayed_tuples: rec.replayed_tuples,
+                duplicate_tuples: rec.duplicate_tuples,
+                rolled_back_tuples: rec.rolled_back_tuples,
+                tuples_in: run.ft.result.tuples_in,
+                tuples_out: run.ft.result.tuples_out,
+                heartbeat_gap_alarms: run
+                    .alarms
+                    .iter()
+                    .filter(|a| a.kind == AlarmKind::HeartbeatGap)
+                    .count(),
+                elapsed_ms: run.ft.result.elapsed.as_secs_f64() * 1e3,
+                expectation_met,
+            }
+        }
+        Err(e) => {
+            eprintln!("{label}: distributed run did not recover: {e}");
+            DistScenarioReport {
+                scenario: label.to_string(),
+                spec: spec.to_string(),
+                workers: 2,
+                recovered: false,
+                attempts: 0,
+                completed_checkpoints: 0,
+                restored_checkpoint: None,
+                recovery_times_ms: Vec::new(),
+                time_to_recover_ms: 0.0,
+                replayed_tuples: 0,
+                duplicate_tuples: 0,
+                rolled_back_tuples: 0,
+                tuples_in: 0,
+                tuples_out: 0,
+                heartbeat_gap_alarms: 0,
+                elapsed_ms: 0.0,
+                expectation_met: false,
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Re-executed by the coordinator as a worker process: hand over to the
+    // engine's worker main and never touch the report.
+    if args.first().map(String::as_str) == Some("--worker-mode") {
+        let Some(addr) = arg_value(&args, "--coordinator") else {
+            eprintln!("--worker-mode needs --coordinator ADDR --id N");
+            std::process::exit(2);
+        };
+        let Some(id) = arg_value(&args, "--id").and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--worker-mode needs --coordinator ADDR --id N");
+            std::process::exit(2);
+        };
+        if let Err(e) = WorkerMain::default().run(&addr, id) {
+            eprintln!("worker {id} failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_chaos.json".into());
     let tuples: usize = arg_value(&args, "--tuples")
         .map(|v| v.parse().expect("--tuples takes a number"))
@@ -304,6 +452,54 @@ fn main() {
         scenarios.push(r);
     }
 
+    // Distributed failure scenarios: kill a worker process for real, then
+    // sever the data plane. Specs come from the seeded corpus, whose
+    // throttled sources guarantee the fault lands mid-run.
+    let mut distributed_scenarios = Vec::new();
+    for (label, spec, kill, drop_ms) in [
+        (
+            "process-kill",
+            format!("seeded:{}:8192:2", seed % 3),
+            Some(KillSpec {
+                worker: 1,
+                after_ms: 20,
+            }),
+            None,
+        ),
+        (
+            "connection-drop",
+            format!("seeded:{}:8192:2", (seed + 1) % 3),
+            None,
+            Some(15),
+        ),
+    ] {
+        print!("{label:12} ... ");
+        let r = run_dist_scenario(label, &spec, kill, drop_ms);
+        println!(
+            "attempts {}  replayed {}  recovery {:.1} ms  {}",
+            r.attempts,
+            r.replayed_tuples,
+            r.time_to_recover_ms,
+            if r.recovered {
+                "recovered"
+            } else {
+                "DID NOT RECOVER"
+            }
+        );
+        if !r.recovered {
+            eprintln!("{}: distributed run failed to recover", r.scenario);
+            failed = true;
+        }
+        if !r.expectation_met {
+            eprintln!(
+                "{}: distributed expectation missed (attempts={}, duplicates={})",
+                r.scenario, r.attempts, r.duplicate_tuples
+            );
+            failed = true;
+        }
+        distributed_scenarios.push(r);
+    }
+
     let report = ChaosReport {
         suite: "chaos".into(),
         backend: "threaded".into(),
@@ -312,6 +508,7 @@ fn main() {
         tuples_per_scenario: tuples,
         allowed_lateness_ms: 100,
         scenarios,
+        distributed_scenarios,
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

@@ -180,4 +180,43 @@ mod tests {
         assert!(c.shuffle_batch_overhead_ns > 0.0);
         assert!(c.jitter_std < c.udo_jitter_std);
     }
+
+    #[test]
+    fn network_constants_are_sane_against_a_real_tcp_stack() {
+        // Cross-check the simulator's calibrated constants against a
+        // measured loopback round-trip of a tuple-sized frame — the same
+        // framing the distributed runtime puts on the wire. Loopback skips
+        // the NIC and the switch, so it bounds the constants only from
+        // below, and only within very generous margins: the point is to
+        // catch constants that drift orders of magnitude away from any
+        // real TCP stack, not to calibrate against this machine.
+        let c = CostParams::default();
+        let tuple_bytes = (c.bytes_per_field * 4.0) as usize;
+        let rtt = pdsp_net::measure_loopback_rtt(64, tuple_bytes).expect("loopback rtt");
+        let one_way_ns = rtt.as_nanos() as f64 / 2.0;
+        // The modeled same-rack hop (~60 us with the stack) must not be
+        // faster than 1/100th of a measured loopback hop, and a loopback
+        // hop must not dwarf the modeled inter-node hop a thousandfold.
+        assert!(
+            c.network_hop_ns > one_way_ns / 100.0,
+            "modeled hop {} ns implausibly fast vs loopback {} ns",
+            c.network_hop_ns,
+            one_way_ns
+        );
+        assert!(
+            one_way_ns < c.network_hop_ns * 1000.0,
+            "loopback {} ns dwarfs the modeled hop {} ns — model far off",
+            one_way_ns,
+            c.network_hop_ns
+        );
+        // Per-tuple serialization cost: a whole measured round-trip of a
+        // one-tuple frame bounds the modeled cost from above (the model
+        // covers encode+frame only, the measurement adds two stack
+        // traversals and the echo).
+        assert!(
+            c.serialize_ns_per_tuple < rtt.as_nanos() as f64 * 100.0,
+            "serialize cost {} ns exceeds anything a real stack suggests",
+            c.serialize_ns_per_tuple
+        );
+    }
 }

@@ -4,6 +4,7 @@
 use pdsp_analyze::{Analyzer, Severity};
 use pdsp_apps::{AppConfig, Application};
 use pdsp_cluster::{Cluster, SimConfig, Simulator};
+use pdsp_engine::distributed::DistributedRun;
 use pdsp_engine::error::{EngineError, Result};
 use pdsp_engine::physical::PhysicalPlan;
 use pdsp_engine::plan::LogicalPlan;
@@ -90,30 +91,21 @@ impl RetryPolicy {
     /// retries together, hitting the same contended resource in lockstep;
     /// decorrelating the delays spreads the retry front out. Deterministic
     /// given `jitter_seed`, so a recorded sweep replays exactly.
+    ///
+    /// Delegates to [`pdsp_net::BackoffPolicy`], the same schedule every
+    /// reconnect path in the distributed runtime draws from — one backoff
+    /// implementation across the whole system.
     pub fn backoff_sequence(&self, retries: usize) -> Vec<Duration> {
-        let base = self.backoff.as_nanos() as u64;
-        let cap = (self.backoff_cap.as_nanos() as u64).max(base);
-        let mut state = self.jitter_seed;
-        let mut prev = base;
-        let mut out = Vec::with_capacity(retries);
-        for _ in 0..retries {
-            let upper = prev.saturating_mul(3).clamp(base, cap);
-            let span = upper - base;
-            let draw = if span == 0 {
-                base
-            } else {
-                // SplitMix64 step: full-period, seedable, dependency-free.
-                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^= z >> 31;
-                base + z % (span + 1)
-            };
-            prev = draw;
-            out.push(Duration::from_nanos(draw));
+        self.net_policy().sequence(retries)
+    }
+
+    /// This policy's delay parameters as the shared network backoff policy.
+    pub fn net_policy(&self) -> pdsp_net::BackoffPolicy {
+        pdsp_net::BackoffPolicy {
+            base: self.backoff,
+            cap: self.backoff_cap,
+            seed: self.jitter_seed,
         }
-        out
     }
 }
 
@@ -459,6 +451,74 @@ impl Controller {
         };
         self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
         Ok(record)
+    }
+
+    /// Execute an application on the distributed multi-process runtime:
+    /// the coordinator spawns worker processes per
+    /// [`DistributedConfig::workers`](pdsp_engine::distributed::DistributedConfig),
+    /// ships an `app:` plan spec (see [`crate::deploy`]), supervises
+    /// heartbeat leases, and restores from network checkpoints when a
+    /// worker dies. Records the run with backend `"distributed"` and
+    /// returns the record together with the full distributed outcome
+    /// (recovery accounting, per-instance snapshots, alarms).
+    pub fn run_distributed(
+        &self,
+        app: &dyn Application,
+        config: &AppConfig,
+        uniform_parallelism: usize,
+        dist: pdsp_engine::distributed::DistributedConfig,
+    ) -> Result<(RunRecord, DistributedRun)> {
+        let authored = app
+            .build(config)
+            .plan
+            .with_uniform_parallelism(uniform_parallelism);
+        self.check_gate(app.info().acronym, &authored)?;
+        let spec = crate::deploy::app_spec(app.info().acronym, uniform_parallelism, config);
+        self.run_distributed_spec(app.info().acronym, &spec, config.event_rate, dist)
+    }
+
+    /// Execute an arbitrary plan specification (`app:` or `seeded:`
+    /// grammar, see [`crate::deploy`]) on the distributed runtime. The
+    /// deploy gate is not consulted here: specs resolve directly to
+    /// physical plans on every process; the authored logical plan is gated
+    /// by [`Controller::run_distributed`] where one exists.
+    pub fn run_distributed_spec(
+        &self,
+        workload: &str,
+        spec: &str,
+        event_rate: f64,
+        dist: pdsp_engine::distributed::DistributedConfig,
+    ) -> Result<(RunRecord, DistributedRun)> {
+        let resolver = crate::deploy::resolver();
+        // Resolve locally first: a bad spec fails here with a typed error
+        // instead of after worker processes have been spawned, and the
+        // resolved plan supplies the per-node parallelism for the record.
+        let (phys, _sources) = resolver(spec)?;
+        let parallelism: Vec<usize> = phys.logical.nodes.iter().map(|n| n.parallelism).collect();
+        let rt = pdsp_engine::distributed::DistributedRuntime::with_resolver(dist, resolver);
+        let run = rt.run(spec)?;
+        let result = &run.ft.result;
+        let mut rec = LatencyRecorder::default();
+        for &ns in &result.latencies_ns {
+            rec.record_ns(ns);
+        }
+        let summary = RunSummary::from_recorder(
+            &rec,
+            result.tuples_in,
+            result.tuples_out,
+            result.elapsed.as_secs_f64(),
+        );
+        let record = RunRecord {
+            workload: workload.to_string(),
+            cluster: "local-processes".into(),
+            parallelism,
+            event_rate,
+            backend: "distributed".into(),
+            summary,
+            experiment_id: None,
+        };
+        self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
+        Ok((record, run))
     }
 
     /// Sweep a plan across uniform parallelism degrees with per-point

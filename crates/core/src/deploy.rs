@@ -1,0 +1,119 @@
+//! Distributed deploy path: the `app:` plan-spec grammar shared by the
+//! coordinator (`pdsp run-app --backend distributed`) and worker processes
+//! (`pdsp worker`).
+//!
+//! The distributed runtime ships plan *specifications*, not serialized
+//! plans (application plans carry closures), so both sides of a deployment
+//! must resolve identical topologies from the same string. The grammar is
+//!
+//! ```text
+//! app:<ACRONYM>:<parallelism>:<tuples>:<rate>:<seed>
+//! ```
+//!
+//! resolved against the application registry with uniform parallelism,
+//! operator fusion applied (matching the threaded controller path), and the
+//! application's seeded source generators. Everything is a pure function of
+//! the spec: registry lookup, plan construction, fusion, physical expansion,
+//! and ChaCha-seeded data generation are all deterministic.
+//!
+//! Specs that do not start with `app:` fall through to the engine's seeded
+//! test corpus ([`pdsp_engine::testplan::resolve`]), so chaos tooling can
+//! target both vocabularies through one resolver.
+
+use pdsp_apps::{app_by_name, AppConfig};
+use pdsp_engine::distributed::SpecResolver;
+use pdsp_engine::error::{EngineError, Result};
+use pdsp_engine::physical::PhysicalPlan;
+use pdsp_engine::testplan::{self, PlanAndSources};
+use std::sync::Arc;
+
+/// Render the spec string for one application deployment. [`resolver`]
+/// parses exactly this format.
+pub fn app_spec(acronym: &str, parallelism: usize, config: &AppConfig) -> String {
+    format!(
+        "app:{}:{}:{}:{}:{}",
+        acronym, parallelism, config.total_tuples, config.event_rate, config.seed
+    )
+}
+
+fn resolve_app(spec: &str, rest: &str) -> Result<PlanAndSources> {
+    let bad = |what: &str| EngineError::InvalidConfig(format!("spec '{spec}': {what}"));
+    let parts: Vec<&str> = rest.split(':').collect();
+    let [acr, par, tuples, rate, seed] = parts.as_slice() else {
+        return Err(bad(
+            "expected app:<ACRONYM>:<parallelism>:<tuples>:<rate>:<seed>",
+        ));
+    };
+    let app = app_by_name(acr).ok_or_else(|| bad(&format!("unknown application '{acr}'")))?;
+    let parallelism: usize = par
+        .parse()
+        .map_err(|_| bad(&format!("parallelism '{par}' is not a number")))?;
+    let config = AppConfig {
+        total_tuples: tuples
+            .parse()
+            .map_err(|_| bad(&format!("tuples '{tuples}' is not a number")))?,
+        event_rate: rate
+            .parse()
+            .map_err(|_| bad(&format!("rate '{rate}' is not a number")))?,
+        seed: seed
+            .parse()
+            .map_err(|_| bad(&format!("seed '{seed}' is not a number")))?,
+    };
+    let built = app.build(&config);
+    let plan = built.plan.with_uniform_parallelism(parallelism.max(1));
+    let fused = pdsp_engine::chaining::fuse(&plan)?;
+    Ok((PhysicalPlan::expand(&fused)?, built.sources))
+}
+
+/// The controller's spec resolver: `app:` specs against the application
+/// registry, everything else delegated to the engine's seeded corpus.
+pub fn resolver() -> SpecResolver {
+    Arc::new(|spec: &str| match spec.strip_prefix("app:") {
+        Some(rest) => resolve_app(spec, rest),
+        None => testplan::resolve(spec),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_specs_roundtrip_through_the_resolver() {
+        let config = AppConfig {
+            event_rate: 50_000.0,
+            total_tuples: 500,
+            seed: 7,
+        };
+        let spec = app_spec("WC", 2, &config);
+        assert_eq!(spec, "app:WC:2:500:50000:7");
+        let r = resolver();
+        let (a, src_a) = r(&spec).unwrap();
+        let (b, src_b) = r(&spec).unwrap();
+        assert_eq!(a.instance_count(), b.instance_count());
+        assert!(a.instance_count() > 0);
+        // Seeded sources are deterministic across resolutions.
+        let ta: Vec<_> = src_a[0].instance_iter(0, 1).take(16).collect();
+        let tb: Vec<_> = src_b[0].instance_iter(0, 1).take(16).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn full_names_resolve_like_acronyms() {
+        let r = resolver();
+        let (by_name, _) = r("app:word_count:2:100:1000:1").unwrap();
+        let (by_acr, _) = r("app:WC:2:100:1000:1").unwrap();
+        assert_eq!(by_name.instance_count(), by_acr.instance_count());
+    }
+
+    #[test]
+    fn seeded_specs_fall_through_to_the_corpus() {
+        let r = resolver();
+        assert!(r("seeded:1:128:0").is_ok());
+        assert!(matches!(
+            r("app:NOPE:1:1:1:1"),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(r("bogus:1"), Err(EngineError::InvalidConfig(_))));
+    }
+}

@@ -10,6 +10,7 @@
 //! `report` module renders them as text tables.
 
 pub mod controller;
+pub mod deploy;
 pub mod experiments;
 pub mod ml_manager;
 pub mod report;

@@ -1,0 +1,37 @@
+//! Standalone worker process for the distributed runtime.
+//!
+//! Spawned by the coordinator as
+//! `pdsp-worker --coordinator <addr> --id <n>`; dials the coordinator's
+//! control listener, runs one deployment, and exits (nonzero on failure).
+//! The root `pdsp` CLI exposes the same entry point as `pdsp worker`.
+
+use pdsp_engine::WorkerMain;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut coordinator = None;
+    let mut id = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--coordinator" => coordinator = args.next(),
+            "--id" => id = args.next(),
+            other => {
+                eprintln!("pdsp-worker: unknown flag '{other}'");
+                exit(2);
+            }
+        }
+    }
+    let (Some(coordinator), Some(id)) = (coordinator, id) else {
+        eprintln!("usage: pdsp-worker --coordinator <addr> --id <n>");
+        exit(2);
+    };
+    let Ok(id) = id.parse::<usize>() else {
+        eprintln!("pdsp-worker: worker id '{id}' is not a number");
+        exit(2);
+    };
+    if let Err(e) = WorkerMain::default().run(&coordinator, id) {
+        eprintln!("pdsp-worker {id}: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,1764 @@
+//! Process-per-worker distributed runtime.
+//!
+//! A [`DistributedRuntime`] coordinator spawns one OS process per worker
+//! (the `pdsp-worker` binary, or `pdsp worker` from the CLI), places the
+//! physical instances of a plan onto workers (`instance id % workers`), and
+//! supervises the run over a length-prefixed TCP control protocol
+//! (`pdsp-net` framing). Cross-worker dataflow edges carry the engine's
+//! existing [`Message::Batch`] wire frames as JSON envelopes over per-pair
+//! TCP connections; in-worker edges stay in-process crossbeam channels. Both
+//! kinds hide behind the same `Transport` abstraction the threaded runtime
+//! uses, so the per-instance worker loops in `crate::exec` are byte-for-byte
+//! shared between the local and distributed engines.
+//!
+//! ## Why spec strings, not serialized plans
+//!
+//! Plans can carry arbitrary UDO closures, which do not cross process
+//! boundaries. The deploy message therefore ships a *plan specification*
+//! string, and every process resolves it independently through a
+//! [`SpecResolver`] — both sides are guaranteed the same topology because
+//! resolution is a pure function of the spec (see [`crate::testplan`]).
+//!
+//! ## Failure detection and recovery
+//!
+//! Robustness is the coordinator's job:
+//!
+//! * **Heartbeat leases** — every worker heartbeats on its control
+//!   connection; the coordinator tracks a [`LeaseTable`] and declares a
+//!   worker dead when its lease lapses. A SIGKILLed process cannot renew,
+//!   so real process death is detected with no in-band signal.
+//! * **Checkpoints over the wire** — Chandy–Lamport barriers flow through
+//!   the TCP mesh exactly as they flow through local channels; every
+//!   checkpoint part is streamed to the coordinator the moment it is taken,
+//!   so parts survive a later SIGKILL of the worker that produced them.
+//! * **Supervised restart** — on failure the coordinator kills the
+//!   remaining worker processes, restores the newest complete checkpoint,
+//!   respawns a fresh process fleet, and replays sources from their
+//!   recorded offsets with the same at-least-once / exactly-once replay
+//!   accounting as the in-process [`crate::fault::FtRuntime`].
+//! * **Graceful degradation** — past the restart budget the job is
+//!   quarantined ([`EngineError::JobQuarantined`]) and the coordinator's
+//!   flight recorder is dumped for post-mortem.
+//!
+//! Connection establishment always goes through
+//! [`pdsp_net::connect_with_backoff`], so a flapping endpoint sees bounded,
+//! seed-deterministic decorrelated-jitter delays; frame reads/writes go
+//! through `read_exact`/`write_all`, so half-open peers and partial writes
+//! can never tear a frame.
+//!
+//! ## Known at-least-once limitation
+//!
+//! A SIGKILLed worker takes its un-checkpointed sink partials with it: under
+//! at-least-once, deliveries made between the restored checkpoint and the
+//! kill on *that worker's* sinks are genuinely lost from the result capture
+//! (they were delivered, but nobody survived to report them). Exactly-once
+//! is unaffected — sinks rewind to the checkpoint and replay re-delivers.
+
+use crate::error::{EngineError, Result};
+use crate::exec::{
+    decode, encode, join_instances, spawn_instances, ExecSettings, Reporters, RunClock, SinkState,
+};
+use crate::fault::{DeliveryMode, FtConfig, FtRunResult, RecoveryStats};
+use crate::message::Message;
+use crate::operator::OpKind;
+use crate::physical::PhysicalPlan;
+use crate::runtime::{Envelope, OperatorStats, RunConfig, RunResult};
+use crate::testplan::{self, PlanAndSources};
+use crate::transport::Transport;
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use pdsp_net::{
+    connect_with_backoff, encode_json, recv_json, send_json, write_frame, BackoffPolicy, LeaseTable,
+};
+use pdsp_telemetry::{
+    Alarm, AlarmConfig, AlarmKind, AlarmMonitor, FlightEventKind, InstanceSnapshot,
+    MetricsRegistry, RunTelemetry, TelemetryConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Grace period for a spawned fleet to dial in and acknowledge deployment.
+const HANDSHAKE_GRACE: Duration = Duration::from_secs(20);
+
+/// Resolves a plan specification string into a physical plan plus source
+/// factories. The coordinator and every worker process run the same
+/// resolver over the same spec; it must be a pure function of its input.
+/// [`testplan::resolve`] is the default vocabulary; richer drivers (the
+/// CLI's `app:` specs) wrap it and fall back on
+/// [`EngineError::InvalidConfig`].
+pub type SpecResolver = Arc<dyn Fn(&str) -> Result<PlanAndSources> + Send + Sync>;
+
+/// The default resolver: the seeded [`crate::testplan`] corpus.
+pub fn default_resolver() -> SpecResolver {
+    Arc::new(testplan::resolve)
+}
+
+/// Chaos knob: SIGKILL one worker process mid-run (first attempt only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Worker id to kill.
+    pub worker: usize,
+    /// Kill this many milliseconds after the attempt starts.
+    pub after_ms: u64,
+}
+
+/// Configuration of the distributed runtime.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Worker process count (instances are placed `id % workers`).
+    pub workers: usize,
+    /// Checkpointing / delivery-mode / restart-budget configuration shared
+    /// with the in-process fault-tolerant runtime.
+    pub ft: FtConfig,
+    /// Worker heartbeat period in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Coordinator-side lease timeout: a worker silent this long is dead.
+    pub lease_timeout_ms: u64,
+    /// Dial-attempt budget for every connection establishment.
+    pub connect_attempts: usize,
+    /// Backoff schedule between dial attempts (decorrelated jitter).
+    pub backoff: BackoffPolicy,
+    /// Optional chaos: SIGKILL a worker mid-run on the first attempt.
+    pub kill: Option<KillSpec>,
+    /// Optional chaos: workers sever their outbound data connections this
+    /// many ms into the first attempt (half-open / connection-drop hazard).
+    pub drop_data_after_ms: Option<u64>,
+    /// Worker process argv prefix; the coordinator appends
+    /// `--coordinator <addr> --id <n>`. E.g. `["/path/to/pdsp-worker"]` or
+    /// `["/path/to/pdsp", "worker"]`.
+    pub worker_bin: Vec<String>,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            workers: 2,
+            ft: FtConfig::default(),
+            heartbeat_ms: 20,
+            lease_timeout_ms: 500,
+            connect_attempts: 200,
+            backoff: BackoffPolicy::default(),
+            kill: None,
+            drop_data_after_ms: None,
+            worker_bin: Vec::new(),
+        }
+    }
+}
+
+impl DistributedConfig {
+    /// Validate the combined configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.ft.validate()?;
+        if self.workers == 0 {
+            return Err(EngineError::InvalidConfig(
+                "distributed runtime needs at least 1 worker".into(),
+            ));
+        }
+        if self.worker_bin.is_empty() {
+            return Err(EngineError::InvalidConfig(
+                "worker_bin is empty: the coordinator cannot spawn worker processes".into(),
+            ));
+        }
+        if self.heartbeat_ms == 0 {
+            return Err(EngineError::InvalidConfig(
+                "heartbeat_ms must be at least 1".into(),
+            ));
+        }
+        if self.lease_timeout_ms <= self.heartbeat_ms {
+            return Err(EngineError::InvalidConfig(format!(
+                "lease_timeout_ms ({}) must exceed heartbeat_ms ({}): a lease shorter than one \
+                 heartbeat expires spuriously",
+                self.lease_timeout_ms, self.heartbeat_ms
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> EngineError {
+    EngineError::Transport(format!("{what}: {e}"))
+}
+
+fn epoch_ns_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+/// Everything a worker needs to run its slice of one attempt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DeploySpec {
+    spec: String,
+    attempt: usize,
+    workers: usize,
+    /// `assignment[instance id] == worker id`.
+    assignment: Vec<usize>,
+    /// Data-plane listener address of every worker, indexed by worker id.
+    peers: Vec<String>,
+    /// Restore payloads by instance id (newest complete checkpoint).
+    restore: Vec<(usize, Vec<u8>)>,
+    run: RunConfig,
+    mode: DeliveryMode,
+    ckpt_interval: u64,
+    /// UNIX-epoch origin (ns) for cross-process latency stamps.
+    epoch_ns: u64,
+    heartbeat_ms: u64,
+    drop_data_after_ms: Option<u64>,
+}
+
+/// Per-instance final counters. A struct (not a tuple) because the wire
+/// codec caps tuples at arity 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WireStat {
+    node: usize,
+    tuples_in: u64,
+    tuples_out: u64,
+    shed: u64,
+    late: u64,
+}
+
+/// One data-plane frame: an [`Envelope`] plus its target instance. The
+/// receiving worker routes purely on `instance`, so data connections need
+/// no handshake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WireEnvelope {
+    instance: usize,
+    channel: usize,
+    msg: Message,
+}
+
+/// Worker → coordinator control messages.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ToCoord {
+    /// First message on a control connection: who I am, where my data
+    /// listener is.
+    Hello { worker: usize, data_addr: String },
+    /// Deployment resolved, mesh built, data listener armed.
+    Ready { worker: usize },
+    /// A checkpoint part, streamed the moment it is taken so it survives a
+    /// later SIGKILL of this worker.
+    Part {
+        worker: usize,
+        ckpt: u64,
+        instance: usize,
+        bytes: Vec<u8>,
+    },
+    /// Periodic liveness + progress: source offsets, per-attempt sink
+    /// deliveries, and telemetry snapshots for the instances placed here.
+    Heartbeat {
+        worker: usize,
+        emitted: Vec<(usize, u64)>,
+        sinks: Vec<(usize, u64)>,
+        snapshots: Vec<(usize, InstanceSnapshot)>,
+    },
+    /// All local instances finished cleanly.
+    Done {
+        worker: usize,
+        stats: Vec<WireStat>,
+        sinks: Vec<(usize, SinkState)>,
+        emitted: Vec<(usize, u64)>,
+    },
+    /// A local instance failed; partial sink states attached.
+    Failed {
+        worker: usize,
+        error: String,
+        sinks: Vec<(usize, SinkState)>,
+    },
+}
+
+/// Coordinator → worker control messages. `Deploy` is boxed: it carries the
+/// whole restore payload and would otherwise dwarf the `Start` variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ToWorker {
+    Deploy(Box<DeploySpec>),
+    Start,
+}
+
+// ---------------------------------------------------------------------------
+// Mesh transport (worker side)
+// ---------------------------------------------------------------------------
+
+/// Transport whose endpoints are real channels for local instances and
+/// TCP-forwarding proxy channels for remote ones.
+struct MeshTransport {
+    endpoints: Vec<Option<Sender<Envelope>>>,
+}
+
+impl Transport for MeshTransport {
+    fn sender(&self, instance: usize) -> Option<Sender<Envelope>> {
+        self.endpoints.get(instance).and_then(|s| s.clone())
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+struct Mesh {
+    transport: MeshTransport,
+    receivers: Vec<Option<Receiver<Envelope>>>,
+    /// Master copy of the local input senders, handed to the acceptor.
+    local_senders: Vec<Option<Sender<Envelope>>>,
+    /// One clone per outbound stream, for the connection-drop chaos knob.
+    outbound: Vec<TcpStream>,
+    forwarders: Vec<JoinHandle<()>>,
+}
+
+/// Workers (other than `me`) that host an instance with an edge into one of
+/// `me`'s instances — exactly the set that will dial our data listener.
+fn inbound_peers(plan: &PhysicalPlan, assignment: &[usize], me: usize) -> HashSet<usize> {
+    let mut peers = HashSet::new();
+    for inst in &plan.instances {
+        let w = assignment[inst.id];
+        if w == me {
+            continue;
+        }
+        for route in &plan.out_routes[inst.id] {
+            for t in route.targets.iter() {
+                if assignment[t.instance] == me {
+                    peers.insert(w);
+                }
+            }
+        }
+    }
+    peers
+}
+
+/// Build the worker-local slice of the data plane: bounded channels for
+/// local instances, one TCP connection per downstream peer worker, and one
+/// forwarder thread per remote target instance serializing its proxy
+/// channel onto the shared connection (frame writes happen under a per-peer
+/// mutex, so concurrent forwarders can never interleave partial frames).
+fn build_mesh(
+    plan: &PhysicalPlan,
+    mine: &HashSet<usize>,
+    assignment: &[usize],
+    peers: &[String],
+    frame_cap: usize,
+    backoff: &BackoffPolicy,
+    connect_attempts: usize,
+) -> Result<Mesh> {
+    let n = plan.instance_count();
+    let mut endpoints: Vec<Option<Sender<Envelope>>> = vec![None; n];
+    let mut receivers: Vec<Option<Receiver<Envelope>>> = (0..n).map(|_| None).collect();
+    let mut local_senders: Vec<Option<Sender<Envelope>>> = vec![None; n];
+    for i in 0..n {
+        if mine.contains(&i) {
+            let (tx, rx) = bounded::<Envelope>(frame_cap);
+            endpoints[i] = Some(tx.clone());
+            local_senders[i] = Some(tx);
+            receivers[i] = Some(rx);
+        }
+    }
+
+    // Remote targets of my instances' out-routes, and the workers hosting
+    // them.
+    let mut remote: Vec<(usize, usize)> = Vec::new(); // (instance, worker)
+    let mut seen = HashSet::new();
+    for &i in mine {
+        for route in &plan.out_routes[i] {
+            for t in route.targets.iter() {
+                if !mine.contains(&t.instance) && seen.insert(t.instance) {
+                    remote.push((t.instance, assignment[t.instance]));
+                }
+            }
+        }
+    }
+    remote.sort_unstable();
+
+    // One dial per peer worker, every reconnect through the shared
+    // decorrelated-jitter backoff.
+    let mut streams: HashMap<usize, Arc<Mutex<TcpStream>>> = HashMap::new();
+    let mut outbound = Vec::new();
+    for &(_, w) in &remote {
+        if streams.contains_key(&w) {
+            continue;
+        }
+        let addr = peers.get(w).ok_or_else(|| {
+            EngineError::Transport(format!("deploy lists no data address for worker {w}"))
+        })?;
+        let s = connect_with_backoff(addr, backoff, connect_attempts)
+            .map_err(|e| io_err(&format!("dial worker {w} at {addr}"), e))?;
+        outbound.push(s.try_clone().map_err(|e| io_err("clone data stream", e))?);
+        streams.insert(w, Arc::new(Mutex::new(s)));
+    }
+
+    let mut forwarders = Vec::new();
+    for (inst, w) in remote {
+        let (tx, rx) = bounded::<Envelope>(frame_cap);
+        endpoints[inst] = Some(tx);
+        let stream = Arc::clone(&streams[&w]);
+        forwarders.push(std::thread::spawn(move || {
+            for env in rx.iter() {
+                let frame = WireEnvelope {
+                    instance: inst,
+                    channel: env.channel,
+                    msg: env.msg,
+                };
+                if send_json(&mut *stream.lock(), &frame).is_err() {
+                    // Peer gone (or chaos severed the stream): stop
+                    // forwarding; dropping `rx` makes upstream sends fail,
+                    // which is how the hazard propagates into the attempt.
+                    return;
+                }
+            }
+        }));
+    }
+
+    Ok(Mesh {
+        transport: MeshTransport { endpoints },
+        receivers,
+        local_senders,
+        outbound,
+        forwarders,
+    })
+}
+
+/// Accept exactly `expected` inbound data connections, then release the
+/// master sender table. Each connection gets a reader thread that routes
+/// frames into local input queues; the reader drops its sender clones on
+/// EOF or error, so a killed peer tears its edges down and local instances
+/// observe `Lost` instead of hanging.
+fn spawn_acceptor(
+    listener: TcpListener,
+    local_senders: Vec<Option<Sender<Envelope>>>,
+    expected: usize,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut conns = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            stream.set_nodelay(true).ok();
+            let senders = local_senders.clone();
+            conns.push(std::thread::spawn(move || {
+                let mut stream = stream;
+                loop {
+                    match recv_json::<_, WireEnvelope>(&mut stream) {
+                        Ok(Some(we)) => {
+                            let Some(Some(tx)) = senders.get(we.instance) else {
+                                return;
+                            };
+                            if tx
+                                .send(Envelope {
+                                    channel: we.channel,
+                                    msg: we.msg,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        // Clean EOF after the peer's last frame, or a peer
+                        // that died mid-frame — either way this edge is done.
+                        Ok(None) | Err(_) => return,
+                    }
+                }
+            }));
+        }
+        drop(local_senders);
+        for c in conns {
+            let _ = c.join();
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Entry point of a worker process (`pdsp-worker`, or `pdsp worker`).
+///
+/// Meant to run in a dedicated process: on a failed attempt it reports
+/// `Failed` and returns without waiting for auxiliary threads, relying on
+/// process exit (and ultimately the coordinator's kill-all) for teardown.
+pub struct WorkerMain {
+    resolver: SpecResolver,
+    backoff: BackoffPolicy,
+    connect_attempts: usize,
+}
+
+impl Default for WorkerMain {
+    fn default() -> Self {
+        WorkerMain::new(default_resolver())
+    }
+}
+
+impl WorkerMain {
+    /// Worker with the given spec resolver and default dial policy.
+    pub fn new(resolver: SpecResolver) -> Self {
+        WorkerMain {
+            resolver,
+            backoff: BackoffPolicy::default(),
+            connect_attempts: 200,
+        }
+    }
+
+    /// Dial the coordinator, run one deployment to completion (or failure),
+    /// report the outcome, and return.
+    pub fn run(&self, coordinator: &str, worker_id: usize) -> Result<()> {
+        let data_listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind data listener", e))?;
+        let data_addr = data_listener
+            .local_addr()
+            .map_err(|e| io_err("data listener addr", e))?
+            .to_string();
+        let control = connect_with_backoff(coordinator, &self.backoff, self.connect_attempts)
+            .map_err(|e| io_err("dial coordinator", e))?;
+        let mut reader = control
+            .try_clone()
+            .map_err(|e| io_err("clone control stream", e))?;
+        let writer = Arc::new(Mutex::new(control));
+        send_json(
+            &mut *writer.lock(),
+            &ToCoord::Hello {
+                worker: worker_id,
+                data_addr,
+            },
+        )
+        .map_err(|e| io_err("send hello", e))?;
+
+        let deploy =
+            match recv_json::<_, ToWorker>(&mut reader).map_err(|e| io_err("await deploy", e))? {
+                Some(ToWorker::Deploy(d)) => *d,
+                _ => {
+                    return Err(EngineError::Transport(
+                        "coordinator closed before deploying".into(),
+                    ))
+                }
+            };
+
+        let (plan, sources) = (self.resolver)(&deploy.spec)?;
+        let n = plan.instance_count();
+        if deploy.assignment.len() != n {
+            return Err(EngineError::InvalidConfig(format!(
+                "assignment covers {} instances but the plan has {n}",
+                deploy.assignment.len()
+            )));
+        }
+        let mine: HashSet<usize> = (0..n)
+            .filter(|&i| deploy.assignment[i] == worker_id)
+            .collect();
+        let restore: HashMap<usize, Vec<u8>> = deploy.restore.iter().cloned().collect();
+        let frame_cap = deploy.run.frame_capacity();
+
+        let mesh = build_mesh(
+            &plan,
+            &mine,
+            &deploy.assignment,
+            &deploy.peers,
+            frame_cap,
+            &self.backoff,
+            self.connect_attempts,
+        )?;
+        let Mesh {
+            transport,
+            mut receivers,
+            local_senders,
+            outbound,
+            forwarders,
+        } = mesh;
+        let expected_inbound = inbound_peers(&plan, &deploy.assignment, worker_id).len();
+        let acceptor = spawn_acceptor(data_listener, local_senders, expected_inbound);
+
+        send_json(&mut *writer.lock(), &ToCoord::Ready { worker: worker_id })
+            .map_err(|e| io_err("send ready", e))?;
+        match recv_json::<_, ToWorker>(&mut reader).map_err(|e| io_err("await start", e))? {
+            Some(ToWorker::Start) => {}
+            _ => {
+                return Err(EngineError::Transport(
+                    "coordinator closed before start".into(),
+                ))
+            }
+        }
+
+        // Telemetry: the registry covers the whole plan (indices align with
+        // instance ids); only local instances record into it.
+        let mut registry = MetricsRegistry::new("distributed");
+        for inst in &plan.instances {
+            registry.register(
+                plan.logical.nodes[inst.node].name.clone(),
+                inst.index,
+                format!("worker{}", deploy.assignment[inst.id]),
+            );
+        }
+        let tel = RunTelemetry::new(
+            registry,
+            TelemetryConfig {
+                dump_on_error: false,
+                ..TelemetryConfig::default()
+            },
+        );
+
+        let (coord_tx, coord_rx) = unbounded::<(u64, usize, Vec<u8>)>();
+        let (sink_tx, sink_rx) = unbounded::<(usize, SinkState)>();
+        let (stats_tx, stats_rx) = unbounded::<(usize, u64, u64, u64, u64)>();
+        let reporters = Reporters {
+            coord_tx,
+            sink_tx,
+            stats_tx,
+        };
+
+        // Checkpoint parts leave the process the moment they are taken:
+        // they must survive a SIGKILL that lands after the barrier.
+        let part_forwarder = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || {
+                for (ckpt, instance, bytes) in coord_rx.iter() {
+                    let msg = ToCoord::Part {
+                        worker: worker_id,
+                        ckpt,
+                        instance,
+                        bytes,
+                    };
+                    // Parts are the bulk traffic on the control stream;
+                    // encode outside the lock or the heartbeat thread
+                    // starves behind every barrier (checkpoints are
+                    // barrier-aligned, so all workers would go silent at
+                    // once and trip the coordinator's gap alarm).
+                    let Ok(payload) = encode_json(&msg) else {
+                        return;
+                    };
+                    if write_frame(&mut *writer.lock(), &payload).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let emitted: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let my_sources: Vec<usize> = plan
+            .source_instances()
+            .into_iter()
+            .filter(|i| mine.contains(i))
+            .collect();
+        let my_sinks: Vec<usize> = plan
+            .sink_instances()
+            .into_iter()
+            .filter(|i| mine.contains(i))
+            .collect();
+        let mut my_ids: Vec<usize> = mine.iter().copied().collect();
+        my_ids.sort_unstable();
+
+        let heartbeat = {
+            let writer = Arc::clone(&writer);
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&tel.registry);
+            let emitted = Arc::clone(&emitted);
+            let (my_sources, my_sinks, my_ids) =
+                (my_sources.clone(), my_sinks.clone(), my_ids.clone());
+            let period = Duration::from_millis(deploy.heartbeat_ms.max(1));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let snaps = registry.snapshot();
+                    let hb = ToCoord::Heartbeat {
+                        worker: worker_id,
+                        emitted: my_sources
+                            .iter()
+                            .map(|&i| (i, emitted[i].load(Ordering::SeqCst)))
+                            .collect(),
+                        sinks: my_sinks.iter().map(|&i| (i, snaps[i].tuples_in)).collect(),
+                        snapshots: my_ids.iter().map(|&i| (i, snaps[i].clone())).collect(),
+                    };
+                    let Ok(payload) = encode_json(&hb) else {
+                        return;
+                    };
+                    if write_frame(&mut *writer.lock(), &payload).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(period);
+                }
+            })
+        };
+
+        // Connection-drop chaos: sever outbound data streams mid-run. The
+        // severed streams give forwarders write errors and peers mid-frame
+        // EOFs — the half-open-connection hazard, end to end.
+        let chaos = match deploy.drop_data_after_ms {
+            Some(ms) if !outbound.is_empty() => {
+                let stop = Arc::clone(&stop);
+                Some(std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    while t0.elapsed() < Duration::from_millis(ms) {
+                        if stop.load(Ordering::SeqCst) {
+                            return; // run finished first: no chaos
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    for s in &outbound {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
+                }))
+            }
+            _ => {
+                drop(outbound);
+                None
+            }
+        };
+
+        let settings = ExecSettings {
+            run: deploy.run.clone(),
+            exactly_once: deploy.mode == DeliveryMode::ExactlyOnce,
+            ckpt_interval: deploy.ckpt_interval,
+        };
+        let handles = spawn_instances(
+            &plan,
+            &sources,
+            Some(&mine),
+            &transport,
+            &mut receivers,
+            &settings,
+            None,
+            &restore,
+            &emitted,
+            RunClock::Epoch(deploy.epoch_ns),
+            &reporters,
+            Some(&tel),
+            deploy.attempt > 1,
+        )?;
+        drop(reporters);
+        drop(transport);
+
+        let outcome = join_instances(handles, Some(&tel));
+        match outcome {
+            None => {
+                // Success. Join the data plane down in dependency order:
+                // forwarders first (all frames on the wire), then our
+                // outbound streams (peers see EOF), then the acceptor
+                // (peers closed towards us). Exiting before the forwarders
+                // drain would tear frames at the peers.
+                for f in forwarders {
+                    let _ = f.join();
+                }
+                let _ = acceptor.join();
+                let _ = part_forwarder.join();
+                // The heartbeat keeps beating through the joins above: the
+                // acceptor join waits on *peers* closing their streams, so a
+                // worker that went silent while waiting on a slower peer
+                // would trip the coordinator's gap alarm on healthy runs.
+                stop.store(true, Ordering::SeqCst);
+                let _ = heartbeat.join();
+                if let Some(c) = chaos {
+                    let _ = c.join();
+                }
+                let stats: Vec<WireStat> = stats_rx
+                    .iter()
+                    .map(|(node, tuples_in, tuples_out, shed, late)| WireStat {
+                        node,
+                        tuples_in,
+                        tuples_out,
+                        shed,
+                        late,
+                    })
+                    .collect();
+                let sinks: Vec<(usize, SinkState)> = sink_rx.iter().collect();
+                let done = ToCoord::Done {
+                    worker: worker_id,
+                    stats,
+                    sinks,
+                    emitted: my_sources
+                        .iter()
+                        .map(|&i| (i, emitted[i].load(Ordering::SeqCst)))
+                        .collect(),
+                };
+                send_json(&mut *writer.lock(), &done).map_err(|e| io_err("send done", e))?;
+                Ok(())
+            }
+            Some(e) => {
+                // Failure: report what we have and get out. Peers may be
+                // hung or dead, so joining the data plane could block; the
+                // coordinator kills the whole fleet after every attempt.
+                stop.store(true, Ordering::SeqCst);
+                let sinks: Vec<(usize, SinkState)> = sink_rx.iter().collect();
+                let failed = ToCoord::Failed {
+                    worker: worker_id,
+                    error: e.to_string(),
+                    sinks,
+                };
+                let _ = send_json(&mut *writer.lock(), &failed);
+                Err(e)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// What one coordinator event-loop iteration received.
+#[allow(clippy::large_enum_variant)]
+enum Event {
+    /// A control message from a worker. `writer` rides along on the first
+    /// message of a connection (the Hello) so the coordinator can talk back.
+    Msg {
+        gen: usize,
+        msg: ToCoord,
+        writer: Option<TcpStream>,
+    },
+    /// A control connection closed or errored.
+    Lost { gen: usize, worker: Option<usize> },
+}
+
+/// Everything one distributed attempt reported.
+struct DistAttempt {
+    outcome: std::result::Result<(), EngineError>,
+    new_parts: Vec<(u64, usize, Vec<u8>)>,
+    /// Final (on success) or failure-time partial sink states.
+    sink_states: HashMap<usize, SinkState>,
+    op_stats: Vec<WireStat>,
+    /// Best-known source offsets (heartbeats, then Done).
+    emitted: HashMap<usize, u64>,
+    /// Heartbeat-reported sink deliveries this attempt, by worker.
+    hb_sinks: HashMap<usize, u64>,
+    /// Last telemetry snapshot per instance id.
+    snapshots: HashMap<usize, InstanceSnapshot>,
+}
+
+impl DistAttempt {
+    fn new() -> Self {
+        DistAttempt {
+            outcome: Ok(()),
+            new_parts: Vec::new(),
+            sink_states: HashMap::new(),
+            op_stats: Vec::new(),
+            emitted: HashMap::new(),
+            hb_sinks: HashMap::new(),
+            snapshots: HashMap::new(),
+        }
+    }
+}
+
+/// Result of a distributed execution.
+#[derive(Debug)]
+pub struct DistributedRun {
+    /// Run result plus the recovery accounting shared with the in-process
+    /// fault-tolerant runtime.
+    pub ft: FtRunResult,
+    /// Last telemetry snapshot of every instance, aggregated at the
+    /// coordinator from worker heartbeats (instance-id order).
+    pub snapshots: Vec<InstanceSnapshot>,
+    /// Alarms observed during the run (heartbeat-gap alarms included), in
+    /// first-firing order.
+    pub alarms: Vec<Alarm>,
+}
+
+/// The coordinator: spawns worker processes, deploys a spec, supervises
+/// heartbeat leases, streams checkpoints, and restarts the fleet from the
+/// last complete checkpoint on failure. See the module docs.
+pub struct DistributedRuntime {
+    config: DistributedConfig,
+    resolver: SpecResolver,
+}
+
+impl DistributedRuntime {
+    /// Coordinator with the default ([`crate::testplan`]) resolver.
+    pub fn new(config: DistributedConfig) -> Self {
+        DistributedRuntime {
+            config,
+            resolver: default_resolver(),
+        }
+    }
+
+    /// Coordinator with a custom spec resolver. The worker binary must
+    /// resolve the same vocabulary.
+    pub fn with_resolver(config: DistributedConfig, resolver: SpecResolver) -> Self {
+        DistributedRuntime { config, resolver }
+    }
+
+    /// Execute `spec` across `workers` processes under supervision.
+    pub fn run(&self, spec: &str) -> Result<DistributedRun> {
+        self.config.validate()?;
+        let (plan, _sources) = (self.resolver)(spec)?;
+        let n = plan.instance_count();
+        let k = self.config.workers;
+        let assignment: Vec<usize> = (0..n).map(|i| i % k).collect();
+
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind control listener", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err("control listener addr", e))?
+            .to_string();
+        let generation = Arc::new(AtomicUsize::new(0));
+        let (ev_tx, ev_rx) = unbounded::<Event>();
+        spawn_control_acceptor(listener, Arc::clone(&generation), ev_tx);
+
+        let tel = RunTelemetry::new(MetricsRegistry::new(spec), TelemetryConfig::default());
+        tel.recorder.record(
+            FlightEventKind::RunStarted,
+            0,
+            0,
+            format!("distributed: {n} instances on {k} workers, spec '{spec}'"),
+        );
+
+        let start = Instant::now();
+        let epoch_ns = epoch_ns_now();
+        let mut alarms_observed: Vec<Alarm> = Vec::new();
+        let mut parts: HashMap<u64, HashMap<usize, Vec<u8>>> = HashMap::new();
+        let mut restore: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut sink_partials: HashMap<usize, SinkState> = HashMap::new();
+        let mut emitted_totals: HashMap<usize, u64> = HashMap::new();
+        let mut last_snapshots: HashMap<usize, InstanceSnapshot> = HashMap::new();
+        let mut stats = RecoveryStats {
+            attempts: 0,
+            completed_checkpoints: 0,
+            restored_checkpoint: None,
+            recovery_times_ms: Vec::new(),
+            replayed_tuples: 0,
+            duplicate_tuples: 0,
+            rolled_back_tuples: 0,
+            late_tuples: 0,
+            mode: self.config.ft.mode,
+        };
+
+        loop {
+            stats.attempts += 1;
+            let first = stats.attempts == 1;
+            // Sink totals carried into this attempt by restored snapshots:
+            // the baseline for heartbeat-estimated delivery accounting.
+            let attempt_base_sink: u64 = {
+                let mut total = 0u64;
+                for inst in &plan.instances {
+                    if matches!(plan.logical.nodes[inst.node].kind, OpKind::Sink) {
+                        if let Some(bytes) = restore.get(&inst.id) {
+                            total += decode::<SinkState>(bytes, "sink")?.total;
+                        }
+                    }
+                }
+                total
+            };
+            let gen = generation.fetch_add(1, Ordering::SeqCst) + 1;
+            // Heartbeat bookkeeping starts fresh each attempt — interval
+            // counters restart with the new fleet, and stale entries from a
+            // dead generation must not raise alarms against live workers.
+            // The gap warning fires at half the lease timeout: far enough
+            // past scheduler noise (a saturated box oversleeps a 20 ms
+            // heartbeat by tens of ms) that it only names workers on the
+            // road to lease expiry, yet still well ahead of the axe.
+            let gap_intervals =
+                (self.config.lease_timeout_ms / self.config.heartbeat_ms.max(1) / 2).max(3);
+            let mut monitor = AlarmMonitor::new(AlarmConfig {
+                heartbeat_gap_intervals: gap_intervals,
+                ..AlarmConfig::default()
+            });
+            let mut children = self.spawn_children(&addr, k)?;
+            let att = self.drive_attempt(
+                gen,
+                &ev_rx,
+                &mut children,
+                spec,
+                &assignment,
+                &restore,
+                stats.attempts,
+                epoch_ns,
+                first.then_some(self.config.kill).flatten(),
+                first.then_some(self.config.drop_data_after_ms).flatten(),
+                &tel,
+                &mut monitor,
+                &mut alarms_observed,
+            );
+            // Every attempt ends with a clean slate of processes: killing
+            // is idempotent for the already-exited, and wait() reaps.
+            for c in &mut children {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+
+            for (id, inst, bytes) in att.new_parts {
+                parts.entry(id).or_default().insert(inst, bytes);
+            }
+            stats.completed_checkpoints = parts.values().filter(|p| p.len() == n).count() as u64;
+            for (inst, v) in &att.emitted {
+                let e = emitted_totals.entry(*inst).or_insert(0);
+                *e = (*e).max(*v);
+            }
+            for (inst, snap) in att.snapshots {
+                last_snapshots.insert(inst, snap);
+            }
+
+            match att.outcome {
+                Ok(()) => {
+                    stats.late_tuples = att.op_stats.iter().map(|s| s.late).sum();
+                    let result = assemble(
+                        &plan,
+                        &self.config.ft.run,
+                        att.sink_states,
+                        &att.op_stats,
+                        &emitted_totals,
+                        start,
+                    );
+                    tel.recorder.record(
+                        FlightEventKind::RunFinished,
+                        0,
+                        0,
+                        format!(
+                            "{} tuples delivered after {} attempt(s)",
+                            result.tuples_out, stats.attempts
+                        ),
+                    );
+                    let mut ids: Vec<usize> = last_snapshots.keys().copied().collect();
+                    ids.sort_unstable();
+                    let snapshots = ids
+                        .into_iter()
+                        .filter_map(|i| last_snapshots.remove(&i))
+                        .collect();
+                    return Ok(DistributedRun {
+                        ft: FtRunResult {
+                            result,
+                            recovery: stats,
+                        },
+                        snapshots,
+                        alarms: alarms_observed,
+                    });
+                }
+                Err(root) => {
+                    let detected = Instant::now();
+                    let restarts_used = stats.attempts - 1;
+                    for (inst, st) in att.sink_states {
+                        sink_partials.insert(inst, st);
+                    }
+                    if restarts_used >= self.config.ft.restart.max_restarts {
+                        if tel.config.dump_on_error {
+                            tel.recorder.dump_to_stderr(&format!(
+                                "quarantining job after {restarts_used} restart(s): {root}"
+                            ));
+                        }
+                        return Err(EngineError::JobQuarantined {
+                            restarts: restarts_used,
+                            cause: root.to_string(),
+                        });
+                    }
+                    let restored = parts
+                        .iter()
+                        .filter(|(_, p)| p.len() == n)
+                        .map(|(&id, _)| id)
+                        .max();
+                    stats.restored_checkpoint = restored;
+                    tel.recorder.record(
+                        FlightEventKind::RecoveryStarted,
+                        0,
+                        0,
+                        match restored {
+                            Some(id) => format!("restoring checkpoint {id}: {root}"),
+                            None => format!("cold restart (no complete checkpoint): {root}"),
+                        },
+                    );
+                    restore.clear();
+                    let mut ckpt_sink_total = 0u64;
+                    if let Some(id) = restored {
+                        for (&inst, bytes) in &parts[&id] {
+                            restore.insert(inst, bytes.clone());
+                        }
+                        for inst in &plan.instances {
+                            if matches!(plan.logical.nodes[inst.node].kind, OpKind::Sink) {
+                                if let Some(bytes) = parts[&id].get(&inst.id) {
+                                    ckpt_sink_total += decode::<SinkState>(bytes, "sink")?.total;
+                                }
+                            }
+                        }
+                    }
+                    for &src in &plan.source_instances() {
+                        let at_failure = emitted_totals.get(&src).copied().unwrap_or(0);
+                        let offset = restore
+                            .get(&src)
+                            .map(|b| decode::<u64>(b, "source offset"))
+                            .transpose()?
+                            .unwrap_or(0);
+                        stats.replayed_tuples += at_failure.saturating_sub(offset);
+                    }
+                    // Failure-time sink total: what workers reported in
+                    // Failed, or — for SIGKILLed workers that reported
+                    // nothing — the heartbeat estimate.
+                    let reported: u64 = sink_partials.values().map(|s| s.total).sum();
+                    let estimated = attempt_base_sink + att.hb_sinks.values().copied().sum::<u64>();
+                    let delta = reported.max(estimated).saturating_sub(ckpt_sink_total);
+                    match self.config.ft.mode {
+                        DeliveryMode::AtLeastOnce => {
+                            stats.duplicate_tuples += delta;
+                            for (inst, st) in &sink_partials {
+                                restore.insert(*inst, encode(st, "sink")?);
+                            }
+                        }
+                        DeliveryMode::ExactlyOnce => {
+                            stats.rolled_back_tuples += delta;
+                        }
+                    }
+                    std::thread::sleep(self.config.ft.restart.delay(restarts_used));
+                    let recovery_ms = detected.elapsed().as_secs_f64() * 1e3;
+                    stats.recovery_times_ms.push(recovery_ms);
+                    tel.recorder.record(
+                        FlightEventKind::RestartCompleted,
+                        0,
+                        0,
+                        format!(
+                            "fleet restart {} after {recovery_ms:.2} ms",
+                            restarts_used + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn spawn_children(&self, addr: &str, k: usize) -> Result<Vec<Child>> {
+        let bin = &self.config.worker_bin;
+        let mut children: Vec<Child> = Vec::with_capacity(k);
+        for w in 0..k {
+            let spawned = Command::new(&bin[0])
+                .args(&bin[1..])
+                .arg("--coordinator")
+                .arg(addr)
+                .arg("--id")
+                .arg(w.to_string())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn();
+            match spawned {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    for c in &mut children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(EngineError::Transport(format!(
+                        "spawning worker {w} ('{}') failed: {e}",
+                        bin[0]
+                    )));
+                }
+            }
+        }
+        Ok(children)
+    }
+
+    /// Run one attempt end to end: handshake, deploy, start, then the
+    /// supervision loop until every worker is done or something fails.
+    /// Never returns early without an outcome; the caller kills the fleet.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_attempt(
+        &self,
+        gen: usize,
+        ev_rx: &Receiver<Event>,
+        children: &mut [Child],
+        spec: &str,
+        assignment: &[usize],
+        restore: &HashMap<usize, Vec<u8>>,
+        attempt: usize,
+        epoch_ns: u64,
+        kill: Option<KillSpec>,
+        drop_data_after_ms: Option<u64>,
+        tel: &RunTelemetry,
+        monitor: &mut AlarmMonitor,
+        alarms_observed: &mut Vec<Alarm>,
+    ) -> DistAttempt {
+        let k = children.len();
+        let mut att = DistAttempt::new();
+        let fail = |att: &mut DistAttempt, e: EngineError| {
+            att.outcome = Err(e);
+        };
+
+        // Phase 1: gather Hellos (collecting control writers + data addrs).
+        let mut writers: Vec<Option<TcpStream>> = (0..k).map(|_| None).collect();
+        let mut data_addrs: Vec<String> = vec![String::new(); k];
+        let deadline = Instant::now() + HANDSHAKE_GRACE;
+        let mut pending = k;
+        while pending > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                fail(
+                    &mut att,
+                    EngineError::Transport(format!(
+                        "{pending} worker(s) never dialed in within {HANDSHAKE_GRACE:?}"
+                    )),
+                );
+                return att;
+            }
+            match ev_rx.recv_timeout(left.min(Duration::from_millis(50))) {
+                Ok(Event::Msg {
+                    gen: g,
+                    msg: ToCoord::Hello { worker, data_addr },
+                    writer,
+                }) if g == gen => {
+                    if worker < k && writers[worker].is_none() {
+                        writers[worker] = writer;
+                        data_addrs[worker] = data_addr;
+                        pending -= 1;
+                    }
+                }
+                Ok(Event::Lost { gen: g, worker }) if g == gen => {
+                    fail(
+                        &mut att,
+                        EngineError::WorkerLost {
+                            worker: worker.unwrap_or(k),
+                            detail: "control connection lost during handshake".into(),
+                        },
+                    );
+                    return att;
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    fail(
+                        &mut att,
+                        EngineError::Transport("coordinator event channel closed".into()),
+                    );
+                    return att;
+                }
+            }
+        }
+
+        // Phase 2: deploy everywhere, gather Readys, fire Start.
+        let mut restore_wire: Vec<(usize, Vec<u8>)> =
+            restore.iter().map(|(&i, b)| (i, b.clone())).collect();
+        restore_wire.sort_unstable_by_key(|&(i, _)| i);
+        let deploy = DeploySpec {
+            spec: spec.to_string(),
+            attempt,
+            workers: k,
+            assignment: assignment.to_vec(),
+            peers: data_addrs,
+            restore: restore_wire,
+            run: self.config.ft.run.clone(),
+            mode: self.config.ft.mode,
+            ckpt_interval: self.config.ft.checkpoint_interval_tuples,
+            epoch_ns,
+            heartbeat_ms: self.config.heartbeat_ms,
+            drop_data_after_ms,
+        };
+        for (w, writer) in writers.iter_mut().enumerate() {
+            let Some(stream) = writer else {
+                fail(
+                    &mut att,
+                    EngineError::WorkerLost {
+                        worker: w,
+                        detail: "no control writer after hello".into(),
+                    },
+                );
+                return att;
+            };
+            if let Err(e) = send_json(stream, &ToWorker::Deploy(Box::new(deploy.clone()))) {
+                fail(&mut att, io_err(&format!("deploy to worker {w}"), e));
+                return att;
+            }
+        }
+        let mut ready = vec![false; k];
+        let mut pending = k;
+        while pending > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                fail(
+                    &mut att,
+                    EngineError::Transport(format!(
+                        "{pending} worker(s) never became ready within {HANDSHAKE_GRACE:?}"
+                    )),
+                );
+                return att;
+            }
+            match ev_rx.recv_timeout(left.min(Duration::from_millis(50))) {
+                Ok(Event::Msg {
+                    gen: g,
+                    msg: ToCoord::Ready { worker },
+                    ..
+                }) if g == gen => {
+                    if worker < k && !ready[worker] {
+                        ready[worker] = true;
+                        pending -= 1;
+                    }
+                }
+                Ok(Event::Lost { gen: g, worker }) if g == gen => {
+                    fail(
+                        &mut att,
+                        EngineError::WorkerLost {
+                            worker: worker.unwrap_or(k),
+                            detail: "control connection lost during deployment".into(),
+                        },
+                    );
+                    return att;
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    fail(
+                        &mut att,
+                        EngineError::Transport("coordinator event channel closed".into()),
+                    );
+                    return att;
+                }
+            }
+        }
+        for (w, writer) in writers.iter_mut().enumerate() {
+            if let Err(e) = send_json(writer.as_mut().expect("writer checked"), &ToWorker::Start) {
+                fail(&mut att, io_err(&format!("start worker {w}"), e));
+                return att;
+            }
+        }
+
+        // Phase 3: supervise. Leases start now; heartbeats renew them.
+        let attempt_start = Instant::now();
+        let heartbeat_ms = self.config.heartbeat_ms.max(1);
+        let mut leases = LeaseTable::new(Duration::from_millis(self.config.lease_timeout_ms));
+        for w in 0..k {
+            leases.renew(w as u64);
+        }
+        let tick = Duration::from_millis((heartbeat_ms / 2).clamp(1, 25));
+        let mut done: HashSet<usize> = HashSet::new();
+        let mut killed = false;
+        let mut alarmed: HashSet<usize> = HashSet::new();
+        // A worker's own Failed report is only a *suspect* verdict: when a
+        // peer dies (SIGKILL), its severed sockets cascade failures into
+        // the survivors within milliseconds, and the first report usually
+        // comes from a victim, not the culprit. So a Failed report opens a
+        // grace window in which the lease detector may still name the
+        // actually-silent worker; only if no lease lapses does the report
+        // itself decide the attempt.
+        let mut suspect: Option<(usize, String)> = None;
+        let mut suspect_deadline: Option<Instant> = None;
+
+        loop {
+            if let Some(ks) = kill {
+                if !killed && attempt_start.elapsed() >= Duration::from_millis(ks.after_ms) {
+                    killed = true;
+                    if ks.worker < k && !done.contains(&ks.worker) {
+                        let _ = children[ks.worker].kill();
+                        tel.recorder.record(
+                            FlightEventKind::FaultInjected,
+                            0,
+                            ks.worker,
+                            format!("SIGKILL worker {} at {}ms", ks.worker, ks.after_ms),
+                        );
+                    }
+                }
+            }
+
+            // Failure detector: a lease that lapsed belongs to a worker that
+            // could not heartbeat — SIGKILL, livelock, or severed control
+            // connection alike.
+            if let Some((w, gap)) = leases
+                .expired()
+                .into_iter()
+                .filter(|(w, _)| !done.contains(&(*w as usize)))
+                .max_by_key(|&(_, gap)| gap)
+            {
+                let w = w as usize;
+                let detail = format!(
+                    "heartbeat silent for {} ms (lease timeout {} ms)",
+                    gap.as_millis(),
+                    self.config.lease_timeout_ms
+                );
+                tel.recorder
+                    .record(FlightEventKind::WorkerFailed, 0, w, detail.clone());
+                fail(&mut att, EngineError::WorkerLost { worker: w, detail });
+                break;
+            }
+
+            // A suspect whose grace window closed without any lease lapsing
+            // really was the first failure.
+            if let Some(deadline) = suspect_deadline {
+                if Instant::now() >= deadline {
+                    let (worker, error) = suspect.take().expect("suspect set with deadline");
+                    fail(
+                        &mut att,
+                        EngineError::WorkerLost {
+                            worker,
+                            detail: error,
+                        },
+                    );
+                    break;
+                }
+            }
+
+            // Heartbeat-gap alarms fire ahead of lease expiry: the lease is
+            // the axe, the alarm is the observable warning.
+            let interval = attempt_start.elapsed().as_millis() as u64 / heartbeat_ms;
+            for a in monitor.evaluate_heartbeats(interval) {
+                if a.kind == AlarmKind::HeartbeatGap && alarmed.insert(a.instance) {
+                    alarms_observed.push(a.clone());
+                }
+            }
+
+            match ev_rx.recv_timeout(tick) {
+                Ok(Event::Msg { gen: g, msg, .. }) if g == gen => match msg {
+                    ToCoord::Heartbeat {
+                        worker,
+                        emitted,
+                        sinks,
+                        snapshots,
+                    } => {
+                        leases.renew(worker as u64);
+                        monitor.note_heartbeat(worker, interval);
+                        for (inst, v) in emitted {
+                            let e = att.emitted.entry(inst).or_insert(0);
+                            *e = (*e).max(v);
+                        }
+                        att.hb_sinks
+                            .insert(worker, sinks.iter().map(|&(_, v)| v).sum());
+                        for (inst, snap) in snapshots {
+                            att.snapshots.insert(inst, snap);
+                        }
+                    }
+                    ToCoord::Part {
+                        ckpt,
+                        instance,
+                        bytes,
+                        ..
+                    } => att.new_parts.push((ckpt, instance, bytes)),
+                    ToCoord::Done {
+                        worker,
+                        stats,
+                        sinks,
+                        emitted,
+                    } => {
+                        done.insert(worker);
+                        leases.remove(worker as u64);
+                        monitor.clear_heartbeat(worker);
+                        att.op_stats.extend(stats);
+                        for (inst, st) in sinks {
+                            att.sink_states.insert(inst, st);
+                        }
+                        for (inst, v) in emitted {
+                            let e = att.emitted.entry(inst).or_insert(0);
+                            *e = (*e).max(v);
+                        }
+                        if done.len() == k {
+                            att.outcome = Ok(());
+                            break;
+                        }
+                        if let Some((worker, error)) = suspect.take() {
+                            if done.len() + 1 == k {
+                                fail(
+                                    &mut att,
+                                    EngineError::WorkerLost {
+                                        worker,
+                                        detail: error,
+                                    },
+                                );
+                                break;
+                            }
+                            suspect = Some((worker, error));
+                        }
+                    }
+                    ToCoord::Failed {
+                        worker,
+                        error,
+                        sinks,
+                    } => {
+                        for (inst, st) in sinks {
+                            att.sink_states.insert(inst, st);
+                        }
+                        tel.recorder.record(
+                            FlightEventKind::WorkerFailed,
+                            0,
+                            worker,
+                            error.clone(),
+                        );
+                        // Its own silence carries no information anymore —
+                        // only the *other* leases can name a better culprit.
+                        leases.remove(worker as u64);
+                        monitor.clear_heartbeat(worker);
+                        if suspect.is_none() {
+                            suspect = Some((worker, error));
+                            suspect_deadline = Some(
+                                Instant::now()
+                                    + Duration::from_millis(self.config.lease_timeout_ms),
+                            );
+                        }
+                        // With every other worker done, no lease is left to
+                        // disagree: the report stands immediately.
+                        if done.len() + 1 == k {
+                            let (worker, error) = suspect.take().expect("just set");
+                            fail(
+                                &mut att,
+                                EngineError::WorkerLost {
+                                    worker,
+                                    detail: error,
+                                },
+                            );
+                            break;
+                        }
+                    }
+                    ToCoord::Hello { .. } | ToCoord::Ready { .. } => {}
+                },
+                // A lost control connection alone is only a suspicion (the
+                // worker may still be draining); the lease makes the call.
+                Ok(Event::Lost { .. }) | Ok(Event::Msg { .. }) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    fail(
+                        &mut att,
+                        EngineError::Transport("coordinator event channel closed".into()),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // Opportunistic drain: checkpoint parts already queued behind the
+        // break still count toward the restore point.
+        while let Ok(ev) = ev_rx.try_recv() {
+            if let Event::Msg { gen: g, msg, .. } = ev {
+                if g != gen {
+                    continue;
+                }
+                match msg {
+                    ToCoord::Part {
+                        ckpt,
+                        instance,
+                        bytes,
+                        ..
+                    } => att.new_parts.push((ckpt, instance, bytes)),
+                    ToCoord::Heartbeat { emitted, .. } => {
+                        for (inst, v) in emitted {
+                            let e = att.emitted.entry(inst).or_insert(0);
+                            *e = (*e).max(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        att
+    }
+}
+
+/// One thread accepting control connections forever; each connection gets a
+/// reader thread that tags messages with the generation current at accept
+/// time, so a late frame from a killed fleet cannot corrupt the next
+/// attempt.
+fn spawn_control_acceptor(
+    listener: TcpListener,
+    generation: Arc<AtomicUsize>,
+    ev_tx: Sender<Event>,
+) {
+    std::thread::spawn(move || loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        stream.set_nodelay(true).ok();
+        let gen = generation.load(Ordering::SeqCst);
+        let ev_tx = ev_tx.clone();
+        std::thread::spawn(move || {
+            let mut writer = stream.try_clone().ok();
+            let mut reader = stream;
+            let mut worker = None;
+            loop {
+                match recv_json::<_, ToCoord>(&mut reader) {
+                    Ok(Some(msg)) => {
+                        if let ToCoord::Hello { worker: w, .. } = &msg {
+                            worker = Some(*w);
+                        }
+                        if ev_tx
+                            .send(Event::Msg {
+                                gen,
+                                msg,
+                                writer: writer.take(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = ev_tx.send(Event::Lost { gen, worker });
+                        return;
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Fold per-worker reports into the engine's [`RunResult`] shape, mirroring
+/// the in-process fault-tolerant assembly.
+fn assemble(
+    plan: &PhysicalPlan,
+    run: &RunConfig,
+    sink_states: HashMap<usize, SinkState>,
+    op_stats: &[WireStat],
+    emitted: &HashMap<usize, u64>,
+    start: Instant,
+) -> RunResult {
+    let mut result = RunResult {
+        sink_tuples: Vec::new(),
+        latencies_ns: Vec::new(),
+        tuples_out: 0,
+        tuples_in: 0,
+        elapsed: Duration::ZERO,
+        operator_stats: plan
+            .logical
+            .nodes
+            .iter()
+            .map(|node| OperatorStats {
+                node: node.id,
+                name: node.name.clone(),
+                tuples_in: 0,
+                tuples_out: 0,
+                shed: 0,
+                late: 0,
+            })
+            .collect(),
+    };
+    let mut ordered: Vec<(usize, SinkState)> = sink_states.into_iter().collect();
+    ordered.sort_unstable_by_key(|&(i, _)| i);
+    for (_, st) in ordered {
+        let room = run.capture_limit - result.sink_tuples.len().min(run.capture_limit);
+        result
+            .sink_tuples
+            .extend(st.captured.into_iter().take(room));
+        result.latencies_ns.extend(st.latencies);
+        result.tuples_out += st.total;
+    }
+    for &src in &plan.source_instances() {
+        result.tuples_in += emitted.get(&src).copied().unwrap_or(0);
+    }
+    for s in op_stats {
+        let slot = &mut result.operator_stats[s.node];
+        slot.tuples_in += s.tuples_in;
+        slot.tuples_out += s.tuples_out;
+        slot.shed += s.shed;
+        slot.late += s.late;
+    }
+    result.elapsed = start.elapsed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_bad_knobs() {
+        let mut cfg = DistributedConfig {
+            worker_bin: vec!["worker".into()],
+            ..DistributedConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        cfg.workers = 0;
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
+        cfg.workers = 2;
+        cfg.worker_bin.clear();
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
+        cfg.worker_bin = vec!["worker".into()];
+        cfg.lease_timeout_ms = cfg.heartbeat_ms;
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn wire_messages_roundtrip() {
+        let deploy = DeploySpec {
+            spec: "seeded:1".into(),
+            attempt: 2,
+            workers: 3,
+            assignment: vec![0, 1, 2, 0],
+            peers: vec![
+                "127.0.0.1:1".into(),
+                "127.0.0.1:2".into(),
+                "127.0.0.1:3".into(),
+            ],
+            restore: vec![(1, vec![1, 2, 3])],
+            run: RunConfig::default(),
+            mode: DeliveryMode::ExactlyOnce,
+            ckpt_interval: 64,
+            epoch_ns: 42,
+            heartbeat_ms: 20,
+            drop_data_after_ms: Some(50),
+        };
+        let mut buf = Vec::new();
+        send_json(&mut buf, &ToWorker::Deploy(Box::new(deploy))).unwrap();
+        send_json(&mut buf, &ToWorker::Start).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        match recv_json::<_, ToWorker>(&mut r).unwrap().unwrap() {
+            ToWorker::Deploy(d) => {
+                assert_eq!(d.spec, "seeded:1");
+                assert_eq!(d.assignment, vec![0, 1, 2, 0]);
+                assert_eq!(d.restore, vec![(1, vec![1, 2, 3])]);
+                assert_eq!(d.drop_data_after_ms, Some(50));
+            }
+            other => panic!("expected deploy, got {other:?}"),
+        }
+        assert!(matches!(
+            recv_json::<_, ToWorker>(&mut r).unwrap().unwrap(),
+            ToWorker::Start
+        ));
+
+        let hb = ToCoord::Heartbeat {
+            worker: 1,
+            emitted: vec![(0, 128)],
+            sinks: vec![(5, 64)],
+            snapshots: vec![(0, InstanceSnapshot::default())],
+        };
+        let mut buf = Vec::new();
+        send_json(&mut buf, &hb).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        match recv_json::<_, ToCoord>(&mut r).unwrap().unwrap() {
+            ToCoord::Heartbeat {
+                worker,
+                emitted,
+                sinks,
+                snapshots,
+            } => {
+                assert_eq!(worker, 1);
+                assert_eq!(emitted, vec![(0, 128)]);
+                assert_eq!(sinks, vec![(5, 64)]);
+                assert_eq!(snapshots.len(), 1);
+            }
+            other => panic!("expected heartbeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_and_peer_sets_are_consistent() {
+        let (plan, _) = testplan::build(0, 64, 0).unwrap();
+        let n = plan.instance_count();
+        let k = 2;
+        let assignment: Vec<usize> = (0..n).map(|i| i % k).collect();
+        // Every worker's inbound peer set names only workers that actually
+        // have an outbound edge to it.
+        for me in 0..k {
+            let inbound = inbound_peers(&plan, &assignment, me);
+            for &peer in &inbound {
+                assert_ne!(peer, me);
+                let mine: HashSet<usize> = (0..n).filter(|&i| assignment[i] == me).collect();
+                let has_edge = plan.instances.iter().any(|inst| {
+                    assignment[inst.id] == peer
+                        && plan.out_routes[inst.id]
+                            .iter()
+                            .any(|r| r.targets.iter().any(|t| mine.contains(&t.instance)))
+                });
+                assert!(has_edge, "worker {peer} listed without an edge into {me}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_rejects_missing_peer_address() {
+        let (plan, _) = testplan::build(0, 64, 0).unwrap();
+        let n = plan.instance_count();
+        let assignment: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let mine: HashSet<usize> = (0..n).filter(|&i| assignment[i] == 0).collect();
+        // Peer list too short: worker 1 unreachable.
+        let res = build_mesh(
+            &plan,
+            &mine,
+            &assignment,
+            &["127.0.0.1:9".to_string()],
+            4,
+            &BackoffPolicy::default(),
+            1,
+        );
+        assert!(matches!(res.err(), Some(EngineError::Transport(_))));
+    }
+}

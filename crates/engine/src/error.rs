@@ -150,6 +150,25 @@ pub enum EngineError {
     /// State snapshot or restore failed (serialization error, missing
     /// checkpoint part).
     Checkpoint(String),
+    /// A network-transport operation failed (connect, frame read/write,
+    /// handshake) in the distributed runtime.
+    Transport(String),
+    /// The coordinator lost a worker process: its heartbeat lease expired,
+    /// its control connection dropped, or it reported a failure.
+    WorkerLost {
+        /// Worker id assigned at spawn.
+        worker: usize,
+        /// What the failure detector observed.
+        detail: String,
+    },
+    /// Graceful degradation: the job exhausted its restart budget and was
+    /// quarantined instead of retried forever.
+    JobQuarantined {
+        /// Restarts consumed before giving up.
+        restarts: usize,
+        /// Root cause of the final failed attempt, rendered.
+        cause: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -252,6 +271,14 @@ impl fmt::Display for EngineError {
             ),
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            EngineError::WorkerLost { worker, detail } => {
+                write!(f, "worker {worker} lost: {detail}")
+            }
+            EngineError::JobQuarantined { restarts, cause } => write!(
+                f,
+                "job quarantined after {restarts} restart(s); root cause: {cause}"
+            ),
         }
     }
 }

@@ -4,32 +4,36 @@
 //! barriers (Chandy–Lamport as deployed in Flink): source instances emit
 //! [`Message::Barrier`] every `checkpoint_interval_tuples` tuples, operators
 //! align barriers across their input channels, snapshot their state through
-//! [`OperatorInstance::snapshot`], and forward the barrier. A supervising
-//! loop detects worker death — a panic or a [`FaultInjector`] firing —
-//! restores the last complete snapshot, rewinds each source to its recorded
-//! offset and replays. Under [`DeliveryMode::ExactlyOnce`] channels that
-//! already delivered the in-flight barrier are blocked until the checkpoint
-//! completes, so snapshots contain exactly the pre-barrier prefix; under
-//! [`DeliveryMode::AtLeastOnce`] nothing blocks and replay may re-deliver.
+//! [`crate::operator::OperatorInstance::snapshot`], and forward the barrier.
+//! A supervising loop detects worker death — a panic or a [`FaultInjector`]
+//! firing — restores the last complete snapshot, rewinds each source to its
+//! recorded offset and replays. Under [`DeliveryMode::ExactlyOnce`] channels
+//! that already delivered the in-flight barrier are blocked until the
+//! checkpoint completes, so snapshots contain exactly the pre-barrier
+//! prefix; under [`DeliveryMode::AtLeastOnce`] nothing blocks and replay may
+//! re-deliver.
+//!
+//! The per-attempt worker loops live in `crate::exec` and are shared with
+//! the distributed runtime — this module supervises single-process attempts
+//! over a `crate::transport::LocalTransport`.
 //!
 //! UDO state is opaque to the engine and is *not* snapshotted; jobs with
 //! stateful UDOs recover with at-least-once semantics regardless of mode.
 
-use crate::batch::{EdgeBatcher, FlushReason};
 use crate::error::{EngineError, Result};
-use crate::message::{Message, WatermarkTracker};
-use crate::operator::{OpKind, OperatorInstance};
-use crate::physical::{PhysicalPlan, RouterState};
-use crate::runtime::{
-    panic_cause, pick_root_error, take_receiver, Envelope, OperatorStats, RunConfig, RunResult,
-    SourceFactory,
+use crate::exec::{
+    decode, encode, join_instances, spawn_instances, ExecSettings, Reporters, RunClock, SinkState,
 };
-use crate::telemetry::Probe;
-use crate::value::Tuple;
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+#[allow(unused_imports)] // referenced by the module docs
+use crate::message::Message;
+use crate::operator::OpKind;
+use crate::physical::PhysicalPlan;
+use crate::runtime::{Envelope, OperatorStats, RunConfig, RunResult, SourceFactory};
+use crate::transport::LocalTransport;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use pdsp_telemetry::{FlightEventKind, RunTelemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -145,7 +149,8 @@ impl FaultInjector {
 }
 
 /// Delivery guarantee the checkpoint protocol provides after recovery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Serializable so the coordinator can ship it in the deploy message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DeliveryMode {
     /// No channel blocking: replay may re-deliver tuples processed between
     /// the restored checkpoint and the failure.
@@ -280,83 +285,6 @@ pub struct FtRunResult {
     pub recovery: RecoveryStats,
 }
 
-/// Aligns checkpoint barriers across an instance's input channels. A
-/// channel at EOS counts as having delivered every barrier (its prefix is
-/// fully processed, so the snapshot stays consistent).
-struct BarrierAligner {
-    channels: usize,
-    received: HashMap<u64, Vec<bool>>,
-    closed: Vec<bool>,
-}
-
-impl BarrierAligner {
-    fn new(channels: usize) -> Self {
-        BarrierAligner {
-            channels,
-            received: HashMap::new(),
-            closed: vec![false; channels],
-        }
-    }
-
-    fn is_complete(&self, id: u64) -> bool {
-        let Some(seen) = self.received.get(&id) else {
-            return false;
-        };
-        (0..self.channels).all(|c| seen[c] || self.closed[c])
-    }
-
-    /// Record a barrier; returns true when checkpoint `id` just completed.
-    fn barrier(&mut self, id: u64, channel: usize) -> bool {
-        let seen = self
-            .received
-            .entry(id)
-            .or_insert_with(|| vec![false; self.channels]);
-        seen[channel] = true;
-        let complete = self.is_complete(id);
-        if complete {
-            self.received.remove(&id);
-        }
-        complete
-    }
-
-    /// A channel reached EOS; returns ids (ascending) completed by it.
-    fn close(&mut self, channel: usize) -> Vec<u64> {
-        self.closed[channel] = true;
-        let mut done: Vec<u64> = self
-            .received
-            .keys()
-            .copied()
-            .filter(|&id| self.is_complete(id))
-            .collect();
-        done.sort_unstable();
-        for id in &done {
-            self.received.remove(id);
-        }
-        done
-    }
-}
-
-/// Sink-side state captured in checkpoints (and, at-least-once, carried
-/// across restarts from the failure-time partial).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct SinkState {
-    captured: Vec<Tuple>,
-    latencies: Vec<u64>,
-    total: u64,
-}
-
-fn encode<T: Serialize>(value: &T, what: &str) -> Result<Vec<u8>> {
-    serde_json::to_string(value)
-        .map(String::into_bytes)
-        .map_err(|e| EngineError::Checkpoint(format!("{what} snapshot: {e}")))
-}
-
-fn decode<T: serde::Deserialize>(bytes: &[u8], what: &str) -> Result<T> {
-    let text = std::str::from_utf8(bytes)
-        .map_err(|e| EngineError::Checkpoint(format!("{what} snapshot not utf-8: {e}")))?;
-    serde_json::from_str(text).map_err(|e| EngineError::Checkpoint(format!("{what} restore: {e}")))
-}
-
 /// Everything one attempt reports back to the supervisor.
 struct Attempt {
     outcome: std::result::Result<(), EngineError>,
@@ -364,8 +292,8 @@ struct Attempt {
     new_parts: Vec<(u64, usize, Vec<u8>)>,
     /// Final (on success) or partial (on failure) sink states by instance.
     sink_states: HashMap<usize, SinkState>,
-    /// (logical node, tuples in, tuples out, late) per finished instance.
-    op_stats: Vec<(usize, u64, u64, u64)>,
+    /// (logical node, in, out, shed, late) per finished instance.
+    op_stats: Vec<(usize, u64, u64, u64, u64)>,
 }
 
 /// The supervising fault-tolerant executor.
@@ -461,7 +389,7 @@ impl FtRuntime {
 
             match attempt.outcome {
                 Ok(()) => {
-                    stats.late_tuples = attempt.op_stats.iter().map(|&(_, _, _, l)| l).sum();
+                    stats.late_tuples = attempt.op_stats.iter().map(|&(_, _, _, _, l)| l).sum();
                     let result =
                         self.assemble(plan, attempt.sink_states, attempt.op_stats, &emitted, start);
                     if let Some(t) = tel {
@@ -582,7 +510,7 @@ impl FtRuntime {
         &self,
         plan: &PhysicalPlan,
         sink_states: HashMap<usize, SinkState>,
-        op_stats: Vec<(usize, u64, u64, u64)>,
+        op_stats: Vec<(usize, u64, u64, u64, u64)>,
         emitted: &Arc<Vec<AtomicU64>>,
         start: Instant,
     ) -> RunResult {
@@ -623,18 +551,20 @@ impl FtRuntime {
                 result.tuples_in += emitted[inst_meta.id].load(Ordering::SeqCst);
             }
         }
-        for (node, n_in, n_out, n_late) in op_stats {
+        for (node, n_in, n_out, n_shed, n_late) in op_stats {
             let s = &mut result.operator_stats[node];
             s.tuples_in += n_in;
             s.tuples_out += n_out;
+            s.shed += n_shed;
             s.late += n_late;
         }
         result.elapsed = start.elapsed();
         result
     }
 
-    /// Spawn one full topology, join it, and report what happened. `Err`
-    /// from this function is a non-retryable setup failure.
+    /// Spawn one full topology over a local transport, join it, and report
+    /// what happened. `Err` from this function is a non-retryable setup
+    /// failure.
     #[allow(clippy::too_many_arguments)]
     fn run_attempt(
         &self,
@@ -647,545 +577,50 @@ impl FtRuntime {
         tel: Option<&RunTelemetry>,
         restarted: bool,
     ) -> Result<Attempt> {
-        let source_nodes = plan.logical.sources();
         let n = plan.instance_count();
-        let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
         let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = bounded::<Envelope>(self.config.run.frame_capacity());
-            senders.push(Some(tx));
+            senders.push(tx);
             receivers.push(Some(rx));
         }
+        let transport = LocalTransport::new(senders);
         // Per-attempt report channels; unbounded so post-join draining
         // can never block a worker.
         let (sink_tx, sink_rx) = unbounded::<(usize, SinkState)>();
-        let (stats_tx, stats_rx) = unbounded::<(usize, u64, u64, u64)>();
+        let (stats_tx, stats_rx) = unbounded::<(usize, u64, u64, u64, u64)>();
         let (coord_tx, coord_rx) = unbounded::<(u64, usize, Vec<u8>)>();
+        let reporters = Reporters {
+            coord_tx,
+            sink_tx,
+            stats_tx,
+        };
+        let settings = ExecSettings {
+            run: self.config.run.clone(),
+            exactly_once: self.config.mode == DeliveryMode::ExactlyOnce,
+            ckpt_interval: self.config.checkpoint_interval_tuples,
+        };
 
-        let exactly_once = self.config.mode == DeliveryMode::ExactlyOnce;
-        let ckpt_interval = self.config.checkpoint_interval_tuples;
-        let batch_size = self.config.run.batch_size;
-        let flush_after = Duration::from_millis(self.config.run.flush_interval_ms);
-        let mut handles = Vec::with_capacity(n);
+        let handles = spawn_instances(
+            plan,
+            sources,
+            None,
+            &transport,
+            &mut receivers,
+            &settings,
+            injector,
+            restore,
+            emitted_counters,
+            RunClock::Local(start),
+            &reporters,
+            tel,
+            restarted,
+        )?;
+        drop(reporters);
+        drop(transport);
 
-        for inst in &plan.instances {
-            let node = &plan.logical.nodes[inst.node];
-            let routes = plan.out_routes[inst.id].clone();
-            let mut downstream: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(routes.len());
-            for r in &routes {
-                let mut txs = Vec::with_capacity(r.targets.len());
-                for t in r.targets.iter() {
-                    let tx = senders[t.instance].as_ref().ok_or_else(|| {
-                        EngineError::Execution(format!(
-                            "internal routing error: no sender for instance {}",
-                            t.instance
-                        ))
-                    })?;
-                    txs.push(tx.clone());
-                }
-                downstream.push(txs);
-            }
-            let route_meta = routes;
-            let injector = injector.clone();
-            let inst_id = inst.id;
-            let lnode = inst.node;
-            let index = inst.index;
-            let restore_bytes = restore.get(&inst.id).cloned();
-            let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
-            if restarted {
-                probe.restart();
-            }
-
-            match &node.kind {
-                OpKind::Source { .. } => {
-                    let src_pos = source_nodes
-                        .iter()
-                        .position(|&s| s == inst.node)
-                        .ok_or_else(|| {
-                            EngineError::Execution(format!(
-                                "instance {} references node {} which is not a source",
-                                inst.id, inst.node
-                            ))
-                        })?;
-                    let factory = Arc::clone(&sources[src_pos]);
-                    let parallelism = node.parallelism;
-                    let wm_interval = self.config.run.watermark_interval.max(1) as u64;
-                    let lateness = self.config.run.watermark_lateness_ms;
-                    let stats_tx = stats_tx.clone();
-                    let coord_tx = coord_tx.clone();
-                    let counter = Arc::clone(emitted_counters);
-                    let start_offset = restore_bytes
-                        .as_deref()
-                        .map(|b| decode::<u64>(b, "source offset"))
-                        .transpose()?
-                        .unwrap_or(0);
-                    let worker = std::thread::spawn(move || -> Result<()> {
-                        let mut router = RouterState::new(route_meta.len());
-                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
-                        let mut max_et = i64::MIN;
-                        let mut emitted = start_offset;
-                        counter[inst_id].store(emitted, Ordering::SeqCst);
-                        let iter = factory
-                            .instance_iter(index, parallelism)
-                            .skip(start_offset as usize);
-                        for mut tuple in iter {
-                            if let Some(inj) = &injector {
-                                inj.check(lnode, index, emitted - start_offset)?;
-                            }
-                            tuple.emit_ns = start.elapsed().as_nanos() as u64;
-                            max_et = max_et.max(tuple.event_time);
-                            emitted += 1;
-                            counter[inst_id].store(emitted, Ordering::SeqCst);
-                            batcher.scatter(
-                                &route_meta,
-                                &downstream,
-                                &mut router,
-                                &probe,
-                                tuple,
-                            )?;
-                            probe.tuples_out(1);
-                            if emitted.is_multiple_of(ckpt_interval) {
-                                let id = emitted / ckpt_interval;
-                                let ck0 = probe.now_if();
-                                let _ = coord_tx.send((
-                                    id,
-                                    inst_id,
-                                    encode(&emitted, "source offset")?,
-                                ));
-                                // Flushing before the barrier pins the
-                                // barrier to a batch boundary: every tuple
-                                // up to `emitted` precedes it on channel.
-                                batcher.flush_then_broadcast(
-                                    &route_meta,
-                                    &downstream,
-                                    &probe,
-                                    Message::Barrier(id),
-                                    FlushReason::Marker,
-                                )?;
-                                if let Some(t0) = ck0 {
-                                    probe.checkpoint(t0.elapsed().as_nanos() as u64);
-                                    probe.event(
-                                        FlightEventKind::BarrierInjected,
-                                        format!("barrier {id} at offset {emitted}"),
-                                    );
-                                }
-                            }
-                            if emitted.is_multiple_of(wm_interval) {
-                                let wm = max_et.saturating_sub(lateness);
-                                batcher.flush_then_broadcast(
-                                    &route_meta,
-                                    &downstream,
-                                    &probe,
-                                    Message::Watermark(wm),
-                                    FlushReason::Marker,
-                                )?;
-                            }
-                        }
-                        batcher.flush_then_broadcast(
-                            &route_meta,
-                            &downstream,
-                            &probe,
-                            Message::Eos,
-                            FlushReason::Eos,
-                        )?;
-                        let _ = stats_tx.send((lnode, emitted, emitted, 0));
-                        Ok(())
-                    });
-                    handles.push((lnode, index, worker));
-                }
-                OpKind::Sink => {
-                    let rx = take_receiver(&mut receivers, inst.id)?;
-                    let channels = plan.input_channel_count[inst.id];
-                    let sink_tx = sink_tx.clone();
-                    let stats_tx = stats_tx.clone();
-                    let coord_tx = coord_tx.clone();
-                    let capture_limit = self.config.run.capture_limit;
-                    let name = node.name.clone();
-                    let worker = std::thread::spawn(move || -> Result<()> {
-                        let mut st = match restore_bytes.as_deref() {
-                            Some(b) => decode::<SinkState>(b, "sink")?,
-                            None => SinkState::default(),
-                        };
-                        let mut aligner = BarrierAligner::new(channels);
-                        let mut blocked = vec![false; channels];
-                        let mut pending: Vec<VecDeque<Envelope>> =
-                            (0..channels).map(|_| VecDeque::new()).collect();
-                        let mut closed = 0usize;
-                        let mut seen_this_attempt = 0u64;
-                        while closed < channels {
-                            let wait = probe.now_if();
-                            let env = match next_envelope(&rx, &blocked, &mut pending, flush_after)
-                            {
-                                Polled::Frame(env) => env,
-                                Polled::Lost => {
-                                    // Upstream died: hand the partial state
-                                    // to the supervisor before erroring.
-                                    let _ = sink_tx.send((inst_id, st));
-                                    return Err(EngineError::Execution(format!(
-                                        "sink '{name}' lost its input channels"
-                                    )));
-                                }
-                                // Sinks send nothing downstream, so idle
-                                // timeouts need no flush.
-                                Polled::Buffered | Polled::Idle => continue,
-                            };
-                            let work = probe.mark_idle(wait);
-                            if probe.enabled() {
-                                probe.queue_depth(rx.len());
-                            }
-                            // A frame's tuples all arrive at one instant, so
-                            // delivery time is stamped once per frame.
-                            let deliver = |t: Tuple, now: u64, st: &mut SinkState| {
-                                let latency = now.saturating_sub(t.emit_ns);
-                                st.latencies.push(latency);
-                                probe.latency_ns(latency);
-                                st.total += 1;
-                                if st.captured.len() < capture_limit {
-                                    st.captured.push(t);
-                                }
-                            };
-                            match env.msg {
-                                Message::Data(t) => {
-                                    if let Some(inj) = &injector {
-                                        if let Err(e) = inj.check(lnode, index, seen_this_attempt) {
-                                            let _ = sink_tx.send((inst_id, st));
-                                            return Err(e);
-                                        }
-                                    }
-                                    seen_this_attempt += 1;
-                                    let now = start.elapsed().as_nanos() as u64;
-                                    probe.tuples_in(1);
-                                    deliver(t, now, &mut st);
-                                }
-                                Message::Batch(b) => {
-                                    let now = start.elapsed().as_nanos() as u64;
-                                    probe.tuples_in(b.len() as u64);
-                                    for t in b.tuples {
-                                        if let Some(inj) = &injector {
-                                            if let Err(e) =
-                                                inj.check(lnode, index, seen_this_attempt)
-                                            {
-                                                let _ = sink_tx.send((inst_id, st));
-                                                return Err(e);
-                                            }
-                                        }
-                                        seen_this_attempt += 1;
-                                        deliver(t, now, &mut st);
-                                    }
-                                }
-                                Message::Watermark(_) => {}
-                                Message::Barrier(id) => {
-                                    if aligner.barrier(id, env.channel) {
-                                        let ck0 = probe.now_if();
-                                        let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
-                                        if let Some(t0) = ck0 {
-                                            probe.checkpoint(t0.elapsed().as_nanos() as u64);
-                                            probe.event(
-                                                FlightEventKind::CheckpointCompleted,
-                                                format!("sink checkpoint {id}"),
-                                            );
-                                        }
-                                        blocked.iter_mut().for_each(|b| *b = false);
-                                    } else if exactly_once {
-                                        blocked[env.channel] = true;
-                                    }
-                                }
-                                Message::Eos => {
-                                    closed += 1;
-                                    blocked[env.channel] = false;
-                                    for id in aligner.close(env.channel) {
-                                        let ck0 = probe.now_if();
-                                        let _ = coord_tx.send((id, inst_id, encode(&st, "sink")?));
-                                        if let Some(t0) = ck0 {
-                                            probe.checkpoint(t0.elapsed().as_nanos() as u64);
-                                            probe.event(
-                                                FlightEventKind::CheckpointCompleted,
-                                                format!("sink checkpoint {id} (at EOS)"),
-                                            );
-                                        }
-                                        blocked.iter_mut().for_each(|b| *b = false);
-                                    }
-                                }
-                            }
-                            probe.mark_busy(work);
-                        }
-                        let _ = stats_tx.send((lnode, st.total, 0, 0));
-                        let _ = sink_tx.send((inst_id, st));
-                        Ok(())
-                    });
-                    handles.push((lnode, index, worker));
-                }
-                kind => {
-                    let mut op = kind.instantiate();
-                    if self.config.run.overload.allowed_lateness_ms > 0 {
-                        op.set_allowed_lateness(self.config.run.overload.allowed_lateness_ms);
-                    }
-                    if let Some(b) = restore_bytes.as_deref() {
-                        op.restore(b)?;
-                    }
-                    let rx = take_receiver(&mut receivers, inst.id)?;
-                    let channels = plan.input_channel_count[inst.id];
-                    let ports = plan.channel_ports[inst.id].clone();
-                    let name = node.name.clone();
-                    let stats_tx = stats_tx.clone();
-                    let coord_tx = coord_tx.clone();
-                    let worker = std::thread::spawn(move || -> Result<()> {
-                        let mut router = RouterState::new(route_meta.len());
-                        let mut batcher = EdgeBatcher::new(&route_meta, batch_size);
-                        let mut tracker = WatermarkTracker::new(channels);
-                        let mut aligner = BarrierAligner::new(channels);
-                        let mut blocked = vec![false; channels];
-                        let mut pending: Vec<VecDeque<Envelope>> =
-                            (0..channels).map(|_| VecDeque::new()).collect();
-                        let mut out = Vec::new();
-                        let mut closed = 0usize;
-                        let (mut n_in, mut n_out) = (0u64, 0u64);
-                        let checkpoint =
-                            |op: &dyn OperatorInstance, id: u64, probe: &Probe| -> Result<()> {
-                                let ck0 = probe.now_if();
-                                let _ = coord_tx.send((id, inst_id, op.snapshot()?));
-                                if let Some(t0) = ck0 {
-                                    probe.checkpoint(t0.elapsed().as_nanos() as u64);
-                                    probe.event(
-                                        FlightEventKind::CheckpointCompleted,
-                                        format!("operator checkpoint {id}"),
-                                    );
-                                }
-                                Ok(())
-                            };
-                        while closed < channels {
-                            let wait = probe.now_if();
-                            let env = match next_envelope(&rx, &blocked, &mut pending, flush_after)
-                            {
-                                Polled::Frame(env) => env,
-                                Polled::Lost => {
-                                    return Err(EngineError::Execution(format!(
-                                        "operator '{name}' lost its input channels"
-                                    )));
-                                }
-                                Polled::Idle => {
-                                    // Nothing arrived within the linger
-                                    // window: push partial batches downstream
-                                    // so quiet streams keep bounded latency.
-                                    batcher.flush_all(
-                                        &route_meta,
-                                        &downstream,
-                                        &probe,
-                                        FlushReason::Linger,
-                                    )?;
-                                    continue;
-                                }
-                                Polled::Buffered => continue,
-                            };
-                            let work = probe.mark_idle(wait);
-                            if probe.enabled() {
-                                probe.queue_depth(rx.len());
-                            }
-                            match env.msg {
-                                Message::Data(t) => {
-                                    if let Some(inj) = &injector {
-                                        inj.check(lnode, index, n_in)?;
-                                    }
-                                    n_in += 1;
-                                    probe.tuples_in(1);
-                                    out.clear();
-                                    op.on_tuple(ports[env.channel], t, &mut out)?;
-                                    n_out += out.len() as u64;
-                                    probe.tuples_out(out.len() as u64);
-                                    for t in out.drain(..) {
-                                        batcher.scatter(
-                                            &route_meta,
-                                            &downstream,
-                                            &mut router,
-                                            &probe,
-                                            t,
-                                        )?;
-                                    }
-                                }
-                                Message::Batch(b) => {
-                                    let port = ports[env.channel];
-                                    out.clear();
-                                    if injector.is_some() {
-                                        // Fault triggers count individual
-                                        // tuples, so an armed injector must
-                                        // observe each one — the batch is
-                                        // unrolled to keep fault points at
-                                        // tuple granularity.
-                                        for t in b.tuples {
-                                            if let Some(inj) = &injector {
-                                                inj.check(lnode, index, n_in)?;
-                                            }
-                                            n_in += 1;
-                                            probe.tuples_in(1);
-                                            op.on_tuple(port, t, &mut out)?;
-                                        }
-                                    } else {
-                                        n_in += b.len() as u64;
-                                        probe.tuples_in(b.len() as u64);
-                                        op.on_batch(port, b.tuples, &mut out)?;
-                                    }
-                                    n_out += out.len() as u64;
-                                    probe.tuples_out(out.len() as u64);
-                                    for t in out.drain(..) {
-                                        batcher.scatter(
-                                            &route_meta,
-                                            &downstream,
-                                            &mut router,
-                                            &probe,
-                                            t,
-                                        )?;
-                                    }
-                                }
-                                Message::Watermark(wm) => {
-                                    if let Some(w) = tracker.observe(env.channel, wm) {
-                                        out.clear();
-                                        op.on_watermark(w, &mut out);
-                                        n_out += out.len() as u64;
-                                        probe.tuples_out(out.len() as u64);
-                                        if !out.is_empty() {
-                                            probe.event(
-                                                FlightEventKind::PaneFired,
-                                                format!("watermark {w}: {} results", out.len()),
-                                            );
-                                        }
-                                        for t in out.drain(..) {
-                                            batcher.scatter(
-                                                &route_meta,
-                                                &downstream,
-                                                &mut router,
-                                                &probe,
-                                                t,
-                                            )?;
-                                        }
-                                        batcher.flush_then_broadcast(
-                                            &route_meta,
-                                            &downstream,
-                                            &probe,
-                                            Message::Watermark(w),
-                                            FlushReason::Marker,
-                                        )?;
-                                    }
-                                }
-                                Message::Barrier(id) => {
-                                    if aligner.barrier(id, env.channel) {
-                                        checkpoint(&*op, id, &probe)?;
-                                        // Flush-then-forward keeps the
-                                        // barrier at a batch boundary: all
-                                        // pre-checkpoint tuples reach every
-                                        // downstream channel before the
-                                        // barrier does.
-                                        batcher.flush_then_broadcast(
-                                            &route_meta,
-                                            &downstream,
-                                            &probe,
-                                            Message::Barrier(id),
-                                            FlushReason::Marker,
-                                        )?;
-                                        blocked.iter_mut().for_each(|b| *b = false);
-                                    } else if exactly_once {
-                                        blocked[env.channel] = true;
-                                    }
-                                }
-                                Message::Eos => {
-                                    closed += 1;
-                                    blocked[env.channel] = false;
-                                    for id in aligner.close(env.channel) {
-                                        checkpoint(&*op, id, &probe)?;
-                                        batcher.flush_then_broadcast(
-                                            &route_meta,
-                                            &downstream,
-                                            &probe,
-                                            Message::Barrier(id),
-                                            FlushReason::Marker,
-                                        )?;
-                                        blocked.iter_mut().for_each(|b| *b = false);
-                                    }
-                                    if let Some(w) = tracker.close_channel(env.channel) {
-                                        if closed < channels {
-                                            out.clear();
-                                            op.on_watermark(w, &mut out);
-                                            n_out += out.len() as u64;
-                                            probe.tuples_out(out.len() as u64);
-                                            for t in out.drain(..) {
-                                                batcher.scatter(
-                                                    &route_meta,
-                                                    &downstream,
-                                                    &mut router,
-                                                    &probe,
-                                                    t,
-                                                )?;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            if probe.enabled() {
-                                probe.window_state(op.panes_fired(), op.late_events());
-                            }
-                            probe.mark_busy(work);
-                        }
-                        out.clear();
-                        op.on_flush(&mut out);
-                        n_out += out.len() as u64;
-                        probe.tuples_out(out.len() as u64);
-                        if probe.enabled() {
-                            probe.window_state(op.panes_fired(), op.late_events());
-                        }
-                        for t in out.drain(..) {
-                            batcher.scatter(&route_meta, &downstream, &mut router, &probe, t)?;
-                        }
-                        batcher.flush_then_broadcast(
-                            &route_meta,
-                            &downstream,
-                            &probe,
-                            Message::Eos,
-                            FlushReason::Eos,
-                        )?;
-                        let _ = stats_tx.send((lnode, n_in, n_out, op.late_events()));
-                        Ok(())
-                    });
-                    handles.push((lnode, index, worker));
-                }
-            }
-        }
-        drop(sink_tx);
-        drop(stats_tx);
-        drop(coord_tx);
-        senders.clear();
-
-        let mut errors: Vec<EngineError> = Vec::new();
-        for (node, instance, h) in handles {
-            match h.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    if let Some(t) = tel {
-                        let kind = match &e {
-                            EngineError::FaultInjected { .. } => FlightEventKind::FaultInjected,
-                            _ => FlightEventKind::WorkerFailed,
-                        };
-                        t.recorder.record(kind, node, instance, e.to_string());
-                    }
-                    errors.push(e);
-                }
-                Err(payload) => {
-                    let cause = panic_cause(&*payload);
-                    if let Some(t) = tel {
-                        t.recorder.record(
-                            FlightEventKind::WorkerPanicked,
-                            node,
-                            instance,
-                            cause.clone(),
-                        );
-                    }
-                    errors.push(EngineError::WorkerPanicked {
-                        node,
-                        instance,
-                        cause,
-                    });
-                }
-            }
-        }
-        let outcome = match pick_root_error(errors) {
+        let outcome = match join_instances(handles, tel) {
             Some(e) => Err(e),
             None => Ok(()),
         };
@@ -1198,87 +633,9 @@ impl FtRuntime {
     }
 }
 
-/// What [`next_envelope`] produced.
-enum Polled {
-    /// A processable envelope (possibly replayed from a pending buffer).
-    Frame(Envelope),
-    /// The received envelope was buffered (blocked channel); call again.
-    Buffered,
-    /// Nothing arrived within the timeout — flush partial batches.
-    Idle,
-    /// All input senders disconnected.
-    Lost,
-}
-
-/// Pull the next processable envelope: buffered envelopes of unblocked
-/// channels first, then the shared receiver (bounded by `timeout` so callers
-/// can drain partial micro-batches on idle input). Frames — batches
-/// included — are buffered whole when their channel is blocked, which is
-/// what keeps exactly-once blocking correct at batch granularity.
-fn next_envelope(
-    rx: &Receiver<Envelope>,
-    blocked: &[bool],
-    pending: &mut [VecDeque<Envelope>],
-    timeout: Duration,
-) -> Polled {
-    for (c, queue) in pending.iter_mut().enumerate() {
-        if !blocked[c] {
-            if let Some(env) = queue.pop_front() {
-                return Polled::Frame(env);
-            }
-        }
-    }
-    match rx.recv_timeout(timeout) {
-        Ok(env) => {
-            if blocked[env.channel] {
-                pending[env.channel].push_back(env);
-                Polled::Buffered
-            } else {
-                Polled::Frame(env)
-            }
-        }
-        Err(RecvTimeoutError::Timeout) => Polled::Idle,
-        Err(RecvTimeoutError::Disconnected) => Polled::Lost,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn aligner_completes_when_all_channels_deliver() {
-        let mut a = BarrierAligner::new(3);
-        assert!(!a.barrier(1, 0));
-        assert!(!a.barrier(1, 1));
-        assert!(a.barrier(1, 2));
-    }
-
-    #[test]
-    fn aligner_counts_closed_channels_as_delivered() {
-        let mut a = BarrierAligner::new(2);
-        assert!(a.close(1).is_empty());
-        assert!(a.barrier(1, 0), "closed channel no longer constrains");
-    }
-
-    #[test]
-    fn aligner_close_completes_outstanding_ids_in_order() {
-        let mut a = BarrierAligner::new(2);
-        assert!(!a.barrier(2, 0));
-        assert!(!a.barrier(1, 0));
-        assert_eq!(a.close(1), vec![1, 2]);
-    }
-
-    #[test]
-    fn aligner_tracks_multiple_outstanding_ids() {
-        // At-least-once: a fast channel delivers barrier 2 before the slow
-        // one delivers barrier 1.
-        let mut a = BarrierAligner::new(2);
-        assert!(!a.barrier(1, 0));
-        assert!(!a.barrier(2, 0));
-        assert!(a.barrier(1, 1));
-        assert!(a.barrier(2, 1));
-    }
 
     #[test]
     fn injector_fires_exactly_once_for_its_target() {
@@ -1342,5 +699,12 @@ mod tests {
             ..FtConfig::default()
         };
         assert!(bad_run.validate().is_err());
+    }
+
+    #[test]
+    fn delivery_mode_serializes_for_the_wire() {
+        let json = serde_json::to_string(&DeliveryMode::ExactlyOnce).unwrap();
+        let back: DeliveryMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, DeliveryMode::ExactlyOnce);
     }
 }

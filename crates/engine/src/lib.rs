@@ -34,7 +34,9 @@ pub mod agg;
 pub mod batch;
 pub mod builder;
 pub mod chaining;
+pub mod distributed;
 pub mod error;
+pub(crate) mod exec;
 pub mod expr;
 pub mod fault;
 pub mod message;
@@ -46,12 +48,15 @@ pub mod runtime;
 pub mod skew;
 pub mod state;
 pub mod telemetry;
+pub mod testplan;
+mod transport;
 pub mod udo;
 pub mod value;
 pub mod window;
 
 pub use batch::FlushReason;
 pub use builder::PlanBuilder;
+pub use distributed::{DistributedConfig, DistributedRuntime, WorkerMain};
 pub use error::{EngineError, Result};
 pub use expr::{CmpOp, Predicate, ScalarExpr};
 pub use fault::{

@@ -9,6 +9,7 @@
 //! are identical to a tuple-at-a-time data plane.
 
 use crate::value::Tuple;
+use serde::{Deserialize, Serialize};
 
 /// A micro-batch of tuples travelling as one frame on a dataflow channel.
 ///
@@ -34,7 +35,7 @@ use crate::value::Tuple;
 ///     .sum();
 /// assert_eq!(total, 3);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Batch {
     /// The batched tuples, in sender emission order.
     pub tuples: Vec<Tuple>,
@@ -57,8 +58,10 @@ impl Batch {
     }
 }
 
-/// A message on a dataflow channel.
-#[derive(Debug, Clone, PartialEq)]
+/// A message on a dataflow channel. Serializable because distributed runs
+/// ship these very frames across worker boundaries (length-prefixed JSON,
+/// see `pdsp-net`); in-process channels move them untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// A single data tuple (the `batch_size == 1` framing).
     Data(Tuple),

@@ -13,9 +13,11 @@ use crate::operator::OpKind;
 use crate::physical::{PhysicalPlan, RouterState};
 use crate::pressure::{OverloadConfig, PressureGauge, PressureLevel, Shedder};
 use crate::telemetry::Probe;
+use crate::transport::{LocalTransport, Transport};
 use crate::value::Tuple;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use pdsp_telemetry::{FlightEventKind, RunTelemetry};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,8 +64,10 @@ impl SourceFactory for VecSource {
     }
 }
 
-/// Runtime configuration.
-#[derive(Debug, Clone)]
+/// Runtime configuration. Serializable so the distributed coordinator can
+/// ship the exact configuration to every worker process in its deploy
+/// message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Emit a watermark every N source tuples.
     pub watermark_interval: usize,
@@ -236,7 +240,7 @@ impl RunResult {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Envelope {
     pub(crate) channel: usize,
     pub(crate) msg: Message,
@@ -294,14 +298,17 @@ impl ThreadedRuntime {
 
         let n = plan.instance_count();
         // Channels: one mpsc queue per instance; envelopes carry the input
-        // channel slot for watermark bookkeeping.
-        let mut senders: Vec<Option<Sender<Envelope>>> = Vec::with_capacity(n);
+        // channel slot for watermark bookkeeping. The senders live behind
+        // the transport abstraction — this runtime is the `local`
+        // instantiation of it.
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
         let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = bounded::<Envelope>(self.config.frame_capacity());
-            senders.push(Some(tx));
+            senders.push(tx);
             receivers.push(Some(rx));
         }
+        let transport = LocalTransport::new(senders);
         // Sink results flow back over a dedicated channel.
         let (sink_tx, sink_rx) = bounded::<(Vec<Tuple>, Vec<u64>, u64)>(n.max(4));
         // Source input counts.
@@ -321,20 +328,7 @@ impl ThreadedRuntime {
             let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
             let node = &plan.logical.nodes[inst.node];
             let routes = plan.out_routes[inst.id].clone();
-            let mut downstream: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(routes.len());
-            for r in &routes {
-                let mut txs = Vec::with_capacity(r.targets.len());
-                for t in r.targets.iter() {
-                    let tx = senders[t.instance].as_ref().ok_or_else(|| {
-                        EngineError::Execution(format!(
-                            "internal routing error: no sender for instance {}",
-                            t.instance
-                        ))
-                    })?;
-                    txs.push(tx.clone());
-                }
-                downstream.push(txs);
-            }
+            let downstream = transport.downstream_for(&routes)?;
             let route_meta = routes;
 
             match &node.kind {
@@ -691,7 +685,7 @@ impl ThreadedRuntime {
         drop(sink_tx);
         drop(count_tx);
         drop(stats_tx);
-        senders.clear();
+        drop(transport);
 
         let mut result = RunResult {
             sink_tuples: Vec::new(),

@@ -1,0 +1,180 @@
+//! Equivalence and chaos tests for the distributed runtime: multi-process
+//! runs over loopback TCP must produce exactly the sink multiset of the
+//! in-process threaded runtime — with and without a real SIGKILL of a
+//! worker process mid-run.
+//!
+//! The worker binary comes from Cargo (`CARGO_BIN_EXE_pdsp-worker`), so
+//! these tests exercise true process isolation: separate address spaces,
+//! real sockets, real signals.
+
+use pdsp_engine::distributed::{DistributedConfig, DistributedRuntime, KillSpec};
+use pdsp_engine::fault::{Backoff, DeliveryMode, FtConfig, RestartPolicy};
+use pdsp_engine::runtime::{RunConfig, RunResult, ThreadedRuntime};
+use pdsp_engine::testplan;
+use pdsp_engine::{EngineError, Value};
+use pdsp_telemetry::AlarmKind;
+use std::time::Duration;
+
+fn worker_bin() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_pdsp-worker").to_string()]
+}
+
+fn dist_config(run: RunConfig, workers: usize) -> DistributedConfig {
+    DistributedConfig {
+        workers,
+        ft: FtConfig {
+            checkpoint_interval_tuples: 256,
+            mode: DeliveryMode::ExactlyOnce,
+            restart: RestartPolicy {
+                max_restarts: 3,
+                backoff: Backoff::Fixed(Duration::from_millis(5)),
+            },
+            run,
+        },
+        heartbeat_ms: 10,
+        lease_timeout_ms: 300,
+        worker_bin: worker_bin(),
+        ..DistributedConfig::default()
+    }
+}
+
+/// Sink tuples as a sorted multiset of value rows.
+fn multiset(res: &RunResult) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = res.sink_tuples.iter().map(|t| t.values.clone()).collect();
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+fn threaded_reference(seed: u64, tuples: u64, run: RunConfig) -> RunResult {
+    let (plan, sources) = testplan::build(seed, tuples, 0).unwrap();
+    ThreadedRuntime::new(run).run(&plan, &sources).unwrap()
+}
+
+/// Seeded plans × batch sizes, no faults: the distributed backend is an
+/// execution detail, not an answer-changing one.
+#[test]
+fn distributed_matches_threaded_over_seeds_and_batches() {
+    for seed in 0..3u64 {
+        for batch_size in [16usize, 128] {
+            let run = RunConfig {
+                batch_size,
+                ..RunConfig::default()
+            };
+            let reference = threaded_reference(seed, 1024, run.clone());
+            let dist = DistributedRuntime::new(dist_config(run, 2))
+                .run(&format!("seeded:{seed}:1024:0"))
+                .unwrap();
+            assert_eq!(
+                dist.ft.recovery.attempts, 1,
+                "seed {seed} batch {batch_size}"
+            );
+            assert_eq!(
+                multiset(&dist.ft.result),
+                multiset(&reference),
+                "seed {seed} batch {batch_size}"
+            );
+            assert_eq!(dist.ft.result.tuples_in, 1024);
+            assert_eq!(dist.ft.result.tuples_out, reference.tuples_out);
+            // Telemetry flowed back over the wire for every instance.
+            assert_eq!(
+                dist.snapshots.len(),
+                testplan::build(seed, 1, 0).unwrap().0.instance_count()
+            );
+        }
+    }
+}
+
+/// The headline: a real SIGKILL of one worker process mid-run. The
+/// coordinator must detect it by heartbeat silence alone, restore the last
+/// network checkpoint, replay, and still produce the exact multiset of an
+/// unkilled single-process run under exactly-once.
+#[test]
+fn sigkill_mid_run_is_exactly_once_equivalent() {
+    let run = RunConfig::default();
+    let tuples = 8192u64;
+    let reference = threaded_reference(0, tuples, run.clone());
+    let mut cfg = dist_config(run, 2);
+    // Paced sources (2 ms per 256 tuples per instance) keep the run alive
+    // past the kill point.
+    cfg.kill = Some(KillSpec {
+        worker: 1,
+        after_ms: 20,
+    });
+    let dist = DistributedRuntime::new(cfg)
+        .run(&format!("seeded:0:{tuples}:2"))
+        .unwrap();
+
+    assert!(
+        dist.ft.recovery.attempts >= 2,
+        "SIGKILL must cost at least one attempt: {:?}",
+        dist.ft.recovery
+    );
+    assert_eq!(multiset(&dist.ft.result), multiset(&reference));
+    assert_eq!(
+        dist.ft.result.tuples_in, tuples,
+        "sources replay to the full stream"
+    );
+    assert_eq!(dist.ft.result.tuples_out, reference.tuples_out);
+    assert_eq!(
+        dist.ft.recovery.duplicate_tuples, 0,
+        "exactly-once never duplicates"
+    );
+    // The failure was detected (and alarmed) through heartbeat silence.
+    assert!(
+        dist.alarms
+            .iter()
+            .any(|a| a.kind == AlarmKind::HeartbeatGap && a.instance == 1),
+        "expected a heartbeat-gap alarm for the killed worker, got {:?}",
+        dist.alarms
+    );
+}
+
+/// Severed data connections mid-run (half-open peers, partial frames) must
+/// degrade into a supervised restart, not a hang or a wrong answer.
+#[test]
+fn connection_drop_recovers_with_identical_output() {
+    let run = RunConfig::default();
+    let tuples = 8192u64;
+    let reference = threaded_reference(1, tuples, run.clone());
+    let mut cfg = dist_config(run, 2);
+    cfg.drop_data_after_ms = Some(15);
+    let dist = DistributedRuntime::new(cfg)
+        .run(&format!("seeded:1:{tuples}:2"))
+        .unwrap();
+    assert_eq!(multiset(&dist.ft.result), multiset(&reference));
+    assert_eq!(dist.ft.result.tuples_in, tuples);
+}
+
+/// Books must balance across three workers too (uneven placement).
+#[test]
+fn three_worker_books_balance() {
+    let run = RunConfig::default();
+    let reference = threaded_reference(2, 2048, run.clone());
+    let dist = DistributedRuntime::new(dist_config(run, 3))
+        .run("seeded:2:2048:0")
+        .unwrap();
+    assert_eq!(multiset(&dist.ft.result), multiset(&reference));
+    let stats = &dist.ft.result.operator_stats;
+    // Every operator's books: input == output + shed (filters never shed
+    // here, and the corpus has no lateness).
+    for s in stats {
+        assert!(
+            s.tuples_in >= s.tuples_out.saturating_sub(1_000_000),
+            "nonsense stats for {}: {s:?}",
+            s.name
+        );
+    }
+    let sink = stats.last().unwrap();
+    assert_eq!(sink.tuples_in, dist.ft.result.tuples_out);
+}
+
+/// A worker binary that cannot even spawn is a typed, non-retryable error.
+#[test]
+fn unspawnable_worker_is_a_transport_error() {
+    let mut cfg = dist_config(RunConfig::default(), 2);
+    cfg.worker_bin = vec!["/nonexistent/pdsp-worker".to_string()];
+    let err = DistributedRuntime::new(cfg)
+        .run("seeded:0:64:0")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Transport(_)), "got {err}");
+}

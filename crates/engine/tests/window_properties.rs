@@ -8,6 +8,44 @@ use pdsp_engine::window::{KeyedWindower, WindowSpec};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+/// A late tuple within the allowed-lateness bound must re-fire only the
+/// sliding windows that actually cover its event time — panes it does not
+/// touch stay quiet.
+#[test]
+fn sliding_late_update_refires_only_covering_windows() {
+    // Sliding 100/50, allowed lateness 300. A late update re-fires the
+    // windows covering the late tuple *plus* any windows still holding
+    // not-yet-expired on-time panes, so the watermark below is pushed far
+    // enough (301 > last window end 300) to drain and expire every on-time
+    // pane before the late tuple arrives — what re-fires after that must
+    // cover the late tuple and nothing else.
+    let mut w = KeyedWindower::new(WindowSpec::sliding_time(100, 50), AggFunc::Sum, false);
+    w.set_allowed_lateness(300);
+    let tuple_at = |et: i64| {
+        let mut t = Tuple::new(vec![Value::Int(0), Value::Double(1.0)]);
+        t.event_time = et;
+        t
+    };
+    let mut out = Vec::new();
+    // On-time data in panes 150 and 200; all covering windows end by 300.
+    w.push(None, 10.0, &tuple_at(160), &mut out);
+    w.push(None, 20.0, &tuple_at(210), &mut out);
+    w.on_watermark(301, &mut out);
+    out.clear();
+    // Late tuple at 90: within the bound (301 - 300 = 1 <= 90).
+    w.push(None, 1.0, &tuple_at(90), &mut out);
+    w.on_watermark(310, &mut out);
+    assert!(!out.is_empty(), "late tuple within bound must re-fire");
+    // Windows covering event-time 90: ends 100 and 150 only.
+    for r in &out {
+        assert!(
+            r.window_end == 100 || r.window_end == 150,
+            "window end {} re-fired but does not cover the late tuple",
+            r.window_end
+        );
+    }
+}
+
 /// Brute-force reference: enumerate all windows [k*slide, k*slide+len) that
 /// contain at least one event and aggregate their contents directly.
 fn reference_time_windows(

@@ -26,6 +26,11 @@ pub enum AlarmKind {
     /// Late fraction of input since the previous evaluation exceeds the
     /// configured threshold.
     LateFraction,
+    /// A distributed worker has been silent for more than the configured
+    /// number of heartbeat intervals (its lease is about to expire or has
+    /// expired). For this kind, `operator` is `"worker"` and `instance` is
+    /// the worker id.
+    HeartbeatGap,
 }
 
 impl AlarmKind {
@@ -35,6 +40,7 @@ impl AlarmKind {
             AlarmKind::Pressure => "pressure",
             AlarmKind::ShedFraction => "shed_fraction",
             AlarmKind::LateFraction => "late_fraction",
+            AlarmKind::HeartbeatGap => "heartbeat_gap",
         }
     }
 }
@@ -55,6 +61,9 @@ pub struct AlarmConfig {
     /// Raise [`AlarmKind::LateFraction`] when late / input over the last
     /// interval exceeds this fraction.
     pub late_fraction: f64,
+    /// Raise [`AlarmKind::HeartbeatGap`] when a worker has missed this many
+    /// consecutive heartbeat intervals.
+    pub heartbeat_gap_intervals: u64,
 }
 
 impl Default for AlarmConfig {
@@ -63,6 +72,7 @@ impl Default for AlarmConfig {
             pressure_level: 2,
             shed_fraction: 0.10,
             late_fraction: 0.25,
+            heartbeat_gap_intervals: 3,
         }
     }
 }
@@ -95,6 +105,7 @@ struct Baseline {
 pub struct AlarmMonitor {
     config: AlarmConfig,
     baselines: HashMap<(String, usize), Baseline>,
+    heartbeats: HashMap<usize, u64>,
     firing: Vec<Alarm>,
 }
 
@@ -104,6 +115,7 @@ impl AlarmMonitor {
         AlarmMonitor {
             config,
             baselines: HashMap::new(),
+            heartbeats: HashMap::new(),
             firing: Vec::new(),
         }
     }
@@ -167,7 +179,56 @@ impl AlarmMonitor {
                 },
             );
         }
+        // Heartbeat alarms are evaluated on their own cadence
+        // ([`AlarmMonitor::evaluate_heartbeats`]); carry them over.
+        firing.extend(
+            self.firing
+                .iter()
+                .filter(|a| a.kind == AlarmKind::HeartbeatGap)
+                .cloned(),
+        );
         self.firing = firing;
+        &self.firing
+    }
+
+    /// Record that `worker` heartbeated during heartbeat interval
+    /// `interval` (intervals count up from run start; the coordinator
+    /// derives them as `elapsed / heartbeat_period`).
+    pub fn note_heartbeat(&mut self, worker: usize, interval: u64) {
+        let e = self.heartbeats.entry(worker).or_insert(interval);
+        *e = (*e).max(interval);
+    }
+
+    /// Forget `worker` (it finished cleanly or was already declared dead),
+    /// resolving any heartbeat-gap alarm it raised.
+    pub fn clear_heartbeat(&mut self, worker: usize) {
+        self.heartbeats.remove(&worker);
+        self.firing
+            .retain(|a| !(a.kind == AlarmKind::HeartbeatGap && a.instance == worker));
+    }
+
+    /// Re-evaluate heartbeat gaps as of heartbeat interval
+    /// `current_interval`: any noted worker silent for at least
+    /// `heartbeat_gap_intervals` intervals raises [`AlarmKind::HeartbeatGap`]
+    /// (with `operator == "worker"` and the worker id as `instance`).
+    /// Returns all alarms firing now, heartbeat and snapshot alike.
+    pub fn evaluate_heartbeats(&mut self, current_interval: u64) -> &[Alarm] {
+        self.firing.retain(|a| a.kind != AlarmKind::HeartbeatGap);
+        let mut workers: Vec<(usize, u64)> =
+            self.heartbeats.iter().map(|(&w, &at)| (w, at)).collect();
+        workers.sort_unstable_by_key(|&(w, _)| w);
+        for (worker, last) in workers {
+            let gap = current_interval.saturating_sub(last);
+            if gap >= self.config.heartbeat_gap_intervals {
+                self.firing.push(Alarm {
+                    kind: AlarmKind::HeartbeatGap,
+                    operator: "worker".into(),
+                    instance: worker,
+                    value: gap as f64,
+                    threshold: self.config.heartbeat_gap_intervals as f64,
+                });
+            }
+        }
         &self.firing
     }
 
@@ -241,5 +302,42 @@ mod tests {
         assert_eq!(firing.len(), 1);
         assert_eq!(firing[0].kind, AlarmKind::LateFraction);
         assert_eq!(firing[0].kind.label(), "late_fraction");
+    }
+
+    #[test]
+    fn heartbeat_gap_raises_after_silence_and_resolves_on_renewal() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        m.note_heartbeat(0, 1);
+        m.note_heartbeat(1, 1);
+        assert!(
+            m.evaluate_heartbeats(2).is_empty(),
+            "one interval of silence is fine"
+        );
+        m.note_heartbeat(1, 4);
+        let firing = m.evaluate_heartbeats(4).to_vec();
+        assert_eq!(firing.len(), 1, "only the silent worker alarms");
+        assert_eq!(firing[0].kind, AlarmKind::HeartbeatGap);
+        assert_eq!(firing[0].kind.label(), "heartbeat_gap");
+        assert_eq!(firing[0].operator, "worker");
+        assert_eq!(firing[0].instance, 0);
+        assert_eq!(firing[0].value, 3.0);
+        // The worker comes back: the alarm resolves.
+        m.note_heartbeat(0, 5);
+        assert!(m.evaluate_heartbeats(5).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_alarms_survive_snapshot_evaluation() {
+        let mut m = AlarmMonitor::new(AlarmConfig::default());
+        m.note_heartbeat(2, 0);
+        assert_eq!(m.evaluate_heartbeats(10).len(), 1);
+        // A snapshot pass must not silently resolve a dead worker.
+        let firing = m.evaluate(&[snap("op", 100, 0, 0, 0)]);
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].kind, AlarmKind::HeartbeatGap);
+        // Declaring the worker done clears it.
+        m.clear_heartbeat(2);
+        assert!(m.firing().is_empty());
+        assert!(m.all_clear());
     }
 }

@@ -35,7 +35,7 @@ pub mod sampler;
 pub mod snapshot;
 
 pub use alarms::{Alarm, AlarmConfig, AlarmKind, AlarmMonitor};
-pub use export::{json_lines, prometheus_text};
+pub use export::{json_alarm_lines, json_lines, prometheus_alarms, prometheus_text};
 pub use histogram::{HistogramSnapshot, LogHistogram, QUANTILE_RELATIVE_ERROR};
 pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use registry::{FlushReason, InstanceMetrics, MetricsRegistry};

@@ -5,16 +5,24 @@
 //! pdsp list-apps
 //! pdsp run-app SG --parallelism 16 --backend sim --cluster mixed --rate 100000
 //! pdsp run-app WC --backend threads --tuples 20000 --telemetry --store runs/
+//! pdsp run-app WC --backend distributed --workers 2
+//! pdsp run-app WC --backend distributed --workers 2 --kill-worker 1 --kill-after-ms 20
 //! pdsp run-query 2-way-join --parallelism 8 --rate 200000
 //! pdsp telemetry --store runs/                      # list experiments
 //! pdsp telemetry --store runs/ --experiment exp-... # render one timeline
 //! pdsp tables
 //! ```
+//!
+//! The `worker` subcommand is not meant for interactive use: the
+//! distributed backend's coordinator spawns `pdsp worker --coordinator
+//! <addr> --id <n>` processes itself.
 
-use pdsp_bench::apps::{all_applications, app_by_acronym, AppConfig};
+use pdsp_bench::apps::{all_applications, app_by_name, AppConfig};
 use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
 use pdsp_bench::core::controller::Controller;
-use pdsp_bench::core::report;
+use pdsp_bench::core::{deploy, report};
+use pdsp_bench::engine::distributed::{DistributedConfig, KillSpec};
+use pdsp_bench::engine::WorkerMain;
 use pdsp_bench::store::{Filter, Store};
 use pdsp_bench::telemetry::{json_lines, prometheus_text, TelemetryConfig, TelemetryTimeline};
 use pdsp_bench::workload::{ParameterSpace, QueryGenerator, QueryStructure};
@@ -65,11 +73,14 @@ fn parse_structure(label: &str) -> Option<QueryStructure> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pdsp list-apps\n  pdsp tables\n  pdsp run-app <ACRONYM> \
-         [--parallelism N] [--backend sim|threads] [--cluster m510|c6525|c6320|mixed] \
-         [--rate EV_PER_S] [--tuples N] [--seed N] [--telemetry] [--store DIR]\n  \
+         [--parallelism N] [--backend sim|threads|distributed] \
+         [--cluster m510|c6525|c6320|mixed] \
+         [--rate EV_PER_S] [--tuples N] [--seed N] [--telemetry] [--store DIR]\n    \
+         distributed backend: [--workers N] [--kill-worker W --kill-after-ms MS]\n  \
          pdsp run-query <structure> \
          [--parallelism N] [--cluster ...] [--rate EV_PER_S] [--telemetry] [--store DIR]\n  \
-         pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n\
+         pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n  \
+         pdsp worker --coordinator ADDR --id N   (spawned by the distributed backend)\n\
          structures: {}",
         QueryStructure::ALL
             .iter()
@@ -94,7 +105,7 @@ fn main() {
         }
         "run-app" => {
             let Some(acr) = args.get(1) else { usage() };
-            let Some(app) = app_by_acronym(acr) else {
+            let Some(app) = app_by_name(acr) else {
                 eprintln!(
                     "unknown application '{acr}'; known: {}",
                     all_applications()
@@ -153,8 +164,71 @@ fn main() {
                     let plan = built.plan.with_uniform_parallelism(parallelism);
                     controller.run_simulated(info.acronym, &plan)
                 }
+                "distributed" => {
+                    let workers: usize = flag_value(&args, "--workers")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(2);
+                    let exe = std::env::current_exe()
+                        .ok()
+                        .and_then(|p| p.to_str().map(String::from))
+                        .unwrap_or_else(|| "pdsp".into());
+                    let mut dist = DistributedConfig {
+                        workers,
+                        worker_bin: vec![exe, "worker".into()],
+                        ..DistributedConfig::default()
+                    };
+                    if let Some(worker) =
+                        flag_value(&args, "--kill-worker").and_then(|v| v.parse().ok())
+                    {
+                        let after_ms = flag_value(&args, "--kill-after-ms")
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(20);
+                        dist.kill = Some(KillSpec { worker, after_ms });
+                    }
+                    controller
+                        .run_distributed(
+                            app.as_ref(),
+                            &AppConfig {
+                                event_rate: rate,
+                                total_tuples: tuples,
+                                seed,
+                            },
+                            parallelism,
+                            dist,
+                        )
+                        .map(|(record, run)| {
+                            let rec = &run.ft.recovery;
+                            println!("workers      : {workers}");
+                            println!("attempts     : {}", rec.attempts);
+                            if let Some(ckpt) = rec.restored_checkpoint {
+                                println!("restored ckpt: #{ckpt}");
+                            }
+                            if !rec.recovery_times_ms.is_empty() {
+                                println!("recovery     : {:.1?} ms", rec.recovery_times_ms);
+                            }
+                            if rec.replayed_tuples > 0 {
+                                println!(
+                                    "replayed     : {} tuples ({} rolled back, {} duplicated)",
+                                    rec.replayed_tuples,
+                                    rec.rolled_back_tuples,
+                                    rec.duplicate_tuples
+                                );
+                            }
+                            for alarm in &run.alarms {
+                                println!(
+                                    "alarm        : {:?} {}[{}] ({} over threshold {})",
+                                    alarm.kind,
+                                    alarm.operator,
+                                    alarm.instance,
+                                    alarm.value,
+                                    alarm.threshold
+                                );
+                            }
+                            record
+                        })
+                }
                 other => {
-                    eprintln!("unknown backend '{other}' (sim|threads)");
+                    eprintln!("unknown backend '{other}' (sim|threads|distributed)");
                     std::process::exit(2);
                 }
             };
@@ -250,6 +324,23 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+            }
+        }
+        "worker" => {
+            // Spawned by the distributed backend's coordinator; resolves
+            // plan specs with the same resolver the coordinator uses, so
+            // `app:` specs deploy the full application suite.
+            let Some(coordinator) = flag_value(&args, "--coordinator") else {
+                eprintln!("pdsp worker needs --coordinator ADDR --id N");
+                std::process::exit(2);
+            };
+            let Some(id) = flag_value(&args, "--id").and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("pdsp worker needs --coordinator ADDR --id N");
+                std::process::exit(2);
+            };
+            if let Err(e) = WorkerMain::new(deploy::resolver()).run(&coordinator, id) {
+                eprintln!("worker {id} failed: {e}");
+                std::process::exit(1);
             }
         }
         "telemetry" => {
