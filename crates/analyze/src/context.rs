@@ -6,6 +6,7 @@ use pdsp_engine::error::Result;
 use pdsp_engine::expr::ScalarExpr;
 use pdsp_engine::operator::OpKind;
 use pdsp_engine::plan::{LogicalPlan, NodeId, Partitioning};
+use pdsp_engine::schema_flow::SchemaFlow;
 use pdsp_engine::udo::UdoProperties;
 use pdsp_engine::value::Schema;
 use std::collections::BTreeSet;
@@ -48,6 +49,10 @@ pub struct AnalysisContext<'a> {
     pub plan: &'a LogicalPlan,
     /// Resolved output schema per node.
     pub schemas: Vec<Schema>,
+    /// Whole-plan schema inference: per-edge schemas, taint, and every
+    /// typing issue found (the type-flow pass turns these into PB06x
+    /// diagnostics).
+    pub schema_flow: SchemaFlow,
     /// Topological order of node ids.
     pub topo: Vec<NodeId>,
     /// Output [`Flow`] per node.
@@ -64,18 +69,22 @@ pub struct AnalysisContext<'a> {
 
 impl<'a> AnalysisContext<'a> {
     /// Compute all shared facts. Fails only on structurally broken plans
-    /// (cycles, unresolvable schemas) — semantic problems become
+    /// (cycles) — semantic problems, including schema violations, become
     /// diagnostics, not errors, so the analyzer can inspect plans that
-    /// `LogicalPlan::validate` rejects.
+    /// `LogicalPlan::validate` rejects. Schemas come from tolerant
+    /// whole-plan inference ([`SchemaFlow::infer`]), which substitutes
+    /// best-effort fallbacks where [`LogicalPlan::schemas`] would abort.
     pub fn build(plan: &'a LogicalPlan) -> Result<Self> {
         let topo = plan.topo_order()?;
-        let schemas = plan.schemas()?;
+        let schema_flow = SchemaFlow::infer(plan)?;
+        let schemas = schema_flow.node_output.clone();
         let (out_flows, in_flows) = key_flows(plan, &topo, &schemas);
         let in_rate = input_rates(plan, &topo);
         let reach = reachability(plan, &topo);
         Ok(AnalysisContext {
             plan,
             schemas,
+            schema_flow,
             topo,
             out_flows,
             in_flows,

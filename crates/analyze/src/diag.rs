@@ -46,7 +46,7 @@ impl Serialize for Severity {
 ///
 /// PB00x: key-flow; PB01x: exactly-once safety; PB02x: state bounds;
 /// PB03x: backpressure/deadlock hazards; PB04x: plan-cost smells;
-/// PB05x: overload/skew hazards.
+/// PB05x: overload/skew hazards; PB06x: schema/type flow.
 ///
 /// The string form is the stable interface — exact-match it in tooling;
 /// the enum variant names may be renamed:
@@ -130,6 +130,24 @@ pub enum Code {
     /// PB053: event-time window merging independent streams without
     /// lateness tolerance.
     LatenessHazard,
+    /// PB061: a field reference outside the inferred input schema.
+    UnknownField,
+    /// PB062: an operator input of a type it cannot process.
+    InputTypeMismatch,
+    /// PB063: numeric aggregate over a non-numeric field.
+    NonNumericAggregate,
+    /// PB064: keying/hash-partitioning on a `Double` field.
+    DoubleKey,
+    /// PB065: time-based window over a stream with no `Timestamp` field.
+    EventTimeUntyped,
+    /// PB066: arity drift across a `HashSplit`/merge pair.
+    SplitArityDrift,
+    /// PB067: union branches with incompatible schemas.
+    UnionSchemaMismatch,
+    /// PB068: opaque UDO schema; downstream findings downgraded.
+    OpaqueUdoSchema,
+    /// PB069: constant predicate from a cross-type-class comparison.
+    ConstantPredicate,
 }
 
 impl Code {
@@ -158,6 +176,15 @@ impl Code {
             Code::SkewVulnerableKeyedOp => "PB051",
             Code::UnmergedHotKeySplit => "PB052",
             Code::LatenessHazard => "PB053",
+            Code::UnknownField => "PB061",
+            Code::InputTypeMismatch => "PB062",
+            Code::NonNumericAggregate => "PB063",
+            Code::DoubleKey => "PB064",
+            Code::EventTimeUntyped => "PB065",
+            Code::SplitArityDrift => "PB066",
+            Code::UnionSchemaMismatch => "PB067",
+            Code::OpaqueUdoSchema => "PB068",
+            Code::ConstantPredicate => "PB069",
         }
     }
 
@@ -186,6 +213,236 @@ impl Code {
             | Code::ParallelismCliff
             | Code::SkewVulnerableKeyedOp
             | Code::LatenessHazard => Severity::Hint,
+            Code::UnknownField
+            | Code::InputTypeMismatch
+            | Code::NonNumericAggregate
+            | Code::UnionSchemaMismatch => Severity::Error,
+            Code::DoubleKey | Code::SplitArityDrift | Code::ConstantPredicate => Severity::Warning,
+            Code::EventTimeUntyped | Code::OpaqueUdoSchema => Severity::Hint,
+        }
+    }
+
+    /// Every stable code, in PB-number order — the `--explain` index.
+    pub const ALL: [Code; 31] = [
+        Code::KeyedAggPartition,
+        Code::JoinSidePartition,
+        Code::KeyedUdoPartition,
+        Code::GlobalOpSplit,
+        Code::GlobalOpReplicated,
+        Code::UndeclaredStatefulPartition,
+        Code::NonDeterministicUdo,
+        Code::SideEffectingUdo,
+        Code::UnsnapshottedUdoState,
+        Code::MultiInputAfterOpaqueState,
+        Code::UnboundedUdoState,
+        Code::KeyedStateGrowth,
+        Code::PaneExplosion,
+        Code::BroadcastRebalanceDiamond,
+        Code::BroadcastFanOut,
+        Code::ChannelExplosion,
+        Code::ForwardChainBreak,
+        Code::FunnelBottleneck,
+        Code::ParallelismCliff,
+        Code::SkewVulnerableKeyedOp,
+        Code::UnmergedHotKeySplit,
+        Code::LatenessHazard,
+        Code::UnknownField,
+        Code::InputTypeMismatch,
+        Code::NonNumericAggregate,
+        Code::DoubleKey,
+        Code::EventTimeUntyped,
+        Code::SplitArityDrift,
+        Code::UnionSchemaMismatch,
+        Code::OpaqueUdoSchema,
+        Code::ConstantPredicate,
+    ];
+
+    /// Look a code up by its stable string form ("PB061"), case-insensitive.
+    pub fn parse(s: &str) -> Option<Code> {
+        let s = s.trim().to_ascii_uppercase();
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// One-paragraph explanation of what the code means — the `--explain`
+    /// body, kept next to the enum so adding a code without documenting it
+    /// fails to compile.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Code::KeyedAggPartition => {
+                "A keyed window/session aggregate receives input that is not hash-partitioned \
+                 on its key field, so tuples of the same key land on different parallel \
+                 instances and each computes a partial, wrong aggregate."
+            }
+            Code::JoinSidePartition => {
+                "One input side of an equi-join is not hash-partitioned on its join key at \
+                 parallelism > 1; matching keys land on different instances and the join \
+                 silently drops matches."
+            }
+            Code::KeyedUdoPartition => {
+                "A UDO declaring keyed state receives input not partitioned on its declared \
+                 key field, splitting per-key state across instances."
+            }
+            Code::GlobalOpSplit => {
+                "A whole-stream (global) operator runs at parallelism > 1 with partitioned \
+                 input, so each instance sees only a slice of the stream."
+            }
+            Code::GlobalOpReplicated => {
+                "A global operator is replicated via broadcast: every instance computes the \
+                 full answer and downstream receives it multiple times."
+            }
+            Code::UndeclaredStatefulPartition => {
+                "A stateful UDO without declared keying receives partitioned input; whether \
+                 its state is partition-safe is unknowable to the analyzer."
+            }
+            Code::NonDeterministicUdo => {
+                "A non-deterministic UDO sits inside a recoverable region: replay after a \
+                 failure recomputes different values than the lost originals."
+            }
+            Code::SideEffectingUdo => {
+                "A side-effecting UDO inside a recoverable region duplicates its external \
+                 effects on replay (at-least-once re-execution)."
+            }
+            Code::UnsnapshottedUdoState => {
+                "A UDO carries state that checkpoint snapshots cannot capture; recovery \
+                 silently resets it."
+            }
+            Code::MultiInputAfterOpaqueState => {
+                "A multi-input operator consumes output influenced by un-snapshottable state; \
+                 post-recovery replays can interleave differently."
+            }
+            Code::UnboundedUdoState => {
+                "A UDO declares state that grows without bound; a long-running deployment \
+                 eventually exhausts memory."
+            }
+            Code::KeyedStateGrowth => {
+                "Keyed state grows with key cardinality and nothing evicts old keys."
+            }
+            Code::PaneExplosion => {
+                "A sliding window's length/slide ratio maintains an excessive number of \
+                 concurrent panes per key."
+            }
+            Code::BroadcastRebalanceDiamond => {
+                "A diamond mixes broadcast and non-broadcast branches; reconvergence sees \
+                 duplicated tuples from one side."
+            }
+            Code::BroadcastFanOut => {
+                "Broadcast into a high-parallelism operator multiplies every tuple by the \
+                 downstream parallelism."
+            }
+            Code::ChannelExplosion => {
+                "One edge expands into an excessive number of physical channels \
+                 (upstream x downstream instances)."
+            }
+            Code::ForwardChainBreak => {
+                "A rebalance edge between equal-parallelism stateless stages breaks an \
+                 otherwise fusable forward chain, costing a serialization boundary."
+            }
+            Code::FunnelBottleneck => {
+                "A high-parallelism region funnels into a parallelism-1 operator that becomes \
+                 the whole plan's throughput ceiling."
+            }
+            Code::ParallelismCliff => {
+                "Adjacent operators differ steeply in parallelism; the cliff edge is a \
+                 repartitioning hotspot."
+            }
+            Code::SkewVulnerableKeyedOp => {
+                "A keyed stateful operator is vulnerable to hot-key skew: one hot key pins \
+                 its whole load on a single instance."
+            }
+            Code::UnmergedHotKeySplit => {
+                "A hot-key-split (HashSplit) edge spreads one key over several instances but \
+                 no downstream stage merges the partials back: results are wrong."
+            }
+            Code::LatenessHazard => {
+                "An event-time window merges independently progressing streams without \
+                 allowed lateness; the slower stream's stragglers are dropped."
+            }
+            Code::UnknownField => {
+                "An operator references a field index outside its inferred input schema (a \
+                 predicate, map expression, aggregate/key field, join key, or hash-partition \
+                 field). At runtime this is an out-of-bounds access: the tuple is dropped or \
+                 the worker fails."
+            }
+            Code::InputTypeMismatch => {
+                "An operator input has a type it cannot process: a string split over a \
+                 non-string field (emits nothing), arithmetic over a string operand (runtime \
+                 type error), or equi-join keys from different type classes (never match)."
+            }
+            Code::NonNumericAggregate => {
+                "A numeric aggregate (sum/avg/min/max) runs over a string field. The engine \
+                 coerces strings to presence (1.0), so the output is a well-formed number \
+                 that measures nothing."
+            }
+            Code::DoubleKey => {
+                "Grouping or hash-partitioning keys on a Double field: NaN never compares \
+                 equal to itself (NaN groups leak per tuple) and hashing bit patterns splits \
+                 0.0 from -0.0. Key on an integer or string representation instead."
+            }
+            Code::EventTimeUntyped => {
+                "A time-based window consumes a stream whose schema carries no \
+                 Timestamp-typed field. Event time rides on out-of-band tuple metadata, so \
+                 this still runs — but the schema offers no provenance for where event time \
+                 comes from."
+            }
+            Code::SplitArityDrift => {
+                "The merge stage downstream of a hot-key HashSplit emits a different arity \
+                 than the split stage, so the partial-aggregate shape leaks past the merge \
+                 into downstream operators."
+            }
+            Code::UnionSchemaMismatch => {
+                "Union branches carry structurally different schemas (width or field types \
+                 differ); downstream operators read fields whose meaning depends on which \
+                 branch a tuple came from."
+            }
+            Code::OpaqueUdoSchema => {
+                "A UDO declares its output schema Opaque: inference continues with the \
+                 factory's unverified claim and downgrades every downstream schema finding \
+                 to a hint, since its premise might be wrong."
+            }
+            Code::ConstantPredicate => {
+                "A filter compares a field against a literal from a different type class \
+                 (string vs numeric). Cross-class comparisons never hold, so the predicate \
+                 is constant: Eq never matches, Ne always does."
+            }
+        }
+    }
+
+    /// One-line remediation — the `--explain` footer.
+    pub fn remediation(self) -> &'static str {
+        match self {
+            Code::KeyedAggPartition => "hash-partition the aggregate's input on its key field",
+            Code::JoinSidePartition => "hash-partition each join input on its own join key",
+            Code::KeyedUdoPartition => "hash-partition the UDO input on its declared key field",
+            Code::GlobalOpSplit => "run the global operator at parallelism 1",
+            Code::GlobalOpReplicated => "replace the broadcast edge with a funnel to one instance",
+            Code::UndeclaredStatefulPartition => {
+                "declare keyed_state_field in UdoProperties, or force parallelism 1"
+            }
+            Code::NonDeterministicUdo => "make the UDO deterministic or move it past the sink",
+            Code::SideEffectingUdo => "make the effect idempotent or gate it on exactly-once",
+            Code::UnsnapshottedUdoState => "implement snapshot/restore in the UDO",
+            Code::MultiInputAfterOpaqueState => "snapshot the upstream state or remove the merge",
+            Code::UnboundedUdoState => "declare bounded_state and implement eviction",
+            Code::KeyedStateGrowth => "add TTL/eviction for idle keys",
+            Code::PaneExplosion => "increase the slide or decrease the window length",
+            Code::BroadcastRebalanceDiamond => "use the same partitioning on both branches",
+            Code::BroadcastFanOut => "reduce downstream parallelism or drop the broadcast",
+            Code::ChannelExplosion => "reduce parallelism on one side of the edge",
+            Code::ForwardChainBreak => "use Forward partitioning so the chain can fuse",
+            Code::FunnelBottleneck => "raise the bottleneck operator's parallelism",
+            Code::ParallelismCliff => "smooth the parallelism change over adjacent operators",
+            Code::SkewVulnerableKeyedOp => "consider HashSplit + a merge stage for hot keys",
+            Code::UnmergedHotKeySplit => "add a merge UDO (merges_hot_key_splits) downstream",
+            Code::LatenessHazard => "set overload.allowed_lateness_ms to tolerate stragglers",
+            Code::UnknownField => "fix the field index or widen the source schema",
+            Code::InputTypeMismatch => "align the field's declared type with the operator",
+            Code::NonNumericAggregate => "aggregate a numeric field, or use Count",
+            Code::DoubleKey => "key on an Int/Str field (e.g. a quantized id) instead",
+            Code::EventTimeUntyped => "add a Timestamp field documenting the event-time source",
+            Code::SplitArityDrift => "make the merge UDO restore the split stage's output shape",
+            Code::UnionSchemaMismatch => "map both branches to one shared schema before the union",
+            Code::OpaqueUdoSchema => "declare the real output schema (SchemaPolicy::Declared)",
+            Code::ConstantPredicate => "compare against a literal of the field's own type",
         }
     }
 }

@@ -4,7 +4,7 @@
 //! The analyzer inspects a [`LogicalPlan`] (or the logical plan inside a
 //! [`PhysicalPlan`]) and reports [`Diagnostic`]s — stable `PB0xx` codes
 //! with severities, spans, messages, and suggestions — without executing
-//! anything. Six passes run over a shared [`AnalysisContext`]:
+//! anything. Seven passes run over a shared [`AnalysisContext`]:
 //!
 //! | pass | codes | question |
 //! |------|-------|----------|
@@ -14,11 +14,14 @@
 //! | backpressure | PB031-PB033 | can the channel topology stall or amplify load? |
 //! | cost-smells | PB041-PB043 | is throughput left on the table? |
 //! | hazards | PB051-PB053 | does the plan survive hot keys, bursts, and late storms? |
+//! | typeflow | PB061-PB069 | does every field on every edge have the type its consumers expect? |
 //!
 //! Unlike [`LogicalPlan::validate`], the analyzer accepts semantically
 //! broken plans on purpose — it exists to *explain* what is wrong with
-//! them. It only fails on structural breakage (cycles, unresolvable
-//! schemas) that makes analysis itself impossible.
+//! them. It only fails on structural breakage (cycles) that makes
+//! analysis itself impossible; even schema violations flow through the
+//! tolerant inference in [`pdsp_engine::schema_flow`] and come out as
+//! PB06x diagnostics.
 //!
 //! ```
 //! use pdsp_analyze::analyze;
@@ -46,7 +49,9 @@ pub mod diag;
 pub mod exactly_once;
 pub mod hazards;
 pub mod keyflow;
+pub mod sarif;
 pub mod state_bounds;
+pub mod typeflow;
 
 pub use context::{AnalysisContext, Flow};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
@@ -85,6 +90,7 @@ impl Analyzer {
                 Box::new(backpressure::BackpressurePass),
                 Box::new(cost_smells::CostSmellsPass),
                 Box::new(hazards::HazardPass),
+                Box::new(typeflow::TypeFlowPass),
             ],
         }
     }
@@ -147,7 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn default_pipeline_has_six_passes() {
+    fn default_pipeline_has_seven_passes() {
         assert_eq!(
             Analyzer::new().pass_names(),
             vec![
@@ -156,7 +162,8 @@ mod tests {
                 "state-bounds",
                 "backpressure",
                 "cost-smells",
-                "hazards"
+                "hazards",
+                "typeflow"
             ]
         );
     }

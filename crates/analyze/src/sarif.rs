@@ -1,0 +1,156 @@
+//! SARIF 2.1.0 rendering of analyzer reports.
+//!
+//! [Static Analysis Results Interchange Format] is what GitHub's code
+//! scanning ingests: the CI static-analysis job uploads this output so
+//! PB0xx findings surface as annotations instead of buried log lines.
+//! Plans have no file/line coordinates, so findings are anchored as SARIF
+//! *logical locations* (`plan/node 3 'agg'`).
+//!
+//! [Static Analysis Results Interchange Format]:
+//!     https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use crate::diag::{Code, Report, Severity};
+use serde::{Map, Value};
+
+/// SARIF `level` for a severity: errors stay errors, warnings stay
+/// warnings, hints become notes.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Hint => "note",
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in entries {
+        m.insert(k.into(), v);
+    }
+    Value::Object(m)
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// One SARIF rule descriptor per stable code, carrying the `--explain`
+/// text so annotations link to a real description.
+fn rules() -> Value {
+    Value::Array(
+        Code::ALL
+            .into_iter()
+            .map(|c| {
+                obj(vec![
+                    ("id", s(c.as_str())),
+                    ("shortDescription", obj(vec![("text", s(format!("{c:?}")))])),
+                    ("fullDescription", obj(vec![("text", s(c.explanation()))])),
+                    ("help", obj(vec![("text", s(c.remediation()))])),
+                    (
+                        "defaultConfiguration",
+                        obj(vec![("level", s(level(c.severity())))]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render one or more reports as a single SARIF 2.1.0 run.
+pub fn to_sarif(reports: &[Report]) -> String {
+    let results: Vec<Value> = reports
+        .iter()
+        .flat_map(|r| {
+            r.diagnostics.iter().map(move |d| {
+                let mut text = d.message.clone();
+                if let Some(sug) = &d.suggestion {
+                    text.push_str(&format!(" Suggestion: {sug}."));
+                }
+                obj(vec![
+                    ("ruleId", s(d.code.as_str())),
+                    ("level", s(level(d.severity))),
+                    ("message", obj(vec![("text", s(text))])),
+                    (
+                        "locations",
+                        Value::Array(vec![obj(vec![(
+                            "logicalLocations",
+                            Value::Array(vec![obj(vec![(
+                                "fullyQualifiedName",
+                                s(format!("{}/{}", r.plan, d.span)),
+                            )])]),
+                        )])]),
+                    ),
+                ])
+            })
+        })
+        .collect();
+
+    let doc = obj(vec![
+        (
+            "$schema",
+            s("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("pdsp-analyze")),
+                            ("informationUri", s("https://github.com/pdsp-bench")),
+                            ("rules", rules()),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, Span};
+
+    #[test]
+    fn sarif_document_has_rules_and_results() {
+        let report = Report::new(
+            "wc",
+            vec![Diagnostic::new(
+                Code::UnknownField,
+                Span::Node {
+                    id: 1,
+                    name: "split".into(),
+                },
+                "field 9 out of bounds",
+            )],
+        );
+        let sarif = to_sarif(&[report]);
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\": \"PB061\""), "{sarif}");
+        assert!(sarif.contains("wc/node 1 'split'"), "{sarif}");
+        // Every stable code appears as a rule descriptor.
+        for code in Code::ALL {
+            assert!(sarif.contains(code.as_str()), "missing rule {code}");
+        }
+    }
+
+    #[test]
+    fn hint_maps_to_note_level() {
+        let report = Report::new(
+            "t",
+            vec![Diagnostic::new(
+                Code::EventTimeUntyped,
+                Span::Plan,
+                "no timestamp field",
+            )],
+        );
+        let sarif = to_sarif(&[report]);
+        assert!(sarif.contains("\"level\": \"note\""), "{sarif}");
+    }
+}

@@ -959,3 +959,288 @@ fn json_report_round_trips_codes() {
     assert!(json.contains("\"PB001\""), "{json}");
     assert!(json.contains("\"error\""), "{json}");
 }
+
+// ---------------------------------------------------------------------------
+// PB06x: schema / type flow
+// ---------------------------------------------------------------------------
+
+/// PB061: a filter predicate reads field 7 of a 1-field stream.
+fn out_of_bounds_predicate() -> LogicalPlan {
+    use pdsp_engine::expr::CmpOp;
+    use pdsp_engine::value::Value;
+    PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Int]), 1)
+        .filter("f", Predicate::cmp(7, CmpOp::Gt, Value::Int(0)), 0.5)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// PB062: string-split over an `Int` field.
+fn split_over_int() -> LogicalPlan {
+    PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Int]), 1)
+        .flat_map_split("split", 0)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// PB063: `Avg` over a `Str` field — strings aggregate as presence.
+fn string_average() -> LogicalPlan {
+    PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Str]), 1)
+        .window_agg_keyed("agg", WindowSpec::tumbling_count(8), AggFunc::Avg, 0, 0)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// PB064: keyed aggregate keyed (and hash-partitioned) on a `Double`.
+fn double_keyed_agg() -> LogicalPlan {
+    PlanBuilder::new()
+        .source(
+            "src",
+            Schema::of(&[FieldType::Double, FieldType::Double]),
+            1,
+        )
+        .window_agg_keyed("agg", WindowSpec::tumbling_count(8), AggFunc::Sum, 1, 0)
+        .set_parallelism(1, 4)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// PB065: a time-based window over a stream with no `Timestamp` field.
+fn time_window_untyped_stream() -> LogicalPlan {
+    PlanBuilder::new()
+        .source("src", two_field_schema(), 1)
+        .window_agg_keyed("agg", WindowSpec::tumbling_time(1_000), AggFunc::Sum, 1, 0)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// A merge UDO whose declared output arity differs from the split stage.
+struct DriftingMerge;
+
+impl UdoFactory for DriftingMerge {
+    fn name(&self) -> &str {
+        "drifting-merge"
+    }
+    fn create(&self) -> Box<dyn Udo> {
+        Box::new(PassThroughUdo)
+    }
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::stateful(1_000.0, 1.0, 1.0)
+    }
+    fn output_schema(&self, _input: &Schema) -> Schema {
+        // Split stage (a keyed aggregate) emits [key, window_end, agg];
+        // this merge narrows to two fields, leaking partial shape.
+        Schema::of(&[FieldType::Int, FieldType::Double])
+    }
+    fn properties(&self) -> UdoProperties {
+        UdoProperties {
+            stateful: true,
+            keyed_state_field: Some(0),
+            merges_hot_key_splits: true,
+            ..UdoProperties::default()
+        }
+    }
+}
+
+/// PB066: a hot-key split whose merge stage emits a different arity than
+/// the split stage.
+fn split_merge_arity_drift() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let s = b.add_node(
+        "src",
+        OpKind::Source {
+            schema: two_field_schema(),
+        },
+        1,
+    );
+    let a = b.add_node(
+        "pre-agg",
+        OpKind::WindowAggregate {
+            window: WindowSpec::tumbling_count(8),
+            func: AggFunc::Sum,
+            agg_field: 1,
+            key_field: Some(0),
+        },
+        8,
+    );
+    let m = b.add_node(
+        "merge",
+        OpKind::Udo {
+            factory: std::sync::Arc::new(DriftingMerge),
+        },
+        2,
+    );
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(s, a, 0, Partitioning::HashSplit(vec![0], 4));
+    b.add_edge(a, m, 0, Partitioning::Hash(vec![0]));
+    b.add_edge(m, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
+/// PB067: a union of two sources with incompatible schemas.
+fn union_mismatched_branches() -> LogicalPlan {
+    let mut b = PlanBuilder::new();
+    let l = b.add_node(
+        "ints",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Int]),
+        },
+        1,
+    );
+    let r = b.add_node(
+        "strs",
+        OpKind::Source {
+            schema: Schema::of(&[FieldType::Str]),
+        },
+        1,
+    );
+    let u = b.add_node("union", OpKind::Union, 1);
+    let k = b.add_node("sink", OpKind::Sink, 1);
+    b.add_edge(l, u, 0, Partitioning::Rebalance);
+    b.add_edge(r, u, 1, Partitioning::Rebalance);
+    b.add_edge(u, k, 0, Partitioning::Rebalance);
+    b.build_unchecked()
+}
+
+/// A pass-through UDO that refuses to declare its output schema.
+struct OpaqueSchemaUdo;
+
+impl UdoFactory for OpaqueSchemaUdo {
+    fn name(&self) -> &str {
+        "opaque-udo"
+    }
+    fn create(&self) -> Box<dyn Udo> {
+        Box::new(PassThroughUdo)
+    }
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::stateless(1_000.0, 1.0)
+    }
+    fn output_schema(&self, _input: &Schema) -> Schema {
+        Schema::of(&[FieldType::Int, FieldType::Str])
+    }
+    fn properties(&self) -> UdoProperties {
+        UdoProperties {
+            schema_policy: pdsp_engine::udo::SchemaPolicy::Opaque,
+            ..UdoProperties::default()
+        }
+    }
+}
+
+/// PB068 + downgrade: an opaque UDO followed by an out-of-bounds filter.
+fn opaque_udo_then_bad_filter() -> LogicalPlan {
+    use pdsp_engine::expr::CmpOp;
+    use pdsp_engine::value::Value;
+    PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Int]), 1)
+        .udo("opaque", std::sync::Arc::new(OpaqueSchemaUdo))
+        .filter("f", Predicate::cmp(5, CmpOp::Gt, Value::Int(0)), 0.5)
+        .sink("sink")
+        .build_unchecked()
+}
+
+/// PB069: an `Int` field compared against a string literal.
+fn cross_class_predicate() -> LogicalPlan {
+    use pdsp_engine::expr::CmpOp;
+    use pdsp_engine::value::Value;
+    PlanBuilder::new()
+        .source("src", Schema::of(&[FieldType::Int]), 1)
+        .filter("f", Predicate::cmp(0, CmpOp::Lt, Value::str("zzz")), 0.5)
+        .sink("sink")
+        .build_unchecked()
+}
+
+#[test]
+fn pb061_out_of_bounds_field() {
+    assert_codes(
+        "out-of-bounds-predicate",
+        &out_of_bounds_predicate(),
+        &[Code::UnknownField],
+    );
+}
+
+#[test]
+fn pb062_split_over_int() {
+    assert_codes(
+        "split-over-int",
+        &split_over_int(),
+        &[Code::InputTypeMismatch],
+    );
+}
+
+#[test]
+fn pb063_string_average() {
+    assert_codes(
+        "string-average",
+        &string_average(),
+        &[Code::NonNumericAggregate],
+    );
+}
+
+#[test]
+fn pb064_double_key_is_warning() {
+    let plan = double_keyed_agg();
+    assert_codes("double-keyed-agg", &plan, &[Code::DoubleKey]);
+    let report = analyze("double-keyed-agg", &plan).unwrap();
+    assert_eq!(report.errors(), 0, "{}", report.render());
+}
+
+#[test]
+fn pb065_untyped_event_time_is_hint() {
+    let plan = time_window_untyped_stream();
+    assert_codes("time-window-untyped", &plan, &[Code::EventTimeUntyped]);
+    let report = analyze("time-window-untyped", &plan).unwrap();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::EventTimeUntyped)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Hint);
+}
+
+#[test]
+fn pb066_split_merge_arity_drift() {
+    assert_codes(
+        "split-merge-arity-drift",
+        &split_merge_arity_drift(),
+        &[Code::SplitArityDrift],
+    );
+}
+
+#[test]
+fn pb067_union_schema_mismatch() {
+    assert_codes(
+        "union-mismatched-branches",
+        &union_mismatched_branches(),
+        &[Code::UnionSchemaMismatch],
+    );
+}
+
+#[test]
+fn pb068_opaque_udo_downgrades_downstream_findings() {
+    let plan = opaque_udo_then_bad_filter();
+    assert_codes(
+        "opaque-then-bad-filter",
+        &plan,
+        &[Code::OpaqueUdoSchema, Code::UnknownField],
+    );
+    let report = analyze("opaque-then-bad-filter", &plan).unwrap();
+    // The out-of-bounds finding survives but is downgraded to a hint:
+    // the opaque claim it rests on is unverified.
+    let unknown = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::UnknownField)
+        .unwrap();
+    assert_eq!(unknown.severity, Severity::Hint, "{}", report.render());
+    assert_eq!(report.errors(), 0, "{}", report.render());
+}
+
+#[test]
+fn pb069_constant_predicate_is_warning() {
+    let plan = cross_class_predicate();
+    assert_codes("cross-class-predicate", &plan, &[Code::ConstantPredicate]);
+    let report = analyze("cross-class-predicate", &plan).unwrap();
+    assert_eq!(report.errors(), 0, "{}", report.render());
+}

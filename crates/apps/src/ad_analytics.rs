@@ -6,7 +6,7 @@
 //! aggregation and joining logic on a sliding window result in non-linear
 //! scaling").
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
 use pdsp_engine::operator::OpKind;
@@ -75,7 +75,7 @@ impl UdoFactory for CtrAggregator {
         CostProfile::stateful(120_000.0, 1.0 / CTR_EMIT_EVERY as f64, 3.0)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double])
+        named_schema(&[("ad", FieldType::Int), ("ctr", FieldType::Double)])
     }
     fn properties(&self) -> UdoProperties {
         // A time-evicted click history per ad id (input field 0); the plan
@@ -106,7 +106,11 @@ impl Application for AdAnalytics {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // Impressions: [ad, campaign, cost]
-        let imp_schema = Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Double]);
+        let imp_schema = named_schema(&[
+            ("ad", FieldType::Int),
+            ("campaign", FieldType::Int),
+            ("cost", FieldType::Double),
+        ]);
         let impressions = ClosureStream::new(imp_schema.clone(), config, |_, rng| {
             let ad = rng.gen_range(0..200i64);
             vec![
@@ -116,7 +120,11 @@ impl Application for AdAnalytics {
             ]
         });
         // Clicks: [ad, user, clicked]
-        let click_schema = Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Int]);
+        let click_schema = named_schema(&[
+            ("ad", FieldType::Int),
+            ("user", FieldType::Int),
+            ("clicked", FieldType::Int),
+        ]);
         let click_cfg = AppConfig {
             seed: config.seed.wrapping_add(101),
             ..config.clone()

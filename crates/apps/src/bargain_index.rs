@@ -3,7 +3,7 @@
 //! UDO computes the bargain index of each ask quote (how far below VWAP it
 //! is, weighted by available volume) and large bargains are emitted.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
@@ -77,7 +77,11 @@ impl UdoFactory for BargainCalculator {
         CostProfile::stateful(16_000.0, 0.15, 1.5)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+        named_schema(&[
+            ("symbol", FieldType::Int),
+            ("price", FieldType::Double),
+            ("bargain_index", FieldType::Double),
+        ])
     }
     fn properties(&self) -> UdoProperties {
         // A capped VWAP window per symbol (input field 0); the plan
@@ -109,7 +113,11 @@ impl Application for BargainIndex {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [symbol, price, volume]
-        let schema = Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double]);
+        let schema = named_schema(&[
+            ("symbol", FieldType::Int),
+            ("price", FieldType::Double),
+            ("volume", FieldType::Double),
+        ]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             let symbol = rng.gen_range(0..100i64);
             let fair = 50.0 + symbol as f64;

@@ -2,7 +2,7 @@
 //! repeat visitors from new ones per URL, and per-URL visit counts are
 //! aggregated over sliding windows.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -72,7 +72,11 @@ impl UdoFactory for RepeatVisitDetector {
         CostProfile::stateful(90_000.0, 1.0, 1.6)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Int])
+        named_schema(&[
+            ("url", FieldType::Int),
+            ("user", FieldType::Int),
+            ("repeat", FieldType::Int),
+        ])
     }
     fn properties(&self) -> UdoProperties {
         // Visit state is per-user (input field 0); the plan hash-partitions
@@ -103,7 +107,7 @@ impl Application for ClickAnalytics {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [user, url]
-        let schema = Schema::of(&[FieldType::Int, FieldType::Int]);
+        let schema = named_schema(&[("user", FieldType::Int), ("url", FieldType::Int)]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             // Popular pages get most clicks.
             let r: f64 = rng.gen_range(0.0f64..1.0);

@@ -3,7 +3,7 @@
 
 use pdsp_engine::plan::LogicalPlan;
 use pdsp_engine::runtime::SourceFactory;
-use pdsp_engine::value::{Schema, Tuple, Value};
+use pdsp_engine::value::{Field, FieldType, Schema, Tuple, Value};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -45,6 +45,19 @@ pub trait Application: Send + Sync {
 
     /// Build the plan and source generators.
     fn build(&self, config: &AppConfig) -> BuiltApp;
+}
+
+/// A named schema from `(name, type)` pairs — every application declares
+/// its source (and UDO output) schemas with real field names so the
+/// type-flow pass (PB06x) and `--check-schemas` wire validation report
+/// findings against meaningful columns, not `f0`/`f1`.
+pub fn named_schema(fields: &[(&str, FieldType)]) -> Schema {
+    Schema::new(
+        fields
+            .iter()
+            .map(|&(name, ty)| Field::new(name, ty))
+            .collect(),
+    )
 }
 
 /// Seeded source generating tuples from a closure: `f(i, rng) -> values`.

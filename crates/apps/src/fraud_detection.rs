@@ -2,7 +2,7 @@
 //! Markov model over per-account transaction-type sequences scores how
 //! improbable each new transaction is; improbable sequences are flagged.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -70,11 +70,11 @@ impl UdoFactory for FraudScorer {
         CostProfile::stateful(22_000.0, 1.0, 2.0)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[
-            FieldType::Int,
-            FieldType::Int,
-            FieldType::Double,
-            FieldType::Double,
+        named_schema(&[
+            ("account", FieldType::Int),
+            ("txn_type", FieldType::Int),
+            ("amount", FieldType::Double),
+            ("fraud_score", FieldType::Double),
         ])
     }
     fn properties(&self) -> UdoProperties {
@@ -106,7 +106,11 @@ impl Application for FraudDetection {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [account, txn_type, amount]
-        let schema = Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Double]);
+        let schema = named_schema(&[
+            ("account", FieldType::Int),
+            ("txn_type", FieldType::Int),
+            ("amount", FieldType::Double),
+        ]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let account = (i % 100) as i64;
             // Regular accounts cycle types 0->1->2 predictably; 1% of

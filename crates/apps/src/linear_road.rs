@@ -3,7 +3,7 @@
 //! segment average speeds over a sliding window and a toll UDO charges
 //! vehicles entering congested segments.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory};
@@ -59,7 +59,10 @@ impl UdoFactory for TollCalculator {
     }
 
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double])
+        named_schema(&[
+            ("segment", FieldType::Int),
+            ("toll_cents", FieldType::Double),
+        ])
     }
 }
 
@@ -81,11 +84,11 @@ impl Application for LinearRoad {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [vehicle, segment, speed, lane]
-        let schema = Schema::of(&[
-            FieldType::Int,
-            FieldType::Int,
-            FieldType::Double,
-            FieldType::Int,
+        let schema = named_schema(&[
+            ("vehicle", FieldType::Int),
+            ("segment", FieldType::Int),
+            ("speed", FieldType::Double),
+            ("lane", FieldType::Int),
         ]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let vehicle = (i % 2_000) as i64;

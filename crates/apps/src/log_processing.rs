@@ -3,7 +3,7 @@
 //! lookup UDO maps client IPs to regions, and error counts are aggregated
 //! per region over tumbling windows.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::expr::{CmpOp, Predicate};
@@ -66,7 +66,11 @@ impl UdoFactory for GeoLookup {
         CostProfile::stateless(6_000.0, 1.0)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Str, FieldType::Int, FieldType::Int])
+        named_schema(&[
+            ("region", FieldType::Str),
+            ("status", FieldType::Int),
+            ("bytes", FieldType::Int),
+        ])
     }
 }
 
@@ -88,7 +92,11 @@ impl Application for LogProcessing {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [ip, status, bytes]
-        let schema = Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Int]);
+        let schema = named_schema(&[
+            ("ip", FieldType::Int),
+            ("status", FieldType::Int),
+            ("bytes", FieldType::Int),
+        ]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             let ip = rng.gen_range(0..=u32::MAX as i64);
             let status = match rng.gen_range(0..100) {

@@ -4,7 +4,7 @@
 //! distribution (median absolute deviation) and anomalous readings pass a
 //! threshold filter.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::expr::{CmpOp, Predicate};
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -84,7 +84,11 @@ impl UdoFactory for OutlierScorer {
     }
 
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+        named_schema(&[
+            ("machine", FieldType::Int),
+            ("cpu", FieldType::Double),
+            ("score", FieldType::Double),
+        ])
     }
 
     fn properties(&self) -> UdoProperties {
@@ -115,7 +119,7 @@ impl Application for MachineOutlier {
 
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
-        let schema = Schema::of(&[FieldType::Int, FieldType::Double]);
+        let schema = named_schema(&[("machine", FieldType::Int), ("cpu", FieldType::Double)]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let machine = (i % 50) as i64;
             // Mostly stable load with occasional spikes.

@@ -5,7 +5,7 @@
 //! "data-intensive UDO" applications that benefit strongly from
 //! parallelism (O1).
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream, WORDS};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream, WORDS};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -94,7 +94,7 @@ impl UdoFactory for SentimentScorer {
     }
 
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double])
+        named_schema(&[("topic", FieldType::Int), ("sentiment", FieldType::Double)])
     }
 
     fn properties(&self) -> UdoProperties {
@@ -125,7 +125,7 @@ impl Application for SentimentAnalysis {
 
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
-        let schema = Schema::of(&[FieldType::Int, FieldType::Str]);
+        let schema = named_schema(&[("topic", FieldType::Int), ("text", FieldType::Str)]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             let topic = rng.gen_range(0..20i64);
             let len = rng.gen_range(5..15usize);

@@ -5,7 +5,7 @@
 //! gains most from high parallelism (O2: "128 significantly improves
 //! latency in SG").
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -105,7 +105,11 @@ impl UdoFactory for GridMedianDetector {
     }
 
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+        named_schema(&[
+            ("house", FieldType::Int),
+            ("load", FieldType::Double),
+            ("load_ratio", FieldType::Double),
+        ])
     }
 
     fn properties(&self) -> UdoProperties {
@@ -140,7 +144,11 @@ impl Application for SmartGrid {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [plug_id, house_id, load_watts]
-        let schema = Schema::of(&[FieldType::Int, FieldType::Int, FieldType::Double]);
+        let schema = named_schema(&[
+            ("plug", FieldType::Int),
+            ("house", FieldType::Int),
+            ("load_watts", FieldType::Double),
+        ]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let plug = (i % 400) as i64;
             let house = plug / 10; // 10 plugs per house, 40 houses

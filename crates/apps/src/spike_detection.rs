@@ -3,7 +3,7 @@
 //! the average by a threshold are reported as spikes. Data-intensive UDO
 //! per the paper's classification.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
 use pdsp_engine::value::{FieldType, Schema, Tuple, Value};
@@ -76,7 +76,11 @@ impl UdoFactory for SpikeDetector {
     }
 
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double, FieldType::Double])
+        named_schema(&[
+            ("device", FieldType::Int),
+            ("value", FieldType::Double),
+            ("moving_avg", FieldType::Double),
+        ])
     }
 
     fn properties(&self) -> UdoProperties {
@@ -107,7 +111,7 @@ impl Application for SpikeDetection {
 
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
-        let schema = Schema::of(&[FieldType::Int, FieldType::Double]);
+        let schema = named_schema(&[("device", FieldType::Int), ("value", FieldType::Double)]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             let device = (i % 200) as i64;
             let base = 20.0 + device as f64 * 0.1;

@@ -3,11 +3,11 @@
 //! via a map, and revenue is summed per return flag over tumbling windows.
 //! Standard SPS operators only — the suite's e-commerce representative.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::expr::{CmpOp, Predicate, ScalarExpr};
-use pdsp_engine::value::{FieldType, Schema, Value};
+use pdsp_engine::value::{FieldType, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
 
@@ -33,11 +33,11 @@ impl Application for TpcH {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [returnflag, shipdate, extendedprice, discount]
-        let schema = Schema::of(&[
-            FieldType::Int,
-            FieldType::Int,
-            FieldType::Double,
-            FieldType::Double,
+        let schema = named_schema(&[
+            ("returnflag", FieldType::Int),
+            ("shipdate", FieldType::Int),
+            ("extendedprice", FieldType::Double),
+            ("discount", FieldType::Double),
         ]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             vec![

@@ -3,7 +3,7 @@
 //! CPU-heavy UDO doing nearest-segment search) and per-road average speeds
 //! are maintained over time windows.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{named_schema, AppConfig, Application, BuiltApp, ClosureStream};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -73,7 +73,7 @@ impl UdoFactory for MapMatcher {
         CostProfile::stateful(800_000.0, 1.0, 1.0)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Int, FieldType::Double])
+        named_schema(&[("segment", FieldType::Int), ("speed", FieldType::Double)])
     }
     fn properties(&self) -> UdoProperties {
         // Map matching is a pure function of the GPS fix; the non-zero
@@ -104,11 +104,11 @@ impl Application for TrafficMonitoring {
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
         // [vehicle, lat, lon, speed]
-        let schema = Schema::of(&[
-            FieldType::Int,
-            FieldType::Double,
-            FieldType::Double,
-            FieldType::Double,
+        let schema = named_schema(&[
+            ("vehicle", FieldType::Int),
+            ("lat", FieldType::Double),
+            ("lon", FieldType::Double),
+            ("speed", FieldType::Double),
         ]);
         let source = ClosureStream::new(schema.clone(), config, |i, rng| {
             vec![

@@ -2,7 +2,9 @@
 //! are extracted from tweets, counted per sliding window, and a stateful
 //! top-k ranker emits the current trending set whenever it changes.
 
-use crate::common::{AppConfig, Application, BuiltApp, ClosureStream, HASHTAGS, WORDS};
+use crate::common::{
+    named_schema, AppConfig, Application, BuiltApp, ClosureStream, HASHTAGS, WORDS,
+};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
 use pdsp_engine::udo::{CostProfile, Udo, UdoFactory, UdoProperties};
@@ -53,7 +55,7 @@ impl UdoFactory for HashtagExtractor {
         CostProfile::stateless(8_000.0, 1.4)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Str])
+        named_schema(&[("tag", FieldType::Str)])
     }
 }
 
@@ -133,7 +135,11 @@ impl UdoFactory for TopKRanker {
         CostProfile::stateful(15_000.0, 0.3, 2.5)
     }
     fn output_schema(&self, _input: &Schema) -> Schema {
-        Schema::of(&[FieldType::Str, FieldType::Int, FieldType::Double])
+        named_schema(&[
+            ("tag", FieldType::Str),
+            ("rank", FieldType::Int),
+            ("count", FieldType::Double),
+        ])
     }
     fn properties(&self) -> UdoProperties {
         // A global ranking needs every tag's count in one place; splitting
@@ -163,7 +169,7 @@ impl Application for TrendingTopics {
 
     fn build(&self, config: &AppConfig) -> BuiltApp {
         use rand::Rng;
-        let schema = Schema::of(&[FieldType::Str]);
+        let schema = named_schema(&[("tweet", FieldType::Str)]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             let mut text = String::new();
             for i in 0..8 {

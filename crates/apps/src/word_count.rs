@@ -3,10 +3,12 @@
 //! tumbling window. Standard operators only; the paper uses WC as the
 //! predictably-scaling baseline (O3).
 
-use crate::common::{random_sentence, AppConfig, Application, BuiltApp, ClosureStream};
+use crate::common::{
+    named_schema, random_sentence, AppConfig, Application, BuiltApp, ClosureStream,
+};
 use crate::registry::AppInfo;
 use pdsp_engine::agg::AggFunc;
-use pdsp_engine::value::{FieldType, Schema, Value};
+use pdsp_engine::value::{FieldType, Value};
 use pdsp_engine::window::WindowSpec;
 use pdsp_engine::PlanBuilder;
 
@@ -27,7 +29,7 @@ impl Application for WordCount {
     }
 
     fn build(&self, config: &AppConfig) -> BuiltApp {
-        let schema = Schema::of(&[FieldType::Str]);
+        let schema = named_schema(&[("sentence", FieldType::Str)]);
         let source = ClosureStream::new(schema.clone(), config, |_, rng| {
             vec![Value::str(random_sentence(rng, 8))]
         });

@@ -897,6 +897,47 @@ mod tests {
         assert_eq!(stored, 0, "rejected plans leave no run record");
     }
 
+    /// Predicate over field 3 of a 2-field stream: a PB061 schema error.
+    fn schema_error_plan() -> LogicalPlan {
+        use pdsp_engine::expr::CmpOp;
+        use pdsp_engine::plan::Partitioning;
+        use pdsp_engine::value::Value;
+        let mut b = PlanBuilder::new();
+        let s = b.add_node(
+            "src",
+            pdsp_engine::operator::OpKind::Source {
+                schema: Schema::of(&[FieldType::Int, FieldType::Double]),
+            },
+            1,
+        );
+        let f = b.add_node(
+            "f",
+            pdsp_engine::operator::OpKind::Filter {
+                predicate: Predicate::cmp(3, CmpOp::Gt, Value::Int(0)),
+                selectivity: 0.5,
+            },
+            2,
+        );
+        let k = b.add_node("sink", pdsp_engine::operator::OpKind::Sink, 1);
+        b.add_edge(s, f, 0, Partitioning::Rebalance);
+        b.add_edge(f, k, 0, Partitioning::Rebalance);
+        b.build_unchecked()
+    }
+
+    #[test]
+    fn gate_refuses_schema_error_plans() {
+        let c = controller();
+        let err = c
+            .run_simulated("schema-broken", &schema_error_plan())
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::AnalysisRejected { .. }),
+            "type-flow errors must be refused at the gate: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("PB061"), "error names the PB06x code: {msg}");
+    }
+
     #[test]
     fn disabled_gate_skips_analysis() {
         let c = controller().with_gate(DeployGate {

@@ -426,15 +426,97 @@ fn build_mesh(
     })
 }
 
+/// Shared state of the wire-level schema check (`RunConfig::check_schemas`):
+/// the per-(instance, channel) expected schemas plus violation accounting
+/// updated lock-free by the acceptor's reader threads.
+struct WireSchemaCheck {
+    /// instance id -> channel slot -> inferred schema of the feeding edge.
+    channel_schemas: Vec<Vec<crate::value::Schema>>,
+    /// Mismatched tuples observed across all inbound connections.
+    violations: AtomicU64,
+    /// First mismatch, rendered for the failure report.
+    first: Mutex<Option<String>>,
+}
+
+impl WireSchemaCheck {
+    /// Build the per-channel schema table from a physical plan's persisted
+    /// edge schemas.
+    fn from_plan(plan: &PhysicalPlan) -> Arc<Self> {
+        let channel_schemas = plan
+            .channel_edges
+            .iter()
+            .map(|edges| {
+                edges
+                    .iter()
+                    .map(|&e| plan.edge_schemas[e].clone())
+                    .collect()
+            })
+            .collect();
+        Arc::new(WireSchemaCheck {
+            channel_schemas,
+            violations: AtomicU64::new(0),
+            first: Mutex::new(None),
+        })
+    }
+
+    /// Validate every data tuple in an inbound frame against the schema of
+    /// the channel it arrived on. Markers (watermarks, barriers, EOS) carry
+    /// no tuples and pass through untouched.
+    fn observe(&self, we: &WireEnvelope) {
+        let Some(schema) = self
+            .channel_schemas
+            .get(we.instance)
+            .and_then(|chs| chs.get(we.channel))
+        else {
+            return;
+        };
+        let tuples: &[crate::value::Tuple] = match &we.msg {
+            Message::Data(t) => std::slice::from_ref(t),
+            Message::Batch(b) => &b.tuples,
+            _ => return,
+        };
+        for t in tuples {
+            if !schema.matches(t) {
+                let n = self.violations.fetch_add(1, Ordering::Relaxed);
+                if n == 0 {
+                    let mut first = self.first.lock();
+                    if first.is_none() {
+                        *first = Some(format!(
+                            "instance {} channel {}: tuple {:?} does not match edge schema {:?}",
+                            we.instance, we.channel, t.values, schema
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Failure to report, if any tuple mismatched.
+    fn to_error(&self, worker: usize) -> Option<EngineError> {
+        let violations = self.violations.load(Ordering::SeqCst);
+        if violations == 0 {
+            return None;
+        }
+        Some(EngineError::WireSchemaViolation {
+            worker,
+            violations,
+            first: self.first.lock().clone().unwrap_or_default(),
+        })
+    }
+}
+
 /// Accept exactly `expected` inbound data connections, then release the
 /// master sender table. Each connection gets a reader thread that routes
 /// frames into local input queues; the reader drops its sender clones on
 /// EOF or error, so a killed peer tears its edges down and local instances
-/// observe `Lost` instead of hanging.
+/// observe `Lost` instead of hanging. With `check` present every inbound
+/// data frame is additionally validated against the inferred schema of the
+/// channel it crossed (`RunConfig::check_schemas`).
 fn spawn_acceptor(
     listener: TcpListener,
     local_senders: Vec<Option<Sender<Envelope>>>,
     expected: usize,
+    check: Option<Arc<WireSchemaCheck>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut conns = Vec::with_capacity(expected);
@@ -444,11 +526,15 @@ fn spawn_acceptor(
             };
             stream.set_nodelay(true).ok();
             let senders = local_senders.clone();
+            let check = check.clone();
             conns.push(std::thread::spawn(move || {
                 let mut stream = stream;
                 loop {
                     match recv_json::<_, WireEnvelope>(&mut stream) {
                         Ok(Some(we)) => {
+                            if let Some(c) = &check {
+                                c.observe(&we);
+                            }
                             let Some(Some(tx)) = senders.get(we.instance) else {
                                 return;
                             };
@@ -572,7 +658,16 @@ impl WorkerMain {
             forwarders,
         } = mesh;
         let expected_inbound = inbound_peers(&plan, &deploy.assignment, worker_id).len();
-        let acceptor = spawn_acceptor(data_listener, local_senders, expected_inbound);
+        let wire_check = deploy
+            .run
+            .check_schemas
+            .then(|| WireSchemaCheck::from_plan(&plan));
+        let acceptor = spawn_acceptor(
+            data_listener,
+            local_senders,
+            expected_inbound,
+            wire_check.clone(),
+        );
 
         send_json(&mut *writer.lock(), &ToCoord::Ready { worker: worker_id })
             .map_err(|e| io_err("send ready", e))?;
@@ -754,6 +849,19 @@ impl WorkerMain {
                 let _ = heartbeat.join();
                 if let Some(c) = chaos {
                     let _ = c.join();
+                }
+                // The acceptor has joined, so every inbound frame has been
+                // observed: a clean run with mismatched wire tuples is
+                // still a failure under --check-schemas.
+                if let Some(e) = wire_check.as_ref().and_then(|c| c.to_error(worker_id)) {
+                    let sinks: Vec<(usize, SinkState)> = sink_rx.iter().collect();
+                    let failed = ToCoord::Failed {
+                        worker: worker_id,
+                        error: e.to_string(),
+                        sinks,
+                    };
+                    let _ = send_json(&mut *writer.lock(), &failed);
+                    return Err(e);
                 }
                 let stats: Vec<WireStat> = stats_rx
                     .iter()

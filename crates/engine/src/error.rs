@@ -145,6 +145,17 @@ pub enum EngineError {
         /// First denied diagnostic, rendered.
         first: String,
     },
+    /// Wire-level schema validation (`RunConfig::check_schemas`) caught
+    /// frames whose tuples do not match the inferred schema of the edge
+    /// they crossed.
+    WireSchemaViolation {
+        /// Worker id that observed the violations.
+        worker: usize,
+        /// Number of mismatched tuples seen.
+        violations: u64,
+        /// First violation, rendered (instance/channel plus tuple vs schema).
+        first: String,
+    },
     /// A runtime or fault-tolerance configuration value is unusable.
     InvalidConfig(String),
     /// State snapshot or restore failed (serialization error, missing
@@ -268,6 +279,15 @@ impl fmt::Display for EngineError {
                 f,
                 "static analysis rejected deployment of '{workload}': {errors} error(s); \
                  first: {first}"
+            ),
+            EngineError::WireSchemaViolation {
+                worker,
+                violations,
+                first,
+            } => write!(
+                f,
+                "wire schema check failed on worker {worker}: {violations} mismatched \
+                 tuple(s); first: {first}"
             ),
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),

@@ -45,6 +45,7 @@ pub mod physical;
 pub mod plan;
 pub mod pressure;
 pub mod runtime;
+pub mod schema_flow;
 pub mod skew;
 pub mod state;
 pub mod telemetry;
@@ -68,6 +69,7 @@ pub use physical::PhysicalPlan;
 pub use plan::{Edge, LogicalNode, LogicalPlan, NodeId, Partitioning};
 pub use pressure::{OverloadConfig, PressureGauge, PressureLevel, ShedPolicy, Shedder};
 pub use runtime::{RunConfig, RunResult, ThreadedRuntime};
+pub use schema_flow::{IssueAt, IssueKind, SchemaFlow, SchemaIssue};
 pub use skew::{is_mergeable, window_merge_udo};
 pub use telemetry::telemetry_for_plan;
 pub use value::{Field, FieldType, Schema, Tuple, Value};

@@ -58,6 +58,15 @@ pub struct PhysicalPlan {
     pub input_channel_count: Vec<usize>,
     /// instance id -> input port of each channel slot.
     pub channel_ports: Vec<Vec<usize>>,
+    /// instance id -> logical edge index feeding each channel slot
+    /// (parallel to `channel_ports`). Lets wire-level consumers look up the
+    /// schema of the stream arriving on a given channel.
+    pub channel_edges: Vec<Vec<usize>>,
+    /// Inferred schema of each logical edge (index-aligned with
+    /// `LogicalPlan::edges`), persisted from [`crate::schema_flow`] so
+    /// runtimes can validate frames — and a future columnar plane can pick
+    /// typed layouts — without re-running inference.
+    pub edge_schemas: Vec<crate::value::Schema>,
     /// instance id -> routes for each out-edge (logical out-edge order).
     pub out_routes: Vec<Vec<OutRoute>>,
 }
@@ -86,6 +95,7 @@ impl PhysicalPlan {
         let n_inst = instances.len();
         let mut input_channel_count = vec![0usize; n_inst];
         let mut channel_ports: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
+        let mut channel_edges: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
         // (edge_index, upstream_instance) -> (target ChannelRef) lookup used
         // when building out-routes.
         let mut slot_of: std::collections::HashMap<(usize, usize, usize), ChannelRef> =
@@ -107,6 +117,7 @@ impl PhysicalPlan {
                             let slot = input_channel_count[inst_id];
                             input_channel_count[inst_id] += 1;
                             channel_ports[inst_id].push(in_edge.port);
+                            channel_edges[inst_id].push(edge_index);
                             slot_of.insert(
                                 (edge_index, up, inst_id),
                                 ChannelRef {
@@ -121,6 +132,7 @@ impl PhysicalPlan {
                                 let slot = input_channel_count[inst_id];
                                 input_channel_count[inst_id] += 1;
                                 channel_ports[inst_id].push(in_edge.port);
+                                channel_edges[inst_id].push(edge_index);
                                 slot_of.insert(
                                     (edge_index, up, inst_id),
                                     ChannelRef {
@@ -168,14 +180,28 @@ impl PhysicalPlan {
             }
         }
 
+        // Persist per-edge schemas from whole-plan inference. `validate()`
+        // passed above, so inference can only fail on a cycle — which
+        // validate already rejects.
+        let edge_schemas = crate::schema_flow::SchemaFlow::infer(logical)?.edge;
+
         Ok(PhysicalPlan {
             logical: logical.clone(),
             instances,
             node_instances,
             input_channel_count,
             channel_ports,
+            channel_edges,
+            edge_schemas,
             out_routes,
         })
+    }
+
+    /// Schema of the stream arriving on `channel` at `instance`, from the
+    /// persisted per-edge inference results.
+    pub fn channel_schema(&self, instance: usize, channel: usize) -> Option<&crate::value::Schema> {
+        let edge = *self.channel_edges.get(instance)?.get(channel)?;
+        self.edge_schemas.get(edge)
     }
 
     /// Total instance count.
@@ -432,6 +458,22 @@ mod tests {
         let phys = PhysicalPlan::expand(&p).unwrap();
         for &ji in &phys.node_instances[j] {
             assert_eq!(phys.channel_ports[ji], vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn edge_schemas_reachable_per_channel() {
+        let phys = PhysicalPlan::expand(&plan(3)).unwrap();
+        assert_eq!(phys.edge_schemas.len(), phys.logical.edges.len());
+        for inst in &phys.instances {
+            assert_eq!(
+                phys.channel_edges[inst.id].len(),
+                phys.input_channel_count[inst.id]
+            );
+            for ch in 0..phys.input_channel_count[inst.id] {
+                let schema = phys.channel_schema(inst.id, ch).expect("schema present");
+                assert_eq!(schema, &Schema::of(&[FieldType::Int]));
+            }
         }
     }
 

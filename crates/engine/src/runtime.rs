@@ -106,6 +106,13 @@ pub struct RunConfig {
     /// accounted load shedding, plus watermark-aware allowed lateness.
     /// Disabled by default — see [`OverloadConfig`].
     pub overload: OverloadConfig,
+    /// Validate every data frame crossing a worker boundary against the
+    /// inferred per-edge schema ([`crate::physical::PhysicalPlan::edge_schemas`]).
+    /// Debug mode for the distributed runtime: a mismatched frame fails the
+    /// worker with [`crate::error::EngineError::WireSchemaViolation`]
+    /// instead of silently corrupting downstream state. Off by default —
+    /// the check costs one arity+type scan per wire tuple.
+    pub check_schemas: bool,
 }
 
 impl Default for RunConfig {
@@ -119,6 +126,7 @@ impl Default for RunConfig {
             flush_interval_ms: 5,
             operator_fusion: true,
             overload: OverloadConfig::default(),
+            check_schemas: false,
         }
     }
 }

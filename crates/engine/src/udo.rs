@@ -52,6 +52,30 @@ impl CostProfile {
     }
 }
 
+/// How much the schema-inference pass may trust a UDO's declared
+/// [`UdoFactory::output_schema`].
+///
+/// Inference cannot look inside a UDO closure, so the factory's schema
+/// declaration is the only bridge across it. The policy states how firm
+/// that bridge is: `Declared` is a verified contract, `Same` pins the UDO
+/// to a pass-through shape, and `Opaque` is the escape hatch for operators
+/// whose output layout genuinely depends on runtime data — inference keeps
+/// going with the claimed schema, but every downstream schema finding is
+/// downgraded to a hint because its premise is unverified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemaPolicy {
+    /// `output_schema` is a verified contract: inference trusts it fully
+    /// and downstream findings keep their full severity.
+    Declared,
+    /// The UDO emits tuples in exactly its input layout; inference uses
+    /// the input schema and ignores `output_schema`.
+    Same,
+    /// `output_schema` is a best-effort claim. Inference continues with it
+    /// but marks everything downstream as tainted, downgrading later
+    /// schema findings to hints.
+    Opaque,
+}
+
 /// Statically declared semantic properties of a UDO.
 ///
 /// The engine cannot look inside a UDO closure, so correctness-relevant
@@ -92,6 +116,9 @@ pub struct UdoProperties {
     /// splitting (`Partitioning::HashSplit` upstream). The analyzer's
     /// hazard pass uses this to recognize a split edge as mitigated.
     pub merges_hot_key_splits: bool,
+    /// How firmly the factory's [`UdoFactory::output_schema`] may be
+    /// trusted by schema inference (see [`SchemaPolicy`]).
+    pub schema_policy: SchemaPolicy,
 }
 
 impl Default for UdoProperties {
@@ -105,6 +132,7 @@ impl Default for UdoProperties {
             partition_tolerant: false,
             bounded_state: true,
             merges_hot_key_splits: false,
+            schema_policy: SchemaPolicy::Declared,
         }
     }
 }

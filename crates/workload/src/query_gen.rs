@@ -329,6 +329,17 @@ impl QueryGenerator {
             let report =
                 pdsp_analyze::analyze(structure.label(), &plan).expect("generated plan analyzes");
             debug_assert_eq!(report.errors(), 0, "{}", report.render());
+            let flow = pdsp_engine::schema_flow::SchemaFlow::infer(&plan)
+                .expect("generated plan infers schemas");
+            debug_assert!(
+                flow.is_clean(),
+                "generated plan has schema errors: {:?}",
+                flow.issues
+            );
+            debug_assert!(
+                flow.is_complete(),
+                "generated plan has untyped nodes or edges"
+            );
         }
         GeneratedQuery {
             plan,

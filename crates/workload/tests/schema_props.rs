@@ -1,0 +1,74 @@
+//! Property tests for the workload generator's schema discipline: every
+//! plan the generator or the parallelism enumerator can produce must infer
+//! a complete, consistent schema flow — no untyped node or edge, every
+//! edge schema agreeing with its upstream operator's output schema, and no
+//! full-severity schema errors.
+
+use pdsp_engine::plan::LogicalPlan;
+use pdsp_engine::schema_flow::SchemaFlow;
+use pdsp_workload::{
+    EnumerationStrategy, ParallelismEnumerator, ParameterSpace, QueryGenerator, QueryStructure,
+};
+use proptest::prelude::*;
+
+/// Assert the full schema discipline for one plan.
+fn assert_schema_flow(label: &str, plan: &LogicalPlan) {
+    let flow = SchemaFlow::infer(plan).unwrap_or_else(|e| panic!("{label}: inference failed: {e}"));
+    assert!(
+        flow.is_complete(),
+        "{label}: untyped node or edge in inferred flow"
+    );
+    assert!(
+        flow.is_clean(),
+        "{label}: schema errors in generated plan: {:?}",
+        flow.issues
+    );
+    for (i, edge) in plan.edges.iter().enumerate() {
+        assert_eq!(
+            flow.edge[i], flow.node_output[edge.from],
+            "{label}: edge {i} schema disagrees with node {} output",
+            edge.from
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every structure x seed the generator can produce infers a complete,
+    /// consistent, error-free schema flow.
+    #[test]
+    fn generated_plans_have_complete_consistent_schemas(
+        seed in 0u64..1_000,
+        structure_idx in 0usize..QueryStructure::ALL.len(),
+    ) {
+        let structure = QueryStructure::ALL[structure_idx];
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), seed);
+        let query = generator.generate(structure);
+        assert_schema_flow(structure.label(), &query.plan);
+    }
+
+    /// Re-parallelised assignments from the enumerator preserve schema
+    /// completeness: degree choices never change tuple types.
+    #[test]
+    fn enumerated_assignments_preserve_schemas(
+        seed in 0u64..500,
+        structure_idx in 0usize..QueryStructure::ALL.len(),
+    ) {
+        let structure = QueryStructure::ALL[structure_idx];
+        let mut generator = QueryGenerator::new(ParameterSpace::default(), seed);
+        let query = generator.generate(structure);
+        let space = ParameterSpace::default();
+        let mut enumerator =
+            ParallelismEnumerator::new(space.parallelism_degrees.clone(), 64, seed);
+        for assignment in
+            enumerator.enumerate(&query.plan, &EnumerationStrategy::Random, 1e5, 4)
+        {
+            let mut candidate = query.plan.clone();
+            for (id, &degree) in assignment.iter().enumerate() {
+                candidate.nodes[id].parallelism = degree;
+            }
+            assert_schema_flow(structure.label(), &candidate);
+        }
+    }
+}

@@ -5,26 +5,60 @@
 //! analyze --app SG                   # analyze one application
 //! analyze --all-apps --deny-warnings # CI mode: warnings fail the run
 //! analyze --app WC --json            # machine-readable report
+//! analyze --all-apps --format sarif  # SARIF 2.1.0 for code-scanning UIs
+//! analyze --explain PB061            # what a diagnostic code means
 //! ```
 //!
 //! Exit status: 0 when every analyzed plan is free of errors (and, with
 //! `--deny-warnings`, free of warnings); 1 otherwise; 2 on usage errors.
 
-use pdsp_bench::analyze::{Analyzer, Report};
+use pdsp_bench::analyze::{sarif, Analyzer, Code, Report};
 use pdsp_bench::apps::{all_applications, app_by_acronym, AppConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  analyze --all-apps [--deny-warnings] [--json]\n  \
-         analyze --app <ACRONYM> [--deny-warnings] [--json]"
+        "usage:\n  analyze --all-apps [--deny-warnings] [--json | --format sarif]\n  \
+         analyze --app <ACRONYM> [--deny-warnings] [--json | --format sarif]\n  \
+         analyze --explain <CODE>"
     );
     std::process::exit(2);
 }
 
+/// Print the rule catalogue entry for one diagnostic code.
+fn explain(raw: &str) -> ! {
+    let Some(code) = Code::parse(raw) else {
+        eprintln!(
+            "unknown diagnostic code '{raw}'; known codes: {}",
+            Code::ALL
+                .iter()
+                .map(|c| c.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    println!("{} ({})", code.as_str(), code.severity());
+    println!("\n{}", code.explanation());
+    println!("\nremediation: {}", code.remediation());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--explain") {
+        let Some(raw) = args.get(i + 1) else { usage() };
+        explain(raw);
+    }
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     let json = args.iter().any(|a| a == "--json");
+    let sarif_out = match args.iter().position(|a| a == "--format") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("sarif") => true,
+            Some("text") | Some("json") => false,
+            _ => usage(),
+        },
+        None => false,
+    };
 
     let apps = if args.iter().any(|a| a == "--all-apps") {
         all_applications()
@@ -64,7 +98,9 @@ fn main() {
         }
     }
 
-    if json {
+    if sarif_out {
+        println!("{}", sarif::to_sarif(&reports));
+    } else if json {
         let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
         println!("[{}]", rendered.join(",\n"));
     } else {

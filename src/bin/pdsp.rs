@@ -76,7 +76,8 @@ fn usage() -> ! {
          [--parallelism N] [--backend sim|threads|distributed] \
          [--cluster m510|c6525|c6320|mixed] \
          [--rate EV_PER_S] [--tuples N] [--seed N] [--telemetry] [--store DIR]\n    \
-         distributed backend: [--workers N] [--kill-worker W --kill-after-ms MS]\n  \
+         distributed backend: [--workers N] [--check-schemas] \
+         [--kill-worker W --kill-after-ms MS]\n  \
          pdsp run-query <structure> \
          [--parallelism N] [--cluster ...] [--rate EV_PER_S] [--telemetry] [--store DIR]\n  \
          pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n  \
@@ -177,6 +178,9 @@ fn main() {
                         worker_bin: vec![exe, "worker".into()],
                         ..DistributedConfig::default()
                     };
+                    if has_flag(&args, "--check-schemas") {
+                        dist.ft.run.check_schemas = true;
+                    }
                     if let Some(worker) =
                         flag_value(&args, "--kill-worker").and_then(|v| v.parse().ok())
                     {

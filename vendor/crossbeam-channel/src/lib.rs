@@ -9,7 +9,8 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 struct Inner<T> {
@@ -23,6 +24,57 @@ struct Shared<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Shadow of `inner`'s lock for ThreadSanitizer. std's Mutex is
+    /// futex-based on Linux, so when the standard library is not
+    /// instrumented (the CI TSan job compiles only workspace crates with
+    /// `-Zsanitizer=thread`) TSan never observes its acquire/release
+    /// edges and reports every cross-thread handoff through the channel
+    /// as a race. Each critical section therefore brackets itself with
+    /// an acquire-load on entry and an `AcqRel` increment on exit of
+    /// this counter: mutual exclusion still comes from the Mutex alone,
+    /// the atomic merely republishes the same happens-before relation
+    /// where instrumented code can see it. One relaxed-contention atomic
+    /// op per lock section is noise next to the lock itself.
+    hb: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    /// Lock the queue, acquiring the happens-before shadow.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.hb.load(Ordering::Acquire);
+        guard
+    }
+
+    /// Publish this critical section, then release the lock.
+    fn unlock(&self, guard: MutexGuard<'_, Inner<T>>) {
+        self.hb.fetch_add(1, Ordering::AcqRel);
+        drop(guard);
+    }
+
+    /// Condvar wait that keeps the shadow in step with the lock handoff
+    /// `wait` performs internally (unlock, block, relock).
+    fn wait<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, Inner<T>>) -> MutexGuard<'a, Inner<T>> {
+        self.hb.fetch_add(1, Ordering::AcqRel);
+        let guard = cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        self.hb.load(Ordering::Acquire);
+        guard
+    }
+
+    /// As [`Shared::wait`], with a deadline.
+    fn wait_timeout<'a>(
+        &self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, Inner<T>>,
+        dur: Duration,
+    ) -> MutexGuard<'a, Inner<T>> {
+        self.hb.fetch_add(1, Ordering::AcqRel);
+        let (guard, _result) = cv
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|e| e.into_inner());
+        self.hb.load(Ordering::Acquire);
+        guard
+    }
 }
 
 /// Sending half; cloneable.
@@ -96,6 +148,7 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        hb: AtomicUsize::new(0),
     });
     (
         Sender {
@@ -114,22 +167,19 @@ impl<T> Sender<T> {
     /// Deliver `msg`, blocking while the channel is full. Fails only when
     /// every receiver has been dropped.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         loop {
             if inner.receivers == 0 {
+                self.shared.unlock(inner);
                 return Err(SendError(msg));
             }
             if inner.queue.len() < inner.cap {
                 inner.queue.push_back(msg);
-                drop(inner);
+                self.shared.unlock(inner);
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self
-                .shared
-                .not_full
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            inner = self.shared.wait(&self.shared.not_full, inner);
         }
     }
 }
@@ -138,33 +188,32 @@ impl<T> Receiver<T> {
     /// Take the next message, blocking while the channel is empty. Fails
     /// only when the channel has drained and every sender is gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         loop {
             if let Some(v) = inner.queue.pop_front() {
-                drop(inner);
+                self.shared.unlock(inner);
                 self.shared.not_full.notify_one();
                 return Ok(v);
             }
             if inner.senders == 0 {
+                self.shared.unlock(inner);
                 return Err(RecvError);
             }
-            inner = self
-                .shared
-                .not_empty
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            inner = self.shared.wait(&self.shared.not_empty, inner);
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         if let Some(v) = inner.queue.pop_front() {
-            drop(inner);
+            self.shared.unlock(inner);
             self.shared.not_full.notify_one();
             return Ok(v);
         }
-        if inner.senders == 0 {
+        let disconnected = inner.senders == 0;
+        self.shared.unlock(inner);
+        if disconnected {
             Err(TryRecvError::Disconnected)
         } else {
             Err(TryRecvError::Empty)
@@ -174,26 +223,25 @@ impl<T> Receiver<T> {
     /// Blocking receive with a deadline.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         loop {
             if let Some(v) = inner.queue.pop_front() {
-                drop(inner);
+                self.shared.unlock(inner);
                 self.shared.not_full.notify_one();
                 return Ok(v);
             }
             if inner.senders == 0 {
+                self.shared.unlock(inner);
                 return Err(RecvTimeoutError::Disconnected);
             }
             let now = Instant::now();
             if now >= deadline {
+                self.shared.unlock(inner);
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _result) = self
+            inner = self
                 .shared
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            inner = guard;
+                .wait_timeout(&self.shared.not_empty, inner, deadline - now);
         }
     }
 
@@ -204,12 +252,10 @@ impl<T> Receiver<T> {
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.shared
-            .inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .len()
+        let inner = self.shared.lock();
+        let len = inner.queue.len();
+        self.shared.unlock(inner);
+        len
     }
 
     /// Whether the queue is currently empty.
@@ -242,9 +288,9 @@ impl<'a, T> IntoIterator for &'a Receiver<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         inner.senders += 1;
-        drop(inner);
+        self.shared.unlock(inner);
         Sender {
             shared: self.shared.clone(),
         }
@@ -253,9 +299,9 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         inner.receivers += 1;
-        drop(inner);
+        self.shared.unlock(inner);
         Receiver {
             shared: self.shared.clone(),
         }
@@ -264,10 +310,10 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         inner.senders -= 1;
         let last = inner.senders == 0;
-        drop(inner);
+        self.shared.unlock(inner);
         if last {
             // Wake blocked receivers so they observe the disconnect.
             self.shared.not_empty.notify_all();
@@ -277,10 +323,10 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.shared.lock();
         inner.receivers -= 1;
         let last = inner.receivers == 0;
-        drop(inner);
+        self.shared.unlock(inner);
         if last {
             // Wake blocked senders so they observe the disconnect.
             self.shared.not_full.notify_all();
