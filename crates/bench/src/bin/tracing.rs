@@ -1,0 +1,202 @@
+//! Tracing-overhead benchmark: runs representative applications on the
+//! threaded runtime twice — once with distributed tracing disabled and
+//! once with 1-in-256 head sampling — and writes `BENCH_tracing.json`
+//! with both throughputs and the relative overhead per app. The run
+//! fails if sampled tracing costs more than the documented 5% throughput
+//! budget. CI runs this at reduced scale and uploads the file next to
+//! `BENCH_batching.json`.
+//!
+//! Both sides run with the telemetry sampler enabled so the delta
+//! isolates the tracing fast path (the per-batch sample check, span
+//! recording, and ring writes) rather than the whole telemetry stack.
+//!
+//! ```text
+//! cargo run --release -p pdsp-bench-benches --bin tracing
+//! cargo run --release -p pdsp-bench-benches --bin tracing -- \
+//!     --tuples 30000 --parallelism 4 --out target/BENCH_tracing.json
+//! ```
+
+use pdsp_apps::{app_by_acronym, AppConfig};
+use pdsp_bench_core::controller::Controller;
+use pdsp_cluster::{Cluster, SimConfig};
+use pdsp_store::Store;
+use pdsp_telemetry::TelemetryConfig;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Word count, smart grid, and spike detection: a shuffle-heavy aggregation,
+/// a keyed windowed app, and a stateless analytics pipeline.
+const APPS: [&str; 3] = ["WC", "SG", "SD"];
+const DEFAULT_TUPLES: usize = 240_000;
+const DEFAULT_PARALLELISM: usize = 4;
+/// Head-sampling rate under test: one traced tuple per N source tuples.
+const TRACE_EVERY: u64 = 256;
+/// Maximum tolerated throughput loss with sampling on, percent.
+const DEFAULT_MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Runs per configuration; the median-throughput run is reported
+/// (thread scheduling on small machines makes single runs noisy).
+const RUNS: usize = 3;
+
+#[derive(Serialize, Clone, Copy)]
+struct Measurement {
+    trace_every: u64,
+    tuples_in: u64,
+    tuples_out: u64,
+    throughput_tps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchApp {
+    acronym: String,
+    untraced: Measurement,
+    traced: Measurement,
+    /// Throughput loss of the traced run relative to untraced, percent.
+    /// Negative values mean the traced run was (noise) faster.
+    overhead_pct: f64,
+    within_budget: bool,
+    outputs_match: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    suite: String,
+    backend: String,
+    parallelism: usize,
+    tuples_per_app: usize,
+    trace_every: u64,
+    max_overhead_pct: f64,
+    apps: Vec<BenchApp>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn controller_with_trace(trace_every: u64) -> Controller {
+    Controller::new(
+        Cluster::homogeneous_m510(4),
+        SimConfig::default(),
+        Arc::new(Store::in_memory()),
+    )
+    .with_telemetry(TelemetryConfig {
+        trace_every,
+        ..TelemetryConfig::default()
+    })
+}
+
+fn run_once(controller: &Controller, acronym: &str, cfg: &AppConfig, p: usize) -> Measurement {
+    let app = app_by_acronym(acronym).expect("benchmark app exists");
+    let record = match controller.run_threaded(app.as_ref(), cfg, p) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{acronym} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    Measurement {
+        trace_every: 0, // caller fills in
+        tuples_in: record.summary.tuples_in,
+        tuples_out: record.summary.tuples_out,
+        throughput_tps: record.summary.throughput_in,
+        p50_ms: record.summary.p50_latency_ms,
+        p99_ms: record.summary.p99_latency_ms,
+    }
+}
+
+/// Run `RUNS` times and keep the median-throughput run.
+fn run_median(controller: &Controller, acronym: &str, cfg: &AppConfig, p: usize) -> Measurement {
+    let mut runs: Vec<Measurement> = (0..RUNS)
+        .map(|_| run_once(controller, acronym, cfg, p))
+        .collect();
+    runs.sort_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_tracing.json".into());
+    let tuples: usize = arg_value(&args, "--tuples")
+        .map(|v| v.parse().expect("--tuples takes a number"))
+        .unwrap_or(DEFAULT_TUPLES);
+    let parallelism: usize = arg_value(&args, "--parallelism")
+        .map(|v| v.parse().expect("--parallelism takes a number"))
+        .unwrap_or(DEFAULT_PARALLELISM);
+    let max_overhead_pct: f64 = arg_value(&args, "--max-overhead-pct")
+        .map(|v| v.parse().expect("--max-overhead-pct takes a number"))
+        .unwrap_or(DEFAULT_MAX_OVERHEAD_PCT);
+
+    let untraced_ctl = controller_with_trace(0);
+    let traced_ctl = controller_with_trace(TRACE_EVERY);
+
+    let mut apps = Vec::new();
+    let mut over_budget = false;
+    for acronym in APPS {
+        let cfg = AppConfig {
+            total_tuples: tuples,
+            ..AppConfig::default()
+        };
+        print!("{acronym:4} ... ");
+        let mut untraced = run_median(&untraced_ctl, acronym, &cfg, parallelism);
+        untraced.trace_every = 0;
+        let mut traced = run_median(&traced_ctl, acronym, &cfg, parallelism);
+        traced.trace_every = TRACE_EVERY;
+        let overhead_pct = if untraced.throughput_tps > 0.0 {
+            100.0 * (1.0 - traced.throughput_tps / untraced.throughput_tps)
+        } else {
+            0.0
+        };
+        let within_budget = overhead_pct <= max_overhead_pct;
+        let outputs_match = untraced.tuples_out == traced.tuples_out;
+        println!(
+            "untraced {:.0} t/s -> 1/{TRACE_EVERY} sampled {:.0} t/s  ({overhead_pct:+.2}% overhead)",
+            untraced.throughput_tps, traced.throughput_tps
+        );
+        if !outputs_match {
+            eprintln!(
+                "{acronym}: output mismatch — untraced {} vs traced {}",
+                untraced.tuples_out, traced.tuples_out
+            );
+            std::process::exit(1);
+        }
+        over_budget |= !within_budget;
+        apps.push(BenchApp {
+            acronym: acronym.to_string(),
+            untraced,
+            traced,
+            overhead_pct,
+            within_budget,
+            outputs_match,
+        });
+    }
+
+    let report = BenchReport {
+        suite: "tracing".into(),
+        backend: "threaded".into(),
+        parallelism,
+        tuples_per_app: tuples,
+        trace_every: TRACE_EVERY,
+        max_overhead_pct,
+        apps,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if over_budget {
+        eprintln!("tracing overhead exceeds the {max_overhead_pct}% budget — see {out}");
+        std::process::exit(1);
+    }
+}

@@ -34,8 +34,8 @@ use pdsp_engine::plan::{LogicalPlan, Partitioning};
 use pdsp_engine::window::WindowPolicy;
 use pdsp_metrics::{LatencyRecorder, MeasurementProtocol, RunSummary};
 use pdsp_telemetry::{
-    FlightEvent, FlightEventKind, HistogramSnapshot, InstanceSnapshot, TelemetryConfig,
-    TelemetryTimeline, TimelineSample,
+    FlightEvent, FlightEventKind, HistogramSnapshot, InstanceSnapshot, Span, SpanId, SpanKind,
+    TelemetryConfig, TelemetryTimeline, TimelineSample, TraceContext, TraceId,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -162,6 +162,11 @@ pub struct SimResult {
     /// the threaded runtime emits, so simulated and threaded runs are
     /// directly comparable.
     pub timeline: Option<TelemetryTimeline>,
+    /// Trace spans recorded on *virtual* time, in the same schema the
+    /// engine's tracer emits (site `"sim"`), sorted by start time.
+    /// Non-empty only for [`Simulator::run_instrumented`] runs with
+    /// `TelemetryConfig::trace_every > 0`.
+    pub spans: Vec<Span>,
 }
 
 impl SimResult {
@@ -182,6 +187,8 @@ struct Batch {
     tuples: f64,
     /// Effective source-emit time (ns); window residency pushes it back.
     emit_ns: f64,
+    /// Trace context carried by sampled batches in instrumented runs.
+    trace: Option<TraceContext>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -250,6 +257,11 @@ struct SimTelemetry {
     latency: Vec<HistogramSnapshot>,
     samples: Vec<TimelineSample>,
     events: Vec<FlightEvent>,
+    /// Head-sampling period for virtual-time traces (0 = tracing off).
+    trace_every: u64,
+    next_trace: u64,
+    next_span: u64,
+    spans: Vec<Span>,
 }
 
 impl SimTelemetry {
@@ -259,6 +271,7 @@ impl SimTelemetry {
         placement: &Placement,
         cluster: &Cluster,
         interval_ms: u64,
+        trace_every: u64,
     ) -> Self {
         let n = phys.instance_count();
         let mut tel = SimTelemetry {
@@ -278,6 +291,10 @@ impl SimTelemetry {
             latency: vec![HistogramSnapshot::new(); n],
             samples: Vec::new(),
             events: Vec::new(),
+            trace_every,
+            next_trace: 1,
+            next_span: 1,
+            spans: Vec::new(),
         };
         for (i, inst) in phys.instances.iter().enumerate() {
             let node = placement.node_of[i];
@@ -293,8 +310,65 @@ impl SimTelemetry {
             node: 0,
             instance: 0,
             detail: format!("{n} simulated instances"),
+            trace: None,
         });
         tel
+    }
+
+    /// Start a sampled trace at a source arrival: records the root `Source`
+    /// span on virtual time and returns the context the batch carries.
+    fn trace_source(&mut self, op: &str, instance: usize, t_ns: f64) -> Option<TraceContext> {
+        if self.trace_every == 0 {
+            return None;
+        }
+        let trace = TraceId(self.next_trace);
+        self.next_trace += 1;
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        let at = t_ns.max(0.0) as u64;
+        self.spans.push(Span {
+            trace,
+            id,
+            parent: None,
+            kind: SpanKind::Source,
+            op: op.to_string(),
+            site: "sim".to_string(),
+            instance,
+            start_ns: at,
+            end_ns: at,
+        });
+        Some(TraceContext { trace, parent: id })
+    }
+
+    /// Record a virtual-time span of `kind` over `[start_ns, end_ns]`
+    /// chained onto `ctx`, returning the continuing context.
+    fn trace_span(
+        &mut self,
+        ctx: TraceContext,
+        kind: SpanKind,
+        op: &str,
+        instance: usize,
+        start_ns: f64,
+        end_ns: f64,
+    ) -> TraceContext {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        let s = start_ns.max(0.0) as u64;
+        self.spans.push(Span {
+            trace: ctx.trace,
+            id,
+            parent: Some(ctx.parent),
+            kind,
+            op: op.to_string(),
+            site: "sim".to_string(),
+            instance,
+            start_ns: s,
+            end_ns: (end_ns.max(0.0) as u64).max(s),
+        });
+        TraceContext {
+            trace: ctx.trace,
+            parent: id,
+        }
     }
 
     /// Instantaneous queue depth: backlog wait time divided by the service
@@ -331,6 +405,7 @@ impl SimTelemetry {
             node: 0,
             instance: 0,
             detail: format!("cluster node {} failed", rec.node),
+            trace: None,
         });
         self.events.push(FlightEvent {
             t_ms: at_ms,
@@ -341,6 +416,7 @@ impl SimTelemetry {
                 "restoring {:.0} state bytes, recovery {:.1} ms",
                 rec.state_bytes, rec.recovery_ms
             ),
+            trace: None,
         });
         for (i, &node) in placement.node_of.iter().enumerate() {
             if node == rec.node {
@@ -400,6 +476,7 @@ impl SimTelemetry {
             node: 0,
             instance: 0,
             detail: format!("{tuples_out} sink batches delivered"),
+            trace: None,
         });
         self.samples.push(final_sample);
         TelemetryTimeline {
@@ -461,8 +538,12 @@ impl Simulator {
             &placement,
             &self.cluster,
             config.interval_ms.max(1),
+            config.trace_every,
         );
         let mut result = self.run_placed_inner(&phys, &placement, Some(&mut tel))?;
+        let mut spans = std::mem::take(&mut tel.spans);
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        result.spans = spans;
         result.timeline = Some(tel.finish(experiment_id, self.config.duration_ms));
         Ok(result)
     }
@@ -606,6 +687,9 @@ impl Simulator {
             let mean_gap_ns = batch_tuples / rate_per_inst * 1e9;
             for &inst in instances {
                 let mut t = 0.0f64;
+                // Head sampling mirrors the engine tracer: every
+                // `trace_every`-th arrival per source instance roots a trace.
+                let mut emitted: u64 = 0;
                 loop {
                     // Exponential inter-arrival.
                     let u: f64 = rng.gen_range(1e-12..1.0);
@@ -614,6 +698,15 @@ impl Simulator {
                         break;
                     }
                     tuples_in += batch_tuples;
+                    let trace = match tel.as_deref_mut() {
+                        Some(st)
+                            if st.trace_every > 0 && emitted.is_multiple_of(st.trace_every) =>
+                        {
+                            st.trace_source(&plan.nodes[src].name, phys.instances[inst].index, t)
+                        }
+                        _ => None,
+                    };
+                    emitted += 1;
                     heap.push(Reverse(Event {
                         time_ns: t,
                         seq,
@@ -621,6 +714,7 @@ impl Simulator {
                         batch: Batch {
                             tuples: batch_tuples,
                             emit_ns: t,
+                            trace,
                         },
                     }));
                     seq += 1;
@@ -755,9 +849,23 @@ impl Simulator {
                 t.service(ev.instance, ev.batch.tuples, service_ns);
                 t.touch(done);
             }
+            // Virtual-time span chain for sampled batches: channel wait then
+            // service, in the engine tracer's Queue/Process/Deliver schema.
+            let mut out_trace = None;
+            if let (Some(st), Some(ctx)) = (tel.as_deref_mut(), ev.batch.trace) {
+                let op = &plan.nodes[lnode].name;
+                let kind = if sink_set[ev.instance] {
+                    SpanKind::Deliver
+                } else {
+                    SpanKind::Process
+                };
+                let c = st.trace_span(ctx, SpanKind::Queue, op, inst.index, ev.time_ns, start);
+                out_trace = Some(st.trace_span(c, kind, op, inst.index, start, done));
+            }
 
             // ---- Operator semantics ----
             let mut out_batch = ev.batch;
+            out_batch.trace = out_trace;
             out_batch.tuples *= model.selectivity;
             out_batch.emit_ns -= model.window_residency_ns;
             if out_batch.tuples < 1e-6 {
@@ -854,6 +962,7 @@ impl Simulator {
                     }
                     let dst_node = placement.node_of[target.instance];
                     let mut arrive = done;
+                    let mut tb = out_batch;
                     if dst_node != node_id {
                         let dst = &self.cluster.nodes[dst_node];
                         let gbps = hw.nic_gbps.min(dst.node_type.nic_gbps);
@@ -863,12 +972,24 @@ impl Simulator {
                         if self.cluster.nodes[node_id].rack != dst.rack {
                             arrive += costs.inter_rack_extra_ns;
                         }
+                        // Cross-node hop: a `Net` span covering hop latency
+                        // plus wire time, op `wire` like the engine's.
+                        if let (Some(st), Some(ctx)) = (tel.as_deref_mut(), tb.trace) {
+                            tb.trace = Some(st.trace_span(
+                                ctx,
+                                SpanKind::Net,
+                                "wire",
+                                inst.index,
+                                done,
+                                arrive,
+                            ));
+                        }
                     }
                     heap.push(Reverse(Event {
                         time_ns: arrive,
                         seq,
                         instance: target.instance,
-                        batch: out_batch,
+                        batch: tb,
                     }));
                     seq += 1;
                 }
@@ -883,6 +1004,7 @@ impl Simulator {
             cross_node_fraction: placement.cross_node_fraction(phys),
             recoveries,
             timeline: None,
+            spans: Vec::new(),
         })
     }
 
@@ -1228,6 +1350,62 @@ mod tests {
         assert!(plain.timeline.is_none());
         assert_eq!(plain.latency.median(), r.latency.median());
         assert_eq!(plain.tuples_out, r.tuples_out);
+    }
+
+    #[test]
+    fn instrumented_traces_assemble_with_full_critical_paths() {
+        let sim = Simulator::new(Cluster::homogeneous_m510(10), quick_config());
+        let cfg = TelemetryConfig {
+            trace_every: 64,
+            ..TelemetryConfig::default()
+        };
+        let r = sim
+            .run_instrumented(&linear_plan(4), "WC", "exp-sim-t", &cfg)
+            .unwrap();
+        assert!(!r.spans.is_empty(), "sampled run records spans");
+        let trees = pdsp_telemetry::assemble(r.spans.clone());
+        let paths: Vec<_> = trees
+            .iter()
+            .filter_map(pdsp_telemetry::critical_path)
+            .collect();
+        assert!(!paths.is_empty(), "sampled traces reach the sink");
+        for cp in &paths {
+            let sum: u64 = cp.segments.iter().map(|s| s.ns).sum();
+            assert_eq!(sum, cp.total_ns, "segments cover the whole path");
+        }
+        // Tracing must not perturb the simulation: same seed, same numbers.
+        let plain = sim.run(&linear_plan(4)).unwrap();
+        assert_eq!(plain.latency.median(), r.latency.median());
+        assert!(plain.spans.is_empty());
+        // Tracing off: instrumented runs record no spans.
+        let untraced = sim
+            .run_instrumented(
+                &linear_plan(4),
+                "WC",
+                "exp-sim-u",
+                &TelemetryConfig::default(),
+            )
+            .unwrap();
+        assert!(untraced.spans.is_empty());
+    }
+
+    #[test]
+    fn cross_node_sim_traces_carry_net_spans() {
+        // Force cross-node traffic with a tiny 2-node cluster and high
+        // parallelism; sampled traces must include wire hops.
+        let sim = Simulator::new(Cluster::homogeneous_m510(2), quick_config());
+        let cfg = TelemetryConfig {
+            trace_every: 32,
+            ..TelemetryConfig::default()
+        };
+        let r = sim
+            .run_instrumented(&linear_plan(8), "WC", "exp-sim-n", &cfg)
+            .unwrap();
+        assert!(
+            r.spans.iter().any(|s| s.kind == SpanKind::Net),
+            "cross-node hops record Net spans"
+        );
+        assert!(r.spans.iter().all(|s| s.site == "sim"));
     }
 
     #[test]

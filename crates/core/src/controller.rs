@@ -12,7 +12,9 @@ use pdsp_engine::runtime::{RunConfig, SourceFactory, ThreadedRuntime};
 use pdsp_engine::telemetry_for_plan;
 use pdsp_metrics::{LatencyRecorder, RunSummary};
 use pdsp_store::{Filter, Store};
-use pdsp_telemetry::{new_experiment_id, Sampler, TelemetryConfig, TelemetryTimeline};
+use pdsp_telemetry::{
+    new_experiment_id, Sampler, Span, TelemetryConfig, TelemetryTimeline, TraceSet,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -314,6 +316,31 @@ impl Controller {
         &self.store
     }
 
+    /// Persist a run's collected spans in the `traces` collection, keyed by
+    /// the experiment id shared with the run record. No-op when the run
+    /// recorded no spans (tracing off or nothing sampled).
+    fn store_traces(
+        &self,
+        experiment_id: &str,
+        app: &str,
+        backend: &str,
+        sample_every: u64,
+        mut spans: Vec<Span>,
+    ) {
+        if spans.is_empty() {
+            return;
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let set = TraceSet {
+            experiment_id: experiment_id.to_string(),
+            app: app.to_string(),
+            backend: backend.to_string(),
+            sample_every,
+            spans,
+        };
+        self.store.with_mut("traces", |c| c.insert_ser(&set)).ok();
+    }
+
     /// Analyze `plan` under the gate policy; `Err(AnalysisRejected)` when
     /// the plan carries blocking diagnostics.
     fn check_gate(&self, workload: &str, plan: &LogicalPlan) -> Result<()> {
@@ -350,7 +377,7 @@ impl Controller {
     /// median latency and records the run.
     pub fn run_simulated(&self, workload: &str, plan: &LogicalPlan) -> Result<RunRecord> {
         self.check_gate(workload, plan)?;
-        let (result, experiment_id) = match &self.telemetry {
+        let (mut result, experiment_id) = match &self.telemetry {
             Some(cfg) => {
                 let id = new_experiment_id();
                 let result = self.simulator.run_instrumented(plan, workload, &id, cfg)?;
@@ -358,6 +385,10 @@ impl Controller {
             }
             None => (self.simulator.run(plan)?, None),
         };
+        if let (Some(id), Some(cfg)) = (&experiment_id, &self.telemetry) {
+            let spans = std::mem::take(&mut result.spans);
+            self.store_traces(id, workload, "simulated", cfg.trace_every, spans);
+        }
         if let Some(timeline) = &result.timeline {
             self.store
                 .with_mut("telemetry", |c| c.insert_ser(timeline))
@@ -426,6 +457,11 @@ impl Controller {
                 self.store
                     .with_mut("telemetry", |c| c.insert_ser(&timeline))
                     .ok();
+                // Safe to drain here: the run has joined every worker
+                // thread, so no span ring has a live writer.
+                if let Some(book) = &tel.trace {
+                    self.store_traces(&id, workload, "threaded", cfg.trace_every, book.drain());
+                }
                 (result, Some(id))
             }
             None => (rt.run(&phys, sources)?, None),
@@ -487,8 +523,16 @@ impl Controller {
         workload: &str,
         spec: &str,
         event_rate: f64,
-        dist: pdsp_engine::distributed::DistributedConfig,
+        mut dist: pdsp_engine::distributed::DistributedConfig,
     ) -> Result<(RunRecord, DistributedRun)> {
+        // Controller-level telemetry propagates its sampling rate unless the
+        // caller already configured tracing explicitly.
+        if dist.trace_every == 0 {
+            if let Some(cfg) = &self.telemetry {
+                dist.trace_every = cfg.trace_every;
+            }
+        }
+        let trace_every = dist.trace_every;
         let resolver = crate::deploy::resolver();
         // Resolve locally first: a bad spec fails here with a typed error
         // instead of after worker processes have been spawned, and the
@@ -497,6 +541,10 @@ impl Controller {
         let parallelism: Vec<usize> = phys.logical.nodes.iter().map(|n| n.parallelism).collect();
         let rt = pdsp_engine::distributed::DistributedRuntime::with_resolver(dist, resolver);
         let run = rt.run(spec)?;
+        let experiment_id = (trace_every > 0).then(new_experiment_id);
+        if let Some(id) = &experiment_id {
+            self.store_traces(id, workload, "distributed", trace_every, run.spans.clone());
+        }
         let result = &run.ft.result;
         let mut rec = LatencyRecorder::default();
         for &ns in &result.latencies_ns {
@@ -515,7 +563,7 @@ impl Controller {
             event_rate,
             backend: "distributed".into(),
             summary,
-            experiment_id: None,
+            experiment_id,
         };
         self.store.with_mut("runs", |c| c.insert_ser(&record)).ok();
         Ok((record, run))
@@ -581,6 +629,15 @@ impl Controller {
     pub fn telemetry_for(&self, experiment_id: &str) -> Option<TelemetryTimeline> {
         self.store.with("telemetry", |c| {
             c.find_as::<TelemetryTimeline>(&Filter::eq("experiment_id", experiment_id))
+                .into_iter()
+                .next()
+        })
+    }
+
+    /// Fetch the stored trace spans for an experiment id, if any.
+    pub fn traces_for(&self, experiment_id: &str) -> Option<TraceSet> {
+        self.store.with("traces", |c| {
+            c.find_as::<TraceSet>(&Filter::eq("experiment_id", experiment_id))
                 .into_iter()
                 .next()
         })
@@ -1040,5 +1097,58 @@ mod tests {
         let c = controller();
         assert!(c.telemetry_for("exp-nonexistent").is_none());
         assert!(c.telemetry_experiments().is_empty());
+        assert!(c.traces_for("exp-nonexistent").is_none());
+    }
+
+    #[test]
+    fn traced_threaded_run_stores_a_queryable_trace_set() {
+        let c = controller().with_telemetry(TelemetryConfig {
+            interval_ms: 20,
+            trace_every: 16,
+            ..TelemetryConfig::default()
+        });
+        let app = pdsp_apps::word_count::WordCount;
+        let cfg = AppConfig {
+            total_tuples: 2_000,
+            ..AppConfig::default()
+        };
+        let record = c.run_threaded(&app, &cfg, 2).unwrap();
+        let id = record.experiment_id.expect("instrumented run gets an id");
+        let traces = c.traces_for(&id).expect("trace set stored under id");
+        assert_eq!(traces.backend, "threaded");
+        assert_eq!(traces.app, "WC");
+        assert_eq!(traces.sample_every, 16);
+        assert!(!traces.spans.is_empty(), "sampled spans were recorded");
+        let trees = pdsp_telemetry::assemble(traces.spans);
+        assert!(
+            trees
+                .iter()
+                .filter_map(pdsp_telemetry::critical_path)
+                .next()
+                .is_some(),
+            "at least one sampled trace reaches the sink"
+        );
+    }
+
+    #[test]
+    fn traced_simulated_run_stores_a_queryable_trace_set() {
+        let c = controller().with_telemetry(TelemetryConfig {
+            trace_every: 64,
+            ..TelemetryConfig::default()
+        });
+        let record = c.run_simulated("linear", &plan()).unwrap();
+        let id = record.experiment_id.expect("instrumented run gets an id");
+        let traces = c.traces_for(&id).expect("trace set stored under id");
+        assert_eq!(traces.backend, "simulated");
+        assert_eq!(traces.sample_every, 64);
+        assert!(traces.spans.iter().all(|s| s.site == "sim"));
+    }
+
+    #[test]
+    fn untraced_runs_store_no_trace_set() {
+        let c = controller().with_telemetry(TelemetryConfig::default());
+        let record = c.run_simulated("linear", &plan()).unwrap();
+        let id = record.experiment_id.expect("instrumented run gets an id");
+        assert!(c.traces_for(&id).is_none(), "trace_every 0 records nothing");
     }
 }

@@ -357,6 +357,7 @@ mod tests {
                 node: 0,
                 instance: 0,
                 detail: "sink checkpoint 1".into(),
+                trace: None,
             }],
         };
         let r = telemetry_report(&t);

@@ -20,12 +20,13 @@
 //! sends `Message::Data` frames — bit-for-bit the per-tuple data plane.
 
 use crate::error::{EngineError, Result};
-use crate::message::{Batch, Message};
+use crate::message::{Batch, FrameTrace, Message};
 use crate::physical::{OutRoute, RouteTargets, RouterState};
 use crate::runtime::Envelope;
 use crate::telemetry::Probe;
 use crate::value::Tuple;
 use crossbeam_channel::Sender;
+use pdsp_telemetry::{SpanKind, TraceContext};
 
 pub use pdsp_telemetry::FlushReason;
 
@@ -34,6 +35,15 @@ pub(crate) struct EdgeBatcher {
     max: usize,
     /// `builders[route][target]` accumulates tuples bound for that slot.
     builders: Vec<Vec<Vec<Tuple>>>,
+    /// Trace context applied to tuples scattered while it is set: the
+    /// runtime brackets a traced frame's outputs with
+    /// [`EdgeBatcher::set_active_trace`]. The `u64` is the clock stamp at
+    /// which the context became active (start of the buffered interval).
+    active: Option<(TraceContext, u64)>,
+    /// `pending[route][target]`: trace adopted by that builder — set by the
+    /// first traced tuple pushed into it, cleared on flush. The frame is
+    /// stamped with this context so one traced tuple marks its whole frame.
+    pending: Vec<Vec<Option<(TraceContext, u64)>>>,
 }
 
 fn disconnected() -> EngineError {
@@ -49,7 +59,19 @@ impl EdgeBatcher {
                 .iter()
                 .map(|r| r.targets.iter().map(|_| Vec::new()).collect())
                 .collect(),
+            active: None,
+            pending: routes
+                .iter()
+                .map(|r| r.targets.iter().map(|_| None).collect())
+                .collect(),
         }
+    }
+
+    /// Set (or clear) the trace context adopted by builders receiving
+    /// tuples from now on. The runtime sets this immediately before
+    /// scattering a traced frame's outputs and clears it after.
+    pub(crate) fn set_active_trace(&mut self, trace: Option<(TraceContext, u64)>) {
+        self.active = trace;
     }
 
     /// Retarget the flush bound (adaptive batching under pressure). Builders
@@ -116,6 +138,8 @@ impl EdgeBatcher {
         // for this slot: adaptive batching can shrink the bound back to 1
         // while the builder still holds tuples from a larger bound, and a
         // direct send would overtake them (reordering the edge).
+        // `Message::Data` frames carry no trace slot, so a `batch_size == 1`
+        // data plane is untraced by design.
         if self.max == 1 && self.builders[ri][ti].is_empty() {
             downstream[ri][ti]
                 .send(Envelope {
@@ -131,6 +155,12 @@ impl EdgeBatcher {
             builder.reserve_exact(self.max);
         }
         builder.push(tuple);
+        if let Some(active) = self.active {
+            let slot = &mut self.pending[ri][ti];
+            if slot.is_none() {
+                *slot = Some(active);
+            }
+        }
         if builder.len() >= self.max {
             self.flush_one(routes, downstream, probe, ri, ti, FlushReason::Size)?;
         }
@@ -152,10 +182,21 @@ impl EdgeBatcher {
         }
         let tuples = std::mem::replace(builder, Vec::with_capacity(self.max));
         probe.batch_out(tuples.len() as u64, reason);
+        // A traced builder closes its buffered interval here: the `Batch`
+        // span covers adoption → flush (size/linger residency in this
+        // builder), and the frame carries the continuation context.
+        let trace = self.pending[ri][ti].take().map(|(ctx, t0)| {
+            let now = probe.trace_now();
+            FrameTrace {
+                ctx: probe.trace_span(ctx, SpanKind::Batch, t0, now),
+                sent_ns: now,
+                wire_ns: 0,
+            }
+        });
         downstream[ri][ti]
             .send(Envelope {
                 channel: routes[ri].targets[ti].channel,
-                msg: Message::Batch(Batch::new(tuples)),
+                msg: Message::Batch(Batch { tuples, trace }),
             })
             .map_err(|_| disconnected())
     }

@@ -68,11 +68,12 @@ use crate::transport::Transport;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pdsp_net::{
-    connect_with_backoff, encode_json, recv_json, send_json, write_frame, BackoffPolicy, LeaseTable,
+    connect_with_backoff, encode_json, epoch_ns_now, recv_json, send_json, wire_now_ns,
+    write_frame, BackoffPolicy, LeaseTable,
 };
 use pdsp_telemetry::{
     Alarm, AlarmConfig, AlarmKind, AlarmMonitor, FlightEventKind, InstanceSnapshot,
-    MetricsRegistry, RunTelemetry, TelemetryConfig,
+    MetricsRegistry, RunTelemetry, Span, SpanKind, TelemetryConfig, TraceBook,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -81,7 +82,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant};
 
 /// Grace period for a spawned fleet to dial in and acknowledge deployment.
 const HANDSHAKE_GRACE: Duration = Duration::from_secs(20);
@@ -133,6 +134,10 @@ pub struct DistributedConfig {
     /// `--coordinator <addr> --id <n>`. E.g. `["/path/to/pdsp-worker"]` or
     /// `["/path/to/pdsp", "worker"]`.
     pub worker_bin: Vec<String>,
+    /// Distributed-tracing head-sampling rate shipped to every worker:
+    /// sources trace every Nth tuple, workers attach their recorded spans
+    /// to `Done`. `0` (the default) disables tracing.
+    pub trace_every: u64,
 }
 
 impl Default for DistributedConfig {
@@ -147,6 +152,7 @@ impl Default for DistributedConfig {
             kill: None,
             drop_data_after_ms: None,
             worker_bin: Vec::new(),
+            trace_every: 0,
         }
     }
 }
@@ -185,13 +191,6 @@ fn io_err(what: &str, e: std::io::Error) -> EngineError {
     EngineError::Transport(format!("{what}: {e}"))
 }
 
-fn epoch_ns_now() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0)
-}
-
 // ---------------------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------------------
@@ -215,6 +214,9 @@ struct DeploySpec {
     epoch_ns: u64,
     heartbeat_ms: u64,
     drop_data_after_ms: Option<u64>,
+    /// Head-sampling rate for distributed tracing (`0` = off).
+    #[serde(default)]
+    trace_every: u64,
 }
 
 /// Per-instance final counters. A struct (not a tuple) because the wire
@@ -269,6 +271,9 @@ enum ToCoord {
         stats: Vec<WireStat>,
         sinks: Vec<(usize, SinkState)>,
         emitted: Vec<(usize, u64)>,
+        /// Spans recorded on this worker (empty when tracing is off),
+        /// drained after every local instance and wire thread joined.
+        spans: Vec<Span>,
     },
     /// A local instance failed; partial sink states attached.
     Failed {
@@ -341,6 +346,7 @@ fn inbound_peers(plan: &PhysicalPlan, assignment: &[usize], me: usize) -> HashSe
 /// forwarder thread per remote target instance serializing its proxy
 /// channel onto the shared connection (frame writes happen under a per-peer
 /// mutex, so concurrent forwarders can never interleave partial frames).
+#[allow(clippy::too_many_arguments)]
 fn build_mesh(
     plan: &PhysicalPlan,
     mine: &HashSet<usize>,
@@ -349,6 +355,7 @@ fn build_mesh(
     frame_cap: usize,
     backoff: &BackoffPolicy,
     connect_attempts: usize,
+    epoch_ns: u64,
 ) -> Result<Mesh> {
     let n = plan.instance_count();
     let mut endpoints: Vec<Option<Sender<Envelope>>> = vec![None; n];
@@ -402,11 +409,19 @@ fn build_mesh(
         let stream = Arc::clone(&streams[&w]);
         forwarders.push(std::thread::spawn(move || {
             for env in rx.iter() {
-                let frame = WireEnvelope {
+                let mut frame = WireEnvelope {
                     instance: inst,
                     channel: env.channel,
                     msg: env.msg,
                 };
+                // Stamp the wire-entry time on traced frames so the
+                // receiving acceptor can split the hop into serialize
+                // (flush → here) and network (here → arrival) spans.
+                if let Message::Batch(b) = &mut frame.msg {
+                    if let Some(ft) = &mut b.trace {
+                        ft.wire_ns = wire_now_ns(epoch_ns);
+                    }
+                }
                 if send_json(&mut *stream.lock(), &frame).is_err() {
                     // Peer gone (or chaos severed the stream): stop
                     // forwarding; dropping `rx` makes upstream sends fail,
@@ -517,6 +532,8 @@ fn spawn_acceptor(
     local_senders: Vec<Option<Sender<Envelope>>>,
     expected: usize,
     check: Option<Arc<WireSchemaCheck>>,
+    trace: Option<Arc<TraceBook>>,
+    epoch_ns: u64,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut conns = Vec::with_capacity(expected);
@@ -527,13 +544,18 @@ fn spawn_acceptor(
             stream.set_nodelay(true).ok();
             let senders = local_senders.clone();
             let check = check.clone();
+            // Each reader thread gets its own span ring (single-writer).
+            let tracer = trace.as_ref().map(|b| (Arc::clone(b), b.ring()));
             conns.push(std::thread::spawn(move || {
                 let mut stream = stream;
                 loop {
                     match recv_json::<_, WireEnvelope>(&mut stream) {
-                        Ok(Some(we)) => {
+                        Ok(Some(mut we)) => {
                             if let Some(c) = &check {
                                 c.observe(&we);
+                            }
+                            if let Some((book, ring)) = &tracer {
+                                record_wire_spans(book, ring, &mut we, epoch_ns);
                             }
                             let Some(Some(tx)) = senders.get(we.instance) else {
                                 return;
@@ -560,6 +582,54 @@ fn spawn_acceptor(
             let _ = c.join();
         }
     })
+}
+
+/// Split a traced inbound frame's sender-flush → arrival interval into a
+/// `Serialize` span (flush → wire write on the sending worker) and a `Net`
+/// span (wire write → arrival here), then re-stamp the frame so downstream
+/// local spans chain off the network span with a local arrival time — the
+/// receiving instance's queue span must not re-count the wire crossing.
+fn record_wire_spans(
+    book: &TraceBook,
+    ring: &Arc<pdsp_telemetry::SpanRing>,
+    we: &mut WireEnvelope,
+    epoch_ns: u64,
+) {
+    let Message::Batch(b) = &mut we.msg else {
+        return;
+    };
+    let Some(ft) = &mut b.trace else {
+        return;
+    };
+    let arrived = wire_now_ns(epoch_ns);
+    let wire = ft.wire_ns.max(ft.sent_ns);
+    let ser_id = book.next_span_id();
+    ring.push(Span {
+        trace: ft.ctx.trace,
+        id: ser_id,
+        parent: Some(ft.ctx.parent),
+        kind: SpanKind::Serialize,
+        op: "wire".to_string(),
+        site: book.site().to_string(),
+        instance: we.instance,
+        start_ns: ft.sent_ns,
+        end_ns: wire,
+    });
+    let net_id = book.next_span_id();
+    ring.push(Span {
+        trace: ft.ctx.trace,
+        id: net_id,
+        parent: Some(ser_id),
+        kind: SpanKind::Net,
+        op: "wire".to_string(),
+        site: book.site().to_string(),
+        instance: we.instance,
+        start_ns: wire,
+        end_ns: arrived.max(wire),
+    });
+    ft.ctx.parent = net_id;
+    ft.sent_ns = arrived.max(wire);
+    ft.wire_ns = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +719,7 @@ impl WorkerMain {
             frame_cap,
             &self.backoff,
             self.connect_attempts,
+            deploy.epoch_ns,
         )?;
         let Mesh {
             transport,
@@ -657,6 +728,30 @@ impl WorkerMain {
             outbound,
             forwarders,
         } = mesh;
+
+        // Telemetry: the registry covers the whole plan (indices align with
+        // instance ids); only local instances record into it. The span-id
+        // base `worker_id + 1` keeps span ids disjoint across processes
+        // (the coordinator reserves base 0 for single-process runs).
+        let mut registry = MetricsRegistry::new("distributed");
+        for inst in &plan.instances {
+            registry.register(
+                plan.logical.nodes[inst.node].name.clone(),
+                inst.index,
+                format!("worker{}", deploy.assignment[inst.id]),
+            );
+        }
+        let tel = RunTelemetry::with_site(
+            registry,
+            TelemetryConfig {
+                dump_on_error: false,
+                trace_every: deploy.trace_every,
+                ..TelemetryConfig::default()
+            },
+            format!("worker{worker_id}"),
+            worker_id as u64 + 1,
+        );
+
         let expected_inbound = inbound_peers(&plan, &deploy.assignment, worker_id).len();
         let wire_check = deploy
             .run
@@ -667,6 +762,8 @@ impl WorkerMain {
             local_senders,
             expected_inbound,
             wire_check.clone(),
+            tel.trace.clone(),
+            deploy.epoch_ns,
         );
 
         send_json(&mut *writer.lock(), &ToCoord::Ready { worker: worker_id })
@@ -679,24 +776,6 @@ impl WorkerMain {
                 ))
             }
         }
-
-        // Telemetry: the registry covers the whole plan (indices align with
-        // instance ids); only local instances record into it.
-        let mut registry = MetricsRegistry::new("distributed");
-        for inst in &plan.instances {
-            registry.register(
-                plan.logical.nodes[inst.node].name.clone(),
-                inst.index,
-                format!("worker{}", deploy.assignment[inst.id]),
-            );
-        }
-        let tel = RunTelemetry::new(
-            registry,
-            TelemetryConfig {
-                dump_on_error: false,
-                ..TelemetryConfig::default()
-            },
-        );
 
         let (coord_tx, coord_rx) = unbounded::<(u64, usize, Vec<u8>)>();
         let (sink_tx, sink_rx) = unbounded::<(usize, SinkState)>();
@@ -874,6 +953,9 @@ impl WorkerMain {
                     })
                     .collect();
                 let sinks: Vec<(usize, SinkState)> = sink_rx.iter().collect();
+                // Every span writer (instance threads, acceptor readers) has
+                // joined above, so the drain observes all recorded spans.
+                let spans = tel.trace.as_ref().map(|b| b.drain()).unwrap_or_default();
                 let done = ToCoord::Done {
                     worker: worker_id,
                     stats,
@@ -882,6 +964,7 @@ impl WorkerMain {
                         .iter()
                         .map(|&i| (i, emitted[i].load(Ordering::SeqCst)))
                         .collect(),
+                    spans,
                 };
                 send_json(&mut *writer.lock(), &done).map_err(|e| io_err("send done", e))?;
                 Ok(())
@@ -935,6 +1018,8 @@ struct DistAttempt {
     hb_sinks: HashMap<usize, u64>,
     /// Last telemetry snapshot per instance id.
     snapshots: HashMap<usize, InstanceSnapshot>,
+    /// Spans reported by workers in `Done` (tracing runs only).
+    spans: Vec<Span>,
 }
 
 impl DistAttempt {
@@ -947,6 +1032,7 @@ impl DistAttempt {
             emitted: HashMap::new(),
             hb_sinks: HashMap::new(),
             snapshots: HashMap::new(),
+            spans: Vec::new(),
         }
     }
 }
@@ -963,6 +1049,9 @@ pub struct DistributedRun {
     /// Alarms observed during the run (heartbeat-gap alarms included), in
     /// first-firing order.
     pub alarms: Vec<Alarm>,
+    /// Trace spans from every worker of the successful attempt, sorted by
+    /// start time (empty unless `DistributedConfig::trace_every > 0`).
+    pub spans: Vec<Span>,
 }
 
 /// The coordinator: spawns worker processes, deploys a spec, supervises
@@ -1125,6 +1214,8 @@ impl DistributedRuntime {
                         .into_iter()
                         .filter_map(|i| last_snapshots.remove(&i))
                         .collect();
+                    let mut spans = att.spans;
+                    spans.sort_by_key(|s| (s.start_ns, s.id));
                     return Ok(DistributedRun {
                         ft: FtRunResult {
                             result,
@@ -1132,6 +1223,7 @@ impl DistributedRuntime {
                         },
                         snapshots,
                         alarms: alarms_observed,
+                        spans,
                     });
                 }
                 Err(root) => {
@@ -1346,6 +1438,7 @@ impl DistributedRuntime {
             epoch_ns,
             heartbeat_ms: self.config.heartbeat_ms,
             drop_data_after_ms,
+            trace_every: self.config.trace_every,
         };
         for (w, writer) in writers.iter_mut().enumerate() {
             let Some(stream) = writer else {
@@ -1529,10 +1622,12 @@ impl DistributedRuntime {
                         stats,
                         sinks,
                         emitted,
+                        spans,
                     } => {
                         done.insert(worker);
                         leases.remove(worker as u64);
                         monitor.clear_heartbeat(worker);
+                        att.spans.extend(spans);
                         att.op_stats.extend(stats);
                         for (inst, st) in sinks {
                             att.sink_states.insert(inst, st);
@@ -1783,6 +1878,7 @@ mod tests {
             epoch_ns: 42,
             heartbeat_ms: 20,
             drop_data_after_ms: Some(50),
+            trace_every: 0,
         };
         let mut buf = Vec::new();
         send_json(&mut buf, &ToWorker::Deploy(Box::new(deploy))).unwrap();
@@ -1866,6 +1962,7 @@ mod tests {
             4,
             &BackoffPolicy::default(),
             1,
+            0,
         );
         assert!(matches!(res.err(), Some(EngineError::Transport(_))));
     }

@@ -30,7 +30,7 @@ use crate::telemetry::Probe;
 use crate::transport::Transport;
 use crate::value::Tuple;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
-use pdsp_telemetry::{FlightEventKind, RunTelemetry};
+use pdsp_telemetry::{FlightEventKind, RunTelemetry, SpanKind, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -264,7 +264,8 @@ pub(crate) fn spawn_instances(
         let lnode = inst.node;
         let index = inst.index;
         let restore_bytes = restore.get(&inst.id).cloned();
-        let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
+        let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index)
+            .with_trace(tel, &node.name, clock);
         if restarted {
             probe.restart();
         }
@@ -307,9 +308,19 @@ pub(crate) fn spawn_instances(
                         }
                         tuple.emit_ns = clock.now_ns();
                         max_et = max_et.max(tuple.event_time);
+                        // Head sampling keys off the absolute source offset,
+                        // so a restarted attempt re-traces the same tuples.
+                        let traced = probe.trace_sample(emitted);
                         emitted += 1;
                         counter[inst_id].store(emitted, Ordering::SeqCst);
+                        if traced {
+                            let ctx = probe.trace_source(tuple.emit_ns);
+                            batcher.set_active_trace(ctx.map(|c| (c, tuple.emit_ns)));
+                        }
                         batcher.scatter(&route_meta, &downstream, &mut router, &probe, tuple)?;
+                        if traced {
+                            batcher.set_active_trace(None);
+                        }
                         probe.tuples_out(1);
                         if ckpt_interval > 0 && emitted.is_multiple_of(ckpt_interval) {
                             let id = emitted / ckpt_interval;
@@ -423,6 +434,15 @@ pub(crate) fn spawn_instances(
                             Message::Batch(b) => {
                                 let now = clock.now_ns();
                                 probe.tuples_in(b.len() as u64);
+                                // Queue span: sender flush (or, distributed,
+                                // local re-stamp at the receiving acceptor) →
+                                // sink dequeue.
+                                let tctx = b.trace.map(|ft| {
+                                    probe.trace_span(ft.ctx, SpanKind::Queue, ft.sent_ns, now)
+                                });
+                                if let Some(c) = tctx {
+                                    probe.trace_active(Some(c));
+                                }
                                 for t in b.tuples {
                                     if let Some(inj) = &injector {
                                         if let Err(e) = inj.check(lnode, index, seen_this_attempt) {
@@ -432,6 +452,9 @@ pub(crate) fn spawn_instances(
                                     }
                                     seen_this_attempt += 1;
                                     deliver(t, now, &mut st);
+                                }
+                                if let Some(ctx) = tctx {
+                                    probe.trace_span(ctx, SpanKind::Deliver, now, clock.now_ns());
                                 }
                             }
                             Message::Watermark(_) => {}
@@ -509,6 +532,9 @@ pub(crate) fn spawn_instances(
                     let (mut n_in, mut n_out, mut n_shed) = (0u64, 0u64, 0u64);
                     let mut linger = flush_after;
                     let mut shed_fraction = 0.0f64;
+                    // Context of the last traced frame absorbed by a windowed
+                    // operator, consumed when a later pane fire emits results.
+                    let mut window_ctx: Option<TraceContext> = None;
                     let checkpoint =
                         |op: &dyn OperatorInstance, id: u64, probe: &Probe| -> Result<()> {
                             let ck0 = probe.now_if();
@@ -607,6 +633,8 @@ pub(crate) fn spawn_instances(
                             Message::Batch(b) => {
                                 let port = ports[env.channel];
                                 let frame_len = b.tuples.len();
+                                let ftrace = b.trace;
+                                let t_deq = if ftrace.is_some() { clock.now_ns() } else { 0 };
                                 out.clear();
                                 if injector.is_some() {
                                     // Fault triggers count individual tuples,
@@ -652,6 +680,23 @@ pub(crate) fn spawn_instances(
                                 }
                                 n_out += out.len() as u64;
                                 probe.tuples_out(out.len() as u64);
+                                // Queue span: sender flush → dequeue here;
+                                // Process span: dequeue → outputs ready.
+                                let out_ctx = ftrace.map(|ft| {
+                                    let ctx = probe.trace_span(
+                                        ft.ctx,
+                                        SpanKind::Queue,
+                                        ft.sent_ns,
+                                        t_deq,
+                                    );
+                                    let done = probe.trace_now();
+                                    (probe.trace_span(ctx, SpanKind::Process, t_deq, done), done)
+                                });
+                                if let Some((c, _)) = out_ctx {
+                                    probe.trace_active(Some(c));
+                                    window_ctx = Some(c);
+                                }
+                                batcher.set_active_trace(out_ctx);
                                 for t in out.drain(..) {
                                     batcher.scatter(
                                         &route_meta,
@@ -661,6 +706,7 @@ pub(crate) fn spawn_instances(
                                         t,
                                     )?;
                                 }
+                                batcher.set_active_trace(None);
                             }
                             Message::Watermark(wm) => {
                                 if let Some(w) = tracker.observe(env.channel, wm) {
@@ -674,6 +720,15 @@ pub(crate) fn spawn_instances(
                                             format!("watermark {w}: {} results", out.len()),
                                         );
                                     }
+                                    // Pane results continue the last traced
+                                    // frame's context (window residency shows
+                                    // as a gap on the critical path).
+                                    let wctx = if out.is_empty() {
+                                        None
+                                    } else {
+                                        window_ctx.take()
+                                    };
+                                    batcher.set_active_trace(wctx.map(|c| (c, probe.trace_now())));
                                     for t in out.drain(..) {
                                         batcher.scatter(
                                             &route_meta,
@@ -683,6 +738,7 @@ pub(crate) fn spawn_instances(
                                             t,
                                         )?;
                                     }
+                                    batcher.set_active_trace(None);
                                     batcher.flush_then_broadcast(
                                         &route_meta,
                                         &downstream,
@@ -731,6 +787,13 @@ pub(crate) fn spawn_instances(
                                         op.on_watermark(w, &mut out);
                                         n_out += out.len() as u64;
                                         probe.tuples_out(out.len() as u64);
+                                        let wctx = if out.is_empty() {
+                                            None
+                                        } else {
+                                            window_ctx.take()
+                                        };
+                                        batcher
+                                            .set_active_trace(wctx.map(|c| (c, probe.trace_now())));
                                         for t in out.drain(..) {
                                             batcher.scatter(
                                                 &route_meta,
@@ -740,6 +803,7 @@ pub(crate) fn spawn_instances(
                                                 t,
                                             )?;
                                         }
+                                        batcher.set_active_trace(None);
                                     }
                                 }
                             }
@@ -756,9 +820,16 @@ pub(crate) fn spawn_instances(
                     if probe.enabled() {
                         probe.window_state(op.panes_fired(), op.late_events());
                     }
+                    let wctx = if out.is_empty() {
+                        None
+                    } else {
+                        window_ctx.take()
+                    };
+                    batcher.set_active_trace(wctx.map(|c| (c, probe.trace_now())));
                     for t in out.drain(..) {
                         batcher.scatter(&route_meta, &downstream, &mut router, &probe, t)?;
                     }
+                    batcher.set_active_trace(None);
                     batcher.flush_then_broadcast(
                         &route_meta,
                         &downstream,

@@ -9,7 +9,29 @@
 //! are identical to a tuple-at-a-time data plane.
 
 use crate::value::Tuple;
+use pdsp_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
+
+/// Trace context stamped on a sampled [`Batch`] frame.
+///
+/// Tracing is frame-granular: when the head sampler selects a source tuple,
+/// the frame that eventually carries it (and every downstream frame its
+/// outputs travel in) is stamped with the trace id and the span that
+/// produced the frame, so receivers can chain queue/process spans onto the
+/// sender's. Distributed forwarders overwrite `wire_ns` just before the
+/// frame hits the socket, splitting the sender→receiver interval into
+/// serialize and network spans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Trace id plus the sender-side span this frame continues from.
+    pub ctx: TraceContext,
+    /// Clock stamp (run clock, ns) when the frame was flushed by the sender.
+    pub sent_ns: u64,
+    /// Clock stamp (ns) when a distributed forwarder serialized the frame
+    /// onto the wire; `0` for in-process edges.
+    #[serde(default)]
+    pub wire_ns: u64,
+}
 
 /// A micro-batch of tuples travelling as one frame on a dataflow channel.
 ///
@@ -39,12 +61,19 @@ use serde::{Deserialize, Serialize};
 pub struct Batch {
     /// The batched tuples, in sender emission order.
     pub tuples: Vec<Tuple>,
+    /// Trace context when the frame carries a head-sampled tuple; `None`
+    /// (the overwhelmingly common case) for untraced frames.
+    #[serde(default)]
+    pub trace: Option<FrameTrace>,
 }
 
 impl Batch {
-    /// Wrap a vector of tuples as one frame.
+    /// Wrap a vector of tuples as one (untraced) frame.
     pub fn new(tuples: Vec<Tuple>) -> Self {
-        Batch { tuples }
+        Batch {
+            tuples,
+            trace: None,
+        }
     }
 
     /// Number of tuples in the frame.

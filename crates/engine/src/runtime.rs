@@ -8,6 +8,7 @@
 
 use crate::batch::{EdgeBatcher, FlushReason};
 use crate::error::{EngineError, Result};
+use crate::exec::RunClock;
 use crate::message::{Message, WatermarkTracker};
 use crate::operator::OpKind;
 use crate::physical::{PhysicalPlan, RouterState};
@@ -16,7 +17,7 @@ use crate::telemetry::Probe;
 use crate::transport::{LocalTransport, Transport};
 use crate::value::Tuple;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use pdsp_telemetry::{FlightEventKind, RunTelemetry};
+use pdsp_telemetry::{FlightEventKind, RunTelemetry, SpanKind, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -333,8 +334,12 @@ impl ThreadedRuntime {
         let mut handles = Vec::with_capacity(n);
 
         for inst in &plan.instances {
-            let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index);
             let node = &plan.logical.nodes[inst.node];
+            let probe = Probe::for_instance(tel, inst.id, inst.node, inst.index).with_trace(
+                tel,
+                &node.name,
+                RunClock::Local(start),
+            );
             let routes = plan.out_routes[inst.id].clone();
             let downstream = transport.downstream_for(&routes)?;
             let route_meta = routes;
@@ -369,8 +374,16 @@ impl ThreadedRuntime {
                         for mut tuple in factory.instance_iter(index, parallelism) {
                             tuple.emit_ns = start.elapsed().as_nanos() as u64;
                             max_et = max_et.max(tuple.event_time);
+                            // Head sampling: every Nth tuple of each source
+                            // instance roots a trace; the frames carrying it
+                            // downstream inherit the context.
+                            let traced = probe.trace_sample(emitted);
                             emitted += 1;
                             probe.tuples_out(1);
+                            if traced {
+                                let ctx = probe.trace_source(tuple.emit_ns);
+                                batcher.set_active_trace(ctx.map(|c| (c, tuple.emit_ns)));
+                            }
                             batcher.scatter(
                                 &route_meta,
                                 &downstream,
@@ -378,6 +391,9 @@ impl ThreadedRuntime {
                                 &probe,
                                 tuple,
                             )?;
+                            if traced {
+                                batcher.set_active_trace(None);
+                            }
                             if emitted.is_multiple_of(wm_interval as u64) {
                                 let wm = max_et.saturating_sub(lateness);
                                 batcher.flush_then_broadcast(
@@ -446,8 +462,26 @@ impl ThreadedRuntime {
                                 Message::Batch(b) => {
                                     let now = start.elapsed().as_nanos() as u64;
                                     probe.tuples_in(b.len() as u64);
+                                    // Queue span: sender flush → sink dequeue.
+                                    let tctx = b.trace.map(|ft| {
+                                        probe.trace_span(ft.ctx, SpanKind::Queue, ft.sent_ns, now)
+                                    });
+                                    if let Some(c) = tctx {
+                                        probe.trace_active(Some(c));
+                                    }
                                     for t in b.tuples {
                                         deliver(t, now, &mut captured, &mut latencies, &mut total);
+                                    }
+                                    if let Some(ctx) = tctx {
+                                        // Deliver span closes the trace at the
+                                        // sink; its end is the trace's
+                                        // end-to-end boundary.
+                                        probe.trace_span(
+                                            ctx,
+                                            SpanKind::Deliver,
+                                            now,
+                                            probe.trace_now(),
+                                        );
                                     }
                                 }
                                 // The plain runtime never injects barriers;
@@ -492,6 +526,10 @@ impl ThreadedRuntime {
                         let (mut n_in, mut n_out, mut n_shed) = (0u64, 0u64, 0u64);
                         let mut linger = flush_after;
                         let mut shed_fraction = 0.0f64;
+                        // Context of the last traced frame absorbed by a
+                        // windowed operator, consumed when a later pane fire
+                        // emits results (the trace crosses the window).
+                        let mut window_ctx: Option<TraceContext> = None;
                         while closed < channels {
                             let wait = probe.now_if();
                             let env = match rx.recv_timeout(linger) {
@@ -568,6 +606,12 @@ impl ThreadedRuntime {
                                     }
                                 }
                                 Message::Batch(b) => {
+                                    let ftrace = b.trace;
+                                    let t_deq = if ftrace.is_some() {
+                                        probe.trace_now()
+                                    } else {
+                                        0
+                                    };
                                     n_in += b.len() as u64;
                                     probe.tuples_in(b.len() as u64);
                                     let tuples = if shed_fraction > 0.0 {
@@ -592,6 +636,26 @@ impl ThreadedRuntime {
                                     op.on_batch(ports[env.channel], tuples, &mut out)?;
                                     n_out += out.len() as u64;
                                     probe.tuples_out(out.len() as u64);
+                                    // Queue span: sender flush → dequeue here;
+                                    // Process span: dequeue → outputs ready.
+                                    let out_ctx = ftrace.map(|ft| {
+                                        let ctx = probe.trace_span(
+                                            ft.ctx,
+                                            SpanKind::Queue,
+                                            ft.sent_ns,
+                                            t_deq,
+                                        );
+                                        let done = probe.trace_now();
+                                        (
+                                            probe.trace_span(ctx, SpanKind::Process, t_deq, done),
+                                            done,
+                                        )
+                                    });
+                                    if let Some((c, _)) = out_ctx {
+                                        probe.trace_active(Some(c));
+                                        window_ctx = Some(c);
+                                    }
+                                    batcher.set_active_trace(out_ctx);
                                     for t in out.drain(..) {
                                         batcher.scatter(
                                             &route_meta,
@@ -601,6 +665,7 @@ impl ThreadedRuntime {
                                             t,
                                         )?;
                                     }
+                                    batcher.set_active_trace(None);
                                 }
                                 Message::Watermark(wm) => {
                                     if let Some(w) = tracker.observe(env.channel, wm) {
@@ -614,6 +679,18 @@ impl ThreadedRuntime {
                                                 format!("watermark {w}: {} results", out.len()),
                                             );
                                         }
+                                        // Pane results continue the trace of
+                                        // the last traced frame the window
+                                        // absorbed (buffered-from = now: the
+                                        // window residency shows up as a gap
+                                        // segment, not a batch span).
+                                        let wctx = if out.is_empty() {
+                                            None
+                                        } else {
+                                            window_ctx.take()
+                                        };
+                                        batcher
+                                            .set_active_trace(wctx.map(|c| (c, probe.trace_now())));
                                         for t in out.drain(..) {
                                             batcher.scatter(
                                                 &route_meta,
@@ -623,6 +700,7 @@ impl ThreadedRuntime {
                                                 t,
                                             )?;
                                         }
+                                        batcher.set_active_trace(None);
                                         batcher.flush_then_broadcast(
                                             &route_meta,
                                             &downstream,
@@ -643,6 +721,14 @@ impl ThreadedRuntime {
                                             op.on_watermark(w, &mut out);
                                             n_out += out.len() as u64;
                                             probe.tuples_out(out.len() as u64);
+                                            let wctx = if out.is_empty() {
+                                                None
+                                            } else {
+                                                window_ctx.take()
+                                            };
+                                            batcher.set_active_trace(
+                                                wctx.map(|c| (c, probe.trace_now())),
+                                            );
                                             for t in out.drain(..) {
                                                 batcher.scatter(
                                                     &route_meta,
@@ -652,6 +738,7 @@ impl ThreadedRuntime {
                                                     t,
                                                 )?;
                                             }
+                                            batcher.set_active_trace(None);
                                         }
                                     }
                                 }
@@ -665,9 +752,16 @@ impl ThreadedRuntime {
                         op.on_flush(&mut out);
                         n_out += out.len() as u64;
                         probe.tuples_out(out.len() as u64);
+                        let wctx = if out.is_empty() {
+                            None
+                        } else {
+                            window_ctx.take()
+                        };
+                        batcher.set_active_trace(wctx.map(|c| (c, probe.trace_now())));
                         for t in out.drain(..) {
                             batcher.scatter(&route_meta, &downstream, &mut router, &probe, t)?;
                         }
+                        batcher.set_active_trace(None);
                         if probe.enabled() {
                             probe.window_state(op.panes_fired(), op.late_events());
                         }

@@ -6,11 +6,13 @@
 //! their loops: every method is an inlined no-op when telemetry is off, so
 //! the uninstrumented hot path stays untouched.
 
+use crate::exec::RunClock;
 use crate::physical::PhysicalPlan;
 use pdsp_telemetry::{
     FlightEventKind, FlightRecorder, FlushReason, InstanceMetrics, MetricsRegistry, RunTelemetry,
-    TelemetryConfig,
+    Span, SpanKind, SpanRing, TelemetryConfig, TraceBook, TraceContext,
 };
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,6 +53,23 @@ pub struct Probe {
     recorder: Option<Arc<FlightRecorder>>,
     node: usize,
     instance: usize,
+    tracer: Option<Tracer>,
+    /// Trace context of the frame currently being processed by this worker
+    /// (attached to flight-recorder events for crash correlation). `Cell`
+    /// because probes are per-thread: cloning a probe into a worker thread
+    /// gives that thread its own active slot.
+    active: Cell<Option<TraceContext>>,
+}
+
+/// Span-recording half of a probe; present only when the run was started
+/// with `TelemetryConfig::trace_every > 0`.
+#[derive(Clone)]
+struct Tracer {
+    book: Arc<TraceBook>,
+    ring: Arc<SpanRing>,
+    op: Arc<str>,
+    site: Arc<str>,
+    clock: RunClock,
 }
 
 impl Probe {
@@ -68,15 +87,126 @@ impl Probe {
                 recorder: Some(Arc::clone(&t.recorder)),
                 node,
                 instance,
+                tracer: None,
+                active: Cell::new(None),
             },
             None => Probe::default(),
         }
+    }
+
+    /// Attach span recording to this probe (no-op when the run's telemetry
+    /// has tracing disabled). Registers a fresh span ring with the trace
+    /// book; the returned probe must be owned by exactly one worker thread —
+    /// the ring is single-writer.
+    pub(crate) fn with_trace(
+        mut self,
+        tel: Option<&RunTelemetry>,
+        op: &str,
+        clock: RunClock,
+    ) -> Self {
+        if let Some(book) = tel.and_then(|t| t.trace.as_ref()) {
+            self.tracer = Some(Tracer {
+                ring: book.ring(),
+                op: op.into(),
+                site: book.site().into(),
+                book: Arc::clone(book),
+                clock,
+            });
+        }
+        self
     }
 
     /// Whether this probe records anywhere.
     #[inline]
     pub fn enabled(&self) -> bool {
         self.metrics.is_some()
+    }
+
+    /// Whether this probe records spans.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Current run-clock stamp in nanoseconds; `0` when tracing is off (the
+    /// untraced hot path must not pay for clock reads).
+    #[inline]
+    pub(crate) fn trace_now(&self) -> u64 {
+        match &self.tracer {
+            Some(t) => t.clock.now_ns(),
+            None => 0,
+        }
+    }
+
+    /// Head-sampling decision for source sequence number `seq`: true for
+    /// every `trace_every`-th tuple when tracing is on.
+    #[inline]
+    pub(crate) fn trace_sample(&self, seq: u64) -> bool {
+        match &self.tracer {
+            Some(t) => seq.is_multiple_of(t.book.sample_every()),
+            None => false,
+        }
+    }
+
+    /// Start a new trace at this source: allocates a trace id, records the
+    /// root `Source` span at `now_ns`, and returns the context downstream
+    /// frames should carry.
+    pub(crate) fn trace_source(&self, now_ns: u64) -> Option<TraceContext> {
+        let t = self.tracer.as_ref()?;
+        let trace = t.book.next_trace_id();
+        let id = t.book.next_span_id();
+        t.ring.push(Span {
+            trace,
+            id,
+            parent: None,
+            kind: SpanKind::Source,
+            op: t.op.to_string(),
+            site: t.site.to_string(),
+            instance: self.instance,
+            start_ns: now_ns,
+            end_ns: now_ns,
+        });
+        Some(TraceContext { trace, parent: id })
+    }
+
+    /// Record a span of `kind` over `[start_ns, end_ns]` chained onto `ctx`
+    /// and return the context continuing from the new span. Identity when
+    /// tracing is off.
+    pub(crate) fn trace_span(
+        &self,
+        ctx: TraceContext,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> TraceContext {
+        let Some(t) = &self.tracer else {
+            return ctx;
+        };
+        let id = t.book.next_span_id();
+        t.ring.push(Span {
+            trace: ctx.trace,
+            id,
+            parent: Some(ctx.parent),
+            kind,
+            op: t.op.to_string(),
+            site: t.site.to_string(),
+            instance: self.instance,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+        TraceContext {
+            trace: ctx.trace,
+            parent: id,
+        }
+    }
+
+    /// Set the trace context flight-recorder events from this worker are
+    /// attributed to (the frame currently being processed).
+    #[inline]
+    pub(crate) fn trace_active(&self, ctx: Option<TraceContext>) {
+        if self.tracer.is_some() {
+            self.active.set(ctx);
+        }
     }
 
     /// Count `n` tuples received by this instance.
@@ -189,10 +319,11 @@ impl Probe {
         }
     }
 
-    /// Record a flight-recorder event attributed to this worker.
+    /// Record a flight-recorder event attributed to this worker, tagged
+    /// with the active trace context when tracing is on.
     pub fn event(&self, kind: FlightEventKind, detail: impl Into<String>) {
         if let Some(r) = &self.recorder {
-            r.record(kind, self.node, self.instance, detail);
+            r.record_traced(kind, self.node, self.instance, detail, self.active.get());
         }
     }
 }

@@ -200,6 +200,7 @@ mod tests {
             node: 0,
             instance: 0,
             detail: String::new(),
+            trace: None,
         };
         let events = vec![
             ev(0, FlightEventKind::RunStarted),

@@ -23,6 +23,10 @@
 //! * [`measure_loopback_rtt`] — measured loopback TCP round-trip for a
 //!   frame, used to cross-check the simulator's network cost constants
 //!   against reality.
+//! * [`epoch_ns_now`] / [`wire_now_ns`] — the shared wire clock: every
+//!   process in a distributed run measures against one coordinator-chosen
+//!   UNIX-epoch origin, so latency stamps and trace spans compose across
+//!   workers.
 
 #![warn(missing_docs)]
 
@@ -31,7 +35,27 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Nanoseconds since the UNIX epoch — the raw stamp distributed runs use as
+/// their shared clock origin.
+pub fn epoch_ns_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Nanoseconds since `origin_ns` (a [`epoch_ns_now`] stamp chosen by the
+/// coordinator and shipped in the deploy message). Every process in a
+/// distributed run stamps latencies, spans, and wire-crossing times against
+/// the same origin, so intervals composed across processes stay meaningful
+/// up to host clock skew — the forwarder stamps a frame's wire-entry time
+/// with this and the receiving acceptor stamps its arrival, splitting a
+/// cross-worker hop into serialize and network spans.
+pub fn wire_now_ns(origin_ns: u64) -> u64 {
+    epoch_ns_now().saturating_sub(origin_ns)
+}
 
 /// Upper bound on a single frame; a length prefix beyond this is treated as
 /// a corrupt stream rather than an allocation request.
@@ -461,5 +485,17 @@ mod tests {
         let rtt = measure_loopback_rtt(16, 64).unwrap();
         assert!(rtt > Duration::ZERO);
         assert!(rtt < Duration::from_millis(100), "loopback rtt {rtt:?}");
+    }
+
+    #[test]
+    fn wire_clock_is_monotone_against_its_origin() {
+        let origin = epoch_ns_now();
+        let a = wire_now_ns(origin);
+        let b = wire_now_ns(origin);
+        assert!(b >= a);
+        // A fresh origin yields small offsets (well under an hour).
+        assert!(a < 3_600_000_000_000_000);
+        // An origin in the future saturates to zero instead of wrapping.
+        assert_eq!(wire_now_ns(u64::MAX), 0);
     }
 }

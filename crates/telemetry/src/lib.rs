@@ -19,7 +19,10 @@
 //!   golden-tested label sets (`app`, `operator`, `instance`, `node`);
 //! * [`alarms`] — threshold alarms ([`AlarmMonitor`]) over pressure, shed
 //!   fraction, and late fraction, used by the chaos bench as a recovery
-//!   gate.
+//!   gate;
+//! * [`trace`] — sampled distributed tracing: span schema, lock-free
+//!   single-writer span rings, trace assembly, critical-path latency
+//!   attribution, and Chrome trace-event export.
 //!
 //! This crate is a dependency leaf (no other `pdsp-*` crates), so the
 //! engine, simulator, metrics, and controller can all share one schema.
@@ -33,6 +36,7 @@ pub mod recorder;
 pub mod registry;
 pub mod sampler;
 pub mod snapshot;
+pub mod trace;
 
 pub use alarms::{Alarm, AlarmConfig, AlarmKind, AlarmMonitor};
 pub use export::{json_alarm_lines, json_lines, prometheus_alarms, prometheus_text};
@@ -41,6 +45,11 @@ pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use registry::{FlushReason, InstanceMetrics, MetricsRegistry};
 pub use sampler::{RunTelemetry, Sampler, TelemetryConfig};
 pub use snapshot::{InstanceSnapshot, TelemetryTimeline, TimelineSample};
+pub use trace::{
+    assemble, attribute, attribution_report, chrome_trace_json, compare_report, critical_path,
+    window_dominants, Attribution, CriticalPath, Segment, Span, SpanId, SpanKind, SpanRing,
+    TraceBook, TraceContext, TraceId, TraceSet, TraceTree,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};

@@ -5,6 +5,7 @@
 //! dies with an `EngineError` or a worker panic, the runtime dumps the ring
 //! so the events leading up to the failure are preserved.
 
+use crate::trace::TraceContext;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -67,6 +68,10 @@ pub struct FlightEvent {
     pub instance: usize,
     /// Free-form context (cause, barrier id, pane key, ...).
     pub detail: String,
+    /// Trace context active on the recording thread when tracing was on,
+    /// so crash dumps correlate with assembled traces.
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 /// Bounded, thread-safe event ring.
@@ -101,12 +106,26 @@ impl FlightRecorder {
         instance: usize,
         detail: impl Into<String>,
     ) {
+        self.record_traced(kind, node, instance, detail, None)
+    }
+
+    /// Like [`FlightRecorder::record`] with the active trace context of the
+    /// recording thread attached (shown in dumps as `trace=<id>:<span>`).
+    pub fn record_traced(
+        &self,
+        kind: FlightEventKind,
+        node: usize,
+        instance: usize,
+        detail: impl Into<String>,
+        trace: Option<TraceContext>,
+    ) {
         let ev = FlightEvent {
             t_ms: self.start.elapsed().as_millis() as u64,
             kind,
             node,
             instance,
             detail: detail.into(),
+            trace,
         };
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
@@ -145,13 +164,18 @@ impl FlightRecorder {
             self.dropped()
         );
         for ev in &events {
+            let trace = match &ev.trace {
+                Some(c) => format!(" trace={}:{}", c.trace.0, c.parent.0),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "[{:>8.3}s] {:22} node={} instance={} {}\n",
+                "[{:>8.3}s] {:22} node={} instance={} {}{}\n",
                 ev.t_ms as f64 / 1000.0,
                 ev.kind.label(),
                 ev.node,
                 ev.instance,
-                ev.detail
+                ev.detail,
+                trace
             ));
         }
         out
@@ -194,6 +218,27 @@ mod tests {
         assert!(d.contains("worker panicked"));
         assert!(d.contains("fault_injected"));
         assert!(d.contains("node=2 instance=1"));
+    }
+
+    #[test]
+    fn dump_lines_carry_active_trace_ids() {
+        use crate::trace::{SpanId, TraceId};
+        let r = FlightRecorder::new(8);
+        r.record_traced(
+            FlightEventKind::WorkerFailed,
+            1,
+            0,
+            "boom",
+            Some(TraceContext {
+                trace: TraceId(42),
+                parent: SpanId(7),
+            }),
+        );
+        let d = r.dump("test");
+        assert!(d.contains("trace=42:7"), "{d}");
+        // Untraced events keep the legacy line shape.
+        r.record(FlightEventKind::RunFinished, 0, 0, "done");
+        assert!(!r.dump("test").lines().last().unwrap().contains("trace="));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::recorder::FlightRecorder;
 use crate::registry::MetricsRegistry;
 use crate::snapshot::{TelemetryTimeline, TimelineSample};
+use crate::trace::TraceBook;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,6 +21,11 @@ pub struct TelemetryConfig {
     pub flight_capacity: usize,
     /// Dump the flight recorder to stderr when the run fails.
     pub dump_on_error: bool,
+    /// Distributed-tracing head-sampling rate: sources stamp every Nth
+    /// tuple with a trace context. `0` disables tracing entirely.
+    pub trace_every: u64,
+    /// Span-ring capacity per writer thread when tracing is enabled.
+    pub trace_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -28,6 +34,8 @@ impl Default for TelemetryConfig {
             interval_ms: 100,
             flight_capacity: FlightRecorder::DEFAULT_CAPACITY,
             dump_on_error: true,
+            trace_every: 0,
+            trace_capacity: 4096,
         }
     }
 }
@@ -40,16 +48,40 @@ pub struct RunTelemetry {
     pub registry: Arc<MetricsRegistry>,
     /// Structured event ring.
     pub recorder: Arc<FlightRecorder>,
+    /// Span collection; `Some` when `config.trace_every > 0`.
+    pub trace: Option<Arc<TraceBook>>,
     /// Sampling/dump configuration for this run.
     pub config: TelemetryConfig,
 }
 
 impl RunTelemetry {
-    /// Wrap a populated registry in shared run-telemetry state.
+    /// Wrap a populated registry in shared run-telemetry state. Tracing,
+    /// when enabled, records under the site label `"local"` — use
+    /// [`RunTelemetry::with_site`] in multi-process runs.
     pub fn new(registry: MetricsRegistry, config: TelemetryConfig) -> Self {
+        Self::with_site(registry, config, "local", 0)
+    }
+
+    /// Like [`RunTelemetry::new`] but with an explicit process label and
+    /// span-id base (must be unique per process in a distributed run).
+    pub fn with_site(
+        registry: MetricsRegistry,
+        config: TelemetryConfig,
+        site: impl Into<String>,
+        id_base: u64,
+    ) -> Self {
+        let trace = (config.trace_every > 0).then(|| {
+            Arc::new(TraceBook::new(
+                site,
+                config.trace_every,
+                config.trace_capacity,
+                id_base,
+            ))
+        });
         RunTelemetry {
             registry: Arc::new(registry),
             recorder: Arc::new(FlightRecorder::new(config.flight_capacity)),
+            trace,
             config,
         }
     }

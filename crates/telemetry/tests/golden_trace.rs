@@ -1,0 +1,320 @@
+//! Golden tests pinning the Chrome trace-event exporter format, plus
+//! property tests over the span-tree invariants. If a golden test fails,
+//! you are changing the exporter schema consumed by `chrome://tracing` /
+//! Perfetto — bump consumers deliberately, don't just update the
+//! expectation.
+
+use pdsp_telemetry::{
+    assemble, chrome_trace_json, critical_path, Span, SpanId, SpanKind, TraceContext, TraceId,
+};
+use proptest::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+fn span(
+    trace: u64,
+    id: u64,
+    parent: Option<u64>,
+    kind: SpanKind,
+    op: &str,
+    site: &str,
+    instance: usize,
+    start_ns: u64,
+    end_ns: u64,
+) -> Span {
+    Span {
+        trace: TraceId(trace),
+        id: SpanId(id),
+        parent: parent.map(SpanId),
+        kind,
+        op: op.to_string(),
+        site: site.to_string(),
+        instance,
+        start_ns,
+        end_ns,
+    }
+}
+
+/// One complete source→sink trace crossing a process boundary.
+fn fixture() -> Vec<Span> {
+    vec![
+        span(
+            7,
+            1,
+            None,
+            SpanKind::Source,
+            "src",
+            "local",
+            0,
+            1_000,
+            1_000,
+        ),
+        span(
+            7,
+            2,
+            Some(1),
+            SpanKind::Batch,
+            "src",
+            "local",
+            0,
+            1_000,
+            3_500,
+        ),
+        span(
+            7,
+            3,
+            Some(2),
+            SpanKind::Queue,
+            "count",
+            "local",
+            1,
+            3_500,
+            5_000,
+        ),
+        span(
+            7,
+            4,
+            Some(3),
+            SpanKind::Process,
+            "count",
+            "local",
+            1,
+            5_000,
+            9_000,
+        ),
+        span(
+            7,
+            5,
+            Some(4),
+            SpanKind::Serialize,
+            "wire",
+            "worker1",
+            2,
+            9_000,
+            10_000,
+        ),
+        span(
+            7,
+            6,
+            Some(5),
+            SpanKind::Net,
+            "wire",
+            "worker1",
+            2,
+            10_000,
+            14_000,
+        ),
+        span(
+            7,
+            7,
+            Some(6),
+            SpanKind::Queue,
+            "sink",
+            "worker1",
+            2,
+            14_000,
+            15_000,
+        ),
+        span(
+            7,
+            8,
+            Some(7),
+            SpanKind::Deliver,
+            "sink",
+            "worker1",
+            2,
+            15_000,
+            16_000,
+        ),
+    ]
+}
+
+#[test]
+fn chrome_trace_export_is_stable() {
+    let json = chrome_trace_json(&fixture());
+    let expected = concat!(
+        r#"{"traceEvents":["#,
+        r#"{"name":"source","cat":"pdsp","ph":"X","ts":1.0,"dur":0.0,"pid":"local","tid":"src[0]","args":{"trace":7,"span":1,"parent":null}},"#,
+        r#"{"name":"batch","cat":"pdsp","ph":"X","ts":1.0,"dur":2.5,"pid":"local","tid":"src[0]","args":{"trace":7,"span":2,"parent":1}},"#,
+        r#"{"name":"queue","cat":"pdsp","ph":"X","ts":3.5,"dur":1.5,"pid":"local","tid":"count[1]","args":{"trace":7,"span":3,"parent":2}},"#,
+        r#"{"name":"process","cat":"pdsp","ph":"X","ts":5.0,"dur":4.0,"pid":"local","tid":"count[1]","args":{"trace":7,"span":4,"parent":3}},"#,
+        r#"{"name":"serialize","cat":"pdsp","ph":"X","ts":9.0,"dur":1.0,"pid":"worker1","tid":"wire[2]","args":{"trace":7,"span":5,"parent":4}},"#,
+        r#"{"name":"net","cat":"pdsp","ph":"X","ts":10.0,"dur":4.0,"pid":"worker1","tid":"wire[2]","args":{"trace":7,"span":6,"parent":5}},"#,
+        r#"{"name":"queue","cat":"pdsp","ph":"X","ts":14.0,"dur":1.0,"pid":"worker1","tid":"sink[2]","args":{"trace":7,"span":7,"parent":6}},"#,
+        r#"{"name":"deliver","cat":"pdsp","ph":"X","ts":15.0,"dur":1.0,"pid":"worker1","tid":"sink[2]","args":{"trace":7,"span":8,"parent":7}}"#,
+        r#"],"displayTimeUnit":"ms"}"#,
+    );
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn chrome_trace_export_sorts_unordered_input() {
+    let mut spans = fixture();
+    spans.reverse();
+    assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&fixture()));
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_with_monotone_timestamps() {
+    let v: serde_json::Value = serde_json::from_str(&chrome_trace_json(&fixture())).unwrap();
+    let events = v["traceEvents"].as_array().unwrap();
+    assert_eq!(events.len(), 8);
+    let mut prev = f64::MIN;
+    for e in events {
+        let ts = e["ts"].as_f64().unwrap();
+        assert!(ts >= prev, "events sorted by start time");
+        assert!(e["dur"].as_f64().unwrap() >= 0.0);
+        assert_eq!(e["ph"], "X");
+        assert_eq!(e["cat"], "pdsp");
+        prev = ts;
+    }
+}
+
+#[test]
+fn empty_span_list_exports_an_empty_event_array() {
+    let v: serde_json::Value = serde_json::from_str(&chrome_trace_json(&[])).unwrap();
+    assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
+}
+
+/// Build a random well-formed, causally-timed trace from parallel draw
+/// vectors: a root plus one span per draw whose parent is always an
+/// earlier span and whose interval starts at or after the parent's end
+/// (as real recordings do — a child span cannot begin before the event
+/// that caused it finished). The vectors are zipped; `parents` picks the
+/// length; `starts` draws the gap after the parent and `ends` the
+/// duration.
+fn build_trace(
+    trace: u64,
+    parents: &[usize],
+    starts: &[u64],
+    ends: &[u64],
+    kinds: &[usize],
+) -> Vec<Span> {
+    const KINDS: [SpanKind; 5] = [
+        SpanKind::Batch,
+        SpanKind::Queue,
+        SpanKind::Process,
+        SpanKind::Serialize,
+        SpanKind::Net,
+    ];
+    let mut spans = vec![span(
+        trace,
+        1,
+        None,
+        SpanKind::Source,
+        "src",
+        "local",
+        0,
+        0,
+        0,
+    )];
+    for (i, &parent_pick) in parents.iter().enumerate() {
+        let id = i as u64 + 2;
+        let parent = &spans[parent_pick % spans.len()];
+        let (pid, start) = (parent.id.0, parent.end_ns + starts[i] % 10_000);
+        spans.push(span(
+            trace,
+            id,
+            Some(pid),
+            KINDS[kinds[i] % KINDS.len()],
+            "op",
+            "local",
+            0,
+            start,
+            start + ends[i] % 10_000,
+        ));
+    }
+    spans
+}
+
+proptest! {
+    /// Assembled trees are acyclic: walking parents from any span
+    /// terminates at the root without revisiting a span.
+    #[test]
+    fn assembled_trees_are_acyclic(
+        parents in prop::collection::vec(0usize..24, 0..24),
+        starts in prop::collection::vec(0u64..1_000_000, 24),
+        ends in prop::collection::vec(0u64..1_000_000, 24),
+        kinds in prop::collection::vec(0usize..5, 24),
+    ) {
+        let spans = build_trace(3, &parents, &starts, &ends, &kinds);
+        let trees = assemble(spans);
+        prop_assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        let by_id: std::collections::BTreeMap<_, _> =
+            tree.spans.iter().map(|s| (s.id, s)).collect();
+        for s in &tree.spans {
+            let mut seen = std::collections::BTreeSet::new();
+            let mut cur = Some(s.id);
+            while let Some(id) = cur {
+                prop_assert!(seen.insert(id), "parent chain revisits span {:?}", id);
+                cur = by_id.get(&id).and_then(|s| s.parent);
+            }
+        }
+    }
+
+    /// A critical path's segments tile the source→sink interval exactly:
+    /// gap segments fill every hole, so the sum always equals the total.
+    #[test]
+    fn critical_path_segments_cover_the_full_interval(
+        parents in prop::collection::vec(0usize..24, 0..24),
+        starts in prop::collection::vec(0u64..1_000_000, 24),
+        ends in prop::collection::vec(0u64..1_000_000, 24),
+        kinds in prop::collection::vec(0usize..5, 24),
+    ) {
+        // Append a sink chained onto an arbitrary existing span so the
+        // trace is complete.
+        let mut spans = build_trace(9, &parents, &starts, &ends, &kinds);
+        let last = spans.last().unwrap();
+        let (pid, end) = (last.id.0, last.end_ns);
+        spans.push(span(
+            9,
+            1_000,
+            Some(pid),
+            SpanKind::Deliver,
+            "sink",
+            "local",
+            0,
+            end,
+            end + 500,
+        ));
+        let trees = assemble(spans);
+        if let Some(cp) = critical_path(&trees[0]) {
+            let sum: u64 = cp.segments.iter().map(|s| s.ns).sum();
+            prop_assert_eq!(sum, cp.total_ns, "segments + gaps tile the path");
+            for seg in &cp.segments {
+                prop_assert!(seg.ns > 0, "zero-width segments are elided");
+            }
+        }
+    }
+
+    /// Every span appears exactly once in the export, as one event.
+    #[test]
+    fn chrome_export_covers_every_span(
+        parents in prop::collection::vec(0usize..24, 0..24),
+        starts in prop::collection::vec(0u64..1_000_000, 24),
+        ends in prop::collection::vec(0u64..1_000_000, 24),
+        kinds in prop::collection::vec(0usize..5, 24),
+    ) {
+        let spans = build_trace(5, &parents, &starts, &ends, &kinds);
+        let json = chrome_trace_json(&spans);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        prop_assert_eq!(events.len(), spans.len());
+        let ids: std::collections::BTreeSet<u64> =
+            events.iter().map(|e| e["args"]["span"].as_u64().unwrap()).collect();
+        prop_assert_eq!(ids.len(), spans.len(), "every span id exported once");
+    }
+}
+
+// TraceContext is part of the wire schema; keep its shape pinned too.
+#[test]
+fn trace_context_roundtrips_through_json() {
+    let ctx = TraceContext {
+        trace: TraceId(42),
+        parent: SpanId(7),
+    };
+    let json = serde_json::to_string(&ctx).unwrap();
+    let back: TraceContext = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.trace, ctx.trace);
+    assert_eq!(back.parent, ctx.parent);
+}

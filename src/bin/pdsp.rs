@@ -19,12 +19,15 @@
 
 use pdsp_bench::apps::{all_applications, app_by_name, AppConfig};
 use pdsp_bench::cluster::{Cluster, SimConfig, Simulator};
-use pdsp_bench::core::controller::Controller;
+use pdsp_bench::core::controller::{Controller, RunRecord};
 use pdsp_bench::core::{deploy, report};
 use pdsp_bench::engine::distributed::{DistributedConfig, KillSpec};
 use pdsp_bench::engine::WorkerMain;
 use pdsp_bench::store::{Filter, Store};
-use pdsp_bench::telemetry::{json_lines, prometheus_text, TelemetryConfig, TelemetryTimeline};
+use pdsp_bench::telemetry::{
+    assemble, attribute, attribution_report, chrome_trace_json, compare_report, json_lines,
+    prometheus_text, TelemetryConfig, TelemetryTimeline, TraceSet,
+};
 use pdsp_bench::workload::{ParameterSpace, QueryGenerator, QueryStructure};
 use std::sync::Arc;
 
@@ -76,11 +79,14 @@ fn usage() -> ! {
          [--parallelism N] [--backend sim|threads|distributed] \
          [--cluster m510|c6525|c6320|mixed] \
          [--rate EV_PER_S] [--tuples N] [--seed N] [--telemetry] [--store DIR]\n    \
+         tracing: [--trace] [--trace-every N] [--trace-out FILE.json]\n    \
          distributed backend: [--workers N] [--check-schemas] \
          [--kill-worker W --kill-after-ms MS]\n  \
          pdsp run-query <structure> \
          [--parallelism N] [--cluster ...] [--rate EV_PER_S] [--telemetry] [--store DIR]\n  \
          pdsp telemetry --store DIR [--experiment ID] [--format report|prom|json]\n  \
+         pdsp trace --store DIR [--experiment ID] [--format report|chrome] [--out FILE] \
+         [--compare [--cluster ...]]\n  \
          pdsp worker --coordinator ADDR --id N   (spawned by the distributed backend)\n\
          structures: {}",
         QueryStructure::ALL
@@ -141,8 +147,22 @@ fn main() {
             };
             let store = open_store(&args);
             let mut controller = Controller::new(cluster.clone(), sim_config, Arc::clone(&store));
-            if has_flag(&args, "--telemetry") {
-                controller = controller.with_telemetry(TelemetryConfig::default());
+            // `--trace` turns on 1-in-256 head sampling; `--trace-every N`
+            // picks the rate explicitly. Either implies telemetry.
+            let trace_every: u64 =
+                if has_flag(&args, "--trace") || flag_value(&args, "--trace-every").is_some() {
+                    flag_value(&args, "--trace-every")
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or(256)
+                } else {
+                    0
+                };
+            if has_flag(&args, "--telemetry") || trace_every > 0 {
+                controller = controller.with_telemetry(TelemetryConfig {
+                    trace_every,
+                    ..TelemetryConfig::default()
+                });
             }
             let info = app.info();
             println!("{} ({}) on {}", info.name, info.acronym, cluster);
@@ -250,6 +270,27 @@ fn main() {
                     if let Some(id) = &r.experiment_id {
                         if let Some(timeline) = controller.telemetry_for(id) {
                             println!("\n{}", report::telemetry_report(&timeline));
+                        }
+                        if let Some(traces) = controller.traces_for(id) {
+                            let trees = assemble(traces.spans.clone());
+                            let complete = attribute(&trees).traces;
+                            let cross = trees.iter().filter(|t| t.is_cross_process()).count();
+                            let netted = trees.iter().filter(|t| t.has_net_span()).count();
+                            println!(
+                                "traces       : {} assembled, {complete} complete, \
+                                 {cross} cross-process, {netted} with network spans",
+                                trees.len()
+                            );
+                            println!("experiment   : {id}");
+                            if let Some(path) = flag_value(&args, "--trace-out") {
+                                match std::fs::write(&path, chrome_trace_json(&traces.spans)) {
+                                    Ok(()) => println!("trace json   : {path}"),
+                                    Err(e) => {
+                                        eprintln!("cannot write '{path}': {e}");
+                                        std::process::exit(1);
+                                    }
+                                }
+                            }
                         }
                     }
                     store.flush().ok();
@@ -399,6 +440,134 @@ fn main() {
                             eprintln!("unknown format '{other}' (report|prom|json)");
                             std::process::exit(2);
                         }
+                    }
+                }
+            }
+        }
+        "trace" => {
+            if flag_value(&args, "--store").is_none() {
+                eprintln!("pdsp trace needs --store DIR (where traced runs were saved)");
+                std::process::exit(2);
+            }
+            let store = open_store(&args);
+            match flag_value(&args, "--experiment") {
+                None => {
+                    let sets: Vec<(String, String, String, u64, usize)> =
+                        store.with("traces", |c| {
+                            c.iter()
+                                .filter_map(|doc| {
+                                    let id = doc.body.get("experiment_id")?.as_str()?;
+                                    let app = doc.body.get("app")?.as_str()?;
+                                    let backend = doc.body.get("backend")?.as_str()?;
+                                    let every =
+                                        doc.body.get("sample_every").and_then(|v| v.as_u64())?;
+                                    let spans =
+                                        doc.body.get("spans").and_then(|v| v.as_array())?.len();
+                                    Some((
+                                        id.to_string(),
+                                        app.to_string(),
+                                        backend.to_string(),
+                                        every,
+                                        spans,
+                                    ))
+                                })
+                                .collect()
+                        });
+                    if sets.is_empty() {
+                        println!("no traces recorded (run with --trace first)");
+                    } else {
+                        println!(
+                            "{:30} {:8} {:12} {:>8} spans",
+                            "experiment", "app", "backend", "1-in-N"
+                        );
+                        for (id, app, backend, every, spans) in sets {
+                            println!("{id:30} {app:8} {backend:12} {every:>8} {spans}");
+                        }
+                    }
+                }
+                Some(id) => {
+                    let set: Option<TraceSet> = store.with("traces", |c| {
+                        c.find_as(&Filter::eq("experiment_id", id.as_str()))
+                            .into_iter()
+                            .next()
+                    });
+                    let Some(set) = set else {
+                        eprintln!("no traces stored for experiment '{id}'");
+                        std::process::exit(1);
+                    };
+                    let output = if has_flag(&args, "--compare") {
+                        // Predicted-vs-measured: re-run the application on
+                        // the simulator with the same sampling rate and diff
+                        // the per-edge critical-path attributions.
+                        let Some(app) = app_by_name(&set.app) else {
+                            eprintln!("cannot compare: '{}' is not a known application", set.app);
+                            std::process::exit(1);
+                        };
+                        // The matching run record supplies the measured
+                        // run's parallelism and event rate.
+                        let record: Option<RunRecord> = store.with("runs", |c| {
+                            c.find_as(&Filter::eq("experiment_id", id.as_str()))
+                                .into_iter()
+                                .next()
+                        });
+                        let parallelism = record
+                            .as_ref()
+                            .and_then(|r| r.parallelism.iter().copied().max())
+                            .unwrap_or(4);
+                        let event_rate = record.as_ref().map(|r| r.event_rate).unwrap_or(100_000.0);
+                        let cluster = flag_value(&args, "--cluster")
+                            .and_then(|c| parse_cluster(&c))
+                            .unwrap_or_else(|| Cluster::homogeneous_m510(10));
+                        let built = app.build(&AppConfig {
+                            event_rate,
+                            ..AppConfig::default()
+                        });
+                        let plan = built.plan.with_uniform_parallelism(parallelism);
+                        let sim = Simulator::new(
+                            cluster,
+                            SimConfig {
+                                event_rate,
+                                ..SimConfig::default()
+                            },
+                        );
+                        let predicted = match sim.run_instrumented(
+                            &plan,
+                            &set.app,
+                            "compare",
+                            &TelemetryConfig {
+                                trace_every: set.sample_every.max(1),
+                                ..TelemetryConfig::default()
+                            },
+                        ) {
+                            Ok(r) => attribute(&assemble(r.spans)),
+                            Err(e) => {
+                                eprintln!("prediction run failed: {e}");
+                                std::process::exit(1);
+                            }
+                        };
+                        let measured = attribute(&assemble(set.spans.clone()));
+                        compare_report(&measured, &predicted)
+                    } else {
+                        let format =
+                            flag_value(&args, "--format").unwrap_or_else(|| "report".into());
+                        match format.as_str() {
+                            "report" => attribution_report(&assemble(set.spans.clone())),
+                            "chrome" => chrome_trace_json(&set.spans),
+                            other => {
+                                eprintln!("unknown format '{other}' (report|chrome)");
+                                std::process::exit(2);
+                            }
+                        }
+                    };
+                    match flag_value(&args, "--out") {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(&path, &output) {
+                                eprintln!("cannot write '{path}': {e}");
+                                std::process::exit(1);
+                            }
+                            println!("wrote {path}");
+                        }
+                        None => println!("{output}"),
                     }
                 }
             }
